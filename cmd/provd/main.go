@@ -1,0 +1,77 @@
+// Command provd serves the business provenance system over HTTP: event
+// ingestion (recorder clients post application events), internal control
+// deployment in business vocabulary, compliance queries, dashboard KPIs,
+// Table-1 row inspection and provenance graph navigation.
+//
+// Usage:
+//
+//	provd -domain hiring -addr :8341 [-dir /var/lib/provd] [-continuous] [-materialize]
+//
+// Endpoints:
+//
+//	POST   /events            ingest a JSON array of application events
+//	GET    /controls          list deployed controls
+//	POST   /controls          deploy {"id","name","text"}
+//	DELETE /controls?id=X     remove a control
+//	GET    /compliance[?app=] check one trace or all traces
+//	GET    /dashboard         per-control KPIs
+//	GET    /violations?n=10   recent violation feed
+//	GET    /graph?app=X       one trace's nodes and edges
+//	GET    /rows?app=X        one trace's Table-1 rows
+//	GET    /query?type=&field=&value=[&explain=1]  typed node query
+//	GET    /stats             store/pipeline statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/httpapi"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8341", "listen address")
+	domainName := flag.String("domain", "hiring", "process domain: hiring, procurement or claims")
+	dir := flag.String("dir", "", "store directory (empty = in-memory)")
+	continuous := flag.Bool("continuous", false, "correlate and check incrementally on the change feed")
+	materialize := flag.Bool("materialize", false, "materialize control points into the graph (Fig 2)")
+	flag.Parse()
+
+	domain, err := buildDomain(*domainName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.New(domain, core.Config{
+		Dir: *dir, Continuous: *continuous, Materialize: *materialize,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	log.Printf("provd: domain %s, %d controls deployed, listening on %s",
+		domain.Name, len(domain.Controls), *addr)
+	srv := httpapi.NewServer(sys, *continuous)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func buildDomain(name string) (*workload.Domain, error) {
+	switch name {
+	case "hiring":
+		return workload.Hiring()
+	case "procurement":
+		return workload.Procurement()
+	case "claims":
+		return workload.Claims()
+	default:
+		return nil, fmt.Errorf("unknown domain %q (want hiring, procurement or claims)", name)
+	}
+}

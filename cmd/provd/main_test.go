@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestBuildDomain(t *testing.T) {
+	for _, name := range []string{"hiring", "procurement", "claims"} {
+		d, err := buildDomain(name)
+		if err != nil {
+			t.Fatalf("buildDomain(%s): %v", name, err)
+		}
+		if d.Name != name {
+			t.Errorf("buildDomain(%s).Name = %s", name, d.Name)
+		}
+		if len(d.Controls) == 0 {
+			t.Errorf("%s ships no controls", name)
+		}
+	}
+	if _, err := buildDomain("nope"); err == nil {
+		t.Error("unknown domain accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary end to end and checks for
+// its landmark output — the deliverable smoke test for examples/.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow under -short")
+	}
+	cases := []struct {
+		path  string
+		wants []string
+	}{
+		{"./examples/quickstart", []string{
+			"business vocabulary (BOM excerpt)",
+			"my-first-control",
+			"compliance dashboard",
+		}},
+		{"./examples/hiring", []string{
+			"Table 1: provenance entities",
+			"ps:jobRequisition",
+			"Fig 2: the trace as a provenance graph",
+			"internal control point (custom node)",
+			"status=satisfied",
+		}},
+		{"./examples/procurement", []string{
+			"purchase-to-pay under 70% visibility",
+			"three-way-match",
+			"tightened invoice-tolerance",
+			"version 2",
+		}},
+		{"./examples/claims", []string{
+			"continuous mode",
+			"incremental re-checks",
+			"why Indeterminate beats guessing",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.path, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.path).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.path, err, out)
+			}
+			for _, want := range c.wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q", c.path, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,168 @@
+package audit_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/workload"
+)
+
+func builtReport(t *testing.T, traces int, visibility float64, maxFindings int) *audit.Report {
+	t.Helper()
+	d, err := workload.Hiring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(d, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	res := d.Simulate(workload.SimOptions{
+		Seed: 15, Traces: traces, ViolationRate: 0.4, Visibility: visibility,
+	})
+	if err := sys.Ingest(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CorrelateAll(); err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := sys.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := audit.Build(d.Name, sys.Store, outcomes, maxFindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep ground truth handy for assertions.
+	t.Cleanup(func() {})
+	wantViolated := 0
+	for _, tr := range res.Truth {
+		if tr.Violation {
+			wantViolated++
+		}
+	}
+	total := 0
+	for _, sec := range rep.Sections {
+		total += sec.Violated
+	}
+	if visibility == 1.0 && total != wantViolated {
+		t.Fatalf("report violations = %d, truth = %d", total, wantViolated)
+	}
+	return rep
+}
+
+func TestBuildReportStructure(t *testing.T) {
+	rep := builtReport(t, 60, 1.0, 0)
+	if rep.Domain != "hiring" || rep.Traces != 60 {
+		t.Fatalf("report header = %q, %d", rep.Domain, rep.Traces)
+	}
+	if len(rep.Sections) != 3 {
+		t.Fatalf("sections = %d", len(rep.Sections))
+	}
+	for i := 1; i < len(rep.Sections); i++ {
+		if rep.Sections[i-1].ControlID >= rep.Sections[i].ControlID {
+			t.Fatal("sections not sorted")
+		}
+	}
+	for _, sec := range rep.Sections {
+		if sec.Satisfied+sec.Violated+sec.Indeterminate+sec.NotApplicable != 60 {
+			t.Fatalf("section %s does not cover all traces", sec.ControlID)
+		}
+		for _, f := range sec.Violations {
+			if len(f.Evidence) == 0 {
+				t.Fatalf("violation in %s lacks evidence: %+v", sec.ControlID, f)
+			}
+			if f.Evidence[0].Type == "" || f.Evidence[0].Attrs == "" {
+				t.Fatalf("evidence not resolved: %+v", f.Evidence[0])
+			}
+		}
+	}
+}
+
+func TestReportFindingsCap(t *testing.T) {
+	rep := builtReport(t, 200, 1.0, 3)
+	for _, sec := range rep.Sections {
+		if len(sec.Violations) > 3 {
+			t.Fatalf("cap not applied: %d findings", len(sec.Violations))
+		}
+		if sec.Violated > 3 && len(sec.Violations) != 3 {
+			t.Fatalf("cap mis-applied: %d of %d", len(sec.Violations), sec.Violated)
+		}
+	}
+}
+
+func TestReportIndeterminatesCarryNotes(t *testing.T) {
+	// Claims at reduced visibility produces indeterminate estimate-bound
+	// decisions whose notes explain the missing evidence.
+	d, err := workload.Claims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(d, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	res := d.Simulate(workload.SimOptions{Seed: 19, Traces: 150, ViolationRate: 0.25, Visibility: 0.7})
+	if err := sys.Ingest(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CorrelateAll(); err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := sys.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	indet := 0
+	for _, o := range outcomes {
+		if o.Result.Verdict == rules.Indeterminate {
+			indet++
+		}
+	}
+	if indet == 0 {
+		t.Skip("no indeterminates at this seed")
+	}
+	rep, err := audit.Build(d.Name, sys.Store, outcomes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sec := range rep.Sections {
+		for _, f := range sec.Indeterminates {
+			found = true
+			if len(f.Notes) == 0 {
+				t.Fatalf("indeterminate finding lacks notes: %+v", f)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("indeterminates not surfaced in the report")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	rep := builtReport(t, 40, 1.0, 5)
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`COMPLIANCE AUDIT REPORT — domain "hiring", 40 traces`,
+		"### control four-eyes",
+		"### control gm-approval",
+		"### control no-reject-proceed",
+		"satisfied",
+		"evidence",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n%s", want, out)
+		}
+	}
+}

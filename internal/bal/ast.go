@@ -1,0 +1,419 @@
+package bal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RuleText is a parsed internal control: the paper's four-part structure
+// with definitions, a condition, and the then/else action lists.
+type RuleText struct {
+	Definitions []*Definition
+	If          Cond
+	Then        []Action
+	Else        []Action
+}
+
+// Definition binds a variable in the definitions section:
+//
+//	set 'the current request' to a job requisition
+//	  where the requisition id of this job requisition is "REQ001" ;
+//	set 'the general manager' to the manager of 'the hiring manager' ;
+type Definition struct {
+	// Var is the normalized variable name.
+	Var string
+	// Binder is set for "a <concept> [where <cond>]" terms; Expr for
+	// plain expression terms. Exactly one is non-nil.
+	Binder *Binder
+	Expr   Expr
+	// Pos locates the definition for diagnostics.
+	Pos Pos
+}
+
+// Binder selects a node of a concept, optionally constrained by a
+// condition evaluated with "this" bound to the candidate.
+type Binder struct {
+	// Concept is the matched concept label ("job requisition").
+	Concept string
+	// Where is the optional constraint (nil = any instance).
+	Where Cond
+	// Pos locates the binder.
+	Pos Pos
+}
+
+// Expr is a value expression.
+type Expr interface {
+	exprNode()
+	// Pos locates the expression.
+	Position() Pos
+	// String renders the expression in (normalized) business syntax.
+	String() string
+}
+
+// Lit is a literal: string, number, or boolean.
+type Lit struct {
+	// Text is the literal's lexical form; Kind distinguishes it.
+	Text string
+	Kind LitKind
+	Pos  Pos
+}
+
+// LitKind classifies literals.
+type LitKind int
+
+const (
+	// LitString is a double-quoted string.
+	LitString LitKind = iota + 1
+	// LitInt is an integer literal.
+	LitInt
+	// LitFloat is a decimal literal.
+	LitFloat
+	// LitBool is true or false.
+	LitBool
+)
+
+func (*Lit) exprNode() {}
+
+// Position implements Expr.
+func (l *Lit) Position() Pos { return l.Pos }
+
+// String implements Expr.
+func (l *Lit) String() string {
+	if l.Kind == LitString {
+		return fmt.Sprintf("%q", l.Text)
+	}
+	return l.Text
+}
+
+// VarRef references a defined variable.
+type VarRef struct {
+	Name string
+	Pos  Pos
+}
+
+func (*VarRef) exprNode() {}
+
+// Position implements Expr.
+func (v *VarRef) Position() Pos { return v.Pos }
+
+// String implements Expr.
+func (v *VarRef) String() string { return "'" + v.Name + "'" }
+
+// This references the candidate instance inside a binder's where clause.
+type This struct {
+	Pos Pos
+}
+
+func (*This) exprNode() {}
+
+// Position implements Expr.
+func (t *This) Position() Pos { return t.Pos }
+
+// String implements Expr.
+func (t *This) String() string { return "this" }
+
+// Nav is a phrase navigation: "the <phrase> of <expr>". The phrase is
+// resolved against the BOM vocabulary at compile time, where the operand's
+// concept is known.
+type Nav struct {
+	// Phrase is the matched (normalized) vocabulary phrase.
+	Phrase string
+	// Of is the operand expression.
+	Of  Expr
+	Pos Pos
+}
+
+func (*Nav) exprNode() {}
+
+// Position implements Expr.
+func (n *Nav) Position() Pos { return n.Pos }
+
+// String implements Expr.
+func (n *Nav) String() string { return "the " + n.Phrase + " of " + n.Of.String() }
+
+// Count is "the number of <expr>": the cardinality of a navigation's
+// node set (or 0/1 for a scalar's absence/presence).
+type Count struct {
+	Of  Expr
+	Pos Pos
+}
+
+func (*Count) exprNode() {}
+
+// Position implements Expr.
+func (c *Count) Position() Pos { return c.Pos }
+
+// String implements Expr.
+func (c *Count) String() string { return "the number of " + c.Of.String() }
+
+// Binary is an arithmetic expression.
+type Binary struct {
+	Op   string // + - * /
+	L, R Expr
+	Pos  Pos
+}
+
+func (*Binary) exprNode() {}
+
+// Position implements Expr.
+func (b *Binary) Position() Pos { return b.Pos }
+
+// String implements Expr.
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// Neg is unary minus.
+type Neg struct {
+	E   Expr
+	Pos Pos
+}
+
+func (*Neg) exprNode() {}
+
+// Position implements Expr.
+func (n *Neg) Position() Pos { return n.Pos }
+
+// String implements Expr.
+func (n *Neg) String() string { return "-" + n.E.String() }
+
+// Cond is a boolean condition.
+type Cond interface {
+	condNode()
+	// Position locates the condition.
+	Position() Pos
+	// String renders the condition in business syntax.
+	String() string
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+const (
+	// OpEq is "is".
+	OpEq CmpOp = iota + 1
+	// OpNe is "is not".
+	OpNe
+	// OpLt is "is less than" / "<".
+	OpLt
+	// OpLe is "is at most" / "<=".
+	OpLe
+	// OpGt is "is more than" / ">".
+	OpGt
+	// OpGe is "is at least" / ">=".
+	OpGe
+)
+
+// String renders the operator in business syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "is"
+	case OpNe:
+		return "is not"
+	case OpLt:
+		return "is less than"
+	case OpLe:
+		return "is at most"
+	case OpGt:
+		return "is more than"
+	case OpGe:
+		return "is at least"
+	default:
+		return "?"
+	}
+}
+
+// Cmp compares two expressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+	Pos  Pos
+}
+
+func (*Cmp) condNode() {}
+
+// Position implements Cond.
+func (c *Cmp) Position() Pos { return c.Pos }
+
+// String implements Cond.
+func (c *Cmp) String() string {
+	return c.L.String() + " " + c.Op.String() + " " + c.R.String()
+}
+
+// IsNull tests "X is null" / "X is not null".
+type IsNull struct {
+	E       Expr
+	Negated bool
+	Pos     Pos
+}
+
+func (*IsNull) condNode() {}
+
+// Position implements Cond.
+func (c *IsNull) Position() Pos { return c.Pos }
+
+// String implements Cond.
+func (c *IsNull) String() string {
+	if c.Negated {
+		return c.E.String() + " is not null"
+	}
+	return c.E.String() + " is null"
+}
+
+// Exists tests "X exists" / "X does not exist": for navigations and
+// binders it asks whether the referenced record was captured at all.
+type Exists struct {
+	E       Expr
+	Negated bool
+	Pos     Pos
+}
+
+func (*Exists) condNode() {}
+
+// Position implements Cond.
+func (c *Exists) Position() Pos { return c.Pos }
+
+// String implements Cond.
+func (c *Exists) String() string {
+	if c.Negated {
+		return c.E.String() + " does not exist"
+	}
+	return c.E.String() + " exists"
+}
+
+// Between tests "X is between A and B" (inclusive).
+type Between struct {
+	E, Lo, Hi Expr
+	Pos       Pos
+}
+
+func (*Between) condNode() {}
+
+// Position implements Cond.
+func (c *Between) Position() Pos { return c.Pos }
+
+// String implements Cond.
+func (c *Between) String() string {
+	return c.E.String() + " is between " + c.Lo.String() + " and " + c.Hi.String()
+}
+
+// InList tests "X is one of A, B, C".
+type InList struct {
+	E    Expr
+	List []Expr
+	Pos  Pos
+}
+
+func (*InList) condNode() {}
+
+// Position implements Cond.
+func (c *InList) Position() Pos { return c.Pos }
+
+// String implements Cond.
+func (c *InList) String() string {
+	parts := make([]string, len(c.List))
+	for i, e := range c.List {
+		parts[i] = e.String()
+	}
+	return c.E.String() + " is one of " + strings.Join(parts, ", ")
+}
+
+// Contains tests "X contains Y" (substring on strings).
+type Contains struct {
+	L, R Expr
+	Pos  Pos
+}
+
+func (*Contains) condNode() {}
+
+// Position implements Cond.
+func (c *Contains) Position() Pos { return c.Pos }
+
+// String implements Cond.
+func (c *Contains) String() string { return c.L.String() + " contains " + c.R.String() }
+
+// And conjoins conditions.
+type And struct {
+	L, R Cond
+	Pos  Pos
+}
+
+func (*And) condNode() {}
+
+// Position implements Cond.
+func (c *And) Position() Pos { return c.Pos }
+
+// String implements Cond.
+func (c *And) String() string { return "(" + c.L.String() + " and " + c.R.String() + ")" }
+
+// Or disjoins conditions.
+type Or struct {
+	L, R Cond
+	Pos  Pos
+}
+
+func (*Or) condNode() {}
+
+// Position implements Cond.
+func (c *Or) Position() Pos { return c.Pos }
+
+// String implements Cond.
+func (c *Or) String() string { return "(" + c.L.String() + " or " + c.R.String() + ")" }
+
+// Not negates a condition.
+type Not struct {
+	C   Cond
+	Pos Pos
+}
+
+func (*Not) condNode() {}
+
+// Position implements Cond.
+func (c *Not) Position() Pos { return c.Pos }
+
+// String implements Cond.
+func (c *Not) String() string { return "not (" + c.C.String() + ")" }
+
+// Action is a then/else action.
+type Action interface {
+	actionNode()
+	// Position locates the action.
+	Position() Pos
+	// String renders the action in business syntax.
+	String() string
+}
+
+// SetStatus declares the control satisfied or not satisfied — the paper's
+// "Internal control is satisfied" / "Internal control is not satisfied".
+type SetStatus struct {
+	Satisfied bool
+	Pos       Pos
+}
+
+func (*SetStatus) actionNode() {}
+
+// Position implements Action.
+func (a *SetStatus) Position() Pos { return a.Pos }
+
+// String implements Action.
+func (a *SetStatus) String() string {
+	if a.Satisfied {
+		return "the internal control is satisfied"
+	}
+	return "the internal control is not satisfied"
+}
+
+// Alert emits a message to the compliance dashboard.
+type Alert struct {
+	Message Expr
+	Pos     Pos
+}
+
+func (*Alert) actionNode() {}
+
+// Position implements Action.
+func (a *Alert) Position() Pos { return a.Pos }
+
+// String implements Action.
+func (a *Alert) String() string { return "add alert " + a.Message.String() }

@@ -1,0 +1,38 @@
+package bal
+
+import "testing"
+
+// FuzzLex hardens the lexer: arbitrary input must lex or fail cleanly.
+func FuzzLex(f *testing.F) {
+	f.Add(paperRule)
+	f.Add(`if 'x' is "str" then the internal control is satisfied ;`)
+	f.Add(`"unterminated`)
+	f.Add("# comment only")
+	f.Add("')(*&^%$")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatal("token stream does not end with EOF")
+		}
+	})
+}
+
+// FuzzParse hardens the parser: arbitrary input must parse or fail with a
+// positioned error, never panic or loop.
+func FuzzParse(f *testing.F) {
+	f.Add(paperRule)
+	f.Add(`if the manager of 'x' is null then the internal control is satisfied ;`)
+	f.Add(`definitions set 'x' to a person ; if 'x' exists then the internal control is satisfied ;`)
+	f.Add("if then else")
+	f.Add("definitions definitions if if")
+	vocab := hiringVocab()
+	f.Fuzz(func(t *testing.T, src string) {
+		rt, err := Parse(src, vocab)
+		if err == nil && rt == nil {
+			t.Fatal("nil rule without error")
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package bal
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lex tokenizes rule text. Words are lower-cased (the language is case
+// insensitive); string and variable literals keep their exact content.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	runes := []rune(src)
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n && i < len(runes); k++ {
+			if runes[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(runes) {
+		r := runes[i]
+		pos := Pos{line, col}
+		switch {
+		case unicode.IsSpace(r):
+			advance(1)
+		case r == '#': // comment to end of line
+			for i < len(runes) && runes[i] != '\n' {
+				advance(1)
+			}
+		case r == '"':
+			advance(1)
+			start := i
+			for i < len(runes) && runes[i] != '"' {
+				if runes[i] == '\n' {
+					return nil, errf(pos, "unterminated string literal")
+				}
+				advance(1)
+			}
+			if i >= len(runes) {
+				return nil, errf(pos, "unterminated string literal")
+			}
+			toks = append(toks, Token{Kind: TokString, Text: string(runes[start:i]), Pos: pos})
+			advance(1) // closing quote
+		case r == '\'':
+			advance(1)
+			start := i
+			for i < len(runes) && runes[i] != '\'' {
+				if runes[i] == '\n' {
+					return nil, errf(pos, "unterminated variable name")
+				}
+				advance(1)
+			}
+			if i >= len(runes) {
+				return nil, errf(pos, "unterminated variable name")
+			}
+			name := strings.Join(strings.Fields(strings.ToLower(string(runes[start:i]))), " ")
+			if name == "" {
+				return nil, errf(pos, "empty variable name")
+			}
+			toks = append(toks, Token{Kind: TokVar, Text: name, Pos: pos})
+			advance(1)
+		case unicode.IsDigit(r):
+			start := i
+			seenDot := false
+			for i < len(runes) && (unicode.IsDigit(runes[i]) || (runes[i] == '.' && !seenDot)) {
+				if runes[i] == '.' {
+					// A dot must be followed by a digit to belong to the
+					// number (no trailing-dot numbers).
+					if i+1 >= len(runes) || !unicode.IsDigit(runes[i+1]) {
+						break
+					}
+					seenDot = true
+				}
+				advance(1)
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: string(runes[start:i]), Pos: pos})
+		case unicode.IsLetter(r) || r == '_':
+			start := i
+			for i < len(runes) && (unicode.IsLetter(runes[i]) || unicode.IsDigit(runes[i]) || runes[i] == '_' || runes[i] == '-') {
+				advance(1)
+			}
+			toks = append(toks, Token{Kind: TokWord, Text: strings.ToLower(string(runes[start:i])), Pos: pos})
+		case r == ';' || r == ':' || r == ',' || r == '(' || r == ')':
+			toks = append(toks, Token{Kind: TokPunct, Text: string(r), Pos: pos})
+			advance(1)
+		case r == '<' || r == '>':
+			op := string(r)
+			advance(1)
+			if i < len(runes) && runes[i] == '=' {
+				op += "="
+				advance(1)
+			}
+			toks = append(toks, Token{Kind: TokOp, Text: op, Pos: pos})
+		case r == '+' || r == '-' || r == '*' || r == '/':
+			toks = append(toks, Token{Kind: TokOp, Text: string(r), Pos: pos})
+			advance(1)
+		default:
+			return nil, errf(pos, "unexpected character %q", string(r))
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: Pos{line, col}})
+	return toks, nil
+}

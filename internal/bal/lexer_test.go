@@ -1,0 +1,124 @@
+package bal
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	res := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		res[i] = t.Kind
+	}
+	return res
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`set 'The Current  Request' to a job requisition ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokWord, "set"},
+		{TokVar, "the current request"},
+		{TokWord, "to"},
+		{TokWord, "a"},
+		{TokWord, "job"},
+		{TokWord, "requisition"},
+		{TokPunct, ";"},
+		{TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexStringsAndNumbers(t *testing.T) {
+	toks, err := Lex(`"new POSITION" 42 3.14 true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "new POSITION" {
+		t.Errorf("string literal = %v", toks[0])
+	}
+	if toks[1].Kind != TokNumber || toks[1].Text != "42" {
+		t.Errorf("int = %v", toks[1])
+	}
+	if toks[2].Kind != TokNumber || toks[2].Text != "3.14" {
+		t.Errorf("float = %v", toks[2])
+	}
+	if toks[3].Kind != TokWord || toks[3].Text != "true" {
+		t.Errorf("bool word = %v", toks[3])
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`< <= > >= + - * / ( ) , :`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTexts := []string{"<", "<=", ">", ">=", "+", "-", "*", "/", "(", ")", ",", ":"}
+	for i, w := range wantTexts {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("if # this is ignored\nthen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "if" || toks[1].Text != "then" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("if\n  then")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("if pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("then pos = %v", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		"'unterminated",
+		"\"multi\nline\"",
+		"''",
+		"@",
+	}
+	for _, src := range cases {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexDot(t *testing.T) {
+	if toks, err := Lex("2."); err != nil {
+		// A stray dot is an unexpected character; either behavior (error
+		// or number-then-error) is fine as long as it does not crash. The
+		// lexer reports the dot.
+		if e, ok := err.(*Error); !ok || e.Pos.Col != 2 {
+			t.Errorf("err = %v", err)
+		}
+	} else if toks[0].Text != "2" {
+		t.Errorf("toks = %v", kinds(toks))
+	}
+}

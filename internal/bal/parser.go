@@ -1,0 +1,607 @@
+package bal
+
+import (
+	"strings"
+)
+
+// Vocabulary is the phrase matcher the parser consults; implemented by
+// *bom.Vocabulary. Phrase matching is longest-match (design decision D2):
+// the parser hands the matcher the upcoming word tokens and the matcher
+// consumes as many as form the longest known phrase.
+type Vocabulary interface {
+	// MatchPhrases returns every member phrase starting at tokens[0],
+	// longest first. The parser picks the longest candidate that the
+	// following grammar (the "of" keyword) accepts.
+	MatchPhrases(tokens []string) []PhraseMatch
+	// MatchConceptLabel matches a concept noun at tokens[0].
+	MatchConceptLabel(tokens []string) (label string, n int, ok bool)
+}
+
+// PhraseMatch is one candidate phrase match (mirrors bom.PhraseMatch).
+type PhraseMatch struct {
+	Phrase string
+	N      int
+}
+
+// Parse lexes and parses one internal control rule text.
+func Parse(src string, vocab Vocabulary) (*RuleText, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, vocab: vocab}
+	rt, err := p.parseRule()
+	if err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// maxPhraseWords bounds the lookahead handed to the phrase matcher.
+const maxPhraseWords = 8
+
+type parser struct {
+	toks  []Token
+	pos   int
+	vocab Vocabulary
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// isWord reports whether the current token is the given word.
+func (p *parser) isWord(w string) bool {
+	t := p.cur()
+	return t.Kind == TokWord && t.Text == w
+}
+
+// isWords reports whether the upcoming tokens are exactly these words.
+func (p *parser) isWords(ws ...string) bool {
+	for i, w := range ws {
+		t := p.toks[min(p.pos+i, len(p.toks)-1)]
+		if t.Kind != TokWord || t.Text != w {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// acceptWord consumes the word if present.
+func (p *parser) acceptWord(w string) bool {
+	if p.isWord(w) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// acceptWords consumes the exact word sequence if present.
+func (p *parser) acceptWords(ws ...string) bool {
+	if p.isWords(ws...) {
+		p.pos += len(ws)
+		return true
+	}
+	return false
+}
+
+// expectWord consumes the word or fails.
+func (p *parser) expectWord(w string) error {
+	if !p.acceptWord(w) {
+		return errf(p.cur().Pos, "expected %q, found %s", w, p.cur())
+	}
+	return nil
+}
+
+// expectPunct consumes the punctuation or fails.
+func (p *parser) expectPunct(s string) error {
+	t := p.cur()
+	if t.Kind == TokPunct && t.Text == s {
+		p.pos++
+		return nil
+	}
+	return errf(t.Pos, "expected %q, found %s", s, t)
+}
+
+// wordsAhead collects up to maxPhraseWords consecutive word tokens
+// starting at the current position, for the phrase matcher.
+func (p *parser) wordsAhead() []string {
+	var ws []string
+	for i := p.pos; i < len(p.toks) && len(ws) < maxPhraseWords; i++ {
+		if p.toks[i].Kind != TokWord {
+			break
+		}
+		ws = append(ws, p.toks[i].Text)
+	}
+	return ws
+}
+
+// parseRule parses the full definitions/if/then/else structure.
+func (p *parser) parseRule() (*RuleText, error) {
+	rt := &RuleText{}
+	if p.acceptWord("definitions") {
+		for !p.isWord("if") {
+			if p.cur().Kind == TokEOF {
+				return nil, errf(p.cur().Pos, "expected a definition or \"if\"")
+			}
+			def, err := p.parseDefinition()
+			if err != nil {
+				return nil, err
+			}
+			rt.Definitions = append(rt.Definitions, def)
+		}
+	}
+	if err := p.expectWord("if"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	rt.If = cond
+	if err := p.expectWord("then"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseActions()
+	if err != nil {
+		return nil, err
+	}
+	if len(then) == 0 {
+		return nil, errf(p.cur().Pos, "\"then\" requires at least one action")
+	}
+	rt.Then = then
+	if p.acceptWord("else") {
+		els, err := p.parseActions()
+		if err != nil {
+			return nil, err
+		}
+		if len(els) == 0 {
+			return nil, errf(p.cur().Pos, "\"else\" requires at least one action")
+		}
+		rt.Else = els
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, errf(p.cur().Pos, "unexpected %s after the rule", p.cur())
+	}
+	return rt, nil
+}
+
+// parseDefinition parses: set VAR to (a CONCEPT [where COND] | EXPR) ;
+func (p *parser) parseDefinition() (*Definition, error) {
+	start := p.cur().Pos
+	if err := p.expectWord("set"); err != nil {
+		return nil, err
+	}
+	v := p.cur()
+	if v.Kind != TokVar {
+		return nil, errf(v.Pos, "expected a quoted variable name, found %s", v)
+	}
+	p.pos++
+	if err := p.expectWord("to"); err != nil {
+		return nil, err
+	}
+	def := &Definition{Var: v.Text, Pos: start}
+	if p.isWord("a") || p.isWord("an") {
+		binderPos := p.cur().Pos
+		p.pos++
+		label, n, ok := p.vocab.MatchConceptLabel(p.wordsAhead())
+		if !ok {
+			return nil, errf(p.cur().Pos, "unknown business concept at %s", p.cur())
+		}
+		p.pos += n
+		b := &Binder{Concept: label, Pos: binderPos}
+		if p.acceptWord("where") {
+			cond, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			b.Where = cond
+		}
+		def.Binder = b
+	} else {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		def.Expr = e
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return def, nil
+}
+
+// parseCond parses an or-condition (lowest precedence).
+func (p *parser) parseCond() (Cond, error) {
+	l, err := p.parseAndCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.isWord("or") {
+		pos := p.cur().Pos
+		p.pos++
+		r, err := p.parseAndCond()
+		if err != nil {
+			return nil, err
+		}
+		l = &Or{L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAndCond() (Cond, error) {
+	l, err := p.parseUnaryCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.isWord("and") {
+		pos := p.cur().Pos
+		p.pos++
+		r, err := p.parseUnaryCond()
+		if err != nil {
+			return nil, err
+		}
+		l = &And{L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnaryCond() (Cond, error) {
+	if p.isWord("not") || p.isWords("it", "is", "not", "true", "that") {
+		pos := p.cur().Pos
+		if !p.acceptWords("it", "is", "not", "true", "that") {
+			p.pos++ // "not"
+		}
+		c, err := p.parseUnaryCond()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{C: c, Pos: pos}, nil
+	}
+	// Parenthesized condition: "( cond )" — but "(" may also start a
+	// parenthesized expression ("(a + b) is ..."). Try the condition
+	// parse first and backtrack on failure.
+	if t := p.cur(); t.Kind == TokPunct && t.Text == "(" {
+		save := p.pos
+		p.pos++
+		c, err := p.parseCond()
+		if err == nil {
+			if err := p.expectPunct(")"); err == nil {
+				return c, nil
+			}
+		}
+		p.pos = save
+	}
+	return p.parseComparison()
+}
+
+// parseComparison parses EXPR followed by a comparison tail.
+func (p *parser) parseComparison() (Cond, error) {
+	l, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	switch {
+	case t.Kind == TokOp && (t.Text == "<" || t.Text == "<=" || t.Text == ">" || t.Text == ">="):
+		p.pos++
+		r, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		op := map[string]CmpOp{"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe}[t.Text]
+		return &Cmp{Op: op, L: l, R: r, Pos: t.Pos}, nil
+	case p.isWord("exists"):
+		p.pos++
+		return &Exists{E: l, Pos: t.Pos}, nil
+	case p.isWords("does", "not", "exist"):
+		p.pos += 3
+		return &Exists{E: l, Negated: true, Pos: t.Pos}, nil
+	case p.isWord("contains"):
+		p.pos++
+		r, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Contains{L: l, R: r, Pos: t.Pos}, nil
+	case p.isWord("is"):
+		p.pos++
+		switch {
+		case p.acceptWord("null"):
+			return &IsNull{E: l, Pos: t.Pos}, nil
+		case p.isWords("not", "null"):
+			p.pos += 2
+			return &IsNull{E: l, Negated: true, Pos: t.Pos}, nil
+		case p.acceptWords("at", "least"):
+			r, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Cmp{Op: OpGe, L: l, R: r, Pos: t.Pos}, nil
+		case p.acceptWords("at", "most"):
+			r, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Cmp{Op: OpLe, L: l, R: r, Pos: t.Pos}, nil
+		case p.acceptWords("more", "than"):
+			r, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Cmp{Op: OpGt, L: l, R: r, Pos: t.Pos}, nil
+		case p.acceptWords("less", "than"):
+			r, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Cmp{Op: OpLt, L: l, R: r, Pos: t.Pos}, nil
+		case p.acceptWords("one", "of"):
+			list, err := p.parseExprList()
+			if err != nil {
+				return nil, err
+			}
+			return &InList{E: l, List: list, Pos: t.Pos}, nil
+		case p.acceptWord("between"):
+			lo, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectWord("and"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Between{E: l, Lo: lo, Hi: hi, Pos: t.Pos}, nil
+		case p.acceptWord("not"):
+			r, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Cmp{Op: OpNe, L: l, R: r, Pos: t.Pos}, nil
+		default:
+			r, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Cmp{Op: OpEq, L: l, R: r, Pos: t.Pos}, nil
+		}
+	default:
+		return nil, errf(t.Pos, "expected a comparison after %s, found %s", exprSummary(l), t)
+	}
+}
+
+func exprSummary(e Expr) string {
+	s := e.String()
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}
+
+func (p *parser) parseExprList() ([]Expr, error) {
+	var list []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if t := p.cur(); t.Kind == TokPunct && t.Text == "," {
+			p.pos++
+			continue
+		}
+		return list, nil
+	}
+}
+
+// parseExpr parses additive arithmetic.
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind == TokOp && (t.Text == "+" || t.Text == "-") {
+			p.pos++
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.Text, L: l, R: r, Pos: t.Pos}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind == TokOp && (t.Text == "*" || t.Text == "/") {
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.Text, L: l, R: r, Pos: t.Pos}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokOp && t.Text == "-" {
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{E: e, Pos: t.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokString:
+		p.pos++
+		return &Lit{Text: t.Text, Kind: LitString, Pos: t.Pos}, nil
+	case TokNumber:
+		p.pos++
+		kind := LitInt
+		if strings.Contains(t.Text, ".") {
+			kind = LitFloat
+		}
+		return &Lit{Text: t.Text, Kind: kind, Pos: t.Pos}, nil
+	case TokVar:
+		p.pos++
+		return &VarRef{Name: t.Text, Pos: t.Pos}, nil
+	case TokPunct:
+		if t.Text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case TokWord:
+		switch t.Text {
+		case "true", "false":
+			p.pos++
+			return &Lit{Text: t.Text, Kind: LitBool, Pos: t.Pos}, nil
+		case "this":
+			p.pos++
+			// "this job requisition" repeats the concept for readability;
+			// consume the concept label when it follows.
+			if _, n, ok := p.vocab.MatchConceptLabel(p.wordsAhead()); ok {
+				p.pos += n
+			}
+			return &This{Pos: t.Pos}, nil
+		case "the":
+			p.pos++
+			// "the number of <expr>" is a reserved counting construct,
+			// checked before vocabulary phrases.
+			if p.isWords("number", "of") {
+				p.pos += 2
+				of, err := p.parsePrimary()
+				if err != nil {
+					return nil, err
+				}
+				return &Count{Of: of, Pos: t.Pos}, nil
+			}
+			return p.parseNav(t.Pos)
+		}
+	}
+	return nil, errf(t.Pos, "expected an expression, found %s", t)
+}
+
+// parseNav parses "<phrase> of <primary>" after a consumed "the". Among
+// the candidate phrase matches it picks the longest one that leaves an
+// "of" keyword to consume — so a vocabulary phrase ending in "of" cannot
+// swallow the grammatical "of".
+func (p *parser) parseNav(start Pos) (Expr, error) {
+	matches := p.vocab.MatchPhrases(p.wordsAhead())
+	if len(matches) == 0 {
+		return nil, errf(p.cur().Pos, "unknown business phrase at %s", p.cur())
+	}
+	for _, m := range matches {
+		after := p.toks[min(p.pos+m.N, len(p.toks)-1)]
+		if after.Kind != TokWord || after.Text != "of" {
+			continue
+		}
+		p.pos += m.N + 1 // phrase + "of"
+		of, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &Nav{Phrase: m.Phrase, Of: of, Pos: start}, nil
+	}
+	return nil, errf(p.cur().Pos, "expected \"of\" after the phrase %q", matches[0].Phrase)
+}
+
+// parseActions parses a semicolon-terminated action list, stopping before
+// "else" or end of input.
+func (p *parser) parseActions() ([]Action, error) {
+	var acts []Action
+	for {
+		t := p.cur()
+		if t.Kind == TokEOF || p.isWord("else") {
+			return acts, nil
+		}
+		a, err := p.parseAction()
+		if err != nil {
+			return nil, err
+		}
+		acts = append(acts, a)
+	}
+}
+
+func (p *parser) parseAction() (Action, error) {
+	t := p.cur()
+	switch {
+	case p.isWord("add"):
+		p.pos++
+		if err := p.expectWord("alert"); err != nil {
+			return nil, err
+		}
+		msg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &Alert{Message: msg, Pos: t.Pos}, nil
+	default:
+		// [the] internal control is [not] satisfied ;
+		p.acceptWord("the")
+		if err := p.expectWord("internal"); err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("control"); err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("is"); err != nil {
+			return nil, err
+		}
+		sat := true
+		if p.acceptWord("not") {
+			sat = false
+		}
+		if err := p.expectWord("satisfied"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &SetStatus{Satisfied: sat, Pos: t.Pos}, nil
+	}
+}

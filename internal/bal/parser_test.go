@@ -1,0 +1,388 @@
+package bal
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeVocab is a minimal vocabulary for parser tests: fixed phrase and
+// concept token sequences with longest-match semantics.
+type fakeVocab struct {
+	phrases  [][]string
+	concepts [][]string
+}
+
+func (f *fakeVocab) MatchPhrases(tokens []string) []PhraseMatch {
+	var out []PhraseMatch
+	for n := len(tokens); n > 0; n-- {
+		if phrase, k, ok := longest(f.phrases, tokens[:n]); ok && k == n {
+			out = append(out, PhraseMatch{Phrase: phrase, N: k})
+		}
+	}
+	return out
+}
+
+func (f *fakeVocab) MatchConceptLabel(tokens []string) (string, int, bool) {
+	return longest(f.concepts, tokens)
+}
+
+func longest(seqs [][]string, tokens []string) (string, int, bool) {
+	best := 0
+	var bestSeq []string
+	for _, seq := range seqs {
+		if len(seq) > len(tokens) || len(seq) <= best {
+			continue
+		}
+		match := true
+		for i := range seq {
+			if seq[i] != tokens[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			best = len(seq)
+			bestSeq = seq
+		}
+	}
+	if best == 0 {
+		return "", 0, false
+	}
+	return strings.Join(bestSeq, " "), best, true
+}
+
+func hiringVocab() *fakeVocab {
+	return &fakeVocab{
+		phrases: [][]string{
+			{"requisition", "id"},
+			{"position", "type"},
+			{"general", "manager"},
+			{"manager"},
+			{"approval"},
+			{"approved"},
+			{"submitter"},
+			{"headcount"},
+		},
+		concepts: [][]string{
+			{"job", "requisition"},
+			{"approval", "status"},
+			{"person"},
+		},
+	}
+}
+
+// paperRule is the paper's Section III example control, in this BAL.
+const paperRule = `
+definitions
+  set 'the current request' to a job requisition
+    where the requisition id of this job requisition is "REQ001" ;
+  set 'the hiring manager' to the submitter of 'the current request' ;
+  set 'the general manager' to the manager of 'the hiring manager' ;
+if
+  the position type of 'the current request' is "new"
+  and the approval of 'the current request' is not null
+then
+  the internal control is satisfied ;
+else
+  the internal control is not satisfied ;
+  add alert "missing general manager approval" ;
+`
+
+func TestParsePaperRule(t *testing.T) {
+	rt, err := Parse(paperRule, hiringVocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Definitions) != 3 {
+		t.Fatalf("definitions = %d", len(rt.Definitions))
+	}
+	d0 := rt.Definitions[0]
+	if d0.Var != "the current request" || d0.Binder == nil || d0.Binder.Concept != "job requisition" {
+		t.Fatalf("def0 = %+v", d0)
+	}
+	where, ok := d0.Binder.Where.(*Cmp)
+	if !ok || where.Op != OpEq {
+		t.Fatalf("where = %#v", d0.Binder.Where)
+	}
+	nav, ok := where.L.(*Nav)
+	if !ok || nav.Phrase != "requisition id" {
+		t.Fatalf("where lhs = %#v", where.L)
+	}
+	if _, ok := nav.Of.(*This); !ok {
+		t.Fatalf("where operand = %#v", nav.Of)
+	}
+	d1 := rt.Definitions[1]
+	if d1.Binder != nil || d1.Expr == nil {
+		t.Fatalf("def1 = %+v", d1)
+	}
+	n1, ok := d1.Expr.(*Nav)
+	if !ok || n1.Phrase != "submitter" {
+		t.Fatalf("def1 expr = %#v", d1.Expr)
+	}
+	if v, ok := n1.Of.(*VarRef); !ok || v.Name != "the current request" {
+		t.Fatalf("def1 operand = %#v", n1.Of)
+	}
+
+	and, ok := rt.If.(*And)
+	if !ok {
+		t.Fatalf("if = %#v", rt.If)
+	}
+	if _, ok := and.L.(*Cmp); !ok {
+		t.Fatalf("lhs = %#v", and.L)
+	}
+	isNull, ok := and.R.(*IsNull)
+	if !ok || !isNull.Negated {
+		t.Fatalf("rhs = %#v", and.R)
+	}
+	if len(rt.Then) != 1 || len(rt.Else) != 2 {
+		t.Fatalf("actions = %d/%d", len(rt.Then), len(rt.Else))
+	}
+	if s, ok := rt.Then[0].(*SetStatus); !ok || !s.Satisfied {
+		t.Fatalf("then = %#v", rt.Then[0])
+	}
+	if s, ok := rt.Else[0].(*SetStatus); !ok || s.Satisfied {
+		t.Fatalf("else0 = %#v", rt.Else[0])
+	}
+	if a, ok := rt.Else[1].(*Alert); !ok || a.Message.(*Lit).Text != "missing general manager approval" {
+		t.Fatalf("else1 = %#v", rt.Else[1])
+	}
+}
+
+func TestParseLongestPhraseWins(t *testing.T) {
+	// "general manager" must match as one phrase, not "manager" inside it;
+	// the leading word "general" would otherwise be unparseable.
+	src := `if the general manager of 'x' is "Jane" then the internal control is satisfied ;`
+	rt, err := Parse(src, hiringVocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := rt.If.(*Cmp)
+	if nav := cmp.L.(*Nav); nav.Phrase != "general manager" {
+		t.Fatalf("phrase = %q", nav.Phrase)
+	}
+}
+
+func TestParseChainedNavigation(t *testing.T) {
+	src := `if the manager of the submitter of 'req' is "Jane" then the internal control is satisfied ;`
+	rt, err := Parse(src, hiringVocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := rt.If.(*Cmp).L.(*Nav)
+	if outer.Phrase != "manager" {
+		t.Fatalf("outer = %q", outer.Phrase)
+	}
+	inner, ok := outer.Of.(*Nav)
+	if !ok || inner.Phrase != "submitter" {
+		t.Fatalf("inner = %#v", outer.Of)
+	}
+	if v := inner.Of.(*VarRef); v.Name != "req" {
+		t.Fatalf("var = %q", v.Name)
+	}
+}
+
+func TestParseComparisonForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // String() of the parsed condition
+	}{
+		{`'x' is 5`, `'x' is 5`},
+		{`'x' is not 5`, `'x' is not 5`},
+		{`'x' is at least 5`, `'x' is at least 5`},
+		{`'x' is at most 5`, `'x' is at most 5`},
+		{`'x' is more than 5`, `'x' is more than 5`},
+		{`'x' is less than 5`, `'x' is less than 5`},
+		{`'x' < 5`, `'x' is less than 5`},
+		{`'x' <= 5`, `'x' is at most 5`},
+		{`'x' > 5`, `'x' is more than 5`},
+		{`'x' >= 5`, `'x' is at least 5`},
+		{`'x' is null`, `'x' is null`},
+		{`'x' is not null`, `'x' is not null`},
+		{`'x' exists`, `'x' exists`},
+		{`'x' does not exist`, `'x' does not exist`},
+		{`'x' contains "sub"`, `'x' contains "sub"`},
+		{`'x' is one of "a", "b", "c"`, `'x' is one of "a", "b", "c"`},
+		{`'x' is true`, `'x' is true`},
+		{`not 'x' is 5`, `not ('x' is 5)`},
+		{`it is not true that 'x' is 5`, `not ('x' is 5)`},
+		{`'x' is 1 and 'y' is 2`, `('x' is 1 and 'y' is 2)`},
+		{`'x' is 1 or 'y' is 2 and 'z' is 3`, `('x' is 1 or ('y' is 2 and 'z' is 3))`},
+		{`('x' is 1 or 'y' is 2) and 'z' is 3`, `(('x' is 1 or 'y' is 2) and 'z' is 3)`},
+	}
+	for _, c := range cases {
+		src := "if " + c.src + " then the internal control is satisfied ;"
+		rt, err := Parse(src, hiringVocab())
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if got := rt.If.String(); got != c.want {
+			t.Errorf("%s parsed as %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseArithmetic(t *testing.T) {
+	src := `if the headcount of 'x' + 2 * 3 is 10 - -4 then the internal control is satisfied ;`
+	rt, err := Parse(src, hiringVocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := rt.If.(*Cmp)
+	if got := cmp.L.String(); got != "(the headcount of 'x' + (2 * 3))" {
+		t.Errorf("lhs = %s", got)
+	}
+	if got := cmp.R.String(); got != "(10 - -4)" {
+		t.Errorf("rhs = %s", got)
+	}
+}
+
+func TestParseParenthesizedExpression(t *testing.T) {
+	src := `if (the headcount of 'x' + 1) * 2 is 6 then the internal control is satisfied ;`
+	rt, err := Parse(src, hiringVocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.If.(*Cmp).L.String(); got != "((the headcount of 'x' + 1) * 2)" {
+		t.Errorf("lhs = %s", got)
+	}
+}
+
+func TestParseThisWithConceptEcho(t *testing.T) {
+	src := `definitions
+  set 'r' to a job requisition where the position type of this job requisition is "new" ;
+if 'r' exists then the internal control is satisfied ;`
+	rt, err := Parse(src, hiringVocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	where := rt.Definitions[0].Binder.Where.(*Cmp)
+	if _, ok := where.L.(*Nav).Of.(*This); !ok {
+		t.Fatalf("operand = %#v", where.L.(*Nav).Of)
+	}
+	// Bare "this" works too.
+	src2 := `definitions
+  set 'r' to a job requisition where the position type of this is "new" ;
+if 'r' exists then the internal control is satisfied ;`
+	if _, err := Parse(src2, hiringVocab()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseBinderWithoutWhere(t *testing.T) {
+	src := `definitions
+  set 'p' to a person ;
+if 'p' exists then the internal control is satisfied ;`
+	rt, err := Parse(src, hiringVocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rt.Definitions[0].Binder
+	if b == nil || b.Concept != "person" || b.Where != nil {
+		t.Fatalf("binder = %+v", b)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{``, `expected "if"`},
+		{`if then the internal control is satisfied ;`, "expected an expression"},
+		{`if 'x' is 1 then`, "at least one action"},
+		{`if 'x' is 1 then the internal control is satisfied ; else`, "at least one action"},
+		{`if 'x' then the internal control is satisfied ;`, "expected a comparison"},
+		{`if the unicorn of 'x' is 1 then the internal control is satisfied ;`, "unknown business phrase"},
+		{`definitions set 'x' to a unicorn ; if 'x' exists then the internal control is satisfied ;`, "unknown business concept"},
+		{`definitions set x to a person ; if 'x' exists then the internal control is satisfied ;`, "quoted variable"},
+		{`definitions set 'x' to a person if 'x' exists then the internal control is satisfied ;`, `expected ";"`},
+		{`if 'x' is 1 then the internal control is satisfied ; trailing`, "expected"},
+		{`if 'x' is 1 then the internal control is maybe ;`, `expected "satisfied"`},
+		{`if the manager 'x' is 1 then the internal control is satisfied ;`, `expected "of"`},
+		{`if ('x' is 1 then the internal control is satisfied ;`, ""},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src, hiringVocab())
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded", c.src)
+			continue
+		}
+		if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error = %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseErrorsCarryPositions(t *testing.T) {
+	src := "if\n  the unicorn of 'x' is 1\nthen the internal control is satisfied ;"
+	_, err := Parse(src, hiringVocab())
+	if err == nil {
+		t.Fatal("parse succeeded")
+	}
+	e, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if e.Pos.Line != 2 {
+		t.Errorf("error line = %d, want 2", e.Pos.Line)
+	}
+}
+
+func TestParseDefinitionsWithoutKeywordRejected(t *testing.T) {
+	src := `set 'x' to a person ; if 'x' exists then the internal control is satisfied ;`
+	if _, err := Parse(src, hiringVocab()); err == nil {
+		t.Fatal("definitions without the keyword accepted")
+	}
+}
+
+func BenchmarkParsePaperRule(b *testing.B) {
+	v := hiringVocab()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(paperRule, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestParseCount(t *testing.T) {
+	src := `if the number of the approval of 'r' is 1 then the internal control is satisfied ;`
+	rt, err := Parse(src, hiringVocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := rt.If.(*Cmp)
+	cnt, ok := cmp.L.(*Count)
+	if !ok {
+		t.Fatalf("lhs = %#v", cmp.L)
+	}
+	if nav, ok := cnt.Of.(*Nav); !ok || nav.Phrase != "approval" {
+		t.Fatalf("count operand = %#v", cnt.Of)
+	}
+	if got := cmp.L.String(); got != "the number of the approval of 'r'" {
+		t.Errorf("String = %s", got)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	src := `if the headcount of 'r' is between 1 and 5 and 'x' is 2 then the internal control is satisfied ;`
+	rt, err := Parse(src, hiringVocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := rt.If.(*And)
+	if !ok {
+		t.Fatalf("if = %#v", rt.If)
+	}
+	btw, ok := and.L.(*Between)
+	if !ok {
+		t.Fatalf("lhs = %#v", and.L)
+	}
+	if got := btw.String(); got != "the headcount of 'r' is between 1 and 5" {
+		t.Errorf("String = %s", got)
+	}
+	if _, err := Parse(`if 'x' is between 1 then the internal control is satisfied ;`, hiringVocab()); err == nil {
+		t.Error("between without and accepted")
+	}
+}

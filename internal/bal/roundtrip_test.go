@@ -1,0 +1,95 @@
+package bal
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// genCond builds a random condition in concrete syntax, for the print/
+// reparse fixpoint property below.
+func genCond(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		return genComparison(rng)
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return genComparison(rng)
+	case 1:
+		return "not " + genCond(rng, depth-1)
+	case 2:
+		return "(" + genCond(rng, depth-1) + " and " + genCond(rng, depth-1) + ")"
+	case 3:
+		return "(" + genCond(rng, depth-1) + " or " + genCond(rng, depth-1) + ")"
+	default:
+		return "(" + genCond(rng, depth-1) + ")"
+	}
+}
+
+func genComparison(rng *rand.Rand) string {
+	lhs := genExpr(rng, 1)
+	switch rng.Intn(8) {
+	case 0:
+		return lhs + " is " + genExpr(rng, 0)
+	case 1:
+		return lhs + " is not " + genExpr(rng, 0)
+	case 2:
+		return lhs + " is at least " + genExpr(rng, 0)
+	case 3:
+		return lhs + " is more than " + genExpr(rng, 0)
+	case 4:
+		return lhs + " is null"
+	case 5:
+		return lhs + " exists"
+	case 6:
+		return lhs + " contains " + genExpr(rng, 0)
+	default:
+		return lhs + " is one of " + genExpr(rng, 0) + ", " + genExpr(rng, 0)
+	}
+}
+
+func genExpr(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return strconv.Itoa(rng.Intn(100))
+		case 1:
+			return `"s` + strconv.Itoa(rng.Intn(10)) + `"`
+		case 2:
+			return "'v" + strconv.Itoa(rng.Intn(3)) + "'"
+		default:
+			return "the headcount of 'v0'"
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return genExpr(rng, 0) + " + " + genExpr(rng, 0)
+	case 1:
+		return "(" + genExpr(rng, 0) + " * " + genExpr(rng, 0) + ")"
+	default:
+		return genExpr(rng, 0)
+	}
+}
+
+// TestPrintReparseFixpoint: for random rule conditions, parsing the
+// String() rendering of a parsed condition yields the same rendering —
+// print∘parse is a fixpoint after one round.
+func TestPrintReparseFixpoint(t *testing.T) {
+	vocab := hiringVocab()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		src := "if " + genCond(rng, 3) + " then the internal control is satisfied ;"
+		rt1, err := Parse(src, vocab)
+		if err != nil {
+			t.Fatalf("trial %d: generated condition failed to parse: %v\n%s", trial, err, src)
+		}
+		printed := rt1.If.String()
+		rt2, err := Parse("if "+printed+" then the internal control is satisfied ;", vocab)
+		if err != nil {
+			t.Fatalf("trial %d: printed condition failed to reparse: %v\n%s", trial, err, printed)
+		}
+		if got := rt2.If.String(); got != printed {
+			t.Fatalf("trial %d: print/reparse not a fixpoint:\n 1: %s\n 2: %s", trial, printed, got)
+		}
+	}
+}

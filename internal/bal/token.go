@@ -1,0 +1,99 @@
+// Package bal implements a Business Action Language in the style the
+// paper adopts from ILOG JRules: internal controls are written as a
+// definitions / if / then / else structure in business vocabulary, with
+// "predefined constructs to build business rules and the operators that
+// can be used in rule statements to perform arithmetic operations,
+// associate or negate conditions, and compare expressions".
+//
+// The package provides the lexer, the vocabulary-aware recursive-descent
+// parser (business phrases are matched against the BOM vocabulary with
+// longest-match semantics), and the AST the rule compiler consumes.
+package bal
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+const (
+	// TokEOF ends the token stream.
+	TokEOF TokenKind = iota
+	// TokWord is a bare word (keyword or vocabulary token).
+	TokWord
+	// TokString is a double-quoted string literal.
+	TokString
+	// TokVar is a single-quoted variable name ('the current request').
+	TokVar
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokPunct is one of ; : , ( ).
+	TokPunct
+	// TokOp is an operator: + - * / < > <= >=.
+	TokOp
+)
+
+// String names the kind for diagnostics.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokWord:
+		return "word"
+	case TokString:
+		return "string"
+	case TokVar:
+		return "variable"
+	case TokNumber:
+		return "number"
+	case TokPunct:
+		return "punctuation"
+	case TokOp:
+		return "operator"
+	default:
+		return "invalid"
+	}
+}
+
+// Pos locates a token in the rule text (1-based).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token. Text holds the normalized payload: the
+// lower-cased word, the unquoted string/variable, or the literal operator.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	case TokVar:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Error is a parse or lex error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,368 @@
+// Package baseline implements the comparator the paper argues against:
+// internal controls "buried into the application code", hand-written in Go
+// against the raw application event stream.
+//
+// Two scopes model the two situations an IT organization can be in:
+//
+//   - ScopeInApp: the control lives inside one application and sees only
+//     that application's events — the traditional pre-integration reality.
+//     Evidence produced in other systems (e-mail approvals, warehouse
+//     scans) simply never arrives, so cross-system violations are
+//     undetectable.
+//   - ScopeIntegrated: the control sees every source, i.e. someone already
+//     paid for the cross-system integration the paper's provenance
+//     capture provides. Accuracy then matches the rule engine, but every
+//     control change is a code change (experiment E8).
+//
+// Baseline verdicts are two-valued: hard-coded checks have no notion of
+// "the evidence may exist but was not captured", which is what experiment
+// E3 measures against the rule engine's three-valued verdicts.
+package baseline
+
+import (
+	"strconv"
+
+	"repro/internal/events"
+)
+
+// Scope selects which sources a baseline harness can observe. A nil or
+// empty set means every source (integrated).
+type Scope struct {
+	// Sources is the set of visible application sources.
+	Sources map[string]bool
+}
+
+// ScopeIntegrated sees everything.
+func ScopeIntegrated() Scope { return Scope{} }
+
+// sees reports whether an event is visible in this scope.
+func (s Scope) sees(ev events.AppEvent) bool {
+	return len(s.Sources) == 0 || s.Sources[ev.Source]
+}
+
+// Verdict is the two-valued baseline outcome.
+type Verdict bool
+
+const (
+	// Satisfied means the hard-coded check found no violation.
+	Satisfied Verdict = true
+	// Violated means the hard-coded check fired.
+	Violated Verdict = false
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	if v == Satisfied {
+		return "satisfied"
+	}
+	return "violated"
+}
+
+// Harness is a per-domain set of hard-coded checks.
+type Harness interface {
+	// Observe consumes one application event.
+	Observe(ev events.AppEvent)
+	// Verdicts returns controlID -> verdict for one trace. Traces never
+	// observed report every control satisfied (the baseline cannot know
+	// they exist).
+	Verdicts(appID string) map[string]Verdict
+	// ControlIDs lists the implemented controls, matching the rule-based
+	// control IDs of the corresponding workload domain.
+	ControlIDs() []string
+}
+
+// ---------------------------------------------------------------------
+// Hiring: hand-coded versions of gm-approval, four-eyes and
+// no-reject-proceed. Note how each control's logic is interleaved with
+// event parsing and state management — the maintainability cost the paper
+// attributes to code-level controls.
+// ---------------------------------------------------------------------
+
+type hiringState struct {
+	positionType   string
+	submitterEmail string
+	sawApproval    bool
+	approved       bool
+	approverEmail  string
+	sawCandidates  bool
+}
+
+// HiringHarness is the hand-coded hiring control set.
+type HiringHarness struct {
+	scope Scope
+	state map[string]*hiringState
+}
+
+// NewHiring builds the hiring baseline in the given scope. The in-app
+// scope for hiring is the Lombardi workflow plus the HR directory —
+// exactly the managed systems; mail and the HR candidate database are
+// other applications.
+func NewHiring(scope Scope) *HiringHarness {
+	return &HiringHarness{scope: scope, state: make(map[string]*hiringState)}
+}
+
+// HiringInAppScope is the scope of a control implemented inside Lombardi.
+func HiringInAppScope() Scope {
+	return Scope{Sources: map[string]bool{"lombardi": true, "hrdir": true}}
+}
+
+// Observe implements Harness.
+func (h *HiringHarness) Observe(ev events.AppEvent) {
+	if !h.scope.sees(ev) || ev.AppID == "" {
+		return
+	}
+	st := h.state[ev.AppID]
+	if st == nil {
+		st = &hiringState{}
+		h.state[ev.AppID] = st
+	}
+	switch ev.Type {
+	case "requisition.submitted":
+		st.positionType = ev.Payload["ptype"]
+		st.submitterEmail = ev.Payload["submitterEmail"]
+	case "approval.recorded":
+		st.sawApproval = true
+		st.approved = ev.Payload["approved"] == "true"
+		st.approverEmail = ev.Payload["approverEmail"]
+	case "candidates.found":
+		st.sawCandidates = true
+	}
+}
+
+// Verdicts implements Harness.
+func (h *HiringHarness) Verdicts(appID string) map[string]Verdict {
+	st := h.state[appID]
+	if st == nil {
+		st = &hiringState{}
+	}
+	gm := Satisfied
+	if st.positionType == "new" && st.sawCandidates && !st.sawApproval {
+		gm = Violated
+	}
+	fourEyes := Satisfied
+	if st.sawApproval && st.approverEmail != "" && st.approverEmail == st.submitterEmail {
+		fourEyes = Violated
+	}
+	noReject := Satisfied
+	if st.sawApproval && !st.approved && st.sawCandidates {
+		noReject = Violated
+	}
+	return map[string]Verdict{
+		"gm-approval":       gm,
+		"four-eyes":         fourEyes,
+		"no-reject-proceed": noReject,
+	}
+}
+
+// ControlIDs implements Harness.
+func (h *HiringHarness) ControlIDs() []string {
+	return []string{"gm-approval", "four-eyes", "no-reject-proceed"}
+}
+
+// ---------------------------------------------------------------------
+// Procurement: three-way match, invoice tolerance, PO approval threshold.
+// ---------------------------------------------------------------------
+
+type procurementState struct {
+	poAmount      float64
+	sawPO         bool
+	sawApproval   bool
+	sawReceipt    bool
+	sawInvoice    bool
+	invoiceAmount float64
+	sawPayment    bool
+}
+
+// ProcurementHarness is the hand-coded procurement control set.
+type ProcurementHarness struct {
+	scope Scope
+	state map[string]*procurementState
+}
+
+// NewProcurement builds the procurement baseline.
+func NewProcurement(scope Scope) *ProcurementHarness {
+	return &ProcurementHarness{scope: scope, state: make(map[string]*procurementState)}
+}
+
+// ProcurementInAppScope is the scope of controls implemented inside the
+// ERP: the warehouse system and the e-mail approvals are invisible.
+func ProcurementInAppScope() Scope {
+	return Scope{Sources: map[string]bool{"erp": true, "ap": true, "hrdir": true}}
+}
+
+// Observe implements Harness.
+func (h *ProcurementHarness) Observe(ev events.AppEvent) {
+	if !h.scope.sees(ev) || ev.AppID == "" {
+		return
+	}
+	st := h.state[ev.AppID]
+	if st == nil {
+		st = &procurementState{}
+		h.state[ev.AppID] = st
+	}
+	switch ev.Type {
+	case "po.created":
+		st.sawPO = true
+		st.poAmount, _ = strconv.ParseFloat(ev.Payload["amount"], 64)
+	case "po.approved":
+		st.sawApproval = true
+	case "goods.received":
+		st.sawReceipt = true
+	case "invoice.posted":
+		st.sawInvoice = true
+		st.invoiceAmount, _ = strconv.ParseFloat(ev.Payload["amount"], 64)
+	case "payment.released":
+		st.sawPayment = true
+	}
+}
+
+// Verdicts implements Harness.
+func (h *ProcurementHarness) Verdicts(appID string) map[string]Verdict {
+	st := h.state[appID]
+	if st == nil {
+		st = &procurementState{}
+	}
+	match := Satisfied
+	if st.sawPayment && (!st.sawReceipt || !st.sawInvoice) {
+		match = Violated
+	}
+	tolerance := Satisfied
+	if st.sawInvoice && st.sawPO && st.invoiceAmount > st.poAmount*1.05 {
+		tolerance = Violated
+	}
+	approval := Satisfied
+	if st.sawPO && st.poAmount > 10000 && !st.sawApproval {
+		approval = Violated
+	}
+	return map[string]Verdict{
+		"three-way-match":   match,
+		"invoice-tolerance": tolerance,
+		"po-approval":       approval,
+	}
+}
+
+// ControlIDs implements Harness.
+func (h *ProcurementHarness) ControlIDs() []string {
+	return []string{"three-way-match", "invoice-tolerance", "po-approval"}
+}
+
+// ---------------------------------------------------------------------
+// Claims: senior approval, adjuster independence, estimate bound.
+// ---------------------------------------------------------------------
+
+type claimsState struct {
+	claimantEmail string
+	adjusterEmail string
+	sawAssignment bool
+	sawEstimate   bool
+	estimate      float64
+	sawApproval   bool
+	approvalLevel string
+	sawPayout     bool
+	payout        float64
+}
+
+// ClaimsHarness is the hand-coded claims control set.
+type ClaimsHarness struct {
+	scope Scope
+	state map[string]*claimsState
+}
+
+// NewClaims builds the claims baseline.
+func NewClaims(scope Scope) *ClaimsHarness {
+	return &ClaimsHarness{scope: scope, state: make(map[string]*claimsState)}
+}
+
+// ClaimsInAppScope is the scope of controls implemented inside the policy
+// system: the adjuster's field tool and e-mail approvals are invisible.
+func ClaimsInAppScope() Scope {
+	return Scope{Sources: map[string]bool{"portal": true, "dispatch": true, "policy": true, "hrdir": true}}
+}
+
+// Observe implements Harness.
+func (h *ClaimsHarness) Observe(ev events.AppEvent) {
+	if !h.scope.sees(ev) || ev.AppID == "" {
+		return
+	}
+	st := h.state[ev.AppID]
+	if st == nil {
+		st = &claimsState{}
+		h.state[ev.AppID] = st
+	}
+	switch ev.Type {
+	case "claim.filed":
+		st.claimantEmail = ev.Payload["claimantEmail"]
+	case "adjuster.assigned":
+		st.sawAssignment = true
+		st.adjusterEmail = ev.Payload["adjusterEmail"]
+	case "estimate.recorded":
+		st.sawEstimate = true
+		st.estimate, _ = strconv.ParseFloat(ev.Payload["amount"], 64)
+	case "payout.approved":
+		st.sawApproval = true
+		st.approvalLevel = ev.Payload["level"]
+	case "payout.released":
+		st.sawPayout = true
+		st.payout, _ = strconv.ParseFloat(ev.Payload["amount"], 64)
+	}
+}
+
+// Verdicts implements Harness.
+func (h *ClaimsHarness) Verdicts(appID string) map[string]Verdict {
+	st := h.state[appID]
+	if st == nil {
+		st = &claimsState{}
+	}
+	senior := Satisfied
+	if st.sawPayout && st.payout > 10000 && !(st.sawApproval && st.approvalLevel == "senior") {
+		senior = Violated
+	}
+	independence := Satisfied
+	if st.sawAssignment && st.adjusterEmail != "" && st.adjusterEmail == st.claimantEmail {
+		independence = Violated
+	}
+	bound := Satisfied
+	if st.sawPayout && st.sawEstimate && st.payout > st.estimate*1.2 {
+		bound = Violated
+	}
+	return map[string]Verdict{
+		"senior-approval":       senior,
+		"adjuster-independence": independence,
+		"estimate-bound":        bound,
+	}
+}
+
+// ControlIDs implements Harness.
+func (h *ClaimsHarness) ControlIDs() []string {
+	return []string{"senior-approval", "adjuster-independence", "estimate-bound"}
+}
+
+// ForDomain returns the baseline harness matching a workload domain name,
+// in the given scope; ok is false for unknown domains.
+func ForDomain(name string, scope Scope) (Harness, bool) {
+	switch name {
+	case "hiring":
+		return NewHiring(scope), true
+	case "procurement":
+		return NewProcurement(scope), true
+	case "claims":
+		return NewClaims(scope), true
+	default:
+		return nil, false
+	}
+}
+
+// InAppScope returns the in-application scope for a domain; ok is false
+// for unknown domains.
+func InAppScope(name string) (Scope, bool) {
+	switch name {
+	case "hiring":
+		return HiringInAppScope(), true
+	case "procurement":
+		return ProcurementInAppScope(), true
+	case "claims":
+		return ClaimsInAppScope(), true
+	default:
+		return Scope{}, false
+	}
+}

@@ -1,0 +1,165 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/workload"
+)
+
+func run(t testing.TB, h baseline.Harness, res *workload.SimResult) {
+	t.Helper()
+	for _, ev := range res.Events {
+		h.Observe(ev)
+	}
+}
+
+// TestIntegratedMatchesGroundTruth: with every source visible and full
+// visibility, the hand-coded checks reproduce the seeded ground truth —
+// establishing that the baseline logic itself is correct, so E3's
+// differences come from scope and two-valuedness, not from bugs.
+func TestIntegratedMatchesGroundTruth(t *testing.T) {
+	for _, build := range []func() (*workload.Domain, error){
+		workload.Hiring, workload.Procurement, workload.Claims,
+	} {
+		d, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, ok := baseline.ForDomain(d.Name, baseline.ScopeIntegrated())
+		if !ok {
+			t.Fatalf("no baseline for %s", d.Name)
+		}
+		res := d.Simulate(workload.SimOptions{Seed: 17, Traces: 300, ViolationRate: 0.3, Visibility: 1.0})
+		run(t, h, res)
+		for app, truth := range res.Truth {
+			for control, v := range h.Verdicts(app) {
+				want := baseline.Satisfied
+				if truth.Violation && truth.ControlID == control {
+					want = baseline.Violated
+				}
+				if v != want {
+					t.Errorf("%s %s %s: verdict %v, want %v (truth %+v)",
+						d.Name, app, control, v, want, truth)
+				}
+			}
+		}
+	}
+}
+
+// TestInAppScopeDegradesDetection: an in-application baseline cannot see
+// the unmanaged systems, so it fails in one of two ways per control —
+// blindness (evidence of the violation never arrives: recall collapses)
+// or an alarm storm (required evidence never arrives, so the check fires
+// on every trace: precision collapses). Either way the F1 score over all
+// (trace, control) decisions must fall well below the integrated
+// baseline's perfect score.
+func TestInAppScopeDegradesDetection(t *testing.T) {
+	for _, build := range []func() (*workload.Domain, error){
+		workload.Hiring, workload.Procurement, workload.Claims,
+	} {
+		d, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scope, ok := baseline.InAppScope(d.Name)
+		if !ok {
+			t.Fatalf("no in-app scope for %s", d.Name)
+		}
+		h, _ := baseline.ForDomain(d.Name, scope)
+		res := d.Simulate(workload.SimOptions{Seed: 23, Traces: 300, ViolationRate: 0.4, Visibility: 1.0})
+		run(t, h, res)
+
+		var tp, fp, fn int
+		for app, truth := range res.Truth {
+			for control, v := range h.Verdicts(app) {
+				positive := truth.Violation && truth.ControlID == control
+				fired := v == baseline.Violated
+				switch {
+				case positive && fired:
+					tp++
+				case !positive && fired:
+					fp++
+				case positive && !fired:
+					fn++
+				}
+			}
+		}
+		if tp+fn == 0 {
+			t.Fatalf("%s: no violations seeded", d.Name)
+		}
+		f1 := 0.0
+		if 2*tp+fp+fn > 0 {
+			f1 = 2 * float64(tp) / float64(2*tp+fp+fn)
+		}
+		if f1 > 0.85 {
+			t.Errorf("%s: in-app F1 = %.2f (tp=%d fp=%d fn=%d), expected severe degradation",
+				d.Name, f1, tp, fp, fn)
+		}
+	}
+}
+
+// TestInAppScopeFalseAlarms: procurement's in-app PO-approval check fires
+// on every large PO because approvals travel by mail — quantifying the
+// false-positive cost of enforcing a cross-system control in-app.
+func TestInAppScopeFalseAlarms(t *testing.T) {
+	d, err := workload.Procurement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := baseline.ForDomain(d.Name, baseline.ProcurementInAppScope())
+	res := d.Simulate(workload.SimOptions{Seed: 29, Traces: 300, ViolationRate: 0.0, Visibility: 1.0})
+	run(t, h, res)
+	fp := 0
+	for app := range res.Truth {
+		if h.Verdicts(app)["po-approval"] == baseline.Violated {
+			fp++
+		}
+	}
+	if fp == 0 {
+		t.Error("expected in-app false alarms on compliant large POs")
+	}
+}
+
+func TestUnknownTraceReportsSatisfied(t *testing.T) {
+	h := baseline.NewHiring(baseline.ScopeIntegrated())
+	v := h.Verdicts("never-seen")
+	if len(v) != 3 {
+		t.Fatalf("verdicts = %v", v)
+	}
+	for id, verdict := range v {
+		if verdict != baseline.Satisfied {
+			t.Errorf("%s = %v", id, verdict)
+		}
+	}
+}
+
+func TestForDomainUnknown(t *testing.T) {
+	if _, ok := baseline.ForDomain("nope", baseline.ScopeIntegrated()); ok {
+		t.Error("unknown domain resolved")
+	}
+	if _, ok := baseline.InAppScope("nope"); ok {
+		t.Error("unknown scope resolved")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if baseline.Satisfied.String() != "satisfied" || baseline.Violated.String() != "violated" {
+		t.Error("verdict names wrong")
+	}
+}
+
+func BenchmarkBaselineObserve(b *testing.B) {
+	d, err := workload.Hiring()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := d.Simulate(workload.SimOptions{Seed: 1, Traces: 100, ViolationRate: 0.3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := baseline.NewHiring(baseline.ScopeIntegrated())
+		for _, ev := range res.Events {
+			h.Observe(ev)
+		}
+	}
+}

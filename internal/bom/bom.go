@@ -1,0 +1,464 @@
+// Package bom implements the business object model and verbalization of
+// Section II-D: the XOM generated from the provenance data model is mapped
+// to a vocabulary of business phrases, so business users can author
+// internal controls "by using familiar business terms".
+//
+// Each XOM class is verbalized as a concept noun ("job requisition");
+// each field and method as a navigation or action phrase ("{requisition
+// ID} of {this}"); each relation accessor as a navigation to another
+// concept ("{submitter} of {this}"). The Business Action Language parser
+// (package bal) matches phrases with longest-match semantics against this
+// vocabulary, and the rule compiler (package rules) resolves matched
+// phrases back to the XOM members recorded here — the BOM-to-XOM mapping.
+package bom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/provenance"
+	"repro/internal/xom"
+)
+
+// EntryKind distinguishes the member kinds a phrase can bind.
+type EntryKind int
+
+const (
+	// Attribute binds a typed field getter (navigation phrase).
+	Attribute EntryKind = iota + 1
+	// MethodCall binds a registered XOM method (action phrase).
+	MethodCall
+	// RelationNav binds a graph navigation to another concept.
+	RelationNav
+)
+
+// String names the entry kind as the paper's BOM files do.
+func (k EntryKind) String() string {
+	switch k {
+	case Attribute:
+		return "phrase.navigation"
+	case MethodCall:
+		return "phrase.action"
+	case RelationNav:
+		return "phrase.relation"
+	default:
+		return "phrase.invalid"
+	}
+}
+
+// Concept verbalizes one XOM class as a business noun.
+type Concept struct {
+	// Label is the business noun ("job requisition"), normalized to
+	// lower-case single-spaced tokens.
+	Label string
+	// Class is the XOM class the concept verbalizes.
+	Class *xom.Class
+}
+
+// Entry verbalizes one class member as a business phrase.
+type Entry struct {
+	// Phrase is the verbalized member ("requisition id"), normalized.
+	Phrase string
+	// Concept owns the member: the phrase is only valid applied to an
+	// expression of this concept's class.
+	Concept *Concept
+	// Kind tells which member pointer is set.
+	Kind EntryKind
+	// Field is set for Attribute entries.
+	Field *xom.Field
+	// Method is set for MethodCall entries.
+	Method *xom.Method
+	// Relation is set for RelationNav entries.
+	Relation *xom.Relation
+	// ResultKind is the value kind produced by Attribute and MethodCall
+	// entries.
+	ResultKind provenance.Kind
+	// ResultConcept is the concept reached by RelationNav entries (nil
+	// when the relation target is unconstrained).
+	ResultConcept *Concept
+}
+
+// Verbalization renders the entry in the paper's BOM notation, e.g.
+//
+//	mycompany.jobRequisition.reqID#phrase.navigation = {requisition id} of {this}
+func (e *Entry) Verbalization() string {
+	member := ""
+	switch e.Kind {
+	case Attribute:
+		member = e.Field.Name
+	case MethodCall:
+		member = e.Method.Name
+	case RelationNav:
+		member = e.Relation.Name
+	}
+	return fmt.Sprintf("%s.%s#%s = {%s} of {this}", e.Concept.Class.Name, member, e.Kind, e.Phrase)
+}
+
+// Options customizes verbalization. Auto-generated labels come from
+// camel-case splitting ("jobRequisition" -> "job requisition"); overrides
+// supply the business wording the paper shows ("managerGen" -> "general
+// manager").
+type Options struct {
+	// ConceptLabels overrides class labels, keyed by class name.
+	ConceptLabels map[string]string
+	// MemberLabels overrides member phrases, keyed by "class.member".
+	MemberLabels map[string]string
+	// SkipMembers suppresses verbalization of members, keyed by
+	// "class.member" (e.g. internal correlation keys business users should
+	// not see).
+	SkipMembers map[string]bool
+}
+
+// Vocabulary is the set of terms and phrases attached to the elements of
+// the BOM, indexed for longest-match lookup by the BAL parser.
+type Vocabulary struct {
+	om       *xom.ObjectModel
+	concepts map[string]*Concept // normalized label -> concept
+	byClass  map[string]*Concept // class name -> concept
+	entries  map[string][]*Entry // normalized phrase -> entries
+	order    []*Entry
+
+	// phrase token sequences bucketed by first token, longest first, for
+	// the longest-match scan (design decision D2).
+	phraseIdx  map[string][][]string
+	conceptIdx map[string][][]string
+}
+
+// Verbalize builds the vocabulary for an object model.
+func Verbalize(om *xom.ObjectModel, opts Options) (*Vocabulary, error) {
+	if om == nil {
+		return nil, fmt.Errorf("bom: nil object model")
+	}
+	v := &Vocabulary{
+		om:         om,
+		concepts:   make(map[string]*Concept),
+		byClass:    make(map[string]*Concept),
+		entries:    make(map[string][]*Entry),
+		phraseIdx:  make(map[string][][]string),
+		conceptIdx: make(map[string][][]string),
+	}
+	for _, c := range om.Classes() {
+		label := opts.ConceptLabels[c.Name]
+		if label == "" {
+			if t := om.Model().Type(c.Name); t != nil && t.Label != "" {
+				label = t.Label
+			} else {
+				label = CamelSplit(c.Name)
+			}
+		}
+		if err := v.AddConcept(label, c); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range om.Classes() {
+		concept := v.byClass[c.Name]
+		modelType := om.Model().Type(c.Name)
+		for _, f := range c.Fields() {
+			key := c.Name + "." + f.Name
+			if opts.SkipMembers[key] {
+				continue
+			}
+			phrase := opts.MemberLabels[key]
+			if phrase == "" && modelType != nil {
+				if fd := modelType.Field(f.Name); fd != nil && fd.Label != "" {
+					phrase = fd.Label
+				}
+			}
+			if phrase == "" {
+				phrase = CamelSplit(f.Name)
+			}
+			if err := v.AddEntry(&Entry{
+				Phrase: phrase, Concept: concept, Kind: Attribute,
+				Field: f, ResultKind: f.Kind,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		for _, m := range c.Methods() {
+			key := c.Name + "." + m.Name
+			if opts.SkipMembers[key] {
+				continue
+			}
+			phrase := opts.MemberLabels[key]
+			if phrase == "" {
+				phrase = CamelSplit(strings.TrimPrefix(m.Name, "get"))
+			}
+			if err := v.AddEntry(&Entry{
+				Phrase: phrase, Concept: concept, Kind: MethodCall,
+				Method: m, ResultKind: m.Kind,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		for _, r := range c.Relations() {
+			key := c.Name + "." + r.Name
+			if opts.SkipMembers[key] {
+				continue
+			}
+			phrase := opts.MemberLabels[key]
+			if phrase == "" {
+				if rd := om.Model().Relation(r.EdgeType); rd != nil {
+					if r.Dir == provenance.Out && rd.Label != "" {
+						phrase = rd.Label
+					} else if r.Dir == provenance.In && rd.InverseLabel != "" {
+						phrase = rd.InverseLabel
+					}
+				}
+			}
+			if phrase == "" {
+				phrase = CamelSplit(r.Name)
+			}
+			var result *Concept
+			if r.TargetType != "" {
+				result = v.byClass[r.TargetType]
+			}
+			if err := v.AddEntry(&Entry{
+				Phrase: phrase, Concept: concept, Kind: RelationNav,
+				Relation: r, ResultConcept: result,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return v, nil
+}
+
+// AddConcept registers a concept label for a class. Labels are normalized;
+// duplicates and empty labels are rejected.
+func (v *Vocabulary) AddConcept(label string, c *xom.Class) error {
+	norm := Normalize(label)
+	if norm == "" {
+		return fmt.Errorf("bom: empty concept label for class %s", c.Name)
+	}
+	if _, ok := v.concepts[norm]; ok {
+		return fmt.Errorf("bom: duplicate concept label %q", norm)
+	}
+	if _, ok := v.byClass[c.Name]; ok {
+		return fmt.Errorf("bom: class %s already has a concept", c.Name)
+	}
+	concept := &Concept{Label: norm, Class: c}
+	v.concepts[norm] = concept
+	v.byClass[c.Name] = concept
+	addToIdx(v.conceptIdx, strings.Fields(norm))
+	return nil
+}
+
+// AddEntry registers a phrase entry. The same phrase may appear on several
+// concepts (e.g. "requisition id" on both the requisition and its
+// approval); resolution disambiguates by the operand's class.
+func (v *Vocabulary) AddEntry(e *Entry) error {
+	norm := Normalize(e.Phrase)
+	if norm == "" {
+		return fmt.Errorf("bom: empty phrase on concept %q", e.Concept.Label)
+	}
+	e.Phrase = norm
+	for _, prev := range v.entries[norm] {
+		if prev.Concept == e.Concept {
+			return fmt.Errorf("bom: concept %q already verbalizes phrase %q", e.Concept.Label, norm)
+		}
+	}
+	v.entries[norm] = append(v.entries[norm], e)
+	v.order = append(v.order, e)
+	addToIdx(v.phraseIdx, strings.Fields(norm))
+	return nil
+}
+
+func addToIdx(idx map[string][][]string, tokens []string) {
+	if len(tokens) == 0 {
+		return
+	}
+	head := tokens[0]
+	bucket := idx[head]
+	for _, seq := range bucket {
+		if equalTokens(seq, tokens) {
+			return
+		}
+	}
+	bucket = append(bucket, tokens)
+	// Longest first so the scan is a straight longest-match.
+	sort.Slice(bucket, func(i, j int) bool { return len(bucket[i]) > len(bucket[j]) })
+	idx[head] = bucket
+}
+
+func equalTokens(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchPhrase finds the longest member phrase starting at tokens[0],
+// returning the normalized phrase and the number of tokens consumed.
+// ok is false when no phrase starts there.
+func (v *Vocabulary) MatchPhrase(tokens []string) (phrase string, consumed int, ok bool) {
+	return matchIdx(v.phraseIdx, tokens)
+}
+
+// PhraseMatch is one candidate phrase match.
+type PhraseMatch struct {
+	Phrase string
+	N      int // tokens consumed
+}
+
+// MatchPhrases returns every member phrase starting at tokens[0], longest
+// first. The parser needs all candidates because the grammatical "of"
+// after the phrase disambiguates: a vocabulary phrase that itself ends in
+// "of" ("approval of") must lose to the shorter phrase + keyword reading
+// when only the latter parses.
+func (v *Vocabulary) MatchPhrases(tokens []string) []PhraseMatch {
+	if len(tokens) == 0 {
+		return nil
+	}
+	var out []PhraseMatch
+	for _, seq := range v.phraseIdx[tokens[0]] {
+		if len(seq) > len(tokens) {
+			continue
+		}
+		if equalTokens(seq, tokens[:len(seq)]) {
+			out = append(out, PhraseMatch{Phrase: strings.Join(seq, " "), N: len(seq)})
+		}
+	}
+	return out
+}
+
+// MatchConcept finds the longest concept label starting at tokens[0] and
+// returns the concept and tokens consumed.
+func (v *Vocabulary) MatchConcept(tokens []string) (*Concept, int, bool) {
+	label, n, ok := matchIdx(v.conceptIdx, tokens)
+	if !ok {
+		return nil, 0, false
+	}
+	return v.concepts[label], n, true
+}
+
+// MatchConceptLabel is MatchConcept returning just the label; it satisfies
+// the parser's vocabulary interface (package bal) without exposing the
+// concept type there.
+func (v *Vocabulary) MatchConceptLabel(tokens []string) (string, int, bool) {
+	c, n, ok := v.MatchConcept(tokens)
+	if !ok {
+		return "", 0, false
+	}
+	return c.Label, n, true
+}
+
+func matchIdx(idx map[string][][]string, tokens []string) (string, int, bool) {
+	if len(tokens) == 0 {
+		return "", 0, false
+	}
+	for _, seq := range idx[tokens[0]] {
+		if len(seq) > len(tokens) {
+			continue
+		}
+		if equalTokens(seq, tokens[:len(seq)]) {
+			return strings.Join(seq, " "), len(seq), true
+		}
+	}
+	return "", 0, false
+}
+
+// Concept returns the concept with the given (normalized) label, or nil.
+func (v *Vocabulary) Concept(label string) *Concept {
+	return v.concepts[Normalize(label)]
+}
+
+// ConceptFor returns the concept verbalizing a class name, or nil.
+func (v *Vocabulary) ConceptFor(className string) *Concept {
+	return v.byClass[className]
+}
+
+// Resolve finds the entry for a phrase applied to an expression of the
+// given class. It reports an error when the phrase is unknown for that
+// class, naming the concepts that do verbalize it — the rule editor's
+// "did you mean" diagnostics build on this.
+func (v *Vocabulary) Resolve(phrase string, class *xom.Class) (*Entry, error) {
+	norm := Normalize(phrase)
+	candidates := v.entries[norm]
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("bom: unknown phrase %q", norm)
+	}
+	for _, e := range candidates {
+		if e.Concept.Class == class {
+			return e, nil
+		}
+	}
+	var owners []string
+	for _, e := range candidates {
+		owners = append(owners, e.Concept.Label)
+	}
+	sort.Strings(owners)
+	className := "<nil>"
+	if class != nil {
+		className = class.Name
+	}
+	return nil, fmt.Errorf("bom: phrase %q is not defined for %s (defined for: %s)",
+		norm, className, strings.Join(owners, ", "))
+}
+
+// Entries returns every entry in verbalization order.
+func (v *Vocabulary) Entries() []*Entry { return append([]*Entry(nil), v.order...) }
+
+// Size reports the number of phrase entries.
+func (v *Vocabulary) Size() int { return len(v.order) }
+
+// Dump renders the whole BOM in the paper's notation, sorted, for
+// documentation and golden tests.
+func (v *Vocabulary) Dump() []string {
+	var out []string
+	for label, c := range v.concepts {
+		out = append(out, fmt.Sprintf("%s#concept.label = %s", c.Class.Name, label))
+	}
+	for _, e := range v.order {
+		out = append(out, e.Verbalization())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalize lower-cases and single-spaces a phrase.
+func Normalize(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// CamelSplit converts a camel-case identifier into a spaced lower-case
+// phrase: "jobRequisition" -> "job requisition", "reqID" -> "req id",
+// "HTTPServer" -> "http server".
+func CamelSplit(s string) string {
+	var words []string
+	var cur []rune
+	runes := []rune(s)
+	prevUpper := false
+	flush := func() {
+		if len(cur) > 0 {
+			words = append(words, string(cur))
+			cur = nil
+		}
+	}
+	for i, r := range runes {
+		if r == '_' || r == '-' || unicode.IsSpace(r) {
+			flush()
+			prevUpper = false
+			continue
+		}
+		if unicode.IsUpper(r) && len(cur) > 0 {
+			// Split on a lower->upper boundary, and before the last
+			// capital of an acronym run followed by lower case
+			// ("HTTPServer" -> "http server").
+			nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
+			if !prevUpper || nextLower {
+				flush()
+			}
+		}
+		cur = append(cur, unicode.ToLower(r))
+		prevUpper = unicode.IsUpper(r)
+	}
+	flush()
+	return strings.Join(words, " ")
+}

@@ -1,0 +1,277 @@
+package bom
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/provenance"
+	"repro/internal/xom"
+)
+
+func testOM(t testing.TB) *xom.ObjectModel {
+	t.Helper()
+	m := provenance.NewModel("hiring")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.AddType(&provenance.TypeDef{Name: "person", Class: provenance.ClassResource}))
+	must(m.AddField("person", &provenance.FieldDef{Name: "name", Kind: provenance.KindString}))
+	must(m.AddField("person", &provenance.FieldDef{Name: "manager", Kind: provenance.KindString}))
+	must(m.AddType(&provenance.TypeDef{Name: "jobRequisition", Class: provenance.ClassData}))
+	must(m.AddField("jobRequisition", &provenance.FieldDef{Name: "reqID", Kind: provenance.KindString}))
+	must(m.AddField("jobRequisition", &provenance.FieldDef{Name: "positionType", Kind: provenance.KindString}))
+	must(m.AddField("jobRequisition", &provenance.FieldDef{Name: "dept", Kind: provenance.KindString}))
+	must(m.AddType(&provenance.TypeDef{Name: "approvalStatus", Class: provenance.ClassData}))
+	must(m.AddField("approvalStatus", &provenance.FieldDef{Name: "reqID", Kind: provenance.KindString}))
+	must(m.AddField("approvalStatus", &provenance.FieldDef{Name: "approved", Kind: provenance.KindBool}))
+	must(m.AddRelation(&provenance.RelationDef{Name: "submitterOf", SourceType: "person", TargetType: "jobRequisition"}))
+	must(m.AddRelation(&provenance.RelationDef{Name: "approvalOf", SourceType: "approvalStatus", TargetType: "jobRequisition"}))
+	om, err := xom.FromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(om.RegisterMethod("jobRequisition",
+		xom.LookupTableMethod("getManagerGen", "dept", map[string]string{"dept501": "Jane Smith"})))
+	return om
+}
+
+func hiringOptions() Options {
+	return Options{
+		ConceptLabels: map[string]string{
+			"jobRequisition": "job requisition",
+		},
+		MemberLabels: map[string]string{
+			"jobRequisition.reqID":              "requisition ID",
+			"jobRequisition.positionType":       "position type",
+			"jobRequisition.getManagerGen":      "general manager",
+			"jobRequisition.submitterOfInverse": "submitter",
+			"jobRequisition.approvalOfInverse":  "approval",
+		},
+	}
+}
+
+func testVocab(t testing.TB) *Vocabulary {
+	t.Helper()
+	v, err := Verbalize(testOM(t), hiringOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCamelSplit(t *testing.T) {
+	cases := map[string]string{
+		"jobRequisition": "job requisition",
+		"reqID":          "req id",
+		"positionType":   "position type",
+		"HTTPServer":     "http server",
+		"getManagerGen":  "get manager gen",
+		"simple":         "simple",
+		"ABC":            "abc",
+		"snake_case":     "snake case",
+		"kebab-case":     "kebab case",
+		"":               "",
+	}
+	for in, want := range cases {
+		if got := CamelSplit(in); got != want {
+			t.Errorf("CamelSplit(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize("  General   MANAGER "); got != "general manager" {
+		t.Errorf("Normalize = %q", got)
+	}
+}
+
+func TestVerbalizeConcepts(t *testing.T) {
+	v := testVocab(t)
+	c := v.Concept("job requisition")
+	if c == nil || c.Class.Name != "jobRequisition" {
+		t.Fatalf("concept = %+v", c)
+	}
+	// Auto-generated label for the class without an override.
+	if v.Concept("approval status") == nil {
+		t.Fatal("auto concept label missing")
+	}
+	if v.ConceptFor("person") == nil {
+		t.Fatal("ConceptFor(person) nil")
+	}
+	if v.Concept("ghost") != nil {
+		t.Fatal("ghost concept found")
+	}
+}
+
+func TestVerbalizeEntries(t *testing.T) {
+	v := testVocab(t)
+	req := v.ConceptFor("jobRequisition").Class
+
+	// Overridden attribute phrase.
+	e, err := v.Resolve("requisition ID", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != Attribute || e.Field.Name != "reqID" || e.ResultKind != provenance.KindString {
+		t.Fatalf("entry = %+v", e)
+	}
+	// Auto-generated attribute phrase.
+	if _, err := v.Resolve("dept", req); err != nil {
+		t.Fatalf("auto attribute phrase: %v", err)
+	}
+	// Method becomes an action phrase.
+	gm, err := v.Resolve("general manager", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Kind != MethodCall || gm.Method.Name != "getManagerGen" {
+		t.Fatalf("method entry = %+v", gm)
+	}
+	// Relation navigation with result concept.
+	sub, err := v.Resolve("submitter", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Kind != RelationNav || sub.ResultConcept == nil || sub.ResultConcept.Class.Name != "person" {
+		t.Fatalf("relation entry = %+v", sub)
+	}
+}
+
+func TestResolveDisambiguatesByClass(t *testing.T) {
+	// "req id" is auto-verbalized on both jobRequisition (no — overridden)
+	// and approvalStatus. Add the same phrase on both manually.
+	v := testVocab(t)
+	req := v.ConceptFor("jobRequisition")
+	apprv := v.ConceptFor("approvalStatus")
+	// approvalStatus auto-verbalizes reqID as "req id".
+	e, err := v.Resolve("req id", apprv.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Concept != apprv {
+		t.Fatalf("resolved to wrong concept: %+v", e.Concept)
+	}
+	// The same phrase does not exist on jobRequisition (overridden there);
+	// the error lists who owns it.
+	_, err = v.Resolve("req id", req.Class)
+	if err == nil {
+		t.Fatal("cross-class phrase resolved")
+	}
+	if !strings.Contains(err.Error(), "approval status") {
+		t.Errorf("error lacks owners: %v", err)
+	}
+	if _, err := v.Resolve("utterly unknown", req.Class); err == nil {
+		t.Fatal("unknown phrase resolved")
+	}
+}
+
+func TestLongestMatchPhrase(t *testing.T) {
+	v := testVocab(t)
+	// Both "position type" and a single-token phrase could match; the
+	// matcher must take the longest.
+	req := v.ConceptFor("jobRequisition")
+	if err := v.AddEntry(&Entry{Phrase: "position", Concept: req, Kind: Attribute,
+		Field: req.Class.Field("dept"), ResultKind: provenance.KindString}); err != nil {
+		t.Fatal(err)
+	}
+	tokens := []string{"position", "type", "of", "this"}
+	phrase, n, ok := v.MatchPhrase(tokens)
+	if !ok || phrase != "position type" || n != 2 {
+		t.Fatalf("MatchPhrase = %q, %d, %v", phrase, n, ok)
+	}
+	// When only the shorter matches, it is returned.
+	phrase, n, ok = v.MatchPhrase([]string{"position", "of"})
+	if !ok || phrase != "position" || n != 1 {
+		t.Fatalf("MatchPhrase short = %q, %d, %v", phrase, n, ok)
+	}
+	if _, _, ok := v.MatchPhrase([]string{"zebra"}); ok {
+		t.Fatal("matched nonexistent phrase")
+	}
+	if _, _, ok := v.MatchPhrase(nil); ok {
+		t.Fatal("matched empty tokens")
+	}
+}
+
+func TestLongestMatchConcept(t *testing.T) {
+	v := testVocab(t)
+	c, n, ok := v.MatchConcept([]string{"job", "requisition", "where"})
+	if !ok || c.Class.Name != "jobRequisition" || n != 2 {
+		t.Fatalf("MatchConcept = %+v, %d, %v", c, n, ok)
+	}
+	if _, _, ok := v.MatchConcept([]string{"unicorn"}); ok {
+		t.Fatal("matched nonexistent concept")
+	}
+}
+
+func TestVerbalizeSkipMembers(t *testing.T) {
+	opts := hiringOptions()
+	opts.SkipMembers = map[string]bool{"approvalStatus.reqID": true}
+	v, err := Verbalize(testOM(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Resolve("req id", v.ConceptFor("approvalStatus").Class); err == nil {
+		t.Fatal("skipped member verbalized")
+	}
+}
+
+func TestVerbalizeRejectsDuplicates(t *testing.T) {
+	om := testOM(t)
+	opts := hiringOptions()
+	// Two classes with the same concept label collide.
+	opts.ConceptLabels = map[string]string{
+		"person":         "entity",
+		"jobRequisition": "entity",
+	}
+	if _, err := Verbalize(om, opts); err == nil {
+		t.Fatal("duplicate concept labels accepted")
+	}
+	// Two members of one class with the same phrase collide.
+	opts = hiringOptions()
+	opts.MemberLabels["jobRequisition.dept"] = "requisition ID"
+	if _, err := Verbalize(testOM(t), opts); err == nil {
+		t.Fatal("duplicate member phrase on one concept accepted")
+	}
+	if _, err := Verbalize(nil, Options{}); err == nil {
+		t.Fatal("nil object model accepted")
+	}
+}
+
+func TestDumpNotation(t *testing.T) {
+	v := testVocab(t)
+	dump := strings.Join(v.Dump(), "\n")
+	for _, want := range []string{
+		"jobRequisition#concept.label = job requisition",
+		"jobRequisition.reqID#phrase.navigation = {requisition id} of {this}",
+		"jobRequisition.getManagerGen#phrase.action = {general manager} of {this}",
+		"jobRequisition.submitterOfInverse#phrase.relation = {submitter} of {this}",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Dump missing %q\n%s", want, dump)
+		}
+	}
+}
+
+func TestSizeAndEntries(t *testing.T) {
+	v := testVocab(t)
+	if v.Size() == 0 || len(v.Entries()) != v.Size() {
+		t.Fatalf("Size = %d, Entries = %d", v.Size(), len(v.Entries()))
+	}
+}
+
+func BenchmarkMatchPhrase(b *testing.B) {
+	v, err := Verbalize(testOM(b), hiringOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tokens := []string{"position", "type", "of", "this"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := v.MatchPhrase(tokens); !ok {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package bom
+
+import (
+	"testing"
+
+	"repro/internal/provenance"
+	"repro/internal/xom"
+)
+
+// labeledOM builds a model that carries its business labels inline — the
+// paper's future-work item of "adding business semantic into the
+// provenance data model".
+func labeledOM(t testing.TB) *xom.ObjectModel {
+	t.Helper()
+	m := provenance.NewModel("labeled")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.AddType(&provenance.TypeDef{
+		Name: "jobRequisition", Class: provenance.ClassData,
+		Label: "staffing request",
+	}))
+	must(m.AddField("jobRequisition", &provenance.FieldDef{
+		Name: "reqID", Kind: provenance.KindString, Label: "requisition number",
+	}))
+	must(m.AddField("jobRequisition", &provenance.FieldDef{
+		Name: "dept", Kind: provenance.KindString, // no label: falls back
+	}))
+	must(m.AddType(&provenance.TypeDef{Name: "person", Class: provenance.ClassResource}))
+	must(m.AddRelation(&provenance.RelationDef{
+		Name: "submitterOf", SourceType: "person", TargetType: "jobRequisition",
+		Label: "submitted request", InverseLabel: "requesting employee",
+	}))
+	om, err := xom.FromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return om
+}
+
+func TestModelLabelsDriveVerbalization(t *testing.T) {
+	v, err := Verbalize(labeledOM(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concept label from the model.
+	if v.Concept("staffing request") == nil {
+		t.Fatal("model concept label not used")
+	}
+	if v.Concept("job requisition") != nil {
+		t.Fatal("camel-split label used despite model label")
+	}
+	req := v.ConceptFor("jobRequisition").Class
+	// Field label from the model.
+	if _, err := v.Resolve("requisition number", req); err != nil {
+		t.Fatalf("field label: %v", err)
+	}
+	// Unlabeled field falls back to camel splitting.
+	if _, err := v.Resolve("dept", req); err != nil {
+		t.Fatalf("fallback label: %v", err)
+	}
+	// Relation labels, forward and inverse.
+	person := v.ConceptFor("person").Class
+	fwd, err := v.Resolve("submitted request", person)
+	if err != nil {
+		t.Fatalf("forward relation label: %v", err)
+	}
+	if fwd.Kind != RelationNav {
+		t.Fatalf("forward entry = %+v", fwd)
+	}
+	if _, err := v.Resolve("requesting employee", req); err != nil {
+		t.Fatalf("inverse relation label: %v", err)
+	}
+}
+
+func TestOptionsOverrideModelLabels(t *testing.T) {
+	v, err := Verbalize(labeledOM(t), Options{
+		ConceptLabels: map[string]string{"jobRequisition": "vacancy"},
+		MemberLabels:  map[string]string{"jobRequisition.reqID": "ticket"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Concept("vacancy") == nil || v.Concept("staffing request") != nil {
+		t.Fatal("options did not override the model concept label")
+	}
+	req := v.ConceptFor("jobRequisition").Class
+	if _, err := v.Resolve("ticket", req); err != nil {
+		t.Fatalf("options member override: %v", err)
+	}
+	if _, err := v.Resolve("requisition number", req); err == nil {
+		t.Fatal("model label survived an override")
+	}
+}

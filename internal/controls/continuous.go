@@ -1,0 +1,99 @@
+package controls
+
+import (
+	"sync"
+
+	"repro/internal/store"
+)
+
+// Checker runs continuous compliance checking (the paper's future-work
+// item, experiment E6): it subscribes to the store's change feed and
+// re-evaluates the registered controls for every trace a new record
+// touches. Its own materialized control nodes and checks edges are
+// filtered out to avoid feedback.
+type Checker struct {
+	reg *Registry
+
+	mu       sync.Mutex
+	outcomes []*Outcome
+	checked  int
+	onResult func([]*Outcome)
+
+	sub  *store.Subscription
+	done chan struct{}
+}
+
+// NewChecker builds a continuous checker over a registry. onResult, when
+// non-nil, receives the outcomes of every re-check (the dashboard hook).
+func NewChecker(reg *Registry, onResult func([]*Outcome)) *Checker {
+	return &Checker{reg: reg, onResult: onResult}
+}
+
+// Start begins consuming the change feed. Call Stop to end.
+func (c *Checker) Start() {
+	if c.sub != nil {
+		return
+	}
+	c.sub = c.reg.st.Subscribe()
+	c.done = make(chan struct{})
+	go func() {
+		defer close(c.done)
+		for ev := range c.sub.C() {
+			if c.isOwnWrite(ev) {
+				continue
+			}
+			app := ev.AppID()
+			if app == "" {
+				continue
+			}
+			outcomes, err := c.reg.Check(app)
+			if err != nil {
+				continue // best-effort; the next event retries the trace
+			}
+			c.mu.Lock()
+			c.checked++
+			c.outcomes = outcomes
+			cb := c.onResult
+			c.mu.Unlock()
+			if cb != nil {
+				cb(outcomes)
+			}
+		}
+	}()
+}
+
+// isOwnWrite filters materialization records out of the feed.
+func (c *Checker) isOwnWrite(ev store.Event) bool {
+	if ev.Node != nil && ev.Node.Type == ControlTypeName {
+		return true
+	}
+	if ev.Edge != nil && ev.Edge.Type == ChecksRelation {
+		return true
+	}
+	return false
+}
+
+// Stop ends continuous checking and drains the worker.
+func (c *Checker) Stop() {
+	if c.sub == nil {
+		return
+	}
+	c.sub.Cancel()
+	<-c.done
+	c.sub = nil
+	c.done = nil
+}
+
+// Checked reports how many re-checks have run.
+func (c *Checker) Checked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checked
+}
+
+// Latest returns the outcomes of the most recent re-check.
+func (c *Checker) Latest() []*Outcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.outcomes
+}

@@ -1,0 +1,294 @@
+// Package controls manages internal control points over the provenance
+// store: deployment of rule texts authored in business vocabulary, batch
+// and continuous compliance checking, and materialization of each control
+// as a Custom node linked to the data nodes it governs — exactly Fig 2 of
+// the paper, where "the internal control is created during the execution
+// of the traces as a custom node and connected to the Job Requisition,
+// Approval Status and the Candidate List data nodes".
+package controls
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bom"
+	"repro/internal/provenance"
+	"repro/internal/rules"
+	"repro/internal/store"
+)
+
+// ControlTypeName is the custom node type materialized control points use.
+const ControlTypeName = "controlPoint"
+
+// ChecksRelation is the edge type linking a control point to the records
+// it verified.
+const ChecksRelation = "checks"
+
+// DeclareModel adds the control-point type and checks relation to a data
+// model, so stores validate materialized control nodes. Call it while
+// building the model, before opening the store.
+func DeclareModel(m *provenance.Model) error {
+	if err := m.AddType(&provenance.TypeDef{
+		Name: ControlTypeName, Class: provenance.ClassCustom,
+		Doc: "materialized internal control point (Fig 2)",
+	}); err != nil {
+		return err
+	}
+	for _, f := range []*provenance.FieldDef{
+		{Name: "controlID", Kind: provenance.KindString, Indexed: true},
+		{Name: "status", Kind: provenance.KindString},
+		{Name: "version", Kind: provenance.KindInt},
+	} {
+		if err := m.AddField(ControlTypeName, f); err != nil {
+			return err
+		}
+	}
+	return m.AddRelation(&provenance.RelationDef{
+		Name: ChecksRelation, SourceType: ControlTypeName,
+		Doc: "control point verifies record",
+	})
+}
+
+// ControlPoint is one deployed internal control.
+type ControlPoint struct {
+	// ID is the stable registry key.
+	ID string
+	// Name is the human-readable title.
+	Name string
+	// Text is the rule source in business vocabulary.
+	Text string
+	// Version increments on every redeployment — the paper's requirement
+	// that business people test different controls "without requiring the
+	// application code to be modified" makes redeployment a first-class
+	// operation.
+	Version int
+
+	compiled Evaluator
+}
+
+// Outcome pairs a control with its evaluation result on one trace.
+type Outcome struct {
+	ControlID string
+	Name      string
+	Version   int
+	Result    *rules.Result
+}
+
+// Options configures a registry.
+type Options struct {
+	// Materialize controls whether Check writes control-point custom nodes
+	// and checks edges into the store (Fig 2). Off, checking is read-only.
+	Materialize bool
+}
+
+// Registry holds the deployed control points of one store.
+type Registry struct {
+	st    *store.Store
+	vocab *bom.Vocabulary
+	opts  Options
+
+	mu       sync.RWMutex
+	controls map[string]*ControlPoint
+	order    []string
+	matSeq   int
+}
+
+// NewRegistry builds an empty registry over the store and vocabulary.
+func NewRegistry(st *store.Store, vocab *bom.Vocabulary, opts Options) (*Registry, error) {
+	if st == nil {
+		return nil, fmt.Errorf("controls: nil store")
+	}
+	if vocab == nil {
+		return nil, fmt.Errorf("controls: nil vocabulary")
+	}
+	if opts.Materialize {
+		if m := st.Model(); m != nil && m.Type(ControlTypeName) == nil {
+			return nil, fmt.Errorf("controls: model lacks %s; call DeclareModel when building it", ControlTypeName)
+		}
+	}
+	return &Registry{
+		st: st, vocab: vocab, opts: opts,
+		controls: make(map[string]*ControlPoint),
+	}, nil
+}
+
+// Deploy compiles and registers a control. Deploying an existing ID
+// replaces its rule text and bumps the version — no application code is
+// touched, the central claim of the paper (experiment E8).
+func (r *Registry) Deploy(id, name, text string) (*ControlPoint, error) {
+	if id == "" {
+		return nil, fmt.Errorf("controls: empty control ID")
+	}
+	compiled, err := rules.Compile(text, r.vocab)
+	if err != nil {
+		return nil, fmt.Errorf("controls: %s: %v", id, err)
+	}
+	return r.DeployEvaluator(id, name, compiled, text)
+}
+
+// DeployEvaluator registers any Evaluator — compiled rule controls and
+// subgraph PatternControls alike — under the registry's versioning.
+func (r *Registry) DeployEvaluator(id, name string, ev Evaluator, text string) (*ControlPoint, error) {
+	if id == "" {
+		return nil, fmt.Errorf("controls: empty control ID")
+	}
+	if ev == nil {
+		return nil, fmt.Errorf("controls: nil evaluator")
+	}
+	if text == "" {
+		text = ev.Text()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.controls[id]
+	cp := &ControlPoint{ID: id, Name: name, Text: text, Version: 1, compiled: ev}
+	if prev != nil {
+		cp.Version = prev.Version + 1
+		if cp.Name == "" {
+			cp.Name = prev.Name
+		}
+	} else {
+		r.order = append(r.order, id)
+	}
+	r.controls[id] = cp
+	return cp, nil
+}
+
+// Remove deletes a control from the registry.
+func (r *Registry) Remove(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.controls[id]; !ok {
+		return fmt.Errorf("controls: unknown control %s", id)
+	}
+	delete(r.controls, id)
+	for i, cid := range r.order {
+		if cid == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Get returns a deployed control, or nil.
+func (r *Registry) Get(id string) *ControlPoint {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.controls[id]
+}
+
+// List returns the deployed controls in deployment order.
+func (r *Registry) List() []*ControlPoint {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*ControlPoint, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.controls[id])
+	}
+	return out
+}
+
+// Check evaluates every deployed control against one trace, materializing
+// outcomes when configured. Outcomes are ordered by deployment order.
+func (r *Registry) Check(appID string) ([]*Outcome, error) {
+	r.mu.RLock()
+	cps := make([]*ControlPoint, 0, len(r.order))
+	for _, id := range r.order {
+		cps = append(cps, r.controls[id])
+	}
+	r.mu.RUnlock()
+
+	outcomes := make([]*Outcome, 0, len(cps))
+	err := r.st.View(func(g *provenance.Graph) error {
+		for _, cp := range cps {
+			res := cp.compiled.Evaluate(g, appID)
+			outcomes = append(outcomes, &Outcome{
+				ControlID: cp.ID, Name: cp.Name, Version: cp.Version, Result: res,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if r.opts.Materialize {
+		for _, o := range outcomes {
+			if err := r.materialize(o); err != nil {
+				return outcomes, err
+			}
+		}
+	}
+	return outcomes, nil
+}
+
+// CheckAll evaluates every control against every trace.
+func (r *Registry) CheckAll() ([]*Outcome, error) {
+	var out []*Outcome
+	for _, app := range r.st.AppIDs() {
+		res, err := r.Check(app)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
+}
+
+// materialize writes the Fig-2 subgraph for one outcome: a controlPoint
+// custom node carrying the verdict, plus checks edges to every node the
+// control's definitions bound.
+func (r *Registry) materialize(o *Outcome) error {
+	nodeID := fmt.Sprintf("cp-%s-%s", o.ControlID, o.Result.AppID)
+	node := &provenance.Node{
+		ID: nodeID, Class: provenance.ClassCustom, Type: ControlTypeName,
+		AppID: o.Result.AppID,
+		Attrs: map[string]provenance.Value{
+			"controlID": provenance.String(o.ControlID),
+			"status":    provenance.String(o.Result.Verdict.String()),
+			"version":   provenance.Int(int64(o.Version)),
+		},
+	}
+	exists := r.st.Node(nodeID) != nil
+	if exists {
+		if err := r.st.UpdateNode(node); err != nil {
+			return fmt.Errorf("controls: materialize %s: %v", nodeID, err)
+		}
+	} else {
+		if err := r.st.PutNode(node); err != nil {
+			return fmt.Errorf("controls: materialize %s: %v", nodeID, err)
+		}
+	}
+	// Link to every bound node, skipping edges that already exist.
+	var targets []string
+	for _, ids := range o.Result.Bindings {
+		targets = append(targets, ids...)
+	}
+	sort.Strings(targets)
+	var missing []string
+	if err := r.st.View(func(g *provenance.Graph) error {
+		for _, tgt := range targets {
+			if tgt != nodeID && g.Node(tgt) != nil && !g.HasEdge(nodeID, ChecksRelation, tgt) {
+				missing = append(missing, tgt)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, tgt := range missing {
+		r.mu.Lock()
+		r.matSeq++
+		edgeID := fmt.Sprintf("cpe-%d", r.matSeq)
+		r.mu.Unlock()
+		e := &provenance.Edge{
+			ID: edgeID, Type: ChecksRelation, AppID: o.Result.AppID,
+			Source: nodeID, Target: tgt,
+		}
+		if err := r.st.PutEdge(e); err != nil {
+			return fmt.Errorf("controls: linking %s -> %s: %v", nodeID, tgt, err)
+		}
+	}
+	return nil
+}

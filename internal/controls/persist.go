@@ -1,0 +1,82 @@
+package controls
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// persistedControl is the on-disk form of one deployed control. Only
+// text-based (rule) controls persist; pattern controls are built in Go and
+// belong to the embedding program.
+type persistedControl struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	Text    string `json:"text"`
+	Version int    `json:"version"`
+}
+
+// SaveTo writes every text-deployed control to path atomically, so a
+// restarted server can restore the control set the business users built
+// up — deployment is durable without touching application code.
+func (r *Registry) SaveTo(path string) error {
+	r.mu.RLock()
+	var out []persistedControl
+	for _, id := range r.order {
+		cp := r.controls[id]
+		if _, ok := cp.compiled.(*PatternControl); ok {
+			continue
+		}
+		out = append(out, persistedControl{
+			ID: cp.ID, Name: cp.Name, Text: cp.Text, Version: cp.Version,
+		})
+	}
+	r.mu.RUnlock()
+
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return fmt.Errorf("controls: save: %v", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("controls: save: %v", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("controls: save: %v", err)
+	}
+	return nil
+}
+
+// LoadFrom deploys every control recorded at path, recompiling each text
+// against the current vocabulary. Existing IDs are redeployed (their
+// version advances past the stored one); a missing file is not an error.
+// It returns the number of controls restored.
+func (r *Registry) LoadFrom(path string) (int, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("controls: load: %v", err)
+	}
+	var in []persistedControl
+	if err := json.Unmarshal(raw, &in); err != nil {
+		return 0, fmt.Errorf("controls: load: %v", err)
+	}
+	restored := 0
+	for _, pc := range in {
+		cp, err := r.Deploy(pc.ID, pc.Name, pc.Text)
+		if err != nil {
+			return restored, fmt.Errorf("controls: load %s: %v", pc.ID, err)
+		}
+		// Preserve monotone versions across restarts: a control that was
+		// at version 5 must not restart at 1.
+		r.mu.Lock()
+		if cp.Version < pc.Version {
+			cp.Version = pc.Version
+		}
+		r.mu.Unlock()
+		restored++
+	}
+	return restored, nil
+}

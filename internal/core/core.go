@@ -1,0 +1,193 @@
+// Package core wires the paper's full architecture into one system: the
+// provenance store, recorder-client pipeline, correlation analytics,
+// verbalized vocabulary, internal control registry, and compliance
+// dashboard. This is the library's primary entry point — the bridge the
+// paper builds "by connecting provenance data model to execution object
+// model first, then to business object model, and finally to rule editing
+// in business vocabulary".
+//
+// Two operating modes mirror the paper's Section II-A query styles:
+//
+//   - Batch: ingest events, run CorrelateAll, then CheckAll — the
+//     "query deployed into the provenance store" style.
+//   - Continuous: Config.Continuous starts the incremental correlator and
+//     the continuous compliance checker on the store's change feed, so
+//     verdicts and dashboard KPIs update as events arrive.
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/controls"
+	"repro/internal/correlate"
+	"repro/internal/dashboard"
+	"repro/internal/events"
+	"repro/internal/query"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// Config tunes a System.
+type Config struct {
+	// Dir is the store's log directory; empty runs in memory.
+	Dir string
+	// Sync forces fsync per append (durability over throughput).
+	Sync bool
+	// DisableIndexes turns off secondary indexes (ablation D4).
+	DisableIndexes bool
+	// Materialize writes control points into the graph (Fig 2).
+	Materialize bool
+	// Continuous starts incremental correlation and continuous compliance
+	// checking on the change feed.
+	Continuous bool
+	// MaxViolations caps the dashboard violation feed (0 = default).
+	MaxViolations int
+}
+
+// System is one wired instance of the paper's architecture.
+type System struct {
+	Domain *workload.Domain
+	// controlsPath, when set, receives the deployed-control snapshot on
+	// DeployControl/RemoveControl and Close.
+	controlsPath string
+
+	Store      *store.Store
+	Pipeline   *events.Pipeline
+	Correlator *correlate.Engine
+	Registry   *controls.Registry
+	Checker    *controls.Checker
+	Board      *dashboard.Board
+	Query      *query.Engine
+
+	continuous bool
+}
+
+// New builds and starts a system for a domain: opens the store against the
+// domain's data model, registers the recorder mappings and correlation
+// rules, verbalizes the vocabulary (already carried by the domain), and
+// deploys the domain's internal controls.
+func New(d *workload.Domain, cfg Config) (*System, error) {
+	if d == nil {
+		return nil, fmt.Errorf("core: nil domain")
+	}
+	st, err := store.Open(store.Options{
+		Dir: cfg.Dir, Model: d.Model, Sync: cfg.Sync, DisableIndexes: cfg.DisableIndexes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{Domain: d, Store: st, continuous: cfg.Continuous}
+	fail := func(err error) (*System, error) {
+		st.Close()
+		return nil, err
+	}
+	if sys.Pipeline, err = events.NewPipeline(st, d.Mappings...); err != nil {
+		return fail(err)
+	}
+	if sys.Correlator, err = correlate.NewEngine(st, d.Correlations...); err != nil {
+		return fail(err)
+	}
+	for _, en := range d.Enrichers {
+		if err := sys.Correlator.AddEnricher(en); err != nil {
+			return fail(err)
+		}
+	}
+	if sys.Registry, err = controls.NewRegistry(st, d.Vocab, controls.Options{
+		Materialize: cfg.Materialize,
+	}); err != nil {
+		return fail(err)
+	}
+	for _, cs := range d.Controls {
+		if _, err := sys.Registry.Deploy(cs.ID, cs.Name, cs.Text); err != nil {
+			return fail(err)
+		}
+	}
+	// Restore controls business users deployed in earlier sessions; their
+	// versions win over the domain defaults deployed above.
+	if cfg.Dir != "" {
+		sys.controlsPath = filepath.Join(cfg.Dir, "controls.json")
+		if _, err := sys.Registry.LoadFrom(sys.controlsPath); err != nil {
+			return fail(err)
+		}
+	}
+	sys.Board = dashboard.New(cfg.MaxViolations)
+	if sys.Query, err = query.NewEngine(st); err != nil {
+		return fail(err)
+	}
+	sys.Checker = controls.NewChecker(sys.Registry, func(out []*controls.Outcome) {
+		sys.Board.Record(out)
+	})
+	if cfg.Continuous {
+		sys.Correlator.Start()
+		sys.Checker.Start()
+	}
+	return sys, nil
+}
+
+// DeployControl deploys (or redeploys) a control and, for durable
+// systems, persists the control set.
+func (s *System) DeployControl(id, name, text string) (*controls.ControlPoint, error) {
+	cp, err := s.Registry.Deploy(id, name, text)
+	if err != nil {
+		return nil, err
+	}
+	if s.controlsPath != "" {
+		if err := s.Registry.SaveTo(s.controlsPath); err != nil {
+			return cp, err
+		}
+	}
+	return cp, nil
+}
+
+// RemoveControl removes a control and persists the change when durable.
+func (s *System) RemoveControl(id string) error {
+	if err := s.Registry.Remove(id); err != nil {
+		return err
+	}
+	if s.controlsPath != "" {
+		return s.Registry.SaveTo(s.controlsPath)
+	}
+	return nil
+}
+
+// Ingest feeds application events through the recorder pipeline.
+func (s *System) Ingest(evs []events.AppEvent) error {
+	return s.Pipeline.IngestAll(evs)
+}
+
+// CorrelateAll runs the correlation rules over every trace (batch mode).
+func (s *System) CorrelateAll() error { return s.Correlator.RunAll() }
+
+// CorrelateTrace correlates a single trace.
+func (s *System) CorrelateTrace(appID string) error { return s.Correlator.RunTrace(appID) }
+
+// Check evaluates every control on one trace and records the outcomes on
+// the dashboard.
+func (s *System) Check(appID string) ([]*controls.Outcome, error) {
+	out, err := s.Registry.Check(appID)
+	if err != nil {
+		return nil, err
+	}
+	s.Board.Record(out)
+	return out, nil
+}
+
+// CheckAll evaluates every control on every trace.
+func (s *System) CheckAll() ([]*controls.Outcome, error) {
+	out, err := s.Registry.CheckAll()
+	if err != nil {
+		return nil, err
+	}
+	s.Board.Record(out)
+	return out, nil
+}
+
+// Close stops continuous workers and closes the store.
+func (s *System) Close() error {
+	if s.continuous {
+		s.Checker.Stop()
+		s.Correlator.Stop()
+	}
+	return s.Store.Close()
+}

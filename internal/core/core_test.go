@@ -1,0 +1,287 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/provenance"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/workload"
+)
+
+func hiring(t testing.TB) *workload.Domain {
+	t.Helper()
+	d, err := workload.Hiring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSystemBatchLifecycle(t *testing.T) {
+	d := hiring(t)
+	sys, err := core.New(d, core.Config{Materialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	res := d.Simulate(workload.SimOptions{Seed: 2, Traces: 30, ViolationRate: 0.3, Visibility: 1.0})
+	if err := sys.Ingest(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Pipeline.Stats().Recorded == 0 {
+		t.Fatal("nothing recorded")
+	}
+	if err := sys.CorrelateAll(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Correlator.Stats().EdgesDerived == 0 {
+		t.Fatal("no edges derived")
+	}
+	outcomes, err := sys.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 30*len(d.Controls) {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	// Dashboard got fed.
+	kpis := sys.Board.Snapshot()
+	if len(kpis) != len(d.Controls) {
+		t.Fatalf("kpis = %d", len(kpis))
+	}
+	// Fig 2 materialization happened.
+	var customs int
+	err = sys.Store.View(func(g *provenance.Graph) error {
+		customs = len(g.Nodes(provenance.NodeFilter{Class: provenance.ClassCustom}))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if customs != 30*len(d.Controls) {
+		t.Fatalf("materialized control points = %d", customs)
+	}
+	// Query engine answers over the same store.
+	nodes, err := sys.Query.Run(query.Query{Type: "jobRequisition"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 30 {
+		t.Fatalf("requisitions = %d", len(nodes))
+	}
+}
+
+func TestSystemContinuousMode(t *testing.T) {
+	d := hiring(t)
+	sys, err := core.New(d, core.Config{Continuous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	res := d.Simulate(workload.SimOptions{Seed: 4, Traces: 5, ViolationRate: 0.5, Visibility: 1.0})
+	if err := sys.Ingest(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	// Correlation and checking happen on the change feed; wait for the
+	// dashboard to converge to 5 traces per control.
+	deadline := time.After(10 * time.Second)
+	for {
+		kpis := sys.Board.Snapshot()
+		done := len(kpis) == len(d.Controls)
+		for _, k := range kpis {
+			if k.Total < 5 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("dashboard never converged: %+v", sys.Board.Snapshot())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	// Verdicts agree with ground truth once the feed drains.
+	var violatedTruth int
+	for _, tr := range res.Truth {
+		if tr.Violation {
+			violatedTruth++
+		}
+	}
+	waitForStableVerdicts(t, sys, res, violatedTruth)
+}
+
+func waitForStableVerdicts(t *testing.T, sys *core.System, res *workload.SimResult, want int) {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		violated := 0
+		for app, truth := range res.Truth {
+			outcomes, err := sys.Registry.Check(app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range outcomes {
+				if o.Result.Verdict == rules.Violated && truth.ControlID == o.ControlID {
+					violated++
+				}
+			}
+		}
+		if violated == want {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("violations = %d, want %d", violated, want)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func TestSystemPersistenceAcrossRestart(t *testing.T) {
+	d := hiring(t)
+	dir := t.TempDir()
+	sys, err := core.New(d, core.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.Simulate(workload.SimOptions{Seed: 6, Traces: 10, ViolationRate: 0.3, Visibility: 1.0})
+	if err := sys.Ingest(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CorrelateAll(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := sys.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := core.New(d, core.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	after, err := sys2.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("outcomes %d != %d after restart", len(after), len(before))
+	}
+	for i := range before {
+		if before[i].Result.Verdict != after[i].Result.Verdict ||
+			before[i].Result.AppID != after[i].Result.AppID {
+			t.Fatalf("outcome %d changed across restart", i)
+		}
+	}
+}
+
+func TestSystemNilDomain(t *testing.T) {
+	if _, err := core.New(nil, core.Config{}); err == nil {
+		t.Fatal("nil domain accepted")
+	}
+}
+
+func TestSystemCorrelateTrace(t *testing.T) {
+	d := hiring(t)
+	sys, err := core.New(d, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	res := d.Simulate(workload.SimOptions{Seed: 8, Traces: 2, Visibility: 1.0})
+	if err := sys.Ingest(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	app := sys.Store.AppIDs()[0]
+	if err := sys.CorrelateTrace(app); err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := sys.Check(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != len(d.Controls) {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+}
+
+func TestDeployedControlsSurviveRestart(t *testing.T) {
+	d := hiring(t)
+	dir := t.TempDir()
+	sys, err := core.New(d, core.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := `
+definitions
+  set 'r' to a job requisition ;
+if the candidate list of 'r' exists then the internal control is satisfied ;
+`
+	if _, err := sys.DeployControl("user-control", "User deployed", custom); err != nil {
+		t.Fatal(err)
+	}
+	// Redeploy to advance the version past 1.
+	cp, err := sys.DeployControl("user-control", "", custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Version != 2 {
+		t.Fatalf("version = %d", cp.Version)
+	}
+	// Also tighten a domain control; the edited version must survive too.
+	edited := `
+definitions
+  set 'the request' to a job requisition ;
+if the approval of 'the request' exists then the internal control is satisfied ;
+`
+	if _, err := sys.DeployControl("gm-approval", "", edited); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := core.New(d, core.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	got := sys2.Registry.Get("user-control")
+	if got == nil {
+		t.Fatal("user control lost across restart")
+	}
+	if got.Version < 2 || got.Name != "User deployed" {
+		t.Fatalf("restored control = %+v", got)
+	}
+	gm := sys2.Registry.Get("gm-approval")
+	if gm == nil || !strings.Contains(gm.Text, "the approval of 'the request' exists then") {
+		t.Fatalf("edited domain control not restored: %+v", gm)
+	}
+	// Removal persists as well.
+	if err := sys2.RemoveControl("user-control"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sys3, err := core.New(d, core.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys3.Close()
+	if sys3.Registry.Get("user-control") != nil {
+		t.Fatal("removed control resurrected")
+	}
+}

@@ -1,0 +1,110 @@
+package dashboard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/controls"
+	"repro/internal/rules"
+)
+
+func outcome(control, app string, v rules.Verdict, alerts ...string) *controls.Outcome {
+	return &controls.Outcome{
+		ControlID: control, Name: "Control " + control, Version: 1,
+		Result: &rules.Result{AppID: app, Verdict: v, Alerts: alerts},
+	}
+}
+
+func TestBoardKPIs(t *testing.T) {
+	b := New(0)
+	b.Record([]*controls.Outcome{
+		outcome("c1", "A1", rules.Satisfied),
+		outcome("c1", "A2", rules.Violated, "boom"),
+		outcome("c1", "A3", rules.Indeterminate),
+		outcome("c1", "A4", rules.NotApplicable),
+		outcome("c2", "A1", rules.Satisfied),
+	})
+	kpis := b.Snapshot()
+	if len(kpis) != 2 {
+		t.Fatalf("kpis = %d", len(kpis))
+	}
+	c1 := kpis[0]
+	if c1.ControlID != "c1" || c1.Total != 4 || c1.Satisfied != 1 || c1.Violated != 1 ||
+		c1.Indeterminate != 1 || c1.NotApplicable != 1 {
+		t.Fatalf("c1 = %+v", c1)
+	}
+	if c1.ComplianceRate != 0.5 || c1.DefiniteRate != 0.5 {
+		t.Fatalf("rates = %v / %v", c1.ComplianceRate, c1.DefiniteRate)
+	}
+	if kpis[1].ComplianceRate != 1.0 {
+		t.Fatalf("c2 = %+v", kpis[1])
+	}
+}
+
+func TestBoardRecheckReplacesVerdict(t *testing.T) {
+	b := New(0)
+	b.Record([]*controls.Outcome{outcome("c1", "A1", rules.Violated, "first")})
+	b.Record([]*controls.Outcome{outcome("c1", "A1", rules.Satisfied)})
+	kpis := b.Snapshot()
+	if kpis[0].Total != 1 || kpis[0].Satisfied != 1 || kpis[0].Violated != 0 {
+		t.Fatalf("kpi = %+v", kpis[0])
+	}
+}
+
+func TestBoardViolationFeedTransitionsOnly(t *testing.T) {
+	b := New(0)
+	b.Record([]*controls.Outcome{outcome("c1", "A1", rules.Violated, "a1 broke")})
+	// Re-checking the same violated trace must not duplicate the entry.
+	b.Record([]*controls.Outcome{outcome("c1", "A1", rules.Violated, "a1 broke")})
+	// Flipping to satisfied and back violates again: a new entry.
+	b.Record([]*controls.Outcome{outcome("c1", "A1", rules.Satisfied)})
+	b.Record([]*controls.Outcome{outcome("c1", "A1", rules.Violated, "a1 broke again")})
+	got := b.RecentViolations(0)
+	if len(got) != 2 {
+		t.Fatalf("violations = %d", len(got))
+	}
+	if got[0].Alerts[0] != "a1 broke again" || got[1].Alerts[0] != "a1 broke" {
+		t.Fatalf("feed order = %+v", got)
+	}
+}
+
+func TestBoardViolationCap(t *testing.T) {
+	b := New(3)
+	for i := 0; i < 10; i++ {
+		app := string(rune('A' + i))
+		b.Record([]*controls.Outcome{outcome("c1", app, rules.Violated)})
+	}
+	got := b.RecentViolations(0)
+	if len(got) != 3 {
+		t.Fatalf("capped feed = %d", len(got))
+	}
+	if got[0].AppID != "J" {
+		t.Fatalf("newest = %+v", got[0])
+	}
+	if top := b.RecentViolations(1); len(top) != 1 || top[0].AppID != "J" {
+		t.Fatalf("RecentViolations(1) = %+v", top)
+	}
+}
+
+func TestBoardRender(t *testing.T) {
+	b := New(0)
+	b.Record([]*controls.Outcome{
+		outcome("gm-approval", "A1", rules.Satisfied),
+		outcome("gm-approval", "A2", rules.Violated),
+	})
+	out := b.Render()
+	if !strings.Contains(out, "gm-approval") || !strings.Contains(out, "50.0%") {
+		t.Fatalf("Render = %s", out)
+	}
+	if !strings.Contains(out, "CONTROL") {
+		t.Fatal("header missing")
+	}
+}
+
+func TestBoardIgnoresNil(t *testing.T) {
+	b := New(0)
+	b.Record([]*controls.Outcome{nil, {ControlID: "x"}})
+	if len(b.Snapshot()) != 0 {
+		t.Fatal("nil outcomes counted")
+	}
+}

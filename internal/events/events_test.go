@@ -1,0 +1,306 @@
+package events
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/provenance"
+	"repro/internal/store"
+)
+
+func testModel(t testing.TB) *provenance.Model {
+	t.Helper()
+	m := provenance.NewModel("test")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.AddType(&provenance.TypeDef{Name: "jobRequisition", Class: provenance.ClassData}))
+	must(m.AddField("jobRequisition", &provenance.FieldDef{Name: "reqID", Kind: provenance.KindString, Indexed: true}))
+	must(m.AddField("jobRequisition", &provenance.FieldDef{Name: "positionType", Kind: provenance.KindString}))
+	must(m.AddField("jobRequisition", &provenance.FieldDef{Name: "headcount", Kind: provenance.KindInt}))
+	must(m.AddType(&provenance.TypeDef{Name: "submission", Class: provenance.ClassTask}))
+	must(m.AddField("submission", &provenance.FieldDef{Name: "actorEmail", Kind: provenance.KindString}))
+	return m
+}
+
+func testStore(t testing.TB) *store.Store {
+	t.Helper()
+	s, err := store.Open(store.Options{Model: testModel(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func reqMapping() *Mapping {
+	return &Mapping{
+		Name: "req-recorder", Source: "lombardi", EventType: "requisition.submitted",
+		NodeType: "jobRequisition", Class: provenance.ClassData, IDKey: "recordId",
+		Fields: []FieldMapping{
+			{PayloadKey: "req", Attr: "reqID", Kind: provenance.KindString, Required: true},
+			{PayloadKey: "ptype", Attr: "positionType", Kind: provenance.KindString},
+			{PayloadKey: "count", Attr: "headcount", Kind: provenance.KindInt},
+		},
+	}
+}
+
+func taskMapping() *Mapping {
+	return &Mapping{
+		Name: "task-recorder", EventType: "task.submit",
+		NodeType: "submission", Class: provenance.ClassTask,
+		Fields: []FieldMapping{
+			{PayloadKey: "email", Attr: "actorEmail", Kind: provenance.KindString},
+		},
+	}
+}
+
+func reqEvent() AppEvent {
+	return AppEvent{
+		Source: "lombardi", Type: "requisition.submitted", AppID: "App01",
+		Timestamp: time.Unix(5000, 0).UTC(),
+		Payload: map[string]string{
+			"recordId": "PE3",
+			"req":      "REQ001",
+			"ptype":    "new",
+			"count":    "2",
+			"ssn":      "123-45-6789", // unmapped: must never be captured
+		},
+	}
+}
+
+func TestPipelineRecordsMappedEvent(t *testing.T) {
+	st := testStore(t)
+	p, err := NewPipeline(st, reqMapping(), taskMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ingest(reqEvent()); err != nil {
+		t.Fatal(err)
+	}
+	n := st.Node("PE3")
+	if n == nil {
+		t.Fatal("node not recorded")
+	}
+	if n.Type != "jobRequisition" || n.AppID != "App01" {
+		t.Fatalf("node = %v", n)
+	}
+	if n.Attr("reqID").Str() != "REQ001" || n.Attr("headcount").IntVal() != 2 {
+		t.Fatalf("attrs = %v", n.Attrs)
+	}
+	if !n.Timestamp.Equal(time.Unix(5000, 0).UTC()) {
+		t.Errorf("timestamp = %v", n.Timestamp)
+	}
+	stats := p.Stats()
+	if stats.Ingested != 1 || stats.Recorded != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPipelineRedactsUnmappedPayload(t *testing.T) {
+	// "To avoid redundancy and possible exposure of sensitive data,
+	// recorder clients do not copy all application data."
+	st := testStore(t)
+	p, err := NewPipeline(st, reqMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ingest(reqEvent()); err != nil {
+		t.Fatal(err)
+	}
+	n := st.Node("PE3")
+	for attr := range n.Attrs {
+		if attr == "ssn" {
+			t.Fatal("sensitive unmapped payload captured")
+		}
+	}
+	row, ok := st.Row("PE3")
+	if !ok {
+		t.Fatal("row missing")
+	}
+	if strings.Contains(row.XML, "123-45-6789") {
+		t.Fatal("sensitive data reached the stored XML")
+	}
+}
+
+func TestPipelineUnmatchedAndNoTrace(t *testing.T) {
+	st := testStore(t)
+	p, err := NewPipeline(st, reqMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ingest(AppEvent{Source: "mail", Type: "mail.sent", AppID: "App01"}); err != nil {
+		t.Fatal(err)
+	}
+	ev := reqEvent()
+	ev.AppID = ""
+	if err := p.Ingest(ev); err != nil {
+		t.Fatal(err)
+	}
+	stats := p.Stats()
+	if stats.Unmatched != 1 || stats.NoTrace != 1 || stats.Recorded != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if st.Stats().Nodes != 0 {
+		t.Fatal("dropped events reached the store")
+	}
+}
+
+func TestPipelineMissingFields(t *testing.T) {
+	st := testStore(t)
+	p, err := NewPipeline(st, reqMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optional field missing: recorded without it.
+	ev := reqEvent()
+	delete(ev.Payload, "ptype")
+	if err := p.Ingest(ev); err != nil {
+		t.Fatal(err)
+	}
+	if n := st.Node("PE3"); !n.Attr("positionType").IsZero() {
+		t.Fatal("missing optional field materialized")
+	}
+	// Required field missing: error, counted.
+	ev2 := reqEvent()
+	ev2.Payload["recordId"] = "PE4"
+	delete(ev2.Payload, "req")
+	if err := p.Ingest(ev2); err == nil {
+		t.Fatal("missing required field accepted")
+	}
+	if p.Stats().Errors != 1 {
+		t.Fatalf("stats = %+v", p.Stats())
+	}
+}
+
+func TestPipelineBadFieldValue(t *testing.T) {
+	st := testStore(t)
+	p, err := NewPipeline(st, reqMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := reqEvent()
+	ev.Payload["count"] = "two"
+	if err := p.Ingest(ev); err == nil {
+		t.Fatal("unparseable int accepted")
+	}
+}
+
+func TestPipelineSequentialIDs(t *testing.T) {
+	st := testStore(t)
+	p, err := NewPipeline(st, taskMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ev := AppEvent{Source: "x", Type: "task.submit", AppID: "App01",
+			Payload: map[string]string{"email": "jdoe@acme.com"}}
+		if err := p.Ingest(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"PE1", "PE2", "PE3"} {
+		if st.Node(id) == nil {
+			t.Fatalf("expected generated ID %s", id)
+		}
+	}
+}
+
+func TestPipelineDuplicateIDRejected(t *testing.T) {
+	st := testStore(t)
+	p, err := NewPipeline(st, reqMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ingest(reqEvent()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ingest(reqEvent()); err == nil {
+		t.Fatal("duplicate record ID accepted")
+	}
+	if p.Stats().Errors != 1 {
+		t.Fatalf("stats = %+v", p.Stats())
+	}
+}
+
+func TestNewPipelineValidatesMappings(t *testing.T) {
+	st := testStore(t)
+	cases := []*Mapping{
+		{Name: "", EventType: "x", NodeType: "jobRequisition", Class: provenance.ClassData},
+		{Name: "m", EventType: "", NodeType: "jobRequisition", Class: provenance.ClassData},
+		{Name: "m", EventType: "x", NodeType: "ghost", Class: provenance.ClassData},
+		{Name: "m", EventType: "x", NodeType: "jobRequisition", Class: provenance.ClassTask},
+		{Name: "m", EventType: "x", NodeType: "jobRequisition", Class: provenance.ClassData,
+			Fields: []FieldMapping{{PayloadKey: "a", Attr: "ghost", Kind: provenance.KindString}}},
+		{Name: "m", EventType: "x", NodeType: "jobRequisition", Class: provenance.ClassData,
+			Fields: []FieldMapping{{PayloadKey: "a", Attr: "reqID", Kind: provenance.KindInt}}},
+	}
+	for i, m := range cases {
+		if _, err := NewPipeline(st, m); err == nil {
+			t.Errorf("case %d: invalid mapping accepted", i)
+		}
+	}
+	// Overlapping (source, type) pairs are ambiguous.
+	if _, err := NewPipeline(st, reqMapping(), reqMapping()); err == nil {
+		t.Error("duplicate mapping key accepted")
+	}
+	if _, err := NewPipeline(nil, reqMapping()); err == nil {
+		t.Error("nil store accepted")
+	}
+}
+
+func TestIngestAllContinuesPastErrors(t *testing.T) {
+	st := testStore(t)
+	p, err := NewPipeline(st, reqMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := reqEvent()
+	bad.Payload["count"] = "NaN-ish"
+	good := reqEvent()
+	good.Payload["recordId"] = "PE9"
+	if err := p.IngestAll([]AppEvent{bad, good}); err == nil {
+		t.Fatal("first error not reported")
+	}
+	if st.Node("PE9") == nil {
+		t.Fatal("batch stopped at first error")
+	}
+}
+
+func TestRecorders(t *testing.T) {
+	st := testStore(t)
+	p, err := NewPipeline(st, reqMapping(), taskMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Recorders()
+	if len(got) != 2 || got[0] != "req-recorder" || got[1] != "task-recorder" {
+		t.Fatalf("Recorders = %v", got)
+	}
+}
+
+func BenchmarkPipelineIngest(b *testing.B) {
+	st, err := store.Open(store.Options{Model: testModel(b)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	m := reqMapping()
+	m.IDKey = "" // generated IDs so every event is unique
+	p, err := NewPipeline(st, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := reqEvent()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Ingest(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

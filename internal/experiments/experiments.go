@@ -1,0 +1,122 @@
+// Package experiments regenerates every table and figure of the
+// reproduction (experiment index E1-E8 in DESIGN.md). The paper itself
+// publishes no measured results — it is an architecture proposal — so E1
+// and E2 reproduce its concrete artifacts (Table 1's storage rows, Fig 1/2's
+// example trace and control subgraph, Fig 3's authoring pipeline) and
+// E3-E8 measure the claims its prose makes. cmd/benchrunner prints these
+// tables; bench_test.go wraps the same code in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid plus free-form notes.
+type Table struct {
+	ID      string
+	Title   string
+	Paper   string // the paper artifact or claim this reproduces
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, stringifying the cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render draws the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Paper != "" {
+		fmt.Fprintf(&b, "   paper anchor: %s\n", t.Paper)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Runner enumerates every experiment for cmd/benchrunner.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func() (*Table, error)
+}
+
+// All returns the full experiment suite with default parameters. quick
+// shrinks the workloads for fast smoke runs.
+func All(quick bool) []Runner {
+	traces := 2000
+	e5Sizes := []int{1000, 5000, 10000, 25000}
+	e6Traces := 2000
+	e7Sizes := []int{10, 100, 1000, 10000}
+	if quick {
+		traces = 300
+		e5Sizes = []int{200, 500, 1000}
+		e6Traces = 200
+		e7Sizes = []int{10, 100, 1000}
+	}
+	return []Runner{
+		{"E1", "Table 1 storage rows", func() (*Table, error) { return E1Table1(traces) }},
+		{"E2", "Fig 1/2 trace and control subgraph", E2Fig2},
+		{"E3", "detection vs visibility", func() (*Table, error) {
+			return E3Visibility(traces, []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5})
+		}},
+		{"E4", "Fig 3 authoring pipeline", E4Authoring},
+		{"E5", "compliance checking at scale", func() (*Table, error) { return E5Scale(e5Sizes) }},
+		{"E6", "continuous vs batch checking", func() (*Table, error) { return E6Continuous(e6Traces) }},
+		{"E7", "vocabulary scaling", func() (*Table, error) { return E7VocabScale(e7Sizes) }},
+		{"E8", "control change cost", E8ChangeCost},
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs the whole suite at quick scale and sanity
+// checks each table's shape. This is the smoke test cmd/benchrunner's
+// users rely on.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, r := range All(true) {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tbl, err := r.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if tbl.ID != r.ID {
+				t.Errorf("table ID %q, runner %q", tbl.ID, r.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Error("empty table")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Errorf("row %d has %d cells, header has %d", i, len(row), len(tbl.Columns))
+				}
+			}
+			out := tbl.Render()
+			if !strings.Contains(out, tbl.Title) {
+				t.Error("render lacks title")
+			}
+		})
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}}
+	tbl.AddRow("longcell", 42)
+	tbl.AddRow(1.5, "x")
+	tbl.Notes = append(tbl.Notes, "hello")
+	out := tbl.Render()
+	for _, want := range []string{"== X: demo ==", "longcell", "42", "1.500", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestE3ShapeHolds verifies the headline reproduction claims at small
+// scale: perfect detection at full visibility for rules and the integrated
+// baseline, and a severely degraded in-app baseline.
+func TestE3ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tbl, err := E3Visibility(150, []float64{1.0, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := tbl.Rows[0]
+	// Columns: vis, rules P, rules R, rules F1, indef%, integ P/R/F1, inapp P/R/F1.
+	if full[3] != "1.000" {
+		t.Errorf("rules F1 at visibility 1.0 = %s, want 1.000", full[3])
+	}
+	if full[7] != "1.000" {
+		t.Errorf("integrated F1 at visibility 1.0 = %s, want 1.000", full[7])
+	}
+	if full[10] >= "0.900" {
+		t.Errorf("in-app F1 at visibility 1.0 = %s, want far below 0.9", full[10])
+	}
+	low := tbl.Rows[1]
+	if low[3] >= full[3] && low[3] != "1.000" {
+		t.Logf("rules F1 did not drop at 0.7: %s vs %s (acceptable only if both perfect)", low[3], full[3])
+	}
+}

@@ -1,0 +1,380 @@
+// Package httpapi exposes a core.System over HTTP: the paper's query
+// frontend. cmd/provd serves it; cmd/pctl is its client.
+package httpapi
+
+import (
+	"encoding/json"
+
+	"fmt"
+	"net/http"
+	"repro/internal/audit"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/provenance"
+	"repro/internal/query"
+	"repro/internal/viz"
+)
+
+// Server wraps a core.System with the HTTP query frontend the paper's
+// Section II-A describes: event ingestion, control deployment, compliance
+// queries, dashboard KPIs and graph navigation.
+type Server struct {
+	sys *core.System
+	mux *http.ServeMux
+	// batch mode needs explicit correlation after ingest.
+	continuous bool
+}
+
+func NewServer(sys *core.System, continuous bool) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux(), continuous: continuous}
+	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/controls", s.handleControls)
+	s.mux.HandleFunc("/compliance", s.handleCompliance)
+	s.mux.HandleFunc("/dashboard", s.handleDashboard)
+	s.mux.HandleFunc("/violations", s.handleViolations)
+	s.mux.HandleFunc("/graph", s.handleGraph)
+	s.mux.HandleFunc("/graph.dot", s.handleGraphDOT)
+	s.mux.HandleFunc("/rows", s.handleRows)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/report", s.handleReport)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// eventJSON is the wire form of an application event.
+type eventJSON struct {
+	Source    string            `json:"source"`
+	Type      string            `json:"type"`
+	AppID     string            `json:"appId"`
+	Timestamp time.Time         `json:"timestamp"`
+	Payload   map[string]string `json:"payload"`
+}
+
+// handleEvents ingests a JSON array of application events (POST).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var evs []eventJSON
+	if err := json.NewDecoder(r.Body).Decode(&evs); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	batch := make([]events.AppEvent, len(evs))
+	for i, e := range evs {
+		batch[i] = events.AppEvent{
+			Source: e.Source, Type: e.Type, AppID: e.AppID,
+			Timestamp: e.Timestamp, Payload: e.Payload,
+		}
+	}
+	if err := s.sys.Ingest(batch); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if !s.continuous {
+		if err := s.sys.CorrelateAll(); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.sys.Pipeline.Stats())
+}
+
+// controlJSON is the wire form of a control deployment.
+type controlJSON struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	Text    string `json:"text,omitempty"`
+	Version int    `json:"version,omitempty"`
+}
+
+// handleControls deploys (POST) or lists (GET) internal controls.
+func (s *Server) handleControls(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var c controlJSON
+		if err := json.NewDecoder(r.Body).Decode(&c); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		cp, err := s.sys.DeployControl(c.ID, c.Name, c.Text)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, controlJSON{ID: cp.ID, Name: cp.Name, Version: cp.Version})
+	case http.MethodDelete:
+		id := r.URL.Query().Get("id")
+		if err := s.sys.RemoveControl(id); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"removed": id})
+	case http.MethodGet:
+		var out []controlJSON
+		for _, cp := range s.sys.Registry.List() {
+			out = append(out, controlJSON{ID: cp.ID, Name: cp.Name, Text: cp.Text, Version: cp.Version})
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET, POST or DELETE"))
+	}
+}
+
+// outcomeJSON is the wire form of one compliance outcome.
+type outcomeJSON struct {
+	Control string              `json:"control"`
+	AppID   string              `json:"appId"`
+	Verdict string              `json:"verdict"`
+	Alerts  []string            `json:"alerts,omitempty"`
+	Notes   []string            `json:"notes,omitempty"`
+	Binds   map[string][]string `json:"bindings,omitempty"`
+}
+
+// handleCompliance checks one trace (?app=) or all traces.
+func (s *Server) handleCompliance(w http.ResponseWriter, r *http.Request) {
+	app := r.URL.Query().Get("app")
+	var err error
+	var outcomes []outcomeJSON
+	appendOutcomes := func(app string) error {
+		res, err := s.sys.Check(app)
+		if err != nil {
+			return err
+		}
+		for _, o := range res {
+			outcomes = append(outcomes, outcomeJSON{
+				Control: o.ControlID, AppID: o.Result.AppID,
+				Verdict: o.Result.Verdict.String(),
+				Alerts:  o.Result.Alerts, Notes: o.Result.Notes,
+				Binds: o.Result.Bindings,
+			})
+		}
+		return nil
+	}
+	if app != "" {
+		err = appendOutcomes(app)
+	} else {
+		for _, a := range s.sys.Store.AppIDs() {
+			if err = appendOutcomes(a); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, outcomes)
+}
+
+// handleDashboard returns the KPI snapshot.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.Board.Snapshot())
+}
+
+// handleViolations returns the most recent violation feed entries.
+func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	writeJSON(w, http.StatusOK, s.sys.Board.RecentViolations(n))
+}
+
+// graphJSON is the wire form of one trace subgraph.
+type graphJSON struct {
+	AppID string     `json:"appId"`
+	Nodes []nodeJSON `json:"nodes"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+type nodeJSON struct {
+	ID    string            `json:"id"`
+	Class string            `json:"class"`
+	Type  string            `json:"type"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+type edgeJSON struct {
+	ID     string `json:"id"`
+	Type   string `json:"type"`
+	Source string `json:"source"`
+	Target string `json:"target"`
+}
+
+// handleGraph returns the provenance subgraph of one trace — the query
+// frontend that "enables visualization and navigation through the
+// provenance graph from the outside".
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	app := r.URL.Query().Get("app")
+	if app == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("app parameter required"))
+		return
+	}
+	out := graphJSON{AppID: app}
+	err := s.sys.Store.View(func(g *provenance.Graph) error {
+		tr := g.Trace(app)
+		for _, n := range tr.Nodes(provenance.NodeFilter{}) {
+			attrs := make(map[string]string, len(n.Attrs))
+			for k, v := range n.Attrs {
+				attrs[k] = v.Text()
+			}
+			out.Nodes = append(out.Nodes, nodeJSON{
+				ID: n.ID, Class: n.Class.String(), Type: n.Type, Attrs: attrs,
+			})
+		}
+		for _, e := range tr.AllEdges(provenance.EdgeFilter{}) {
+			out.Edges = append(out.Edges, edgeJSON{
+				ID: e.ID, Type: e.Type, Source: e.Source, Target: e.Target,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleGraphDOT renders one trace as a Graphviz DOT document (the Fig 2
+// visualization).
+func (s *Server) handleGraphDOT(w http.ResponseWriter, r *http.Request) {
+	app := r.URL.Query().Get("app")
+	if app == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("app parameter required"))
+		return
+	}
+	opts := viz.Options{HideTaskOrder: r.URL.Query().Get("order") == "off"}
+	var dot string
+	err := s.sys.Store.View(func(g *provenance.Graph) error {
+		dot = viz.TraceDOT(g, app, opts)
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	fmt.Fprint(w, dot)
+}
+
+// handleRows returns the Table-1 rows of one trace.
+func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
+	app := r.URL.Query().Get("app")
+	if app == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("app parameter required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sys.Store.RowsForApp(app))
+}
+
+// handleQuery runs a typed node query:
+// /query?type=jobRequisition&field=reqID&value=REQ-x&kind=string&explain=1
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := query.Query{
+		Type:    r.URL.Query().Get("type"),
+		AppID:   r.URL.Query().Get("app"),
+		OrderBy: r.URL.Query().Get("order"),
+		Desc:    r.URL.Query().Get("desc") != "",
+	}
+	if lim := r.URL.Query().Get("limit"); lim != "" {
+		n, err := strconv.Atoi(lim)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		q.Limit = n
+	}
+	if field := r.URL.Query().Get("field"); field != "" {
+		kindName := r.URL.Query().Get("kind")
+		if kindName == "" {
+			kindName = "string"
+		}
+		kind, err := provenance.ParseKind(kindName)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		v, err := provenance.ParseValue(kind, r.URL.Query().Get("value"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		q.Preds = append(q.Preds, query.Pred{Field: field, Op: query.Eq, Value: v})
+	}
+	plan, err := s.sys.Query.Plan(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("explain") != "" {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"plan": plan.Explain(), "indexed": plan.Indexed(),
+		})
+		return
+	}
+	nodes, err := plan.Run()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]nodeJSON, 0, len(nodes))
+	for _, n := range nodes {
+		attrs := make(map[string]string, len(n.Attrs))
+		for k, v := range n.Attrs {
+			attrs[k] = v.Text()
+		}
+		out = append(out, nodeJSON{ID: n.ID, Class: n.Class.String(), Type: n.Type, Attrs: attrs})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleReport renders the plain-text compliance audit report: per-control
+// tallies plus each violation with its evidence subgraph and each
+// undecidable trace with its missing-evidence notes.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("findings"))
+	outcomes, err := s.sys.Registry.CheckAll()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.sys.Board.Record(outcomes)
+	rep, err := audit.Build(s.sys.Domain.Name, s.sys.Store, outcomes, n)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := rep.WriteText(w); err != nil {
+		// Headers are gone; nothing more to do than note it.
+		return
+	}
+}
+
+// handleStats returns store and pipeline statistics.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"store":     s.sys.Store.Stats(),
+		"pipeline":  s.sys.Pipeline.Stats(),
+		"correlate": s.sys.Correlator.Stats(),
+		"domain":    s.sys.Domain.Name,
+		"traces":    len(s.sys.Store.AppIDs()),
+	})
+}

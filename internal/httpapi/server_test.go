@@ -1,0 +1,340 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func testServer(t *testing.T) (*Server, *workload.Domain) {
+	t.Helper()
+	d, err := workload.Hiring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(d, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	return NewServer(sys, false), d
+}
+
+func do(t *testing.T, s *Server, method, path string, body any) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	var rdr *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rdr = bytes.NewReader(raw)
+	} else {
+		rdr = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rdr)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+func ingestSim(t *testing.T, s *Server, d *workload.Domain, traces int) *workload.SimResult {
+	t.Helper()
+	res := d.Simulate(workload.SimOptions{Seed: 3, Traces: traces, ViolationRate: 0.4, Visibility: 1.0})
+	var evs []eventJSON
+	for _, ev := range res.Events {
+		evs = append(evs, eventJSON{
+			Source: ev.Source, Type: ev.Type, AppID: ev.AppID,
+			Timestamp: ev.Timestamp, Payload: ev.Payload,
+		})
+	}
+	rec, body := do(t, s, http.MethodPost, "/events", evs)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rec.Code, body)
+	}
+	return res
+}
+
+func TestServerIngestAndCompliance(t *testing.T) {
+	s, d := testServer(t)
+	res := ingestSim(t, s, d, 10)
+
+	rec, body := do(t, s, http.MethodGet, "/compliance", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("compliance: %d %s", rec.Code, body)
+	}
+	var outcomes []outcomeJSON
+	if err := json.Unmarshal(body, &outcomes); err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 10*len(d.Controls) {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	// Verdicts agree with ground truth.
+	for _, o := range outcomes {
+		truth := res.Truth[o.AppID]
+		want := "satisfied"
+		if truth.Violation && truth.ControlID == o.Control {
+			want = "violated"
+		}
+		if o.Verdict != want {
+			t.Errorf("%s/%s verdict = %s, want %s", o.AppID, o.Control, o.Verdict, want)
+		}
+	}
+
+	// Single-trace query.
+	app := outcomes[0].AppID
+	rec, body = do(t, s, http.MethodGet, "/compliance?app="+app, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("compliance one: %d", rec.Code)
+	}
+	if err := json.Unmarshal(body, &outcomes); err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != len(d.Controls) {
+		t.Fatalf("one-trace outcomes = %d", len(outcomes))
+	}
+}
+
+func TestServerControlsCRUD(t *testing.T) {
+	s, d := testServer(t)
+	rec, body := do(t, s, http.MethodGet, "/controls", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list: %d", rec.Code)
+	}
+	var list []controlJSON
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != len(d.Controls) {
+		t.Fatalf("controls = %d", len(list))
+	}
+
+	newCtl := controlJSON{ID: "extra", Name: "Extra", Text: `
+definitions
+  set 'r' to a job requisition ;
+if 'r' exists then the internal control is satisfied ;
+`}
+	rec, body = do(t, s, http.MethodPost, "/controls", newCtl)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("deploy: %d %s", rec.Code, body)
+	}
+	var got controlJSON
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 1 || got.ID != "extra" {
+		t.Fatalf("deployed = %+v", got)
+	}
+
+	bad := controlJSON{ID: "bad", Text: "if nonsense"}
+	rec, _ = do(t, s, http.MethodPost, "/controls", bad)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad control status = %d", rec.Code)
+	}
+
+	rec, _ = do(t, s, http.MethodDelete, "/controls?id=extra", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	rec, _ = do(t, s, http.MethodDelete, "/controls?id=extra", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("double delete: %d", rec.Code)
+	}
+}
+
+func TestServerGraphAndRows(t *testing.T) {
+	s, d := testServer(t)
+	ingestSim(t, s, d, 3)
+	app := "hiring-000000"
+
+	rec, body := do(t, s, http.MethodGet, "/graph?app="+app, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("graph: %d %s", rec.Code, body)
+	}
+	var g graphJSON
+	if err := json.Unmarshal(body, &g); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) == 0 || len(g.Edges) == 0 {
+		t.Fatalf("graph empty: %d nodes, %d edges", len(g.Nodes), len(g.Edges))
+	}
+
+	rec, body = do(t, s, http.MethodGet, "/rows?app="+app, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rows: %d", rec.Code)
+	}
+	if !strings.Contains(string(body), "ps:jobRequisition") {
+		t.Fatalf("rows lack Table-1 XML: %s", body)
+	}
+
+	rec, _ = do(t, s, http.MethodGet, "/graph", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("graph without app: %d", rec.Code)
+	}
+}
+
+func TestServerQueryAndExplain(t *testing.T) {
+	s, d := testServer(t)
+	ingestSim(t, s, d, 5)
+
+	rec, body := do(t, s, http.MethodGet,
+		"/query?type=jobRequisition&field=reqID&value=REQ-hiring-000002", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec.Code, body)
+	}
+	var nodes []nodeJSON
+	if err := json.Unmarshal(body, &nodes); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].Type != "jobRequisition" {
+		t.Fatalf("query result = %v", nodes)
+	}
+
+	rec, body = do(t, s, http.MethodGet,
+		"/query?type=jobRequisition&field=reqID&value=x&explain=1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explain: %d", rec.Code)
+	}
+	if !strings.Contains(string(body), "IndexScan") {
+		t.Fatalf("explain = %s", body)
+	}
+
+	rec, _ = do(t, s, http.MethodGet, "/query?type=ghost", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad query status = %d", rec.Code)
+	}
+}
+
+func TestServerDashboardAndStats(t *testing.T) {
+	s, d := testServer(t)
+	ingestSim(t, s, d, 8)
+	if rec, body := do(t, s, http.MethodGet, "/compliance", nil); rec.Code != http.StatusOK {
+		t.Fatalf("compliance: %d %s", rec.Code, body)
+	}
+
+	rec, body := do(t, s, http.MethodGet, "/dashboard", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("dashboard: %d", rec.Code)
+	}
+	var kpis []map[string]any
+	if err := json.Unmarshal(body, &kpis); err != nil {
+		t.Fatal(err)
+	}
+	if len(kpis) != len(d.Controls) {
+		t.Fatalf("kpis = %d", len(kpis))
+	}
+
+	rec, body = do(t, s, http.MethodGet, "/violations?n=5", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("violations: %d", rec.Code)
+	}
+
+	rec, body = do(t, s, http.MethodGet, "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["domain"] != "hiring" {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+func TestServerMethodChecks(t *testing.T) {
+	s, _ := testServer(t)
+	if rec, _ := do(t, s, http.MethodGet, "/events", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /events = %d", rec.Code)
+	}
+	if rec, _ := do(t, s, http.MethodPut, "/controls", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT /controls = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/events", strings.NewReader("not json"))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad body = %d", rec.Code)
+	}
+}
+
+func TestServerGraphDOT(t *testing.T) {
+	s, d := testServer(t)
+	ingestSim(t, s, d, 2)
+	rec, body := do(t, s, http.MethodGet, "/graph.dot?app=hiring-000000", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("graph.dot: %d %s", rec.Code, body)
+	}
+	if !strings.Contains(string(body), "digraph provenance") {
+		t.Fatalf("dot body:\n%s", body)
+	}
+	if got := rec.Header().Get("Content-Type"); got != "text/vnd.graphviz" {
+		t.Errorf("content type = %q", got)
+	}
+	rec, _ = do(t, s, http.MethodGet, "/graph.dot", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("graph.dot without app: %d", rec.Code)
+	}
+}
+
+func TestServerReport(t *testing.T) {
+	s, d := testServer(t)
+	ingestSim(t, s, d, 10)
+	rec, body := do(t, s, http.MethodGet, "/report?findings=5", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("report: %d %s", rec.Code, body)
+	}
+	out := string(body)
+	for _, want := range []string{"COMPLIANCE AUDIT REPORT", "### control gm-approval", "satisfied"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if got := rec.Header().Get("Content-Type"); !strings.HasPrefix(got, "text/plain") {
+		t.Errorf("content type = %q", got)
+	}
+}
+
+func TestServerQueryOrder(t *testing.T) {
+	s, d := testServer(t)
+	ingestSim(t, s, d, 5)
+	rec, body := do(t, s, http.MethodGet,
+		"/query?type=jobRequisition&order=reqID&desc=1&limit=2", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ordered query: %d %s", rec.Code, body)
+	}
+	var nodes []nodeJSON
+	if err := json.Unmarshal(body, &nodes); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || nodes[0].Attrs["reqID"] < nodes[1].Attrs["reqID"] {
+		t.Fatalf("descending order broken: %v", nodes)
+	}
+}
+
+// TestServerConcurrentRequests exercises the HTTP layer under parallel
+// ingest, checks and queries; the race detector guards soundness.
+func TestServerConcurrentRequests(t *testing.T) {
+	s, d := testServer(t)
+	ingestSim(t, s, d, 10)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			do(t, s, http.MethodGet, "/compliance", nil)
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		do(t, s, http.MethodGet, "/dashboard", nil)
+		do(t, s, http.MethodGet, "/stats", nil)
+		do(t, s, http.MethodGet, "/query?type=jobRequisition", nil)
+	}
+	<-done
+}

@@ -1,0 +1,342 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Direction selects edge orientation relative to a node when traversing.
+type Direction int
+
+const (
+	// Out follows edges whose Source is the node.
+	Out Direction = iota
+	// In follows edges whose Target is the node.
+	In
+	// Both follows edges in either orientation.
+	Both
+)
+
+// String returns "out", "in" or "both".
+func (d Direction) String() string {
+	switch d {
+	case Out:
+		return "out"
+	case In:
+		return "in"
+	default:
+		return "both"
+	}
+}
+
+// Graph is an in-memory provenance graph: nodes keyed by ID with
+// adjacency lists for incoming and outgoing relation edges. Graph is not
+// safe for concurrent mutation; the store serializes access to it.
+type Graph struct {
+	nodes map[string]*Node
+	edges map[string]*Edge
+	out   map[string][]string // node ID -> edge IDs with Source == node
+	in    map[string][]string // node ID -> edge IDs with Target == node
+	// byApp indexes node IDs per trace so that per-trace queries (the
+	// common case: every control evaluation is trace-scoped) cost O(trace)
+	// rather than O(store).
+	byApp map[string][]string
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes: make(map[string]*Node),
+		edges: make(map[string]*Edge),
+		out:   make(map[string][]string),
+		in:    make(map[string][]string),
+		byApp: make(map[string][]string),
+	}
+}
+
+// NumNodes reports the number of nodes in the graph.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports the number of relation edges in the graph.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddNode inserts a node. It rejects invalid nodes and duplicate IDs
+// (record IDs are immutable once written to the provenance store).
+func (g *Graph) AddNode(n *Node) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	if _, ok := g.nodes[n.ID]; ok {
+		return fmt.Errorf("provenance: duplicate node ID %s", n.ID)
+	}
+	if _, ok := g.edges[n.ID]; ok {
+		return fmt.Errorf("provenance: node ID %s collides with an edge ID", n.ID)
+	}
+	g.nodes[n.ID] = n
+	g.byApp[n.AppID] = append(g.byApp[n.AppID], n.ID)
+	return nil
+}
+
+// UpdateNode replaces the stored node that shares n's ID. The class, type
+// and app ID must not change: a provenance record's identity is fixed, only
+// attribute enrichment is allowed.
+func (g *Graph) UpdateNode(n *Node) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	old, ok := g.nodes[n.ID]
+	if !ok {
+		return fmt.Errorf("provenance: update of unknown node %s", n.ID)
+	}
+	if old.Class != n.Class || old.Type != n.Type || old.AppID != n.AppID {
+		return fmt.Errorf("provenance: update of node %s changes identity (class/type/appID)", n.ID)
+	}
+	g.nodes[n.ID] = n
+	return nil
+}
+
+// AddEdge inserts a relation edge. Both endpoints must already exist and
+// belong to the same trace as the edge.
+func (g *Graph) AddEdge(e *Edge) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if _, ok := g.edges[e.ID]; ok {
+		return fmt.Errorf("provenance: duplicate edge ID %s", e.ID)
+	}
+	if _, ok := g.nodes[e.ID]; ok {
+		return fmt.Errorf("provenance: edge ID %s collides with a node ID", e.ID)
+	}
+	src, ok := g.nodes[e.Source]
+	if !ok {
+		return fmt.Errorf("provenance: edge %s references unknown source %s", e.ID, e.Source)
+	}
+	dst, ok := g.nodes[e.Target]
+	if !ok {
+		return fmt.Errorf("provenance: edge %s references unknown target %s", e.ID, e.Target)
+	}
+	if src.AppID != e.AppID || dst.AppID != e.AppID {
+		return fmt.Errorf("provenance: edge %s crosses traces (%s: %s -> %s: %s)",
+			e.ID, e.AppID, src.AppID, e.Target, dst.AppID)
+	}
+	g.edges[e.ID] = e
+	g.out[e.Source] = append(g.out[e.Source], e.ID)
+	g.in[e.Target] = append(g.in[e.Target], e.ID)
+	return nil
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id string) *Node { return g.nodes[id] }
+
+// Edge returns the edge with the given ID, or nil.
+func (g *Graph) Edge(id string) *Edge { return g.edges[id] }
+
+// HasEdge reports whether an edge of the given type exists between the two
+// nodes in the given orientation. This is the primitive the paper uses to
+// verify an internal control: "a business control point is satisfied if
+// certain vertices and edges exist in the provenance graph".
+func (g *Graph) HasEdge(source, edgeType, target string) bool {
+	for _, eid := range g.out[source] {
+		e := g.edges[eid]
+		if e.Type == edgeType && e.Target == target {
+			return true
+		}
+	}
+	return false
+}
+
+// Edges returns the edges touching the node in the given direction,
+// filtered by edge type when edgeType is non-empty. The result is a fresh
+// slice sorted by edge ID for determinism.
+func (g *Graph) Edges(nodeID string, dir Direction, edgeType string) []*Edge {
+	var ids []string
+	switch dir {
+	case Out:
+		ids = g.out[nodeID]
+	case In:
+		ids = g.in[nodeID]
+	default:
+		ids = append(append([]string(nil), g.out[nodeID]...), g.in[nodeID]...)
+	}
+	res := make([]*Edge, 0, len(ids))
+	for _, id := range ids {
+		e := g.edges[id]
+		if edgeType == "" || e.Type == edgeType {
+			res = append(res, e)
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
+	return res
+}
+
+// Neighbors returns the nodes reachable from nodeID over edges of the
+// given type and direction, sorted by node ID.
+func (g *Graph) Neighbors(nodeID string, dir Direction, edgeType string) []*Node {
+	var res []*Node
+	seen := make(map[string]bool)
+	add := func(id string) {
+		if !seen[id] {
+			seen[id] = true
+			res = append(res, g.nodes[id])
+		}
+	}
+	if dir == Out || dir == Both {
+		for _, eid := range g.out[nodeID] {
+			if e := g.edges[eid]; edgeType == "" || e.Type == edgeType {
+				add(e.Target)
+			}
+		}
+	}
+	if dir == In || dir == Both {
+		for _, eid := range g.in[nodeID] {
+			if e := g.edges[eid]; edgeType == "" || e.Type == edgeType {
+				add(e.Source)
+			}
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
+	return res
+}
+
+// Nodes returns all nodes matching the filter, sorted by ID. A zero-value
+// filter matches everything. Trace-scoped filters use the per-trace index
+// and cost O(trace size).
+func (g *Graph) Nodes(f NodeFilter) []*Node {
+	var res []*Node
+	if f.AppID != "" {
+		for _, id := range g.byApp[f.AppID] {
+			if n := g.nodes[id]; f.Matches(n) {
+				res = append(res, n)
+			}
+		}
+		sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
+		return res
+	}
+	for _, n := range g.nodes {
+		if f.Matches(n) {
+			res = append(res, n)
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
+	return res
+}
+
+// AllEdges returns all edges matching the filter, sorted by ID.
+func (g *Graph) AllEdges(f EdgeFilter) []*Edge {
+	var res []*Edge
+	for _, e := range g.edges {
+		if f.Matches(e) {
+			res = append(res, e)
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
+	return res
+}
+
+// NodeFilter selects nodes by class, type and/or trace. Empty fields match
+// any value.
+type NodeFilter struct {
+	Class Class
+	Type  string
+	AppID string
+}
+
+// Matches reports whether the node satisfies every set field.
+func (f NodeFilter) Matches(n *Node) bool {
+	if n == nil {
+		return false
+	}
+	if f.Class != ClassInvalid && n.Class != f.Class {
+		return false
+	}
+	if f.Type != "" && n.Type != f.Type {
+		return false
+	}
+	if f.AppID != "" && n.AppID != f.AppID {
+		return false
+	}
+	return true
+}
+
+// EdgeFilter selects edges by type and/or trace. Empty fields match any
+// value.
+type EdgeFilter struct {
+	Type  string
+	AppID string
+}
+
+// Matches reports whether the edge satisfies every set field.
+func (f EdgeFilter) Matches(e *Edge) bool {
+	if e == nil {
+		return false
+	}
+	if f.Type != "" && e.Type != f.Type {
+		return false
+	}
+	if f.AppID != "" && e.AppID != f.AppID {
+		return false
+	}
+	return true
+}
+
+// Trace extracts the subgraph of a single process execution trace: all
+// nodes and edges whose AppID matches. The returned graph shares record
+// pointers with g and must be treated as read-only.
+func (g *Graph) Trace(appID string) *Graph {
+	t := NewGraph()
+	for _, id := range g.byApp[appID] {
+		n := g.nodes[id]
+		t.nodes[n.ID] = n
+		t.byApp[appID] = append(t.byApp[appID], n.ID)
+	}
+	for _, e := range g.edges {
+		if e.AppID == appID {
+			t.edges[e.ID] = e
+			t.out[e.Source] = append(t.out[e.Source], e.ID)
+			t.in[e.Target] = append(t.in[e.Target], e.ID)
+		}
+	}
+	return t
+}
+
+// AppIDs returns the distinct trace identifiers present in the graph,
+// sorted lexicographically.
+func (g *Graph) AppIDs() []string {
+	// Every edge requires same-trace endpoints, so the node index covers
+	// all traces.
+	ids := make([]string, 0, len(g.byApp))
+	for id := range g.byApp {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Census summarizes a graph for tests and the experiment harness: node
+// counts per class and edge counts per type.
+type Census struct {
+	Nodes     int
+	Edges     int
+	ByClass   map[Class]int
+	ByType    map[string]int // node type -> count
+	EdgeTypes map[string]int // edge type -> count
+}
+
+// TakeCensus computes the census of the graph.
+func (g *Graph) TakeCensus() Census {
+	c := Census{
+		Nodes:     len(g.nodes),
+		Edges:     len(g.edges),
+		ByClass:   make(map[Class]int),
+		ByType:    make(map[string]int),
+		EdgeTypes: make(map[string]int),
+	}
+	for _, n := range g.nodes {
+		c.ByClass[n.Class]++
+		c.ByType[n.Type]++
+	}
+	for _, e := range g.edges {
+		c.EdgeTypes[e.Type]++
+	}
+	return c
+}

@@ -1,0 +1,221 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The paper states that "a business control point is a sub graph of the
+// provenance graph": the control is satisfied iff certain vertices and
+// edges exist. Pattern and Match implement that check directly: a Pattern
+// declares pattern vertices with predicates and pattern edges between
+// them; FindMatches enumerates the embeddings of the pattern in a trace.
+
+// Pattern is a small graph pattern to embed into a provenance graph.
+type Pattern struct {
+	vars  []string
+	nodes map[string]*PatternNode
+	edges []*PatternEdge
+}
+
+// PatternNode constrains one pattern vertex.
+type PatternNode struct {
+	// Var names the vertex within the pattern ("req", "approval").
+	Var string
+	// Class, Type restrict the candidate nodes; zero values match any.
+	Class Class
+	Type  string
+	// Where is an optional extra predicate on the candidate node.
+	Where func(*Node) bool
+}
+
+// PatternEdge requires an edge of the given type between two pattern
+// vertices.
+type PatternEdge struct {
+	From string // pattern var of the edge source
+	Type string
+	To   string // pattern var of the edge target
+}
+
+// NewPattern returns an empty pattern.
+func NewPattern() *Pattern {
+	return &Pattern{nodes: make(map[string]*PatternNode)}
+}
+
+// AddNode adds a pattern vertex. Duplicate vars are rejected.
+func (p *Pattern) AddNode(pn *PatternNode) error {
+	if pn == nil || pn.Var == "" {
+		return fmt.Errorf("provenance: pattern node with empty var")
+	}
+	if _, ok := p.nodes[pn.Var]; ok {
+		return fmt.Errorf("provenance: duplicate pattern var %s", pn.Var)
+	}
+	p.nodes[pn.Var] = pn
+	p.vars = append(p.vars, pn.Var)
+	return nil
+}
+
+// AddEdge adds a pattern edge. Both endpoints must be declared.
+func (p *Pattern) AddEdge(pe *PatternEdge) error {
+	if pe == nil || pe.Type == "" {
+		return fmt.Errorf("provenance: pattern edge with empty type")
+	}
+	if _, ok := p.nodes[pe.From]; !ok {
+		return fmt.Errorf("provenance: pattern edge from unknown var %s", pe.From)
+	}
+	if _, ok := p.nodes[pe.To]; !ok {
+		return fmt.Errorf("provenance: pattern edge to unknown var %s", pe.To)
+	}
+	p.edges = append(p.edges, pe)
+	return nil
+}
+
+// Binding maps pattern vars to the matched graph nodes.
+type Binding map[string]*Node
+
+// clone copies the binding so backtracking does not alias results.
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// FindMatches enumerates embeddings of the pattern in the graph, up to
+// limit results (limit <= 0 means unbounded). Matching is injective: two
+// pattern vars never bind the same graph node. The search assigns vars in
+// declaration order and prunes with the edge constraints incident to
+// already-bound vars, which keeps the common control-point patterns
+// (3-6 vertices) cheap.
+func (p *Pattern) FindMatches(g *Graph, appID string, limit int) []Binding {
+	if len(p.vars) == 0 {
+		return nil
+	}
+	var results []Binding
+	used := make(map[string]bool)
+	binding := make(Binding)
+
+	var assign func(i int) bool // returns true when the limit is reached
+	assign = func(i int) bool {
+		if i == len(p.vars) {
+			results = append(results, binding.clone())
+			return limit > 0 && len(results) >= limit
+		}
+		v := p.vars[i]
+		pn := p.nodes[v]
+		for _, cand := range p.candidates(g, appID, pn, binding) {
+			if used[cand.ID] {
+				continue
+			}
+			binding[v] = cand
+			if p.edgesSatisfied(g, binding) {
+				used[cand.ID] = true
+				done := assign(i + 1)
+				used[cand.ID] = false
+				if done {
+					delete(binding, v)
+					return true
+				}
+			}
+			delete(binding, v)
+		}
+		return false
+	}
+	assign(0)
+	return results
+}
+
+// Matches reports whether at least one embedding exists.
+func (p *Pattern) Matches(g *Graph, appID string) bool {
+	return len(p.FindMatches(g, appID, 1)) > 0
+}
+
+// candidates lists graph nodes that can bind the pattern vertex. When an
+// edge constraint connects the vertex to an already-bound var the search
+// space is the bound node's neighborhood instead of a class scan.
+func (p *Pattern) candidates(g *Graph, appID string, pn *PatternNode, bound Binding) []*Node {
+	ok := func(n *Node) bool {
+		if n == nil {
+			return false
+		}
+		if pn.Class != ClassInvalid && n.Class != pn.Class {
+			return false
+		}
+		if pn.Type != "" && n.Type != pn.Type {
+			return false
+		}
+		if appID != "" && n.AppID != appID {
+			return false
+		}
+		return pn.Where == nil || pn.Where(n)
+	}
+	// Prefer neighborhood enumeration via a constraint edge to a bound var.
+	for _, pe := range p.edges {
+		if pe.From == pn.Var {
+			if other, isBound := bound[pe.To]; isBound {
+				var res []*Node
+				for _, n := range g.Neighbors(other.ID, In, pe.Type) {
+					if ok(n) {
+						res = append(res, n)
+					}
+				}
+				return res
+			}
+		}
+		if pe.To == pn.Var {
+			if other, isBound := bound[pe.From]; isBound {
+				var res []*Node
+				for _, n := range g.Neighbors(other.ID, Out, pe.Type) {
+					if ok(n) {
+						res = append(res, n)
+					}
+				}
+				return res
+			}
+		}
+	}
+	var res []*Node
+	for _, n := range g.Nodes(NodeFilter{Class: pn.Class, Type: pn.Type, AppID: appID}) {
+		if ok(n) {
+			res = append(res, n)
+		}
+	}
+	return res
+}
+
+// edgesSatisfied checks every pattern edge whose endpoints are both bound.
+func (p *Pattern) edgesSatisfied(g *Graph, bound Binding) bool {
+	for _, pe := range p.edges {
+		from, okF := bound[pe.From]
+		to, okT := bound[pe.To]
+		if okF && okT && !g.HasEdge(from.ID, pe.Type, to.ID) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the declared pattern vars in declaration order.
+func (p *Pattern) Vars() []string { return append([]string(nil), p.vars...) }
+
+// NodeVar returns the declaration of one pattern var, or nil.
+func (p *Pattern) NodeVar(v string) *PatternNode { return p.nodes[v] }
+
+// String renders the pattern for diagnostics: vars sorted, then edges.
+func (p *Pattern) String() string {
+	vars := append([]string(nil), p.vars...)
+	sort.Strings(vars)
+	s := "pattern{"
+	for i, v := range vars {
+		if i > 0 {
+			s += ", "
+		}
+		pn := p.nodes[v]
+		s += fmt.Sprintf("%s:%s/%s", v, pn.Class, pn.Type)
+	}
+	for _, pe := range p.edges {
+		s += fmt.Sprintf("; %s -%s-> %s", pe.From, pe.Type, pe.To)
+	}
+	return s + "}"
+}

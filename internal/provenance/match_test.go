@@ -1,0 +1,255 @@
+package provenance
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// controlPattern is the paper's example control as a subgraph pattern:
+// a new-position job requisition with an approval and a submitter.
+func controlPattern(t testing.TB) *Pattern {
+	t.Helper()
+	p := NewPattern()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(p.AddNode(&PatternNode{Var: "req", Class: ClassData, Type: "jobRequisition",
+		Where: func(n *Node) bool { return n.Attr("positionType").Str() == "new" }}))
+	must(p.AddNode(&PatternNode{Var: "apprv", Class: ClassData, Type: "approvalStatus",
+		Where: func(n *Node) bool { return n.Attr("approved").BoolVal() }}))
+	must(p.AddNode(&PatternNode{Var: "hm", Class: ClassResource, Type: "person"}))
+	must(p.AddEdge(&PatternEdge{From: "apprv", Type: "approvalOf", To: "req"}))
+	must(p.AddEdge(&PatternEdge{From: "hm", Type: "submitterOf", To: "req"}))
+	return p
+}
+
+func TestPatternMatchesCompliantTrace(t *testing.T) {
+	g := NewGraph()
+	hiringTrace(t, g, "App01")
+	p := controlPattern(t)
+
+	matches := p.FindMatches(g, "App01", 0)
+	if len(matches) != 1 {
+		t.Fatalf("matches = %d, want 1", len(matches))
+	}
+	b := matches[0]
+	if b["req"].ID != "App01-req" || b["apprv"].ID != "App01-apprv" || b["hm"].ID != "App01-hm" {
+		t.Fatalf("binding = %v", b)
+	}
+	if !p.Matches(g, "App01") {
+		t.Error("Matches returned false")
+	}
+}
+
+func TestPatternRejectsViolatingTrace(t *testing.T) {
+	g := NewGraph()
+	hiringTrace(t, g, "App01")
+	// Remove the approval edge's effect by building a second trace without
+	// an approval node at all.
+	if err := g.AddNode(node("App02-req", "App02", ClassData, "jobRequisition",
+		map[string]Value{"positionType": String("new")})); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(node("App02-hm", "App02", ClassResource, "person", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(edge("App02-e1", "App02", "submitterOf", "App02-hm", "App02-req")); err != nil {
+		t.Fatal(err)
+	}
+	p := controlPattern(t)
+	if p.Matches(g, "App02") {
+		t.Error("pattern matched a trace with no approval")
+	}
+	// The compliant trace still matches; traces are isolated by appID.
+	if !p.Matches(g, "App01") {
+		t.Error("compliant trace stopped matching")
+	}
+}
+
+func TestPatternWherePredicate(t *testing.T) {
+	g := NewGraph()
+	hiringTrace(t, g, "App01")
+	// Flip the requisition to an existing position: the control pattern
+	// requires positionType == "new" so it must no longer match.
+	req := g.Node("App01-req").Clone()
+	req.SetAttr("positionType", String("existing"))
+	if err := g.UpdateNode(req); err != nil {
+		t.Fatal(err)
+	}
+	if controlPattern(t).Matches(g, "App01") {
+		t.Error("pattern matched despite failing Where predicate")
+	}
+}
+
+func TestPatternInjective(t *testing.T) {
+	// Two pattern vars of the same type must bind distinct nodes.
+	g := NewGraph()
+	if err := g.AddNode(node("a", "A", ClassData, "doc", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(node("b", "A", ClassData, "doc", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(edge("e", "A", "follows", "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPattern()
+	if err := p.AddNode(&PatternNode{Var: "x", Type: "doc"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddNode(&PatternNode{Var: "y", Type: "doc"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEdge(&PatternEdge{From: "x", Type: "follows", To: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	matches := p.FindMatches(g, "A", 0)
+	if len(matches) != 1 {
+		t.Fatalf("matches = %d, want exactly 1 (injective)", len(matches))
+	}
+	if matches[0]["x"].ID != "a" || matches[0]["y"].ID != "b" {
+		t.Fatalf("binding = %v", matches[0])
+	}
+}
+
+func TestPatternLimit(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 10; i++ {
+		if err := g.AddNode(node(fmt.Sprintf("n%d", i), "A", ClassData, "doc", nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := NewPattern()
+	if err := p.AddNode(&PatternNode{Var: "x", Type: "doc"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.FindMatches(g, "A", 3)); got != 3 {
+		t.Fatalf("limited matches = %d, want 3", got)
+	}
+	if got := len(p.FindMatches(g, "A", 0)); got != 10 {
+		t.Fatalf("unlimited matches = %d, want 10", got)
+	}
+}
+
+func TestPatternValidation(t *testing.T) {
+	p := NewPattern()
+	if err := p.AddNode(&PatternNode{}); err == nil {
+		t.Error("empty var accepted")
+	}
+	if err := p.AddNode(&PatternNode{Var: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddNode(&PatternNode{Var: "x"}); err == nil {
+		t.Error("duplicate var accepted")
+	}
+	if err := p.AddEdge(&PatternEdge{From: "x", Type: "t", To: "ghost"}); err == nil {
+		t.Error("edge to unknown var accepted")
+	}
+	if err := p.AddEdge(&PatternEdge{From: "ghost", Type: "t", To: "x"}); err == nil {
+		t.Error("edge from unknown var accepted")
+	}
+	if err := p.AddEdge(&PatternEdge{From: "x", To: "x"}); err == nil {
+		t.Error("edge with empty type accepted")
+	}
+	if got := len(NewPattern().FindMatches(NewGraph(), "", 0)); got != 0 {
+		t.Errorf("empty pattern matched %d times", got)
+	}
+}
+
+// Property-style randomized test: every binding returned by FindMatches
+// actually satisfies all node predicates and edge constraints, on random
+// graphs.
+func TestPatternMatchesAreSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		g := NewGraph()
+		nNodes := 5 + rng.Intn(15)
+		types := []string{"doc", "task", "person"}
+		classes := []Class{ClassData, ClassTask, ClassResource}
+		for i := 0; i < nNodes; i++ {
+			k := rng.Intn(3)
+			if err := g.AddNode(node(fmt.Sprintf("n%d", i), "A", classes[k], types[k], nil)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		edgeTypes := []string{"reads", "writes", "actor"}
+		nEdges := rng.Intn(2 * nNodes)
+		eid := 0
+		for i := 0; i < nEdges; i++ {
+			a, b := rng.Intn(nNodes), rng.Intn(nNodes)
+			if a == b {
+				continue
+			}
+			e := edge(fmt.Sprintf("e%d", eid), "A", edgeTypes[rng.Intn(3)],
+				fmt.Sprintf("n%d", a), fmt.Sprintf("n%d", b))
+			eid++
+			if err := g.AddEdge(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p := NewPattern()
+		if err := p.AddNode(&PatternNode{Var: "a", Type: types[rng.Intn(3)]}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddNode(&PatternNode{Var: "b"}); err != nil {
+			t.Fatal(err)
+		}
+		et := edgeTypes[rng.Intn(3)]
+		if err := p.AddEdge(&PatternEdge{From: "a", Type: et, To: "b"}); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range p.FindMatches(g, "A", 0) {
+			if m["a"].Type != p.nodes["a"].Type {
+				t.Fatalf("trial %d: node predicate violated: %v", trial, m["a"])
+			}
+			if !g.HasEdge(m["a"].ID, et, m["b"].ID) {
+				t.Fatalf("trial %d: edge constraint violated: %v -%s-> %v",
+					trial, m["a"].ID, et, m["b"].ID)
+			}
+			if m["a"].ID == m["b"].ID {
+				t.Fatalf("trial %d: injectivity violated", trial)
+			}
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := controlPattern(t)
+	s := p.String()
+	for _, want := range []string{"req:data/jobRequisition", "apprv", "submitterOf"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func BenchmarkPatternMatchHiring(b *testing.B) {
+	g := NewGraph()
+	for i := 0; i < 100; i++ {
+		hiringTrace(b, g, fmt.Sprintf("App%03d", i))
+	}
+	p := controlPattern(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.Matches(g, "App050") {
+			b.Fatal("no match")
+		}
+	}
+}

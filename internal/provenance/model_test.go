@@ -1,0 +1,212 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+)
+
+// HiringModel builds the provenance data model for the paper's example
+// process. Tests across packages reuse it via this exported helper-style
+// constructor (it lives in the test file's package here; the canonical
+// shared model lives in internal/workload).
+func hiringModel(t testing.TB) *Model {
+	t.Helper()
+	m := NewModel("hiring")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.AddType(&TypeDef{Name: "person", Class: ClassResource}))
+	must(m.AddField("person", &FieldDef{Name: "name", Kind: KindString}))
+	must(m.AddField("person", &FieldDef{Name: "email", Kind: KindString}))
+	must(m.AddField("person", &FieldDef{Name: "manager", Kind: KindString}))
+	must(m.AddField("person", &FieldDef{Name: "role", Kind: KindString}))
+	must(m.AddType(&TypeDef{Name: "submission", Class: ClassTask}))
+	must(m.AddField("submission", &FieldDef{Name: "start", Kind: KindTime}))
+	must(m.AddField("submission", &FieldDef{Name: "end", Kind: KindTime}))
+	must(m.AddType(&TypeDef{Name: "jobRequisition", Class: ClassData}))
+	must(m.AddField("jobRequisition", &FieldDef{Name: "reqID", Kind: KindString, Indexed: true}))
+	must(m.AddField("jobRequisition", &FieldDef{Name: "positionType", Kind: KindString}))
+	must(m.AddField("jobRequisition", &FieldDef{Name: "position", Kind: KindString}))
+	must(m.AddField("jobRequisition", &FieldDef{Name: "dept", Kind: KindString}))
+	must(m.AddType(&TypeDef{Name: "approvalStatus", Class: ClassData}))
+	must(m.AddField("approvalStatus", &FieldDef{Name: "approved", Kind: KindBool}))
+	must(m.AddField("approvalStatus", &FieldDef{Name: "reqID", Kind: KindString, Indexed: true}))
+	must(m.AddType(&TypeDef{Name: "controlPoint", Class: ClassCustom}))
+	must(m.AddField("controlPoint", &FieldDef{Name: "status", Kind: KindString}))
+	must(m.AddRelation(&RelationDef{Name: "submitterOf", SourceType: "person", TargetType: "jobRequisition"}))
+	must(m.AddRelation(&RelationDef{Name: "actor", SourceType: "person"}))
+	must(m.AddRelation(&RelationDef{Name: "approvalOf", SourceType: "approvalStatus", TargetType: "jobRequisition"}))
+	must(m.AddRelation(&RelationDef{Name: "nextTask"}))
+	return m
+}
+
+func TestModelDeclarations(t *testing.T) {
+	m := hiringModel(t)
+	if m.Type("jobRequisition") == nil {
+		t.Fatal("type lookup failed")
+	}
+	if m.Type("nope") != nil {
+		t.Fatal("lookup of unknown type succeeded")
+	}
+	if f := m.Type("jobRequisition").Field("reqID"); f == nil || f.Kind != KindString || !f.Indexed {
+		t.Fatalf("field decl wrong: %+v", f)
+	}
+	if r := m.Relation("submitterOf"); r == nil || r.TargetType != "jobRequisition" {
+		t.Fatalf("relation decl wrong: %+v", r)
+	}
+	types := m.Types()
+	if len(types) != 5 || types[0].Name != "person" {
+		t.Fatalf("Types() order wrong: %v", types)
+	}
+	rels := m.Relations()
+	if len(rels) != 4 || rels[0].Name != "submitterOf" {
+		t.Fatalf("Relations() order wrong: %v", rels)
+	}
+	fields := m.Type("person").Fields()
+	if len(fields) != 4 || fields[0].Name != "name" || fields[3].Name != "role" {
+		t.Fatalf("Fields() order wrong: %v", fields)
+	}
+}
+
+func TestModelRejectsBadDeclarations(t *testing.T) {
+	m := NewModel("t")
+	if err := m.AddType(&TypeDef{Name: "", Class: ClassData}); err == nil {
+		t.Error("empty type name accepted")
+	}
+	if err := m.AddType(&TypeDef{Name: "rel", Class: ClassRelation}); err == nil {
+		t.Error("relation-class node type accepted")
+	}
+	if err := m.AddType(&TypeDef{Name: "doc", Class: ClassData}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddType(&TypeDef{Name: "doc", Class: ClassData}); err == nil {
+		t.Error("duplicate type accepted")
+	}
+	if err := m.AddField("ghost", &FieldDef{Name: "f", Kind: KindString}); err == nil {
+		t.Error("field on unknown type accepted")
+	}
+	if err := m.AddField("doc", &FieldDef{Name: "", Kind: KindString}); err == nil {
+		t.Error("empty field name accepted")
+	}
+	if err := m.AddField("doc", &FieldDef{Name: "f"}); err == nil {
+		t.Error("field with invalid kind accepted")
+	}
+	if err := m.AddField("doc", &FieldDef{Name: "f", Kind: KindString}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddField("doc", &FieldDef{Name: "f", Kind: KindInt}); err == nil {
+		t.Error("duplicate field accepted")
+	}
+	if err := m.AddRelation(&RelationDef{Name: ""}); err == nil {
+		t.Error("empty relation name accepted")
+	}
+	if err := m.AddRelation(&RelationDef{Name: "r", SourceType: "ghost"}); err == nil {
+		t.Error("relation with unknown source type accepted")
+	}
+	if err := m.AddRelation(&RelationDef{Name: "r", TargetType: "ghost"}); err == nil {
+		t.Error("relation with unknown target type accepted")
+	}
+	if err := m.AddRelation(&RelationDef{Name: "r", SourceType: "doc"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddRelation(&RelationDef{Name: "r"}); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+}
+
+func TestModelCheckNode(t *testing.T) {
+	m := hiringModel(t)
+	good := node("n1", "App01", ClassData, "jobRequisition", map[string]Value{
+		"reqID": String("REQ001"), "positionType": String("new"),
+	})
+	if err := m.CheckNode(good); err != nil {
+		t.Fatalf("valid node rejected: %v", err)
+	}
+	// Missing attributes are fine: partial capture.
+	sparse := node("n2", "App01", ClassData, "jobRequisition", nil)
+	if err := m.CheckNode(sparse); err != nil {
+		t.Fatalf("sparse node rejected: %v", err)
+	}
+	undeclaredType := node("n3", "App01", ClassData, "invoice", nil)
+	if err := m.CheckNode(undeclaredType); err == nil {
+		t.Error("undeclared type accepted")
+	}
+	wrongClass := node("n4", "App01", ClassTask, "jobRequisition", nil)
+	if err := m.CheckNode(wrongClass); err == nil {
+		t.Error("class mismatch accepted")
+	}
+	undeclaredAttr := node("n5", "App01", ClassData, "jobRequisition", map[string]Value{
+		"salary": Int(90000),
+	})
+	if err := m.CheckNode(undeclaredAttr); err == nil {
+		t.Error("undeclared attribute accepted")
+	}
+	wrongKind := node("n6", "App01", ClassData, "jobRequisition", map[string]Value{
+		"reqID": Int(17),
+	})
+	if err := m.CheckNode(wrongKind); err == nil {
+		t.Error("attribute kind mismatch accepted")
+	}
+	absentAttr := node("n7", "App01", ClassData, "jobRequisition", map[string]Value{
+		"reqID": {},
+	})
+	if err := m.CheckNode(absentAttr); err != nil {
+		t.Errorf("absent attribute value rejected: %v", err)
+	}
+}
+
+func TestModelCheckEdge(t *testing.T) {
+	m := hiringModel(t)
+	person := node("p", "A", ClassResource, "person", nil)
+	req := node("r", "A", ClassData, "jobRequisition", nil)
+	task := node("t", "A", ClassTask, "submission", nil)
+
+	ok := edge("e1", "A", "submitterOf", "p", "r")
+	if err := m.CheckEdge(ok, person, req); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := m.CheckEdge(edge("e2", "A", "ghostRel", "p", "r"), person, req); err == nil {
+		t.Error("undeclared relation accepted")
+	}
+	if err := m.CheckEdge(edge("e3", "A", "submitterOf", "t", "r"), task, req); err == nil {
+		t.Error("wrong source type accepted")
+	}
+	if err := m.CheckEdge(edge("e4", "A", "submitterOf", "p", "t"), person, task); err == nil {
+		t.Error("wrong target type accepted")
+	}
+	// actor has unconstrained target: person -> task allowed.
+	if err := m.CheckEdge(edge("e5", "A", "actor", "p", "t"), person, task); err != nil {
+		t.Errorf("unconstrained target rejected: %v", err)
+	}
+	// nil endpoints skip endpoint checks (validation before graph insert).
+	if err := m.CheckEdge(ok, nil, nil); err != nil {
+		t.Errorf("nil endpoints rejected: %v", err)
+	}
+}
+
+func TestModelIndexedFields(t *testing.T) {
+	m := hiringModel(t)
+	idx := m.IndexedFields()
+	if len(idx) != 2 {
+		t.Fatalf("IndexedFields = %v, want 2 entries", idx)
+	}
+	if idx[0] != [2]string{"approvalStatus", "reqID"} || idx[1] != [2]string{"jobRequisition", "reqID"} {
+		t.Fatalf("IndexedFields = %v", idx)
+	}
+}
+
+func TestModelRelationsFrom(t *testing.T) {
+	m := hiringModel(t)
+	rels := m.RelationsFrom("person")
+	var names []string
+	for _, r := range rels {
+		names = append(names, r.Name)
+	}
+	joined := strings.Join(names, ",")
+	if joined != "submitterOf,actor,nextTask" {
+		t.Fatalf("RelationsFrom(person) = %s", joined)
+	}
+}

@@ -1,0 +1,103 @@
+package rules
+
+import (
+	"sort"
+
+	"repro/internal/provenance"
+)
+
+// Evaluate runs the control on one trace of the graph. The graph is read
+// under the caller's synchronization (typically store.View).
+//
+// Evaluation order follows the paper's rule structure:
+//
+//  1. Definitions bind, in order. A binder that matches no record makes
+//     the control NotApplicable — its subject is absent from the trace.
+//  2. The if-condition evaluates in three-valued logic. Unknown (a needed
+//     attribute was never captured) yields Indeterminate.
+//  3. True runs the then-actions, false the else-actions. The executed
+//     branch's status action decides Satisfied/Violated; a branch without
+//     one defaults to Satisfied for then and Violated for else.
+func (c *Control) Evaluate(g *provenance.Graph, appID string) *Result {
+	ev := &evalCtx{g: g, appID: appID, vars: make(map[string]*binding)}
+	res := &Result{AppID: appID, Bindings: make(map[string][]string)}
+
+	for _, d := range c.defs {
+		b, applicable := c.bindDef(ev, d)
+		if !applicable {
+			res.Verdict = NotApplicable
+			ev.note("no %s in trace %s for '%s'", d.binder.class.Name, appID, d.name)
+			res.Notes = ev.notes
+			return res
+		}
+		ev.vars[d.name] = b
+		if d.typ.isNode {
+			ids := make([]string, 0, len(b.nodes))
+			for _, n := range b.nodes {
+				ids = append(ids, n.ID)
+			}
+			res.Bindings[d.name] = ids
+		}
+	}
+
+	switch c.cond(ev) {
+	case triTrue:
+		res.Verdict = Satisfied // default when then has no status action
+		for _, a := range c.then {
+			a(ev, res)
+		}
+	case triFalse:
+		res.Verdict = Violated // default when else has no status action
+		for _, a := range c.els {
+			a(ev, res)
+		}
+	default:
+		res.Verdict = Indeterminate
+	}
+	res.Notes = ev.notes
+	return res
+}
+
+// bindDef computes one definition binding. The second result is false when
+// a binder matched nothing (NotApplicable).
+func (c *Control) bindDef(ev *evalCtx, d compiledDef) (*binding, bool) {
+	if d.binder != nil {
+		var matched []*provenance.Node
+		candidates := ev.g.Nodes(provenance.NodeFilter{
+			Type:  d.binder.class.Name,
+			AppID: ev.appID,
+		})
+		for _, cand := range candidates {
+			if d.binder.where == nil {
+				matched = append(matched, cand)
+				continue
+			}
+			ev.this = cand
+			verdict := d.binder.where(ev)
+			ev.this = nil
+			if verdict == triTrue {
+				matched = append(matched, cand)
+			}
+		}
+		if len(matched) == 0 {
+			return nil, false
+		}
+		sort.Slice(matched, func(i, j int) bool { return matched[i].ID < matched[j].ID })
+		return &binding{typ: d.typ, nodes: matched}, true
+	}
+	if d.typ.isNode {
+		return &binding{typ: d.typ, nodes: d.expr.nodes(ev)}, true
+	}
+	return &binding{typ: d.typ, val: d.expr.value(ev)}, true
+}
+
+// EvaluateAll runs the control on every trace in the graph, sorted by
+// trace ID.
+func (c *Control) EvaluateAll(g *provenance.Graph) []*Result {
+	ids := g.AppIDs()
+	out := make([]*Result, 0, len(ids))
+	for _, app := range ids {
+		out = append(out, c.Evaluate(g, app))
+	}
+	return out
+}

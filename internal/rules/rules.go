@@ -1,0 +1,212 @@
+// Package rules compiles Business Action Language rule texts against the
+// BOM-to-XOM mapping into executable internal controls, and evaluates them
+// over provenance traces.
+//
+// This is the integration Section III of the paper describes: "linking the
+// internal controls to the provenance graph is done automatically ...
+// since the phrases used to express internal controls are linked to the
+// members of the java classes that represent the data model of the
+// provenance graph". Compilation resolves every business phrase to an XOM
+// member (attribute getter, method, or relation navigation) using the
+// vocabulary; evaluation walks the trace subgraph.
+//
+// Evaluation is three-valued (design decision D1): comparisons over
+// attributes that were never captured yield Unknown rather than false, so
+// a partially managed process produces Indeterminate verdicts instead of
+// false alarms. Whether a *record or edge* exists, however, is a definite
+// question — the paper defines a control as satisfied "if the edges
+// specified in the definition of internal control point exist" — so
+// exists/is-null tests on navigations answer definitely.
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/bal"
+	"repro/internal/bom"
+	"repro/internal/provenance"
+	"repro/internal/xom"
+)
+
+// Verdict is the outcome of evaluating a control on one trace.
+type Verdict int
+
+const (
+	// Satisfied: the condition held and the then-branch declared success,
+	// or the condition failed and the else-branch declared success.
+	Satisfied Verdict = iota + 1
+	// Violated: the executed branch declared the control not satisfied.
+	Violated
+	// Indeterminate: the condition could not be decided because a value it
+	// needs was never captured.
+	Indeterminate
+	// NotApplicable: a definition binder matched no record in the trace,
+	// so the control's subject is absent.
+	NotApplicable
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Satisfied:
+		return "satisfied"
+	case Violated:
+		return "violated"
+	case Indeterminate:
+		return "indeterminate"
+	case NotApplicable:
+		return "not-applicable"
+	default:
+		return "invalid"
+	}
+}
+
+// Definite reports whether the verdict is a definite compliance statement.
+func (v Verdict) Definite() bool { return v == Satisfied || v == Violated }
+
+// Result is the outcome of one evaluation.
+type Result struct {
+	// AppID is the evaluated trace.
+	AppID string
+	// Verdict is the control outcome.
+	Verdict Verdict
+	// Alerts collects messages from executed alert actions.
+	Alerts []string
+	// Bindings maps each definition variable to the IDs of the nodes it
+	// bound (node-typed variables only) — the sub-graph the control point
+	// links to (Fig 2 of the paper).
+	Bindings map[string][]string
+	// Notes explains Indeterminate/NotApplicable verdicts: which variable
+	// bound nothing, which attribute was missing.
+	Notes []string
+}
+
+// tri is Kleene three-valued logic.
+type tri int8
+
+const (
+	triFalse tri = iota
+	triTrue
+	triUnknown
+)
+
+func (t tri) not() tri {
+	switch t {
+	case triTrue:
+		return triFalse
+	case triFalse:
+		return triTrue
+	default:
+		return triUnknown
+	}
+}
+
+func triAnd(a, b tri) tri {
+	if a == triFalse || b == triFalse {
+		return triFalse
+	}
+	if a == triTrue && b == triTrue {
+		return triTrue
+	}
+	return triUnknown
+}
+
+func triOr(a, b tri) tri {
+	if a == triTrue || b == triTrue {
+		return triTrue
+	}
+	if a == triFalse && b == triFalse {
+		return triFalse
+	}
+	return triUnknown
+}
+
+// exprType is the static type of a compiled expression: either a set of
+// nodes of a known class, or a scalar value of a known kind.
+type exprType struct {
+	isNode bool
+	class  *xom.Class      // set when isNode (nil = class statically unknown)
+	kind   provenance.Kind // set when !isNode
+}
+
+func (t exprType) describe() string {
+	if t.isNode {
+		if t.class == nil {
+			return "node"
+		}
+		return "node<" + t.class.Name + ">"
+	}
+	return t.kind.String()
+}
+
+// evalCtx carries evaluation state for one trace.
+type evalCtx struct {
+	g     *provenance.Graph
+	appID string
+	vars  map[string]*binding
+	this  *provenance.Node
+	notes []string
+}
+
+func (ev *evalCtx) note(format string, args ...any) {
+	ev.notes = append(ev.notes, fmt.Sprintf(format, args...))
+}
+
+// binding is a runtime variable value.
+type binding struct {
+	typ   exprType
+	nodes []*provenance.Node
+	val   provenance.Value
+}
+
+// compiledExpr evaluates to nodes or a value depending on its type.
+type compiledExpr struct {
+	typ exprType
+	// nodes is set when typ.isNode.
+	nodes func(ev *evalCtx) []*provenance.Node
+	// value is set when !typ.isNode. A zero Value means unknown/absent.
+	value func(ev *evalCtx) provenance.Value
+}
+
+type compiledCond func(ev *evalCtx) tri
+
+type compiledAction func(ev *evalCtx, res *Result)
+
+// compiledDef binds one definition variable.
+type compiledDef struct {
+	name   string
+	typ    exprType
+	binder *compiledBinder // set for "a <concept>" definitions
+	expr   *compiledExpr   // set for expression definitions
+}
+
+type compiledBinder struct {
+	class *xom.Class
+	where compiledCond // nil = unconstrained
+}
+
+// Control is a compiled internal control, ready to evaluate on traces.
+type Control struct {
+	text  string
+	rt    *bal.RuleText
+	defs  []compiledDef
+	cond  compiledCond
+	then  []compiledAction
+	els   []compiledAction
+	vocab *bom.Vocabulary
+}
+
+// Text returns the original rule text.
+func (c *Control) Text() string { return c.text }
+
+// NodeVars lists the definition variables that bind nodes, in definition
+// order; control deployment links the control-point custom node to them.
+func (c *Control) NodeVars() []string {
+	var out []string
+	for _, d := range c.defs {
+		if d.typ.isNode {
+			out = append(out, d.name)
+		}
+	}
+	return out
+}

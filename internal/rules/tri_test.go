@@ -1,0 +1,71 @@
+package rules
+
+import "testing"
+
+// TestKleeneTables verifies the three-valued connectives exhaustively
+// against Kleene's strong logic, which design decision D1 relies on.
+func TestKleeneTables(t *testing.T) {
+	F, T, U := triFalse, triTrue, triUnknown
+	andTable := map[[2]tri]tri{
+		{F, F}: F, {F, T}: F, {F, U}: F,
+		{T, F}: F, {T, T}: T, {T, U}: U,
+		{U, F}: F, {U, T}: U, {U, U}: U,
+	}
+	orTable := map[[2]tri]tri{
+		{F, F}: F, {F, T}: T, {F, U}: U,
+		{T, F}: T, {T, T}: T, {T, U}: T,
+		{U, F}: U, {U, T}: T, {U, U}: U,
+	}
+	notTable := map[tri]tri{F: T, T: F, U: U}
+	for in, want := range andTable {
+		if got := triAnd(in[0], in[1]); got != want {
+			t.Errorf("and(%d,%d) = %d, want %d", in[0], in[1], got, want)
+		}
+	}
+	for in, want := range orTable {
+		if got := triOr(in[0], in[1]); got != want {
+			t.Errorf("or(%d,%d) = %d, want %d", in[0], in[1], got, want)
+		}
+	}
+	for in, want := range notTable {
+		if got := in.not(); got != want {
+			t.Errorf("not(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestKleeneLaws checks De Morgan and double negation over all inputs.
+func TestKleeneLaws(t *testing.T) {
+	vals := []tri{triFalse, triTrue, triUnknown}
+	for _, a := range vals {
+		if a.not().not() != a {
+			t.Errorf("double negation broken for %d", a)
+		}
+		for _, b := range vals {
+			// not(a and b) == not a or not b
+			if triAnd(a, b).not() != triOr(a.not(), b.not()) {
+				t.Errorf("De Morgan (and) broken for %d,%d", a, b)
+			}
+			// not(a or b) == not a and not b
+			if triOr(a, b).not() != triAnd(a.not(), b.not()) {
+				t.Errorf("De Morgan (or) broken for %d,%d", a, b)
+			}
+			// commutativity
+			if triAnd(a, b) != triAnd(b, a) || triOr(a, b) != triOr(b, a) {
+				t.Errorf("commutativity broken for %d,%d", a, b)
+			}
+			for _, c := range vals {
+				if triAnd(a, triAnd(b, c)) != triAnd(triAnd(a, b), c) {
+					t.Errorf("and associativity broken for %d,%d,%d", a, b, c)
+				}
+				if triOr(a, triOr(b, c)) != triOr(triOr(a, b), c) {
+					t.Errorf("or associativity broken for %d,%d,%d", a, b, c)
+				}
+				// distributivity: a and (b or c) == (a and b) or (a and c)
+				if triAnd(a, triOr(b, c)) != triOr(triAnd(a, b), triAnd(a, c)) {
+					t.Errorf("distributivity broken for %d,%d,%d", a, b, c)
+				}
+			}
+		}
+	}
+}

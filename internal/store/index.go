@@ -1,0 +1,100 @@
+package store
+
+import (
+	"sort"
+
+	"repro/internal/provenance"
+)
+
+// indexSet maintains the secondary attribute indexes declared by the data
+// model (FieldDef.Indexed): for each (node type, field) pair, a map from
+// value key to the sorted set of node IDs carrying that value. Definition
+// binding in the rule engine hits these indexes instead of scanning
+// (design decision D4 in DESIGN.md).
+type indexSet struct {
+	byField map[indexKey]map[string][]string // (type, field) -> value key -> node IDs
+}
+
+type indexKey struct {
+	typ   string
+	field string
+}
+
+func newIndexSet() *indexSet {
+	return &indexSet{byField: make(map[indexKey]map[string][]string)}
+}
+
+// declare creates an empty index for (type, field).
+func (x *indexSet) declare(typ, field string) {
+	k := indexKey{typ, field}
+	if _, ok := x.byField[k]; !ok {
+		x.byField[k] = make(map[string][]string)
+	}
+}
+
+// add indexes every indexed attribute the node carries.
+func (x *indexSet) add(n *provenance.Node) {
+	if n == nil {
+		return
+	}
+	for field, v := range n.Attrs {
+		if v.IsZero() {
+			continue
+		}
+		k := indexKey{n.Type, field}
+		bucket, ok := x.byField[k]
+		if !ok {
+			continue
+		}
+		ids := bucket[v.Key()]
+		pos := sort.SearchStrings(ids, n.ID)
+		if pos < len(ids) && ids[pos] == n.ID {
+			continue
+		}
+		ids = append(ids, "")
+		copy(ids[pos+1:], ids[pos:])
+		ids[pos] = n.ID
+		bucket[v.Key()] = ids
+	}
+}
+
+// remove unindexes the node's attributes (used before re-adding on update).
+func (x *indexSet) remove(n *provenance.Node) {
+	if n == nil {
+		return
+	}
+	for field, v := range n.Attrs {
+		if v.IsZero() {
+			continue
+		}
+		k := indexKey{n.Type, field}
+		bucket, ok := x.byField[k]
+		if !ok {
+			continue
+		}
+		ids := bucket[v.Key()]
+		pos := sort.SearchStrings(ids, n.ID)
+		if pos < len(ids) && ids[pos] == n.ID {
+			ids = append(ids[:pos], ids[pos+1:]...)
+			if len(ids) == 0 {
+				delete(bucket, v.Key())
+			} else {
+				bucket[v.Key()] = ids
+			}
+		}
+	}
+}
+
+// lookup returns the IDs indexed under (type, field, value) and whether an
+// index exists for the pair. The returned slice is a copy.
+func (x *indexSet) lookup(typ, field string, v provenance.Value) ([]string, bool) {
+	bucket, ok := x.byField[indexKey{typ, field}]
+	if !ok {
+		return nil, false
+	}
+	ids := bucket[v.Key()]
+	return append([]string(nil), ids...), true
+}
+
+// size reports the number of declared indexes.
+func (x *indexSet) size() int { return len(x.byField) }

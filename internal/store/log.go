@@ -1,0 +1,237 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The disk log is a sequence of frames following an 8-byte magic header.
+// Each frame is:
+//
+//	uint32 length of payload (little endian)
+//	uint32 CRC-32 (IEEE) of payload
+//	payload bytes
+//
+// A payload is one log entry: a one-byte opcode followed by the four
+// length-prefixed row columns (ID, CLASS, APPID, XML). Torn or corrupt
+// tails are detected by the CRC/length checks and truncated on recovery,
+// so a crash mid-append loses at most the record being written.
+
+const logMagic = "PROVLOG1"
+
+// opcode identifies the mutation a log entry carries.
+type opcode byte
+
+const (
+	opPutNode opcode = iota + 1
+	opPutEdge
+	opUpdateNode
+)
+
+var errTornFrame = errors.New("store: torn or corrupt log frame")
+
+// entry is one decoded log record.
+type entry struct {
+	op  opcode
+	row Row
+}
+
+func encodeEntry(e entry) []byte {
+	cols := [4]string{e.row.ID, e.row.Class, e.row.AppID, e.row.XML}
+	size := 1
+	for _, c := range cols {
+		size += 4 + len(c)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(e.op))
+	for _, c := range cols {
+		var lenb [4]byte
+		binary.LittleEndian.PutUint32(lenb[:], uint32(len(c)))
+		buf = append(buf, lenb[:]...)
+		buf = append(buf, c...)
+	}
+	return buf
+}
+
+func decodeEntry(payload []byte) (entry, error) {
+	if len(payload) < 1 {
+		return entry{}, fmt.Errorf("store: empty log payload")
+	}
+	e := entry{op: opcode(payload[0])}
+	if e.op != opPutNode && e.op != opPutEdge && e.op != opUpdateNode {
+		return entry{}, fmt.Errorf("store: unknown log opcode %d", payload[0])
+	}
+	rest := payload[1:]
+	var cols [4]string
+	for i := range cols {
+		if len(rest) < 4 {
+			return entry{}, fmt.Errorf("store: truncated log payload")
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if uint32(len(rest)) < n {
+			return entry{}, fmt.Errorf("store: truncated log column")
+		}
+		cols[i] = string(rest[:n])
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return entry{}, fmt.Errorf("store: %d trailing bytes in log payload", len(rest))
+	}
+	e.row = Row{ID: cols[0], Class: cols[1], AppID: cols[2], XML: cols[3]}
+	return e, nil
+}
+
+// logWriter appends frames to the log file.
+type logWriter struct {
+	f   *os.File
+	buf *bufio.Writer
+	// sync forces an fsync after every append when true.
+	sync bool
+}
+
+func createOrOpenLog(path string, sync bool) (*logWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write([]byte(logMagic)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &logWriter{f: f, buf: bufio.NewWriter(f), sync: sync}, nil
+}
+
+func (w *logWriter) append(e entry) error {
+	payload := encodeEntry(e)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.buf.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.buf.Write(payload); err != nil {
+		return err
+	}
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *logWriter) close() error {
+	if err := w.buf.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replayLog reads every intact entry from the log file at path. When the
+// tail is torn or corrupt it truncates the file to the last intact frame
+// and reports how many bytes were dropped. A missing file replays nothing.
+func replayLog(path string, apply func(entry) error) (dropped int64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(logMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		if err == io.EOF {
+			return 0, nil // empty file: nothing to replay
+		}
+		return 0, fmt.Errorf("store: reading log header: %v", err)
+	}
+	if string(magic) != logMagic {
+		return 0, fmt.Errorf("store: %s is not a provenance log (bad magic)", path)
+	}
+
+	good := int64(len(logMagic))
+	for {
+		e, frameLen, rerr := readFrame(r)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			// Torn tail: truncate to the last intact frame.
+			st, serr := f.Stat()
+			if serr != nil {
+				return 0, serr
+			}
+			dropped = st.Size() - good
+			f.Close()
+			if terr := os.Truncate(path, good); terr != nil {
+				return dropped, fmt.Errorf("store: truncating torn log: %v", terr)
+			}
+			return dropped, nil
+		}
+		if aerr := apply(e); aerr != nil {
+			return 0, fmt.Errorf("store: replaying %s: %v", path, aerr)
+		}
+		good += frameLen
+	}
+	return 0, nil
+}
+
+// readFrame reads one frame. io.EOF means a clean end; any other error
+// means a torn or corrupt frame.
+func readFrame(r *bufio.Reader) (entry, int64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return entry{}, 0, io.EOF
+		}
+		return entry{}, 0, errTornFrame
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	const maxFrame = 64 << 20 // defensive bound against garbage lengths
+	if n == 0 || n > maxFrame {
+		return entry{}, 0, errTornFrame
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return entry{}, 0, errTornFrame
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return entry{}, 0, errTornFrame
+	}
+	e, err := decodeEntry(payload)
+	if err != nil {
+		return entry{}, 0, errTornFrame
+	}
+	return e, int64(8 + n), nil
+}
+
+// logPath returns the log file path inside dir.
+func logPath(dir string) string { return filepath.Join(dir, "provenance.log") }

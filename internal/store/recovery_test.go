@@ -1,0 +1,186 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/provenance"
+)
+
+// applyRandomOps drives a store with a random but valid operation
+// sequence, returning the IDs created. The same rng seed reproduces the
+// same sequence.
+func applyRandomOps(t *testing.T, s *Store, rng *rand.Rand, prefix string, ops int) {
+	t.Helper()
+	var nodes []string
+	for i := 0; i < ops; i++ {
+		switch {
+		case len(nodes) < 2 || rng.Intn(10) < 5:
+			id := fmt.Sprintf("%sn%d", prefix, len(nodes))
+			app := fmt.Sprintf("A%d", rng.Intn(3))
+			n := mkReq(id, app, fmt.Sprintf("REQ%d", rng.Intn(50)))
+			if err := s.PutNode(n); err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, id)
+		case rng.Intn(10) < 7:
+			id := nodes[rng.Intn(len(nodes))]
+			old := s.Node(id)
+			upd := mkReq(id, old.AppID, fmt.Sprintf("REQ%d", rng.Intn(50)))
+			if err := s.UpdateNode(upd); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			a := s.Node(nodes[rng.Intn(len(nodes))])
+			b := s.Node(nodes[rng.Intn(len(nodes))])
+			if a.ID == b.ID || a.AppID != b.AppID {
+				continue
+			}
+			// The test model's submitterOf requires person->jobRequisition;
+			// use SkipValidation-free edges only when types allow. All our
+			// nodes are requisitions, so declare a free-form relation in
+			// the model instead (see recoveryModel).
+			e := &provenance.Edge{
+				ID: fmt.Sprintf("%se%d", prefix, i), Type: "relatedTo",
+				AppID: a.AppID, Source: a.ID, Target: b.ID,
+			}
+			if err := s.PutEdge(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func recoveryModel(t testing.TB) *provenance.Model {
+	t.Helper()
+	m := testModel(t)
+	if err := m.AddRelation(&provenance.RelationDef{Name: "relatedTo"}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// snapshotState captures the full observable state of a store.
+func snapshotState(t *testing.T, s *Store) map[string]string {
+	t.Helper()
+	state := make(map[string]string)
+	err := s.View(func(g *provenance.Graph) error {
+		for _, app := range g.AppIDs() {
+			for _, n := range g.Nodes(provenance.NodeFilter{AppID: app}) {
+				state["node:"+n.ID] = n.String()
+			}
+			for _, e := range g.AllEdges(provenance.EdgeFilter{AppID: app}) {
+				state["edge:"+e.ID] = e.String()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return state
+}
+
+// TestRecoveryEquivalenceProperty: for random operation sequences, closing
+// and reopening the store reproduces exactly the same observable state —
+// including after a compaction in the middle.
+func TestRecoveryEquivalenceProperty(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			dir := t.TempDir()
+			m := recoveryModel(t)
+			s, err := Open(Options{Dir: dir, Model: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(trial)))
+			applyRandomOps(t, s, rng, "p1-", 100)
+			if trial%2 == 0 {
+				if err := s.Compact(); err != nil {
+					t.Fatal(err)
+				}
+				applyRandomOps(t, s, rng, "p2-", 20)
+			}
+			want := snapshotState(t, s)
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			s2, err := Open(Options{Dir: dir, Model: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			got := snapshotState(t, s2)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("state diverged after recovery:\nwant %d entries, got %d",
+					len(want), len(got))
+			}
+		})
+	}
+}
+
+// TestCrashAtEveryByteOffset truncates the log at many offsets and checks
+// the store always recovers to a valid prefix without errors — the
+// at-most-one-record-lost guarantee.
+func TestCrashAtEveryByteOffset(t *testing.T) {
+	dir := t.TempDir()
+	m := recoveryModel(t)
+	s, err := Open(Options{Dir: dir, Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.PutNode(mkReq(fmt.Sprintf("n%d", i), "A", fmt.Sprintf("REQ%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sample offsets densely: every 7 bytes plus the exact end.
+	offsets := []int{}
+	for cut := len(logMagic); cut < len(full); cut += 7 {
+		offsets = append(offsets, cut)
+	}
+	offsets = append(offsets, len(full))
+	var lastNodes = -1
+	for _, cut := range offsets {
+		crashDir := t.TempDir()
+		if err := os.WriteFile(logPath(crashDir), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(Options{Dir: crashDir, Model: recoveryModel(t)})
+		if err != nil {
+			t.Fatalf("cut at %d: recovery failed: %v", cut, err)
+		}
+		nodes := s2.Stats().Nodes
+		if nodes < 0 || nodes > 10 {
+			t.Fatalf("cut at %d: %d nodes", cut, nodes)
+		}
+		// Recovered prefixes must be monotone in the cut position.
+		if nodes < lastNodes {
+			t.Fatalf("cut at %d: nodes went backwards (%d -> %d)", cut, lastNodes, nodes)
+		}
+		lastNodes = nodes
+		// The store remains writable after any crash point.
+		if err := s2.PutNode(mkReq("fresh", "A", "REQX")); err != nil {
+			t.Fatalf("cut at %d: post-recovery write failed: %v", cut, err)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lastNodes != 10 {
+		t.Fatalf("full log recovered %d nodes, want 10", lastNodes)
+	}
+}

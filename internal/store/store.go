@@ -1,0 +1,414 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/provenance"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the directory holding the disk log. Empty means a purely
+	// in-memory store (used by tests and short-lived analyses).
+	Dir string
+	// Model is the provenance data model records are validated against.
+	// Required unless SkipValidation is set.
+	Model *provenance.Model
+	// Sync forces an fsync after every append. Off by default: the
+	// recorder clients of the paper tolerate losing the in-flight event on
+	// a crash, and group-commit durability is not the paper's topic.
+	Sync bool
+	// SkipValidation disables model checking of incoming records.
+	SkipValidation bool
+	// DisableIndexes turns off secondary attribute indexes; lookups fall
+	// back to scans. Exists for the index ablation (experiment E5).
+	DisableIndexes bool
+}
+
+// Store is the provenance store: the append-only row log, the in-memory
+// provenance graph, secondary indexes, and the change feed.
+type Store struct {
+	opts Options
+
+	mu     sync.RWMutex
+	graph  *provenance.Graph
+	rows   map[string]Row // record ID -> current row
+	idx    *indexSet
+	seq    uint64
+	closed bool
+
+	logMu sync.Mutex // serializes log appends and compaction
+	log   *logWriter
+
+	subMu   sync.Mutex
+	subs    map[int]*Subscription
+	nextSub int
+}
+
+// Open opens (or creates) a store. When opts.Dir is non-empty the existing
+// log is replayed; a torn tail is truncated silently, matching the
+// at-most-one-record loss the log format guarantees.
+func Open(opts Options) (*Store, error) {
+	if opts.Model == nil && !opts.SkipValidation {
+		return nil, fmt.Errorf("store: Options.Model is required")
+	}
+	s := &Store{
+		opts:  opts,
+		graph: provenance.NewGraph(),
+		rows:  make(map[string]Row),
+		idx:   newIndexSet(),
+		subs:  make(map[int]*Subscription),
+	}
+	if opts.Model != nil && !opts.DisableIndexes {
+		for _, tf := range opts.Model.IndexedFields() {
+			s.idx.declare(tf[0], tf[1])
+		}
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %v", err)
+		}
+		if _, err := replayLog(logPath(opts.Dir), func(e entry) error {
+			return s.applyEntry(e, false)
+		}); err != nil {
+			return nil, err
+		}
+		w, err := createOrOpenLog(logPath(opts.Dir), opts.Sync)
+		if err != nil {
+			return nil, fmt.Errorf("store: %v", err)
+		}
+		s.log = w
+	}
+	return s, nil
+}
+
+// Close flushes the log and stops every subscription.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.subMu.Lock()
+	for _, sub := range s.subs {
+		sub.stop()
+	}
+	s.subs = map[int]*Subscription{}
+	s.subMu.Unlock()
+
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.log != nil {
+		return s.log.close()
+	}
+	return nil
+}
+
+// PutNode validates, persists and indexes a new node record, then notifies
+// the change feed.
+func (s *Store) PutNode(n *provenance.Node) error {
+	if err := s.checkNode(n); err != nil {
+		return err
+	}
+	row, err := EncodeNode(n)
+	if err != nil {
+		return err
+	}
+	return s.commit(entry{op: opPutNode, row: row})
+}
+
+// UpdateNode replaces an existing node's attributes (enrichment). Identity
+// fields (class, type, app ID) must not change.
+func (s *Store) UpdateNode(n *provenance.Node) error {
+	if err := s.checkNode(n); err != nil {
+		return err
+	}
+	row, err := EncodeNode(n)
+	if err != nil {
+		return err
+	}
+	return s.commit(entry{op: opUpdateNode, row: row})
+}
+
+// PutEdge validates, persists and indexes a new relation record, then
+// notifies the change feed.
+func (s *Store) PutEdge(e *provenance.Edge) error {
+	if !s.opts.SkipValidation {
+		s.mu.RLock()
+		src := s.graph.Node(e.Source)
+		dst := s.graph.Node(e.Target)
+		s.mu.RUnlock()
+		if err := s.opts.Model.CheckEdge(e, src, dst); err != nil {
+			return err
+		}
+	}
+	row, err := EncodeEdge(e)
+	if err != nil {
+		return err
+	}
+	return s.commit(entry{op: opPutEdge, row: row})
+}
+
+func (s *Store) checkNode(n *provenance.Node) error {
+	if s.opts.SkipValidation {
+		return n.Validate()
+	}
+	return s.opts.Model.CheckNode(n)
+}
+
+// commit appends the entry to the log and applies it to the in-memory
+// state. The log append happens first: a record is only visible once it is
+// durable in the log's terms.
+func (s *Store) commit(e entry) error {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return fmt.Errorf("store: closed")
+	}
+	// logMu is held across both the append and the in-memory apply so the
+	// log's entry order always equals the order the state (and the change
+	// feed) observed — recovery then reproduces exactly the final state
+	// even under concurrent conflicting updates. Lock order is always
+	// logMu -> mu.
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.log != nil {
+		if err := s.log.append(e); err != nil {
+			return fmt.Errorf("store: log append: %v", err)
+		}
+	}
+	return s.applyEntry(e, true)
+}
+
+// applyEntry mutates the in-memory state. notify controls whether the
+// change feed fires (replay does not notify).
+func (s *Store) applyEntry(e entry, notify bool) error {
+	n, ed, err := DecodeRow(e.row)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	switch e.op {
+	case opPutNode:
+		if n == nil {
+			s.mu.Unlock()
+			return fmt.Errorf("store: put-node entry decoded to non-node %s", e.row.ID)
+		}
+		if err := s.graph.AddNode(n); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.idx.add(n)
+	case opUpdateNode:
+		if n == nil {
+			s.mu.Unlock()
+			return fmt.Errorf("store: update entry decoded to non-node %s", e.row.ID)
+		}
+		old := s.graph.Node(n.ID)
+		if err := s.graph.UpdateNode(n); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.idx.remove(old)
+		s.idx.add(n)
+	case opPutEdge:
+		if ed == nil {
+			s.mu.Unlock()
+			return fmt.Errorf("store: put-edge entry decoded to non-edge %s", e.row.ID)
+		}
+		if err := s.graph.AddEdge(ed); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	s.rows[e.row.ID] = e.row
+	s.seq++
+	seq := s.seq
+	if notify {
+		// Publish before releasing the state lock so subscribers observe
+		// events in exactly commit order. Enqueueing is non-blocking (the
+		// subscription queue is unbounded) and the subscription locks are
+		// leaves, so no cycle is possible.
+		ev := Event{Seq: seq}
+		switch e.op {
+		case opPutNode:
+			ev.Kind = EventNode
+			ev.Node = n
+		case opUpdateNode:
+			ev.Kind = EventNodeUpdate
+			ev.Node = n
+		case opPutEdge:
+			ev.Kind = EventEdge
+			ev.Edge = ed
+		}
+		s.publish(ev)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// View runs fn with read access to the provenance graph. The graph must
+// not be mutated or retained past fn's return; use clones for that.
+func (s *Store) View(fn func(g *provenance.Graph) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return fn(s.graph)
+}
+
+// Node returns a copy of the node record, or nil when absent.
+func (s *Store) Node(id string) *provenance.Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graph.Node(id).Clone()
+}
+
+// Edge returns a copy of the edge record, or nil when absent.
+func (s *Store) Edge(id string) *provenance.Edge {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graph.Edge(id).Clone()
+}
+
+// Row returns the stored Table-1 row for a record ID.
+func (s *Store) Row(id string) (Row, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.rows[id]
+	return r, ok
+}
+
+// RowsForApp returns every row of one trace, sorted by record ID. This is
+// the query the paper's Table 1 illustrates: all provenance entities of an
+// execution trace.
+func (s *Store) RowsForApp(appID string) []Row {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var res []Row
+	for _, r := range s.rows {
+		if r.AppID == appID {
+			res = append(res, r)
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
+	return res
+}
+
+// LookupByAttr returns the IDs of nodes of the given type whose field
+// equals the value. It uses the secondary index when one is declared,
+// otherwise it scans. The second result reports whether an index was used
+// (surfaced by EXPLAIN in the query engine).
+func (s *Store) LookupByAttr(typ, field string, v provenance.Value) ([]string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if ids, ok := s.idx.lookup(typ, field, v); ok {
+		return ids, true
+	}
+	var res []string
+	for _, n := range s.graph.Nodes(provenance.NodeFilter{Type: typ}) {
+		if n.Attr(field).Equal(v) {
+			res = append(res, n.ID)
+		}
+	}
+	return res, false
+}
+
+// Stats summarizes the store contents.
+type Stats struct {
+	Nodes   int
+	Edges   int
+	Rows    int
+	Seq     uint64
+	Indexes int
+}
+
+// Stats returns current store statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Nodes:   s.graph.NumNodes(),
+		Edges:   s.graph.NumEdges(),
+		Rows:    len(s.rows),
+		Seq:     s.seq,
+		Indexes: s.idx.size(),
+	}
+}
+
+// AppIDs lists the distinct traces in the store.
+func (s *Store) AppIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graph.AppIDs()
+}
+
+// Model returns the data model the store validates against (may be nil
+// when SkipValidation is set).
+func (s *Store) Model() *provenance.Model { return s.opts.Model }
+
+// Compact rewrites the disk log to contain exactly the current state:
+// every node row first, then every edge row. Update chains collapse to the
+// latest version. No-op for in-memory stores.
+func (s *Store) Compact() error {
+	if s.log == nil {
+		return nil
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+
+	s.mu.RLock()
+	entries := make([]entry, 0, len(s.rows))
+	for _, r := range s.rows {
+		if r.Class == provenance.ClassRelation.String() {
+			continue
+		}
+		entries = append(entries, entry{op: opPutNode, row: r})
+	}
+	nNodes := len(entries)
+	for _, r := range s.rows {
+		if r.Class == provenance.ClassRelation.String() {
+			entries = append(entries, entry{op: opPutEdge, row: r})
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries[:nNodes], func(i, j int) bool { return entries[i].row.ID < entries[j].row.ID })
+	sort.Slice(entries[nNodes:], func(i, j int) bool {
+		return entries[nNodes+i].row.ID < entries[nNodes+j].row.ID
+	})
+
+	tmp := logPath(s.opts.Dir) + ".compact"
+	if err := os.Remove(tmp); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: compact: %v", err)
+	}
+	w, err := createOrOpenLog(tmp, false)
+	if err != nil {
+		return fmt.Errorf("store: compact: %v", err)
+	}
+	for _, e := range entries {
+		if err := w.append(e); err != nil {
+			w.close()
+			return fmt.Errorf("store: compact: %v", err)
+		}
+	}
+	if err := w.close(); err != nil {
+		return fmt.Errorf("store: compact: %v", err)
+	}
+	if err := s.log.close(); err != nil {
+		return fmt.Errorf("store: compact: closing old log: %v", err)
+	}
+	if err := os.Rename(tmp, logPath(s.opts.Dir)); err != nil {
+		return fmt.Errorf("store: compact: %v", err)
+	}
+	nw, err := createOrOpenLog(logPath(s.opts.Dir), s.opts.Sync)
+	if err != nil {
+		return fmt.Errorf("store: compact: reopening log: %v", err)
+	}
+	s.log = nw
+	return nil
+}

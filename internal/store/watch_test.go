@@ -1,0 +1,174 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/provenance"
+)
+
+func TestSubscriptionReceivesCommitsInOrder(t *testing.T) {
+	s := memStore(t)
+	sub := s.Subscribe()
+	defer sub.Cancel()
+
+	if err := s.PutNode(mkReq("r1", "A", "REQ1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutNode(mkPerson("p1", "A", "Joe")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutEdge(mkSubmitter("e1", "A", "p1", "r1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateNode(mkReq("r1", "A", "REQ1-v2")); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []struct {
+		kind EventKind
+		id   string
+	}{
+		{EventNode, "r1"},
+		{EventNode, "p1"},
+		{EventEdge, "e1"},
+		{EventNodeUpdate, "r1"},
+	}
+	for i, w := range want {
+		select {
+		case ev := <-sub.C():
+			if ev.Kind != w.kind {
+				t.Fatalf("event %d kind = %v, want %v", i, ev.Kind, w.kind)
+			}
+			id := ""
+			if ev.Node != nil {
+				id = ev.Node.ID
+			} else if ev.Edge != nil {
+				id = ev.Edge.ID
+			}
+			if id != w.id {
+				t.Fatalf("event %d id = %q, want %q", i, id, w.id)
+			}
+			if ev.AppID() != "A" {
+				t.Fatalf("event %d app = %q", i, ev.AppID())
+			}
+			if ev.Seq != uint64(i+1) {
+				t.Fatalf("event %d seq = %d", i, ev.Seq)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out waiting for event %d", i)
+		}
+	}
+}
+
+func TestSubscriptionEventsAreClones(t *testing.T) {
+	s := memStore(t)
+	sub := s.Subscribe()
+	defer sub.Cancel()
+	if err := s.PutNode(mkReq("r1", "A", "REQ1")); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-sub.C()
+	ev.Node.SetAttr("reqID", provenance.String("TAMPERED"))
+	if s.Node("r1").Attr("reqID").Str() != "REQ1" {
+		t.Error("mutating an event payload changed store state")
+	}
+}
+
+func TestSubscriptionCancelClosesChannel(t *testing.T) {
+	s := memStore(t)
+	sub := s.Subscribe()
+	if err := s.PutNode(mkReq("r1", "A", "REQ1")); err != nil {
+		t.Fatal(err)
+	}
+	sub.Cancel()
+	// Drain: the pending event is still delivered, then the channel closes.
+	var got int
+	for range sub.C() {
+		got++
+	}
+	if got != 1 {
+		t.Fatalf("drained %d events, want 1", got)
+	}
+	// Events after cancel are not delivered anywhere (no panic, no leak).
+	if err := s.PutNode(mkReq("r2", "A", "REQ2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCloseClosesSubscriptions(t *testing.T) {
+	s, err := Open(Options{Model: testModel(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := s.Subscribe()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-sub.C():
+		if ok {
+			t.Fatal("unexpected event")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("channel not closed on store close")
+	}
+}
+
+func TestSlowSubscriberDoesNotBlockWriters(t *testing.T) {
+	s := memStore(t)
+	sub := s.Subscribe() // never read until the end
+	const n = 5000
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := s.PutNode(mkReq(fmt.Sprintf("r%d", i), "A", "REQ")); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("writer blocked by slow subscriber")
+	}
+	// Every event is still there, in order.
+	sub.Cancel()
+	var count int
+	var lastSeq uint64
+	for ev := range sub.C() {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("out of order: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		count++
+	}
+	if count != n {
+		t.Fatalf("received %d events, want %d", count, n)
+	}
+}
+
+func TestMultipleSubscribersAllReceive(t *testing.T) {
+	s := memStore(t)
+	subs := []*Subscription{s.Subscribe(), s.Subscribe(), s.Subscribe()}
+	if err := s.PutNode(mkReq("r1", "A", "REQ1")); err != nil {
+		t.Fatal(err)
+	}
+	for i, sub := range subs {
+		select {
+		case ev := <-sub.C():
+			if ev.Node == nil || ev.Node.ID != "r1" {
+				t.Fatalf("subscriber %d got %+v", i, ev)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("subscriber %d timed out", i)
+		}
+		sub.Cancel()
+	}
+}

@@ -1,0 +1,349 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/bom"
+	"repro/internal/controls"
+	"repro/internal/correlate"
+	"repro/internal/events"
+	"repro/internal/provenance"
+	"repro/internal/xom"
+)
+
+// Claims builds an insurance claim handling process: a claimant files a
+// claim (portal, managed), an adjuster is assigned (managed), the adjuster
+// produces a damage estimate in a standalone tool (unmanaged), large
+// payouts require senior approval over e-mail (unmanaged), and the payout
+// is released by the policy system (managed).
+func Claims() (*Domain, error) {
+	m := provenance.NewModel("claims")
+	if err := buildClaimsModel(m); err != nil {
+		return nil, err
+	}
+	om, err := xom.FromModel(m)
+	if err != nil {
+		return nil, err
+	}
+	vocab, err := bom.Verbalize(om, bom.Options{
+		ConceptLabels: map[string]string{
+			"payoutApproval": "payout approval",
+		},
+		MemberLabels: map[string]string{
+			"claim.claimID":                "claim number",
+			"claim.amount":                 "claimed amount",
+			"claim.claimantEmail":          "claimant email",
+			"claim.assignmentForInverse":   "assignment",
+			"claim.estimateForInverse":     "estimate",
+			"claim.approvalForInverse":     "payout approval",
+			"claim.payoutForInverse":       "payout",
+			"assignment.adjusterEmail":     "adjuster email",
+			"estimate.amount":              "estimated amount",
+			"payoutApproval.level":         "approval level",
+			"payoutApproval.approverEmail": "approver email",
+			"payout.amount":                "payout amount",
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Domain{
+		Name:         "claims",
+		Model:        m,
+		Vocab:        vocab,
+		Mappings:     claimsMappings(),
+		Correlations: claimsCorrelations(),
+		Controls:     claimsControls(),
+		generate:     generateClaimsTrace,
+		violationKinds: map[string]string{
+			"no-senior-approval": "senior-approval",
+			"self-adjusting":     "adjuster-independence",
+			"overpayment":        "estimate-bound",
+		},
+	}, nil
+}
+
+func buildClaimsModel(m *provenance.Model) error {
+	types := []provenance.TypeDef{
+		{Name: "person", Class: provenance.ClassResource},
+		{Name: "filing", Class: provenance.ClassTask},
+		{Name: "assessment", Class: provenance.ClassTask},
+		{Name: "disbursement", Class: provenance.ClassTask},
+		{Name: "claim", Class: provenance.ClassData},
+		{Name: "assignment", Class: provenance.ClassData},
+		{Name: "estimate", Class: provenance.ClassData},
+		{Name: "payoutApproval", Class: provenance.ClassData},
+		{Name: "payout", Class: provenance.ClassData},
+	}
+	type fieldSpec struct {
+		typ string
+		f   provenance.FieldDef
+	}
+	fields := []fieldSpec{
+		{"person", provenance.FieldDef{Name: "name", Kind: provenance.KindString}},
+		{"person", provenance.FieldDef{Name: "email", Kind: provenance.KindString}},
+		{"person", provenance.FieldDef{Name: "role", Kind: provenance.KindString}},
+		{"filing", provenance.FieldDef{Name: "actorEmail", Kind: provenance.KindString}},
+		{"assessment", provenance.FieldDef{Name: "actorEmail", Kind: provenance.KindString}},
+		{"disbursement", provenance.FieldDef{Name: "actorEmail", Kind: provenance.KindString}},
+		{"claim", provenance.FieldDef{Name: "claimID", Kind: provenance.KindString, Indexed: true}},
+		{"claim", provenance.FieldDef{Name: "amount", Kind: provenance.KindFloat}},
+		{"claim", provenance.FieldDef{Name: "claimantEmail", Kind: provenance.KindString}},
+		{"assignment", provenance.FieldDef{Name: "claimID", Kind: provenance.KindString, Indexed: true}},
+		{"assignment", provenance.FieldDef{Name: "adjusterEmail", Kind: provenance.KindString}},
+		{"estimate", provenance.FieldDef{Name: "claimID", Kind: provenance.KindString, Indexed: true}},
+		{"estimate", provenance.FieldDef{Name: "amount", Kind: provenance.KindFloat}},
+		{"payoutApproval", provenance.FieldDef{Name: "claimID", Kind: provenance.KindString, Indexed: true}},
+		{"payoutApproval", provenance.FieldDef{Name: "approverEmail", Kind: provenance.KindString}},
+		{"payoutApproval", provenance.FieldDef{Name: "level", Kind: provenance.KindString}},
+		{"payout", provenance.FieldDef{Name: "claimID", Kind: provenance.KindString, Indexed: true}},
+		{"payout", provenance.FieldDef{Name: "amount", Kind: provenance.KindFloat}},
+	}
+	relations := []provenance.RelationDef{
+		{Name: "assignmentFor", SourceType: "assignment", TargetType: "claim"},
+		{Name: "estimateFor", SourceType: "estimate", TargetType: "claim"},
+		{Name: "approvalFor", SourceType: "payoutApproval", TargetType: "claim"},
+		{Name: "payoutFor", SourceType: "payout", TargetType: "claim"},
+		{Name: "claimantOf", SourceType: "person", TargetType: "claim"},
+		{Name: "actor", SourceType: "person"},
+		{Name: "nextTask"},
+	}
+	for i := range types {
+		if err := m.AddType(&types[i]); err != nil {
+			return err
+		}
+	}
+	for i := range fields {
+		f := fields[i].f
+		if err := m.AddField(fields[i].typ, &f); err != nil {
+			return err
+		}
+	}
+	for i := range relations {
+		r := relations[i]
+		if err := m.AddRelation(&r); err != nil {
+			return err
+		}
+	}
+	return controls.DeclareModel(m)
+}
+
+func claimsMappings() []*events.Mapping {
+	str := provenance.KindString
+	flt := provenance.KindFloat
+	return []*events.Mapping{
+		{Name: "portal-claim", Source: "portal", EventType: "claim.filed",
+			NodeType: "claim", Class: provenance.ClassData, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "claim", Attr: "claimID", Kind: str, Required: true},
+				{PayloadKey: "amount", Attr: "amount", Kind: flt},
+				{PayloadKey: "claimantEmail", Attr: "claimantEmail", Kind: str},
+			}},
+		{Name: "portal-file-task", Source: "portal", EventType: "task.file",
+			NodeType: "filing", Class: provenance.ClassTask, IDKey: "recordId",
+			Fields: []events.FieldMapping{{PayloadKey: "actorEmail", Attr: "actorEmail", Kind: str}}},
+		{Name: "dispatch-assignment", Source: "dispatch", EventType: "adjuster.assigned",
+			NodeType: "assignment", Class: provenance.ClassData, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "claim", Attr: "claimID", Kind: str, Required: true},
+				{PayloadKey: "adjusterEmail", Attr: "adjusterEmail", Kind: str},
+			}},
+		{Name: "fieldtool-estimate", Source: "fieldtool", EventType: "estimate.recorded",
+			NodeType: "estimate", Class: provenance.ClassData, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "claim", Attr: "claimID", Kind: str, Required: true},
+				{PayloadKey: "amount", Attr: "amount", Kind: flt},
+			}},
+		{Name: "fieldtool-assess-task", Source: "fieldtool", EventType: "task.assess",
+			NodeType: "assessment", Class: provenance.ClassTask, IDKey: "recordId",
+			Fields: []events.FieldMapping{{PayloadKey: "actorEmail", Attr: "actorEmail", Kind: str}}},
+		{Name: "mail-payout-approval", Source: "mail", EventType: "payout.approved",
+			NodeType: "payoutApproval", Class: provenance.ClassData, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "claim", Attr: "claimID", Kind: str, Required: true},
+				{PayloadKey: "approverEmail", Attr: "approverEmail", Kind: str},
+				{PayloadKey: "level", Attr: "level", Kind: str},
+			}},
+		{Name: "policy-payout", Source: "policy", EventType: "payout.released",
+			NodeType: "payout", Class: provenance.ClassData, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "claim", Attr: "claimID", Kind: str, Required: true},
+				{PayloadKey: "amount", Attr: "amount", Kind: flt},
+			}},
+		{Name: "policy-pay-task", Source: "policy", EventType: "task.disburse",
+			NodeType: "disbursement", Class: provenance.ClassTask, IDKey: "recordId",
+			Fields: []events.FieldMapping{{PayloadKey: "actorEmail", Attr: "actorEmail", Kind: str}}},
+		{Name: "directory", Source: "hrdir", EventType: "person.observed",
+			NodeType: "person", Class: provenance.ClassResource, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "name", Attr: "name", Kind: str, Required: true},
+				{PayloadKey: "email", Attr: "email", Kind: str},
+				{PayloadKey: "role", Attr: "role", Kind: str},
+			}},
+	}
+}
+
+func claimsCorrelations() []correlate.Rule {
+	join := func(name, edge, src string) correlate.Rule {
+		return &correlate.KeyJoin{RuleName: name, EdgeType: edge,
+			SourceType: src, SourceField: "claimID",
+			TargetType: "claim", TargetField: "claimID"}
+	}
+	return []correlate.Rule{
+		join("assignment-join", "assignmentFor", "assignment"),
+		join("estimate-join", "estimateFor", "estimate"),
+		join("payout-approval-join", "approvalFor", "payoutApproval"),
+		join("payout-join", "payoutFor", "payout"),
+		&correlate.KeyJoin{RuleName: "claimant-join", EdgeType: "claimantOf",
+			SourceType: "person", SourceField: "email",
+			TargetType: "claim", TargetField: "claimantEmail"},
+		ActorRule(),
+		&correlate.TemporalOrder{RuleName: "task-order", EdgeType: "nextTask"},
+	}
+}
+
+func claimsControls() []ControlSpec {
+	return []ControlSpec{
+		{
+			ID:   "senior-approval",
+			Name: "Payouts above 10000 require senior approval",
+			Text: `
+definitions
+  set 'the claim' to a claim ;
+if
+  the payout of 'the claim' does not exist
+  or the payout amount of the payout of 'the claim' is at most 10000
+  or ( the payout approval of 'the claim' exists
+       and the approval level of the payout approval of 'the claim' is "senior" )
+then
+  the internal control is satisfied ;
+else
+  the internal control is not satisfied ;
+  add alert "large payout released without senior approval" ;
+`,
+		},
+		{
+			ID:   "adjuster-independence",
+			Name: "Adjusters must not handle their own claims",
+			Text: `
+definitions
+  set 'the claim' to a claim ;
+if
+  the assignment of 'the claim' does not exist
+  or the adjuster email of the assignment of 'the claim'
+     is not the claimant email of 'the claim'
+then
+  the internal control is satisfied ;
+else
+  the internal control is not satisfied ;
+  add alert "claim assigned to its own claimant" ;
+`,
+		},
+		{
+			ID:   "estimate-bound",
+			Name: "Payouts must stay within 120% of the estimate",
+			Text: `
+definitions
+  set 'the claim' to a claim ;
+if
+  the payout of 'the claim' does not exist
+  or the payout amount of the payout of 'the claim'
+     is at most the estimated amount of the estimate of 'the claim' * 1.2
+then
+  the internal control is satisfied ;
+else
+  the internal control is not satisfied ;
+  add alert "payout exceeds the damage estimate beyond tolerance" ;
+`,
+		},
+	}
+}
+
+var claimsEpoch = time.Date(2011, 6, 1, 10, 0, 0, 0, time.UTC)
+
+var adjusters = []struct{ name, email string }{
+	{"Nora Quist", "nquist@insure.com"},
+	{"Pete Vance", "pvance@insure.com"},
+	{"Ada Wong", "awong@insure.com"},
+}
+
+var claimants = []struct{ name, email string }{
+	{"Carl Maas", "cmaas@mail.com"},
+	{"Dana Ortiz", "dortiz@mail.com"},
+	{"Nora Quist", "nquist@insure.com"}, // an adjuster can also be a claimant
+}
+
+func generateClaimsTrace(rng *rand.Rand, app string, seed string) []GenEvent {
+	claimant := claimants[rng.Intn(2)] // external claimants by default
+	adjuster := adjusters[rng.Intn(len(adjusters))]
+	if seed == "self-adjusting" {
+		claimant = claimants[2]
+		adjuster = adjusters[0] // Nora adjusts Nora's claim
+	} else if adjuster.email == claimant.email {
+		adjuster = adjusters[1]
+	}
+	base := claimsEpoch.Add(time.Duration(rng.Intn(1_000_000)) * time.Second)
+	at := func(step int) time.Time { return base.Add(time.Duration(step) * time.Hour) }
+	claimID := "CL-" + app
+
+	claimed := 1000 + rng.Float64()*29000 // 1000 .. 30000
+	estimate := claimed * (0.6 + rng.Float64()*0.4)
+	payout := estimate * (0.9 + rng.Float64()*0.2) // within the 1.2 bound
+	switch seed {
+	case "no-senior-approval":
+		// A large payout that stays inside the estimate bound, so only
+		// the senior-approval control is genuinely violated.
+		claimed = 15000 + rng.Float64()*15000
+		estimate = claimed * (0.8 + rng.Float64()*0.2)
+		payout = estimate * (0.9 + rng.Float64()*0.2)
+	case "overpayment":
+		payout = estimate * (1.5 + rng.Float64()*1.0)
+	}
+	large := payout > 10000
+
+	var out []GenEvent
+	emit := func(managed bool, source, etype string, step int, payload map[string]string) {
+		out = append(out, GenEvent{Managed: managed, Event: events.AppEvent{
+			Source: source, Type: etype, AppID: app, Timestamp: at(step), Payload: payload,
+		}})
+	}
+	emit(true, "hrdir", "person.observed", 0, map[string]string{
+		"recordId": app + "-claimant", "name": claimant.name, "email": claimant.email, "role": "Claimant",
+	})
+	emit(true, "hrdir", "person.observed", 0, map[string]string{
+		"recordId": app + "-adjuster", "name": adjuster.name, "email": adjuster.email, "role": "Adjuster",
+	})
+	emit(true, "portal", "claim.filed", 1, map[string]string{
+		"recordId": app + "-claim", "claim": claimID,
+		"amount": fmt.Sprintf("%.2f", claimed), "claimantEmail": claimant.email,
+	})
+	emit(true, "portal", "task.file", 1, map[string]string{
+		"recordId": app + "-t-file", "actorEmail": claimant.email,
+	})
+	emit(true, "dispatch", "adjuster.assigned", 2, map[string]string{
+		"recordId": app + "-assign", "claim": claimID, "adjusterEmail": adjuster.email,
+	})
+	emit(false, "fieldtool", "task.assess", 4, map[string]string{
+		"recordId": app + "-t-assess", "actorEmail": adjuster.email,
+	})
+	emit(false, "fieldtool", "estimate.recorded", 4, map[string]string{
+		"recordId": app + "-est", "claim": claimID,
+		"amount": fmt.Sprintf("%.2f", estimate),
+	})
+	if large && seed != "no-senior-approval" {
+		emit(false, "mail", "payout.approved", 6, map[string]string{
+			"recordId": app + "-pappr", "claim": claimID,
+			"approverEmail": "senior@insure.com", "level": "senior",
+		})
+	}
+	emit(true, "policy", "payout.released", 8, map[string]string{
+		"recordId": app + "-payout", "claim": claimID,
+		"amount": fmt.Sprintf("%.2f", payout),
+	})
+	emit(true, "policy", "task.disburse", 8, map[string]string{
+		"recordId": app + "-t-pay", "actorEmail": "policy-bot@insure.com",
+	})
+	return out
+}

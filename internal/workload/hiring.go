@@ -1,0 +1,500 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/bom"
+	"repro/internal/controls"
+	"repro/internal/correlate"
+	"repro/internal/events"
+	"repro/internal/provenance"
+	"repro/internal/xom"
+)
+
+// Hiring builds the paper's "new position open" process (Fig 1): a hiring
+// manager submits a job requisition; new positions route to the general
+// manager for approval; approved (or existing-position) requisitions go to
+// human resources, which finds job candidates and notifies the hiring
+// manager.
+//
+// Management levels: the Lombardi workflow steps (submission, requisition
+// record, notification) and the HR directory are managed; the general
+// manager's approval happens over e-mail and the candidate search in a
+// standalone HR tool — both unmanaged, captured only with the simulation's
+// visibility probability.
+func Hiring() (*Domain, error) {
+	m := provenance.NewModel("hiring")
+	if err := buildHiringModel(m); err != nil {
+		return nil, err
+	}
+	om, err := xom.FromModel(m)
+	if err != nil {
+		return nil, err
+	}
+	// The paper's getManagerGen example: the general manager responsible
+	// for a department, resolved through a lookup table.
+	if err := om.RegisterMethod("jobRequisition", xom.LookupTableMethod(
+		"getManagerGen", "dept", map[string]string{
+			"dept501": "Jane Smith",
+			"dept502": "Ravi Patel",
+			"dept503": "Ana Flores",
+		})); err != nil {
+		return nil, err
+	}
+	vocab, err := bom.Verbalize(om, bom.Options{
+		ConceptLabels: map[string]string{
+			"jobRequisition": "job requisition",
+			"approvalStatus": "approval record",
+		},
+		MemberLabels: map[string]string{
+			"jobRequisition.reqID":                "requisition ID",
+			"jobRequisition.positionType":         "position type",
+			"jobRequisition.submitterEmail":       "submitter email",
+			"jobRequisition.getManagerGen":        "general manager",
+			"jobRequisition.submitterOfInverse":   "submitter",
+			"jobRequisition.approvalOfInverse":    "approval",
+			"jobRequisition.candidatesForInverse": "candidate list",
+			"approvalStatus.approved":             "approved flag",
+			"approvalStatus.approverEmail":        "approver email",
+			"candidateList.count":                 "candidate count",
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &Domain{
+		Name:         "hiring",
+		Model:        m,
+		Vocab:        vocab,
+		Mappings:     hiringMappings(),
+		Correlations: hiringCorrelations(),
+		Enrichers: []correlate.Enricher{
+			&correlate.DurationEnricher{
+				EnricherName: "submission-duration", NodeType: "submission",
+				StartField: "start", EndField: "end", Target: "durationSeconds",
+			},
+		},
+		Controls: hiringControls(),
+		generate: generateHiringTrace,
+		violationKinds: map[string]string{
+			"skip-approval":        "gm-approval",
+			"self-approval":        "four-eyes",
+			"proceed-after-reject": "no-reject-proceed",
+		},
+	}
+	return d, nil
+}
+
+func buildHiringModel(m *provenance.Model) error {
+	steps := []func() error{
+		func() error {
+			return m.AddType(&provenance.TypeDef{Name: "person", Class: provenance.ClassResource,
+				Doc: "an actor observed in the HR directory"})
+		},
+		func() error {
+			return m.AddField("person", &provenance.FieldDef{Name: "name", Kind: provenance.KindString})
+		},
+		func() error {
+			return m.AddField("person", &provenance.FieldDef{Name: "email", Kind: provenance.KindString})
+		},
+		func() error {
+			return m.AddField("person", &provenance.FieldDef{Name: "manager", Kind: provenance.KindString})
+		},
+		func() error {
+			return m.AddField("person", &provenance.FieldDef{Name: "role", Kind: provenance.KindString})
+		},
+
+		func() error {
+			return m.AddType(&provenance.TypeDef{Name: "submission", Class: provenance.ClassTask,
+				Doc: "submit job requisition task"})
+		},
+		func() error {
+			return m.AddField("submission", &provenance.FieldDef{Name: "actorEmail", Kind: provenance.KindString})
+		},
+		func() error {
+			return m.AddField("submission", &provenance.FieldDef{Name: "start", Kind: provenance.KindTime})
+		},
+		func() error {
+			return m.AddField("submission", &provenance.FieldDef{Name: "end", Kind: provenance.KindTime})
+		},
+		func() error {
+			return m.AddField("submission", &provenance.FieldDef{Name: "durationSeconds",
+				Kind: provenance.KindFloat, Label: "submission duration",
+				Doc: "derived by the duration enricher"})
+		},
+
+		func() error {
+			return m.AddType(&provenance.TypeDef{Name: "approvalTask", Class: provenance.ClassTask,
+				Doc: "approve/reject requisition task"})
+		},
+		func() error {
+			return m.AddField("approvalTask", &provenance.FieldDef{Name: "actorEmail", Kind: provenance.KindString})
+		},
+		func() error {
+			return m.AddType(&provenance.TypeDef{Name: "candidateSearch", Class: provenance.ClassTask,
+				Doc: "find job candidates task"})
+		},
+		func() error {
+			return m.AddField("candidateSearch", &provenance.FieldDef{Name: "actorEmail", Kind: provenance.KindString})
+		},
+		func() error {
+			return m.AddType(&provenance.TypeDef{Name: "notification", Class: provenance.ClassTask,
+				Doc: "notify hiring manager task"})
+		},
+		func() error {
+			return m.AddField("notification", &provenance.FieldDef{Name: "actorEmail", Kind: provenance.KindString})
+		},
+
+		func() error {
+			return m.AddType(&provenance.TypeDef{Name: "jobRequisition", Class: provenance.ClassData,
+				Doc: "the job requisition business artifact"})
+		},
+		func() error {
+			return m.AddField("jobRequisition", &provenance.FieldDef{Name: "reqID", Kind: provenance.KindString, Indexed: true})
+		},
+		func() error {
+			return m.AddField("jobRequisition", &provenance.FieldDef{Name: "positionType", Kind: provenance.KindString})
+		},
+		func() error {
+			return m.AddField("jobRequisition", &provenance.FieldDef{Name: "dept", Kind: provenance.KindString})
+		},
+		func() error {
+			return m.AddField("jobRequisition", &provenance.FieldDef{Name: "position", Kind: provenance.KindString})
+		},
+		func() error {
+			return m.AddField("jobRequisition", &provenance.FieldDef{Name: "submitterEmail", Kind: provenance.KindString})
+		},
+
+		func() error {
+			return m.AddType(&provenance.TypeDef{Name: "approvalStatus", Class: provenance.ClassData,
+				Doc: "the general manager's approval or rejection"})
+		},
+		func() error {
+			return m.AddField("approvalStatus", &provenance.FieldDef{Name: "reqID", Kind: provenance.KindString, Indexed: true})
+		},
+		func() error {
+			return m.AddField("approvalStatus", &provenance.FieldDef{Name: "approved", Kind: provenance.KindBool})
+		},
+		func() error {
+			return m.AddField("approvalStatus", &provenance.FieldDef{Name: "approverEmail", Kind: provenance.KindString})
+		},
+
+		func() error {
+			return m.AddType(&provenance.TypeDef{Name: "candidateList", Class: provenance.ClassData,
+				Doc: "the list of job candidates"})
+		},
+		func() error {
+			return m.AddField("candidateList", &provenance.FieldDef{Name: "reqID", Kind: provenance.KindString, Indexed: true})
+		},
+		func() error {
+			return m.AddField("candidateList", &provenance.FieldDef{Name: "count", Kind: provenance.KindInt})
+		},
+
+		func() error {
+			return m.AddRelation(&provenance.RelationDef{Name: "submitterOf",
+				SourceType: "person", TargetType: "jobRequisition"})
+		},
+		func() error {
+			return m.AddRelation(&provenance.RelationDef{Name: "approvalOf",
+				SourceType: "approvalStatus", TargetType: "jobRequisition"})
+		},
+		func() error {
+			return m.AddRelation(&provenance.RelationDef{Name: "candidatesFor",
+				SourceType: "candidateList", TargetType: "jobRequisition"})
+		},
+		func() error {
+			return m.AddRelation(&provenance.RelationDef{Name: "managerOf",
+				SourceType: "person", TargetType: "person"})
+		},
+		func() error { return m.AddRelation(&provenance.RelationDef{Name: "actor", SourceType: "person"}) },
+		func() error { return m.AddRelation(&provenance.RelationDef{Name: "nextTask"}) },
+		func() error { return controls.DeclareModel(m) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hiringMappings() []*events.Mapping {
+	str := provenance.KindString
+	return []*events.Mapping{
+		{Name: "hr-directory", Source: "hrdir", EventType: "person.observed",
+			NodeType: "person", Class: provenance.ClassResource, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "name", Attr: "name", Kind: str, Required: true},
+				{PayloadKey: "email", Attr: "email", Kind: str, Required: true},
+				{PayloadKey: "manager", Attr: "manager", Kind: str},
+				{PayloadKey: "role", Attr: "role", Kind: str},
+			}},
+		{Name: "lombardi-requisition", Source: "lombardi", EventType: "requisition.submitted",
+			NodeType: "jobRequisition", Class: provenance.ClassData, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "req", Attr: "reqID", Kind: str, Required: true},
+				{PayloadKey: "ptype", Attr: "positionType", Kind: str},
+				{PayloadKey: "dept", Attr: "dept", Kind: str},
+				{PayloadKey: "position", Attr: "position", Kind: str},
+				{PayloadKey: "submitterEmail", Attr: "submitterEmail", Kind: str},
+			}},
+		{Name: "lombardi-submit-task", Source: "lombardi", EventType: "task.submit",
+			NodeType: "submission", Class: provenance.ClassTask, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "actorEmail", Attr: "actorEmail", Kind: str},
+				{PayloadKey: "start", Attr: "start", Kind: provenance.KindTime},
+				{PayloadKey: "end", Attr: "end", Kind: provenance.KindTime},
+			}},
+		{Name: "mail-approve-task", Source: "mail", EventType: "task.approve",
+			NodeType: "approvalTask", Class: provenance.ClassTask, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "actorEmail", Attr: "actorEmail", Kind: str},
+			}},
+		{Name: "mail-approval", Source: "mail", EventType: "approval.recorded",
+			NodeType: "approvalStatus", Class: provenance.ClassData, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "req", Attr: "reqID", Kind: str, Required: true},
+				{PayloadKey: "approved", Attr: "approved", Kind: provenance.KindBool, Required: true},
+				{PayloadKey: "approverEmail", Attr: "approverEmail", Kind: str},
+			}},
+		{Name: "hrdb-search-task", Source: "hrdb", EventType: "task.search",
+			NodeType: "candidateSearch", Class: provenance.ClassTask, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "actorEmail", Attr: "actorEmail", Kind: str},
+			}},
+		{Name: "hrdb-candidates", Source: "hrdb", EventType: "candidates.found",
+			NodeType: "candidateList", Class: provenance.ClassData, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "req", Attr: "reqID", Kind: str, Required: true},
+				{PayloadKey: "count", Attr: "count", Kind: provenance.KindInt},
+			}},
+		{Name: "lombardi-notify-task", Source: "lombardi", EventType: "task.notify",
+			NodeType: "notification", Class: provenance.ClassTask, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "actorEmail", Attr: "actorEmail", Kind: str},
+			}},
+	}
+}
+
+func hiringCorrelations() []correlate.Rule {
+	return []correlate.Rule{
+		&correlate.KeyJoin{RuleName: "submitter-join", EdgeType: "submitterOf",
+			SourceType: "person", SourceField: "email",
+			TargetType: "jobRequisition", TargetField: "submitterEmail"},
+		&correlate.KeyJoin{RuleName: "approval-join", EdgeType: "approvalOf",
+			SourceType: "approvalStatus", SourceField: "reqID",
+			TargetType: "jobRequisition", TargetField: "reqID"},
+		&correlate.KeyJoin{RuleName: "candidates-join", EdgeType: "candidatesFor",
+			SourceType: "candidateList", SourceField: "reqID",
+			TargetType: "jobRequisition", TargetField: "reqID"},
+		&correlate.KeyJoin{RuleName: "manager-join", EdgeType: "managerOf",
+			SourceType: "person", SourceField: "name",
+			TargetType: "person", TargetField: "manager"},
+		ActorRule(),
+		&correlate.TemporalOrder{RuleName: "task-order", EdgeType: "nextTask"},
+	}
+}
+
+// ActorRule links person resources to the tasks they executed by matching
+// the task's actorEmail attribute — an IT-level relation the paper lists
+// ("a relation between a resource record and a task record shows who was
+// involved in executing that particular task").
+func ActorRule() correlate.Rule {
+	return &correlate.Func{RuleName: "actor-join",
+		Fn: func(g *provenance.Graph, appID string) []*provenance.Edge {
+			byEmail := make(map[string][]*provenance.Node)
+			for _, p := range g.Nodes(provenance.NodeFilter{Type: "person", AppID: appID}) {
+				if e := p.Attr("email"); !e.IsZero() {
+					byEmail[e.Str()] = append(byEmail[e.Str()], p)
+				}
+			}
+			var out []*provenance.Edge
+			for _, task := range g.Nodes(provenance.NodeFilter{Class: provenance.ClassTask, AppID: appID}) {
+				email := task.Attr("actorEmail")
+				if email.IsZero() {
+					continue
+				}
+				for _, p := range byEmail[email.Str()] {
+					out = append(out, &provenance.Edge{Type: "actor", Source: p.ID, Target: task.ID})
+				}
+			}
+			return out
+		}}
+}
+
+func hiringControls() []ControlSpec {
+	return []ControlSpec{
+		{
+			ID:   "gm-approval",
+			Name: "New positions need GM approval before candidate search",
+			Text: `
+definitions
+  set 'the request' to a job requisition ;
+if
+  the position type of 'the request' is not "new"
+  or the candidate list of 'the request' does not exist
+  or the approval of 'the request' exists
+then
+  the internal control is satisfied ;
+else
+  the internal control is not satisfied ;
+  add alert "candidate search started without general manager approval" ;
+`,
+		},
+		{
+			ID:   "four-eyes",
+			Name: "Requisitions must not be approved by their submitter",
+			Text: `
+definitions
+  set 'the request' to a job requisition ;
+if
+  the approval of 'the request' does not exist
+  or the approver email of the approval of 'the request'
+     is not the submitter email of 'the request'
+then
+  the internal control is satisfied ;
+else
+  the internal control is not satisfied ;
+  add alert "requisition approved by its own submitter" ;
+`,
+		},
+		{
+			ID:   "no-reject-proceed",
+			Name: "Rejected requisitions must not proceed to candidate search",
+			Text: `
+definitions
+  set 'the request' to a job requisition ;
+if
+  the approval of 'the request' does not exist
+  or the approved flag of the approval of 'the request' is true
+  or the candidate list of 'the request' does not exist
+then
+  the internal control is satisfied ;
+else
+  the internal control is not satisfied ;
+  add alert "candidate search proceeded after rejection" ;
+`,
+		},
+	}
+}
+
+// hiringPeople is the deterministic actor pool.
+var hiringManagers = []struct {
+	name, email, manager, dept string
+}{
+	{"Joe Doe", "jdoe@acme.com", "Jane Smith", "dept501"},
+	{"Mia Chen", "mchen@acme.com", "Jane Smith", "dept501"},
+	{"Omar Haddad", "ohaddad@acme.com", "Ravi Patel", "dept502"},
+	{"Lena Braun", "lbraun@acme.com", "Ana Flores", "dept503"},
+}
+
+var generalManagers = map[string]struct{ name, email string }{
+	"dept501": {"Jane Smith", "jsmith@acme.com"},
+	"dept502": {"Ravi Patel", "rpatel@acme.com"},
+	"dept503": {"Ana Flores", "aflores@acme.com"},
+}
+
+var hiringEpoch = time.Date(2011, 4, 11, 9, 0, 0, 0, time.UTC)
+
+// generateHiringTrace plays one instance of the Fig 1 process.
+func generateHiringTrace(rng *rand.Rand, app string, seed string) []GenEvent {
+	hm := hiringManagers[rng.Intn(len(hiringManagers))]
+	gm := generalManagers[hm.dept]
+	base := hiringEpoch.Add(time.Duration(rng.Intn(1_000_000)) * time.Second)
+	at := func(step int) time.Time { return base.Add(time.Duration(step) * time.Minute) }
+	ts := func(t time.Time) string { return t.UTC().Format(time.RFC3339Nano) }
+
+	newPosition := rng.Float64() < 0.5
+	if seed != "" {
+		newPosition = true // every seeded violation concerns a new position
+	}
+	ptype := "existing"
+	if newPosition {
+		ptype = "new"
+	}
+	reqID := "REQ-" + app
+
+	var out []GenEvent
+	emit := func(managed bool, source, etype string, step int, payload map[string]string) {
+		out = append(out, GenEvent{Managed: managed, Event: events.AppEvent{
+			Source: source, Type: etype, AppID: app, Timestamp: at(step), Payload: payload,
+		}})
+	}
+
+	// Managed: HR directory observation of the submitter and the Lombardi
+	// submission steps.
+	emit(true, "hrdir", "person.observed", 0, map[string]string{
+		"recordId": app + "-hm", "name": hm.name, "email": hm.email,
+		"manager": hm.manager, "role": "Hiring Manager",
+	})
+	emit(true, "lombardi", "requisition.submitted", 1, map[string]string{
+		"recordId": app + "-req", "req": reqID, "ptype": ptype,
+		"dept": hm.dept, "position": "Sales Specialist", "submitterEmail": hm.email,
+	})
+	emit(true, "lombardi", "task.submit", 1, map[string]string{
+		"recordId": app + "-t-submit", "actorEmail": hm.email,
+		"start": ts(at(0)), "end": ts(at(1)),
+	})
+
+	approved := true
+	searchHappens := true
+	if newPosition {
+		switch seed {
+		case "skip-approval":
+			// No approval at all, but the search still happens.
+		case "self-approval":
+			emit(true, "hrdir", "person.observed", 2, map[string]string{
+				"recordId": app + "-gm", "name": gm.name, "email": gm.email, "role": "General Manager",
+			})
+			emit(false, "mail", "task.approve", 3, map[string]string{
+				"recordId": app + "-t-approve", "actorEmail": hm.email,
+			})
+			emit(false, "mail", "approval.recorded", 3, map[string]string{
+				"recordId": app + "-apprv", "req": reqID,
+				"approved": "true", "approverEmail": hm.email,
+			})
+		case "proceed-after-reject":
+			approved = false
+			emit(true, "hrdir", "person.observed", 2, map[string]string{
+				"recordId": app + "-gm", "name": gm.name, "email": gm.email, "role": "General Manager",
+			})
+			emit(false, "mail", "task.approve", 3, map[string]string{
+				"recordId": app + "-t-approve", "actorEmail": gm.email,
+			})
+			emit(false, "mail", "approval.recorded", 3, map[string]string{
+				"recordId": app + "-apprv", "req": reqID,
+				"approved": "false", "approverEmail": gm.email,
+			})
+		default:
+			approved = rng.Float64() < 0.9
+			emit(true, "hrdir", "person.observed", 2, map[string]string{
+				"recordId": app + "-gm", "name": gm.name, "email": gm.email, "role": "General Manager",
+			})
+			emit(false, "mail", "task.approve", 3, map[string]string{
+				"recordId": app + "-t-approve", "actorEmail": gm.email,
+			})
+			emit(false, "mail", "approval.recorded", 3, map[string]string{
+				"recordId": app + "-apprv", "req": reqID,
+				"approved": fmt.Sprintf("%t", approved), "approverEmail": gm.email,
+			})
+			if !approved {
+				searchHappens = false // compliant rejection: process stops
+			}
+		}
+	}
+	if searchHappens {
+		emit(false, "hrdb", "task.search", 5, map[string]string{
+			"recordId": app + "-t-search", "actorEmail": "hr@acme.com",
+		})
+		emit(false, "hrdb", "candidates.found", 6, map[string]string{
+			"recordId": app + "-cand", "req": reqID,
+			"count": fmt.Sprintf("%d", 1+rng.Intn(8)),
+		})
+	}
+	emit(true, "lombardi", "task.notify", 7, map[string]string{
+		"recordId": app + "-t-notify", "actorEmail": "system@acme.com",
+	})
+	return out
+}

@@ -1,0 +1,337 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/bom"
+	"repro/internal/controls"
+	"repro/internal/correlate"
+	"repro/internal/events"
+	"repro/internal/provenance"
+	"repro/internal/xom"
+)
+
+// Procurement builds a purchase-to-pay process with the classic three-way
+// match controls. The ERP records purchase orders and payments (managed);
+// PO approvals travel by e-mail and goods receipts are scanned in a
+// standalone warehouse tool (both unmanaged), so the match evidence spans
+// systems exactly as the paper's partially managed setting describes.
+func Procurement() (*Domain, error) {
+	m := provenance.NewModel("procurement")
+	if err := buildProcurementModel(m); err != nil {
+		return nil, err
+	}
+	om, err := xom.FromModel(m)
+	if err != nil {
+		return nil, err
+	}
+	vocab, err := bom.Verbalize(om, bom.Options{
+		ConceptLabels: map[string]string{
+			"purchaseOrder": "purchase order",
+			"poApproval":    "purchase approval",
+		},
+		MemberLabels: map[string]string{
+			"purchaseOrder.poID":               "PO number",
+			"purchaseOrder.amount":             "order amount",
+			"purchaseOrder.requesterEmail":     "requester email",
+			"purchaseOrder.approvalForInverse": "PO approval",
+			"purchaseOrder.receiptForInverse":  "goods receipt",
+			"purchaseOrder.invoiceForInverse":  "invoice",
+			"purchaseOrder.paymentForInverse":  "payment",
+			"purchaseOrder.requesterOfInverse": "requester",
+			"poApproval.approved":              "approval flag",
+			"poApproval.approverEmail":         "approver email",
+			"invoice.amount":                   "invoice amount",
+			"payment.amount":                   "paid amount",
+			"goodsReceipt.quantity":            "received quantity",
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Domain{
+		Name:         "procurement",
+		Model:        m,
+		Vocab:        vocab,
+		Mappings:     procurementMappings(),
+		Correlations: procurementCorrelations(),
+		Controls:     procurementControls(),
+		generate:     generateProcurementTrace,
+		violationKinds: map[string]string{
+			"pay-without-receipt": "three-way-match",
+			"invoice-overrun":     "invoice-tolerance",
+			"skip-po-approval":    "po-approval",
+		},
+	}, nil
+}
+
+func buildProcurementModel(m *provenance.Model) error {
+	type fieldSpec struct {
+		typ string
+		f   provenance.FieldDef
+	}
+	types := []provenance.TypeDef{
+		{Name: "person", Class: provenance.ClassResource},
+		{Name: "poCreation", Class: provenance.ClassTask},
+		{Name: "receiving", Class: provenance.ClassTask},
+		{Name: "payRun", Class: provenance.ClassTask},
+		{Name: "purchaseOrder", Class: provenance.ClassData},
+		{Name: "poApproval", Class: provenance.ClassData},
+		{Name: "goodsReceipt", Class: provenance.ClassData},
+		{Name: "invoice", Class: provenance.ClassData},
+		{Name: "payment", Class: provenance.ClassData},
+	}
+	fields := []fieldSpec{
+		{"person", provenance.FieldDef{Name: "name", Kind: provenance.KindString}},
+		{"person", provenance.FieldDef{Name: "email", Kind: provenance.KindString}},
+		{"person", provenance.FieldDef{Name: "role", Kind: provenance.KindString}},
+		{"poCreation", provenance.FieldDef{Name: "actorEmail", Kind: provenance.KindString}},
+		{"receiving", provenance.FieldDef{Name: "actorEmail", Kind: provenance.KindString}},
+		{"payRun", provenance.FieldDef{Name: "actorEmail", Kind: provenance.KindString}},
+		{"purchaseOrder", provenance.FieldDef{Name: "poID", Kind: provenance.KindString, Indexed: true}},
+		{"purchaseOrder", provenance.FieldDef{Name: "amount", Kind: provenance.KindFloat}},
+		{"purchaseOrder", provenance.FieldDef{Name: "vendor", Kind: provenance.KindString}},
+		{"purchaseOrder", provenance.FieldDef{Name: "requesterEmail", Kind: provenance.KindString}},
+		{"poApproval", provenance.FieldDef{Name: "poID", Kind: provenance.KindString, Indexed: true}},
+		{"poApproval", provenance.FieldDef{Name: "approved", Kind: provenance.KindBool}},
+		{"poApproval", provenance.FieldDef{Name: "approverEmail", Kind: provenance.KindString}},
+		{"goodsReceipt", provenance.FieldDef{Name: "poID", Kind: provenance.KindString, Indexed: true}},
+		{"goodsReceipt", provenance.FieldDef{Name: "quantity", Kind: provenance.KindInt}},
+		{"invoice", provenance.FieldDef{Name: "poID", Kind: provenance.KindString, Indexed: true}},
+		{"invoice", provenance.FieldDef{Name: "amount", Kind: provenance.KindFloat}},
+		{"invoice", provenance.FieldDef{Name: "vendor", Kind: provenance.KindString}},
+		{"payment", provenance.FieldDef{Name: "poID", Kind: provenance.KindString, Indexed: true}},
+		{"payment", provenance.FieldDef{Name: "amount", Kind: provenance.KindFloat}},
+	}
+	relations := []provenance.RelationDef{
+		{Name: "approvalFor", SourceType: "poApproval", TargetType: "purchaseOrder"},
+		{Name: "receiptFor", SourceType: "goodsReceipt", TargetType: "purchaseOrder"},
+		{Name: "invoiceFor", SourceType: "invoice", TargetType: "purchaseOrder"},
+		{Name: "paymentFor", SourceType: "payment", TargetType: "purchaseOrder"},
+		{Name: "requesterOf", SourceType: "person", TargetType: "purchaseOrder"},
+		{Name: "actor", SourceType: "person"},
+		{Name: "nextTask"},
+	}
+	for i := range types {
+		if err := m.AddType(&types[i]); err != nil {
+			return err
+		}
+	}
+	for i := range fields {
+		f := fields[i].f
+		if err := m.AddField(fields[i].typ, &f); err != nil {
+			return err
+		}
+	}
+	for i := range relations {
+		r := relations[i]
+		if err := m.AddRelation(&r); err != nil {
+			return err
+		}
+	}
+	return controls.DeclareModel(m)
+}
+
+func procurementMappings() []*events.Mapping {
+	str := provenance.KindString
+	flt := provenance.KindFloat
+	return []*events.Mapping{
+		{Name: "erp-po", Source: "erp", EventType: "po.created",
+			NodeType: "purchaseOrder", Class: provenance.ClassData, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "po", Attr: "poID", Kind: str, Required: true},
+				{PayloadKey: "amount", Attr: "amount", Kind: flt},
+				{PayloadKey: "vendor", Attr: "vendor", Kind: str},
+				{PayloadKey: "requesterEmail", Attr: "requesterEmail", Kind: str},
+			}},
+		{Name: "erp-po-task", Source: "erp", EventType: "task.po", NodeType: "poCreation",
+			Class: provenance.ClassTask, IDKey: "recordId",
+			Fields: []events.FieldMapping{{PayloadKey: "actorEmail", Attr: "actorEmail", Kind: str}}},
+		{Name: "mail-po-approval", Source: "mail", EventType: "po.approved",
+			NodeType: "poApproval", Class: provenance.ClassData, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "po", Attr: "poID", Kind: str, Required: true},
+				{PayloadKey: "approved", Attr: "approved", Kind: provenance.KindBool},
+				{PayloadKey: "approverEmail", Attr: "approverEmail", Kind: str},
+			}},
+		{Name: "wms-receipt", Source: "wms", EventType: "goods.received",
+			NodeType: "goodsReceipt", Class: provenance.ClassData, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "po", Attr: "poID", Kind: str, Required: true},
+				{PayloadKey: "quantity", Attr: "quantity", Kind: provenance.KindInt},
+			}},
+		{Name: "wms-receive-task", Source: "wms", EventType: "task.receive", NodeType: "receiving",
+			Class: provenance.ClassTask, IDKey: "recordId",
+			Fields: []events.FieldMapping{{PayloadKey: "actorEmail", Attr: "actorEmail", Kind: str}}},
+		{Name: "ap-invoice", Source: "ap", EventType: "invoice.posted",
+			NodeType: "invoice", Class: provenance.ClassData, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "po", Attr: "poID", Kind: str, Required: true},
+				{PayloadKey: "amount", Attr: "amount", Kind: flt},
+				{PayloadKey: "vendor", Attr: "vendor", Kind: str},
+			}},
+		{Name: "erp-payment", Source: "erp", EventType: "payment.released",
+			NodeType: "payment", Class: provenance.ClassData, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "po", Attr: "poID", Kind: str, Required: true},
+				{PayloadKey: "amount", Attr: "amount", Kind: flt},
+			}},
+		{Name: "erp-pay-task", Source: "erp", EventType: "task.pay", NodeType: "payRun",
+			Class: provenance.ClassTask, IDKey: "recordId",
+			Fields: []events.FieldMapping{{PayloadKey: "actorEmail", Attr: "actorEmail", Kind: str}}},
+		{Name: "directory", Source: "hrdir", EventType: "person.observed",
+			NodeType: "person", Class: provenance.ClassResource, IDKey: "recordId",
+			Fields: []events.FieldMapping{
+				{PayloadKey: "name", Attr: "name", Kind: str, Required: true},
+				{PayloadKey: "email", Attr: "email", Kind: str},
+				{PayloadKey: "role", Attr: "role", Kind: str},
+			}},
+	}
+}
+
+func procurementCorrelations() []correlate.Rule {
+	join := func(name, edge, src string) correlate.Rule {
+		return &correlate.KeyJoin{RuleName: name, EdgeType: edge,
+			SourceType: src, SourceField: "poID",
+			TargetType: "purchaseOrder", TargetField: "poID"}
+	}
+	return []correlate.Rule{
+		join("po-approval-join", "approvalFor", "poApproval"),
+		join("receipt-join", "receiptFor", "goodsReceipt"),
+		join("invoice-join", "invoiceFor", "invoice"),
+		join("payment-join", "paymentFor", "payment"),
+		&correlate.KeyJoin{RuleName: "requester-join", EdgeType: "requesterOf",
+			SourceType: "person", SourceField: "email",
+			TargetType: "purchaseOrder", TargetField: "requesterEmail"},
+		ActorRule(),
+		&correlate.TemporalOrder{RuleName: "task-order", EdgeType: "nextTask"},
+	}
+}
+
+func procurementControls() []ControlSpec {
+	return []ControlSpec{
+		{
+			ID:   "three-way-match",
+			Name: "Payments require goods receipt and invoice",
+			Text: `
+definitions
+  set 'the order' to a purchase order ;
+if
+  the payment of 'the order' does not exist
+  or ( the goods receipt of 'the order' exists
+       and the invoice of 'the order' exists )
+then
+  the internal control is satisfied ;
+else
+  the internal control is not satisfied ;
+  add alert "payment released without a complete three-way match" ;
+`,
+		},
+		{
+			ID:   "invoice-tolerance",
+			Name: "Invoices must stay within 5% of the order amount",
+			Text: `
+definitions
+  set 'the order' to a purchase order ;
+if
+  the invoice of 'the order' does not exist
+  or the invoice amount of the invoice of 'the order'
+     is at most the order amount of 'the order' * 1.05
+then
+  the internal control is satisfied ;
+else
+  the internal control is not satisfied ;
+  add alert "invoice exceeds the order amount beyond tolerance" ;
+`,
+		},
+		{
+			ID:   "po-approval",
+			Name: "Orders above 10000 require an approval",
+			Text: `
+definitions
+  set 'the order' to a purchase order ;
+if
+  the order amount of 'the order' is at most 10000
+  or the PO approval of 'the order' exists
+then
+  the internal control is satisfied ;
+else
+  the internal control is not satisfied ;
+  add alert "large order placed without approval" ;
+`,
+		},
+	}
+}
+
+var procurementEpoch = time.Date(2011, 5, 2, 8, 0, 0, 0, time.UTC)
+
+var buyers = []struct{ name, email string }{
+	{"Sam Porter", "sporter@acme.com"},
+	{"Ida Novak", "inovak@acme.com"},
+	{"Leo Park", "lpark@acme.com"},
+}
+
+func generateProcurementTrace(rng *rand.Rand, app string, seed string) []GenEvent {
+	buyer := buyers[rng.Intn(len(buyers))]
+	base := procurementEpoch.Add(time.Duration(rng.Intn(1_000_000)) * time.Second)
+	at := func(step int) time.Time { return base.Add(time.Duration(step) * time.Hour) }
+	poID := "PO-" + app
+
+	amount := 500 + rng.Float64()*19500 // 500 .. 20000
+	if seed == "skip-po-approval" {
+		amount = 10001 + rng.Float64()*9999 // force above threshold
+	}
+	large := amount > 10000
+
+	var out []GenEvent
+	emit := func(managed bool, source, etype string, step int, payload map[string]string) {
+		out = append(out, GenEvent{Managed: managed, Event: events.AppEvent{
+			Source: source, Type: etype, AppID: app, Timestamp: at(step), Payload: payload,
+		}})
+	}
+
+	emit(true, "hrdir", "person.observed", 0, map[string]string{
+		"recordId": app + "-buyer", "name": buyer.name, "email": buyer.email, "role": "Buyer",
+	})
+	emit(true, "erp", "po.created", 1, map[string]string{
+		"recordId": app + "-po", "po": poID,
+		"amount": fmt.Sprintf("%.2f", amount), "vendor": "Vendor-X",
+		"requesterEmail": buyer.email,
+	})
+	emit(true, "erp", "task.po", 1, map[string]string{
+		"recordId": app + "-t-po", "actorEmail": buyer.email,
+	})
+	if large && seed != "skip-po-approval" {
+		emit(false, "mail", "po.approved", 2, map[string]string{
+			"recordId": app + "-appr", "po": poID,
+			"approved": "true", "approverEmail": "cfo@acme.com",
+		})
+	}
+	if seed != "pay-without-receipt" {
+		emit(false, "wms", "goods.received", 5, map[string]string{
+			"recordId": app + "-gr", "po": poID,
+			"quantity": fmt.Sprintf("%d", 1+rng.Intn(100)),
+		})
+		emit(false, "wms", "task.receive", 5, map[string]string{
+			"recordId": app + "-t-recv", "actorEmail": "warehouse@acme.com",
+		})
+	}
+	invoiceAmount := amount * (0.97 + rng.Float64()*0.06) // within ±~5%
+	if seed == "invoice-overrun" {
+		invoiceAmount = amount * (1.2 + rng.Float64()*0.5)
+	}
+	emit(true, "ap", "invoice.posted", 8, map[string]string{
+		"recordId": app + "-inv", "po": poID,
+		"amount": fmt.Sprintf("%.2f", invoiceAmount), "vendor": "Vendor-X",
+	})
+	emit(true, "erp", "payment.released", 10, map[string]string{
+		"recordId": app + "-pay", "po": poID,
+		"amount": fmt.Sprintf("%.2f", invoiceAmount),
+	})
+	emit(true, "erp", "task.pay", 10, map[string]string{
+		"recordId": app + "-t-pay", "actorEmail": "ap-bot@acme.com",
+	})
+	return out
+}

@@ -1,0 +1,186 @@
+// Package workload provides the process domains the reproduction runs on:
+// complete bundles of provenance data model, recorder mappings,
+// correlation rules, business vocabulary and internal controls for three
+// partially managed business processes, plus a deterministic simulator
+// that plays process instances and emits their application events.
+//
+// The hiring domain is the paper's Fig 1 "new position open" process
+// (taken from the Lombardi user guide); procurement (three-way match) and
+// insurance claims are the additional scenarios the experiments sweep.
+//
+// The simulator models partial management explicitly: every generated
+// event is marked managed or unmanaged. Managed events come from workflow
+// systems and are always captured; unmanaged events (email approvals,
+// manual steps) are captured only with the configured visibility
+// probability — the operating regime the paper targets.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bom"
+	"repro/internal/correlate"
+	"repro/internal/events"
+	"repro/internal/provenance"
+)
+
+// ControlSpec is one internal control shipped with a domain.
+type ControlSpec struct {
+	ID   string
+	Name string
+	Text string
+}
+
+// GenEvent is one simulated application event with its management flag.
+type GenEvent struct {
+	Event events.AppEvent
+	// Managed events are emitted by workflow systems and always captured;
+	// unmanaged ones are subject to visibility loss.
+	Managed bool
+}
+
+// TraceTruth is the ground truth of one simulated trace.
+type TraceTruth struct {
+	AppID string
+	// Violation reports whether the trace genuinely violates a control.
+	Violation bool
+	// Kind names the seeded violation ("skip-approval", ...); empty for
+	// compliant traces.
+	Kind string
+	// ControlID names the control the seeded violation targets.
+	ControlID string
+}
+
+// Domain bundles one business process.
+type Domain struct {
+	// Name identifies the domain ("hiring").
+	Name string
+	// Model is the provenance data model, including the control-point
+	// declarations.
+	Model *provenance.Model
+	// Vocab is the verbalized business vocabulary.
+	Vocab *bom.Vocabulary
+	// Mappings are the recorder clients.
+	Mappings []*events.Mapping
+	// Correlations are the analytics rules that derive the graph edges.
+	Correlations []correlate.Rule
+	// Enrichers are the enrichment passes run after correlation.
+	Enrichers []correlate.Enricher
+	// Controls are the domain's internal controls in business vocabulary.
+	Controls []ControlSpec
+
+	// generate plays one process instance.
+	generate func(rng *rand.Rand, app string, seedViolation string) []GenEvent
+	// violationKinds lists the seedable violation kinds with the control
+	// each one violates.
+	violationKinds map[string]string
+}
+
+// SimOptions configures a simulation run.
+type SimOptions struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// Traces is the number of process instances to play.
+	Traces int
+	// ViolationRate is the fraction of traces seeded with a genuine
+	// violation (spread uniformly over the domain's violation kinds).
+	ViolationRate float64
+	// Visibility is the capture probability of unmanaged events; managed
+	// events are always captured. 1.0 reproduces a fully managed process.
+	Visibility float64
+	// DuplicateRate is the probability an unmanaged event is delivered
+	// twice (at-least-once capture).
+	DuplicateRate float64
+	// Reorder shuffles event delivery order within each trace; record
+	// timestamps are unaffected.
+	Reorder bool
+}
+
+// SimResult is the output of a simulation run.
+type SimResult struct {
+	// Events are the captured application events, in delivery order.
+	Events []events.AppEvent
+	// Truth maps trace IDs to their ground truth.
+	Truth map[string]TraceTruth
+	// Generated counts events before visibility loss; Dropped counts the
+	// unmanaged events that were lost.
+	Generated int
+	Dropped   int
+}
+
+// Simulate plays opts.Traces process instances and applies the
+// partial-management noise model.
+func (d *Domain) Simulate(opts SimOptions) *SimResult {
+	if opts.Visibility <= 0 {
+		opts.Visibility = 1.0
+	}
+	// Two independent streams: trace content and capture noise. This keeps
+	// the generated process instances (and the ground truth) identical
+	// across runs that differ only in the noise parameters.
+	genRng := rand.New(rand.NewSource(opts.Seed))
+	noiseRng := rand.New(rand.NewSource(opts.Seed ^ 0x5DEECE66D))
+	res := &SimResult{Truth: make(map[string]TraceTruth, opts.Traces)}
+
+	kinds := make([]string, 0, len(d.violationKinds))
+	for k := range d.violationKinds {
+		kinds = append(kinds, k)
+	}
+	// Deterministic order for the rng stream.
+	sortStrings(kinds)
+
+	for i := 0; i < opts.Traces; i++ {
+		app := fmt.Sprintf("%s-%06d", d.Name, i)
+		seed := ""
+		if len(kinds) > 0 && genRng.Float64() < opts.ViolationRate {
+			seed = kinds[genRng.Intn(len(kinds))]
+		}
+		gen := d.generate(genRng, app, seed)
+		res.Truth[app] = TraceTruth{
+			AppID:     app,
+			Violation: seed != "",
+			Kind:      seed,
+			ControlID: d.violationKinds[seed],
+		}
+		var delivered []events.AppEvent
+		for _, ge := range gen {
+			res.Generated++
+			if !ge.Managed && noiseRng.Float64() > opts.Visibility {
+				res.Dropped++
+				continue
+			}
+			delivered = append(delivered, ge.Event)
+			if !ge.Managed && opts.DuplicateRate > 0 && noiseRng.Float64() < opts.DuplicateRate {
+				delivered = append(delivered, ge.Event)
+			}
+		}
+		if opts.Reorder {
+			noiseRng.Shuffle(len(delivered), func(a, b int) {
+				delivered[a], delivered[b] = delivered[b], delivered[a]
+			})
+		}
+		res.Events = append(res.Events, delivered...)
+	}
+	return res
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ViolationKinds lists the domain's seedable violation kinds, sorted.
+func (d *Domain) ViolationKinds() []string {
+	kinds := make([]string, 0, len(d.violationKinds))
+	for k := range d.violationKinds {
+		kinds = append(kinds, k)
+	}
+	sortStrings(kinds)
+	return kinds
+}
+
+// ControlFor returns the ID of the control a violation kind targets.
+func (d *Domain) ControlFor(kind string) string { return d.violationKinds[kind] }

@@ -1,0 +1,326 @@
+package workload_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/workload"
+)
+
+func domains(t testing.TB) []*workload.Domain {
+	t.Helper()
+	var out []*workload.Domain
+	for _, build := range []func() (*workload.Domain, error){
+		workload.Hiring, workload.Procurement, workload.Claims,
+	} {
+		d, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// TestDomainsWireUp verifies every domain's model, mappings, correlations
+// and control texts are mutually consistent: core.New compiles all of them
+// against the generated vocabulary.
+func TestDomainsWireUp(t *testing.T) {
+	for _, d := range domains(t) {
+		sys, err := core.New(d, core.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if got := len(sys.Registry.List()); got != len(d.Controls) {
+			t.Errorf("%s: %d controls deployed, want %d", d.Name, got, len(d.Controls))
+		}
+		if err := sys.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	for _, d := range domains(t) {
+		opts := workload.SimOptions{Seed: 42, Traces: 25, ViolationRate: 0.3, Visibility: 0.8}
+		a := d.Simulate(opts)
+		b := d.Simulate(opts)
+		if !reflect.DeepEqual(a.Events, b.Events) {
+			t.Errorf("%s: event streams differ across identical runs", d.Name)
+		}
+		if !reflect.DeepEqual(a.Truth, b.Truth) {
+			t.Errorf("%s: truth differs across identical runs", d.Name)
+		}
+		c := d.Simulate(workload.SimOptions{Seed: 43, Traces: 25, ViolationRate: 0.3, Visibility: 0.8})
+		if reflect.DeepEqual(a.Events, c.Events) {
+			t.Errorf("%s: different seeds produced identical streams", d.Name)
+		}
+	}
+}
+
+func TestSimulateVisibilityDropsUnmanagedOnly(t *testing.T) {
+	for _, d := range domains(t) {
+		full := d.Simulate(workload.SimOptions{Seed: 7, Traces: 50, Visibility: 1.0})
+		if full.Dropped != 0 {
+			t.Errorf("%s: full visibility dropped %d events", d.Name, full.Dropped)
+		}
+		half := d.Simulate(workload.SimOptions{Seed: 7, Traces: 50, Visibility: 0.5})
+		if half.Dropped == 0 {
+			t.Errorf("%s: visibility 0.5 dropped nothing", d.Name)
+		}
+		if half.Generated != full.Generated {
+			t.Errorf("%s: generation depends on visibility", d.Name)
+		}
+		if len(half.Events) >= len(full.Events) {
+			t.Errorf("%s: dropping lost no events", d.Name)
+		}
+	}
+}
+
+func TestSimulateViolationRate(t *testing.T) {
+	d := domains(t)[0]
+	res := d.Simulate(workload.SimOptions{Seed: 1, Traces: 1000, ViolationRate: 0.3})
+	var v int
+	for _, tr := range res.Truth {
+		if tr.Violation {
+			v++
+			if tr.Kind == "" || tr.ControlID == "" {
+				t.Fatalf("violating trace lacks kind/control: %+v", tr)
+			}
+		}
+	}
+	if v < 240 || v > 360 {
+		t.Errorf("seeded violations = %d of 1000, want ~300", v)
+	}
+}
+
+// runFull ingests a simulation into a fresh system, correlates and checks.
+func runFull(t testing.TB, d *workload.Domain, res *workload.SimResult) map[string]map[string]rules.Verdict {
+	t.Helper()
+	sys, err := core.New(d, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Ingest(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CorrelateAll(); err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := sys.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := make(map[string]map[string]rules.Verdict) // app -> control -> verdict
+	for _, o := range outcomes {
+		app := o.Result.AppID
+		if verdicts[app] == nil {
+			verdicts[app] = make(map[string]rules.Verdict)
+		}
+		verdicts[app][o.ControlID] = o.Result.Verdict
+	}
+	return verdicts
+}
+
+// TestGroundTruthAtFullVisibility is the end-to-end oracle: with every
+// event captured, each control's verdict must match the seeded ground
+// truth exactly — violated on its seeded violations, satisfied elsewhere.
+func TestGroundTruthAtFullVisibility(t *testing.T) {
+	for _, d := range domains(t) {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			res := d.Simulate(workload.SimOptions{Seed: 11, Traces: 200, ViolationRate: 0.3, Visibility: 1.0})
+			verdicts := runFull(t, d, res)
+			if len(verdicts) != 200 {
+				t.Fatalf("traces checked = %d", len(verdicts))
+			}
+			for app, truth := range res.Truth {
+				for control, v := range verdicts[app] {
+					want := rules.Satisfied
+					if truth.Violation && truth.ControlID == control {
+						want = rules.Violated
+					}
+					if v != want {
+						t.Errorf("%s %s: verdict %v, want %v (truth: %+v)", app, control, v, want, truth)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReorderInvariance: correlation is key-based, so delivery order must
+// not change any verdict.
+func TestReorderInvariance(t *testing.T) {
+	for _, d := range domains(t) {
+		ordered := d.Simulate(workload.SimOptions{Seed: 5, Traces: 60, ViolationRate: 0.3, Visibility: 1.0})
+		shuffled := d.Simulate(workload.SimOptions{Seed: 5, Traces: 60, ViolationRate: 0.3, Visibility: 1.0, Reorder: true})
+		a := runFull(t, d, ordered)
+		b := runFull(t, d, shuffled)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: verdicts depend on delivery order", d.Name)
+		}
+	}
+}
+
+// TestDuplicateDelivery: at-least-once capture must not change verdicts
+// (duplicate record IDs are rejected by the store, first write wins).
+func TestDuplicateDelivery(t *testing.T) {
+	d := domains(t)[0]
+	clean := d.Simulate(workload.SimOptions{Seed: 9, Traces: 40, ViolationRate: 0.3, Visibility: 1.0})
+	dups := d.Simulate(workload.SimOptions{Seed: 9, Traces: 40, ViolationRate: 0.3, Visibility: 1.0, DuplicateRate: 0.5})
+	if len(dups.Events) <= len(clean.Events) {
+		t.Skip("no duplicates generated at this seed")
+	}
+	sys, err := core.New(d, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	// Duplicate IDs produce ingest errors; the pipeline keeps going.
+	_ = sys.Ingest(dups.Events)
+	if err := sys.CorrelateAll(); err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := sys.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		truth := dups.Truth[o.Result.AppID]
+		want := rules.Satisfied
+		if truth.Violation && truth.ControlID == o.ControlID {
+			want = rules.Violated
+		}
+		if o.Result.Verdict != want {
+			t.Errorf("%s %s: verdict %v, want %v", o.Result.AppID, o.ControlID, o.Result.Verdict, want)
+		}
+	}
+}
+
+func TestViolationKindsAccessors(t *testing.T) {
+	d := domains(t)[0]
+	kinds := d.ViolationKinds()
+	if len(kinds) != 3 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i-1] >= kinds[i] {
+			t.Fatalf("kinds not sorted: %v", kinds)
+		}
+	}
+	if d.ControlFor("skip-approval") != "gm-approval" {
+		t.Fatalf("ControlFor = %q", d.ControlFor("skip-approval"))
+	}
+}
+
+// TestLowVisibilityDegradesGracefully: at reduced visibility the system
+// must produce some non-definite verdicts or false alarms, but never crash
+// and never mislabel a fully-captured violation as satisfied.
+func TestLowVisibilityDegradesGracefully(t *testing.T) {
+	d := domains(t)[0]
+	res := d.Simulate(workload.SimOptions{Seed: 21, Traces: 150, ViolationRate: 0.3, Visibility: 0.6})
+	verdicts := runFull(t, d, res)
+	counts := map[rules.Verdict]int{}
+	for _, per := range verdicts {
+		for _, v := range per {
+			counts[v]++
+		}
+	}
+	if counts[rules.Satisfied] == 0 || counts[rules.Violated] == 0 {
+		t.Fatalf("degenerate verdict distribution: %v", counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 150*3 {
+		t.Fatalf("total verdicts = %d", total)
+	}
+}
+
+func BenchmarkSimulateHiring(b *testing.B) {
+	d, err := workload.Hiring()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := d.Simulate(workload.SimOptions{Seed: int64(i), Traces: 100, ViolationRate: 0.3})
+		if len(res.Events) == 0 {
+			b.Fatal("no events")
+		}
+	}
+}
+
+func BenchmarkEndToEndHiring(b *testing.B) {
+	d, err := workload.Hiring()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := d.Simulate(workload.SimOptions{Seed: 3, Traces: 100, ViolationRate: 0.3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.New(d, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Ingest(res.Events); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.CorrelateAll(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.CheckAll(); err != nil {
+			b.Fatal(err)
+		}
+		sys.Close()
+	}
+}
+
+func ExampleDomain() {
+	d, _ := workload.Hiring()
+	fmt.Println(d.Name, len(d.Controls))
+	// Output: hiring 3
+}
+
+// TestVisibilityMonotonicity: lowering visibility can only reduce the
+// share of decisions the rule engine settles definitely-correctly. The
+// runs are seeded, so the assertion is deterministic.
+func TestVisibilityMonotonicity(t *testing.T) {
+	d := domains(t)[0]
+	correctShare := func(vis float64) float64 {
+		res := d.Simulate(workload.SimOptions{Seed: 33, Traces: 200, ViolationRate: 0.3, Visibility: vis})
+		verdicts := runFull(t, d, res)
+		correct, total := 0, 0
+		for app, per := range verdicts {
+			truth := res.Truth[app]
+			for control, v := range per {
+				total++
+				want := rules.Satisfied
+				if truth.Violation && truth.ControlID == control {
+					want = rules.Violated
+				}
+				if v == want {
+					correct++
+				}
+			}
+		}
+		return float64(correct) / float64(total)
+	}
+	full := correctShare(1.0)
+	low := correctShare(0.5)
+	if full != 1.0 {
+		t.Fatalf("full visibility correctness = %v, want 1.0", full)
+	}
+	if low >= full {
+		t.Fatalf("low-visibility correctness %v not below full %v", low, full)
+	}
+	if low < 0.5 {
+		t.Fatalf("low-visibility correctness %v collapsed", low)
+	}
+}
