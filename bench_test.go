@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/bom"
+	"repro/internal/controls"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/provenance"
@@ -224,6 +225,111 @@ func BenchmarkE6_Continuous(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchTouchNodes resolves one updatable node per trace; re-writing it
+// emits one change-feed event that dirties the trace.
+func benchTouchNodes(b *testing.B, sys *core.System, apps []string) []*provenance.Node {
+	b.Helper()
+	touch := make([]*provenance.Node, len(apps))
+	for i, app := range apps {
+		for _, r := range sys.Store.RowsForApp(app) {
+			if n := sys.Store.Node(r.ID); n != nil {
+				touch[i] = n
+				break
+			}
+		}
+		if touch[i] == nil {
+			b.Fatalf("no touchable node for %s", app)
+		}
+	}
+	return touch
+}
+
+// BenchmarkE6b_ContinuousParallel measures the sharded continuous-checking
+// engine against the serial baseline on the E6 workload: an event stream
+// touching every trace of a loaded hiring store in bursts, each event
+// demanding an eventually up-to-date verdict for its trace.
+//
+//   - serial: the seed's single-goroutine Checker semantics — every event
+//     triggers a full re-check of its trace, one at a time, no
+//     coalescing, no cache.
+//   - engine/workers=N: the sharded engine fed the identical stream — N
+//     hash-sharded workers with dirty-set coalescing — measured to
+//     quiescence (every trace's final state checked). The result cache is
+//     disabled so both variants pay full evaluation cost per check; the
+//     win measured here is coalescing plus cross-trace parallelism.
+//   - feed/workers=N: the full production stack for context — the same
+//     events as real store writes flowing through the change feed, result
+//     cache live. Write cost dominates this variant; it bounds end-to-end
+//     ingest throughput rather than checking throughput.
+func BenchmarkE6b_ContinuousParallel(b *testing.B) {
+	d := mustHiring(b)
+	const traces = 256
+	const burst = 4 // events per trace per round
+
+	b.Run("serial", func(b *testing.B) {
+		sys, _ := loadedSystem(b, d, traces, core.Config{DisableCheckCache: true})
+		apps := sys.Store.AppIDs()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, app := range apps {
+				for k := 0; k < burst; k++ {
+					if _, err := sys.Registry.Check(app); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(traces*burst*b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("engine/workers=%d", w), func(b *testing.B) {
+			sys, _ := loadedSystem(b, d, traces, core.Config{DisableCheckCache: true})
+			apps := sys.Store.AppIDs()
+			ch := controls.NewCheckerOpts(sys.Registry, nil, controls.CheckerOptions{Workers: w})
+			ch.Start()
+			defer ch.Stop()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, app := range apps {
+					for k := 0; k < burst; k++ {
+						ch.MarkDirty(app)
+					}
+				}
+				ch.WaitFor(sys.Store.Stats().Seq)
+			}
+			b.ReportMetric(float64(traces*burst*b.N)/b.Elapsed().Seconds(), "events/s")
+			st := ch.Stats()
+			b.ReportMetric(float64(st.ChecksRun)/float64(b.N), "checks/round")
+		})
+	}
+
+	b.Run("feed/workers=4", func(b *testing.B) {
+		sys, _ := loadedSystem(b, d, traces, core.Config{})
+		apps := sys.Store.AppIDs()
+		touch := benchTouchNodes(b, sys, apps)
+		ch := controls.NewCheckerOpts(sys.Registry, nil, controls.CheckerOptions{Workers: 4})
+		ch.Start()
+		defer ch.Stop()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, n := range touch {
+				for k := 0; k < burst; k++ {
+					if err := sys.Store.UpdateNode(n); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			ch.WaitFor(sys.Store.Stats().Seq)
+		}
+		b.ReportMetric(float64(traces*burst*b.N)/b.Elapsed().Seconds(), "events/s")
+	})
 }
 
 // BenchmarkE7_VocabScale measures compiling the paper control against a

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	provd -domain hiring -addr :8341 [-dir /var/lib/provd] [-continuous] [-materialize]
+//	provd -domain hiring -addr :8341 [-dir /var/lib/provd] [-continuous] [-materialize] [-workers N]
 //
 // Endpoints:
 //
@@ -40,6 +40,7 @@ func main() {
 	dir := flag.String("dir", "", "store directory (empty = in-memory)")
 	continuous := flag.Bool("continuous", false, "correlate and check incrementally on the change feed")
 	materialize := flag.Bool("materialize", false, "materialize control points into the graph (Fig 2)")
+	workers := flag.Int("workers", 0, "continuous-checking shard workers and CheckAll fan-out (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	domain, err := buildDomain(*domainName)
@@ -48,6 +49,7 @@ func main() {
 	}
 	sys, err := core.New(domain, core.Config{
 		Dir: *dir, Continuous: *continuous, Materialize: *materialize,
+		Workers: *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,7 +1,10 @@
 package controls
 
 import (
+	"hash/fnv"
+	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/store"
 )
@@ -9,57 +12,264 @@ import (
 // Checker runs continuous compliance checking (the paper's future-work
 // item, experiment E6): it subscribes to the store's change feed and
 // re-evaluates the registered controls for every trace a new record
-// touches. Its own materialized control nodes and checks edges are
-// filtered out to avoid feedback.
+// touches.
+//
+// The engine is sharded: a dispatcher goroutine routes each change-feed
+// event to one of CheckerOptions.Workers workers by hashing the trace ID,
+// so checks of the same trace always run on the same worker in order
+// (per-trace ordering preserved) while different traces check in parallel.
+// Each worker keeps a dirty set — a burst of N events on one trace
+// collapses into a single re-check of the final state instead of N — and
+// the registry's result cache skips traces whose version has not moved.
+// Its own materialized control nodes and checks edges are filtered out of
+// the feed to avoid feedback.
 type Checker struct {
-	reg *Registry
+	reg      *Registry
+	onResult func([]*Outcome)
+	opts     CheckerOptions
 
 	mu       sync.Mutex
-	outcomes []*Outcome
-	checked  int
-	onResult func([]*Outcome)
+	cond     *sync.Cond // broadcast whenever pending/lastSeq move
+	running  bool
+	sub      *store.Subscription
+	done     chan struct{} // closed when the dispatcher exits
+	workers  []*ckWorker
+	wg       *sync.WaitGroup
+	latest   []*Outcome
+	pending  int    // dirty traces queued or being checked
+	lastSeq  uint64 // highest feed sequence the dispatcher has routed
+	startAt  time.Time
+	busy     time.Duration // accumulated worker check time since Start
 
-	sub  *store.Subscription
-	done chan struct{}
+	stats     CheckerStats
+	traceErrs map[string]string
 }
 
-// NewChecker builds a continuous checker over a registry. onResult, when
-// non-nil, receives the outcomes of every re-check (the dashboard hook).
+// CheckerOptions tunes the continuous engine.
+type CheckerOptions struct {
+	// Workers is the number of shard workers. Traces hash onto workers,
+	// so this bounds cross-trace parallelism; per-trace order is always
+	// serial. Zero or negative means GOMAXPROCS.
+	Workers int
+}
+
+// CheckerStats is a snapshot of the engine's counters. All counters are
+// cumulative across Start/Stop cycles.
+type CheckerStats struct {
+	// Workers is the configured shard count (resolved, never zero).
+	Workers int
+	// EventsSeen counts change-feed events the dispatcher consumed,
+	// including filtered self-writes.
+	EventsSeen uint64
+	// ChecksRun counts trace re-checks executed by the workers.
+	ChecksRun uint64
+	// Coalesced counts events that were absorbed into an already-pending
+	// re-check of the same trace instead of scheduling another one.
+	Coalesced uint64
+	// Errors counts failed re-checks (reg.Check returned an error).
+	Errors uint64
+	// CacheHits / CacheMisses mirror the registry's incremental result
+	// cache counters (shared with batch CheckAll calls).
+	CacheHits   uint64
+	CacheMisses uint64
+	// QueueDepth is the number of dirty traces awaiting or undergoing a
+	// re-check right now.
+	QueueDepth int
+	// FeedDepth is the change-feed backlog behind the dispatcher, and
+	// FeedMaxDepth its high-water mark — the backpressure signals.
+	FeedDepth    int
+	FeedMaxDepth int
+	// Utilization is the fraction of worker capacity spent checking since
+	// Start (1.0 = all workers busy the whole time). Zero when stopped.
+	Utilization float64
+	// LastError is the most recent re-check error, empty when none.
+	LastError string
+	// TraceErrors maps trace ID to its most recent re-check error; a
+	// subsequent successful re-check clears the trace's entry.
+	TraceErrors map[string]string
+}
+
+// ckWorker is one shard: a FIFO of dirty traces plus membership set.
+type ckWorker struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []string
+	dirty  map[string]bool
+	closed bool
+}
+
+func newCkWorker() *ckWorker {
+	w := &ckWorker{dirty: make(map[string]bool)}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// mark flags a trace dirty. It reports whether the trace was newly dirty
+// (false means the event coalesced into an already-pending re-check).
+func (w *ckWorker) mark(app string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	if w.dirty[app] {
+		return false
+	}
+	w.dirty[app] = true
+	w.queue = append(w.queue, app)
+	w.cond.Signal()
+	return true
+}
+
+// next blocks until a dirty trace is available and claims it. The second
+// result is false once the worker is closed and drained. Claiming removes
+// the trace from the dirty set, so events arriving during the re-check
+// re-mark it — the final state of a trace is never lost to coalescing.
+func (w *ckWorker) next() (string, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.queue) == 0 && !w.closed {
+		w.cond.Wait()
+	}
+	if len(w.queue) == 0 {
+		return "", false
+	}
+	app := w.queue[0]
+	w.queue = w.queue[1:]
+	delete(w.dirty, app)
+	return app, true
+}
+
+// close stops the worker after it drains its queue.
+func (w *ckWorker) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// NewChecker builds a continuous checker over a registry with default
+// options. onResult, when non-nil, receives the outcomes of every
+// re-check (the dashboard hook); it runs on worker goroutines, one trace
+// at a time per worker.
 func NewChecker(reg *Registry, onResult func([]*Outcome)) *Checker {
-	return &Checker{reg: reg, onResult: onResult}
+	return NewCheckerOpts(reg, onResult, CheckerOptions{})
 }
 
-// Start begins consuming the change feed. Call Stop to end.
+// NewCheckerOpts builds a continuous checker with explicit options.
+func NewCheckerOpts(reg *Registry, onResult func([]*Outcome), opts CheckerOptions) *Checker {
+	c := &Checker{reg: reg, onResult: onResult, opts: opts, traceErrs: make(map[string]string)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Start begins consuming the change feed. It is idempotent while running,
+// safe to call concurrently, and safe to call again after Stop — the
+// engine restarts cleanly on a fresh subscription.
 func (c *Checker) Start() {
-	if c.sub != nil {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.running {
 		return
 	}
+	n := c.opts.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	c.running = true
+	c.stats.Workers = n
 	c.sub = c.reg.st.Subscribe()
+	// Events committed before this subscription are invisible, so the
+	// quiescence watermark starts at the store's current sequence.
+	c.lastSeq = c.reg.st.Stats().Seq
+	c.startAt = time.Now()
+	c.busy = 0
 	c.done = make(chan struct{})
-	go func() {
-		defer close(c.done)
-		for ev := range c.sub.C() {
-			if c.isOwnWrite(ev) {
-				continue
-			}
-			app := ev.AppID()
-			if app == "" {
-				continue
-			}
-			outcomes, err := c.reg.Check(app)
-			if err != nil {
-				continue // best-effort; the next event retries the trace
-			}
-			c.mu.Lock()
-			c.checked++
-			c.outcomes = outcomes
-			cb := c.onResult
-			c.mu.Unlock()
-			if cb != nil {
-				cb(outcomes)
+	c.workers = make([]*ckWorker, n)
+	c.wg = &sync.WaitGroup{}
+	for i := range c.workers {
+		c.workers[i] = newCkWorker()
+		c.wg.Add(1)
+		go c.runWorker(c.workers[i])
+	}
+	go c.dispatch(c.sub, c.workers, c.done)
+}
+
+// dispatch routes feed events to shard workers until the feed closes,
+// then closes the workers so they drain and exit.
+func (c *Checker) dispatch(sub *store.Subscription, workers []*ckWorker, done chan struct{}) {
+	defer close(done)
+	for ev := range sub.C() {
+		routed := false
+		fresh := false
+		app := ev.AppID()
+		if app != "" && !c.isOwnWrite(ev) {
+			routed = true
+			fresh = workers[traceShard(app, len(workers))].mark(app)
+		}
+		c.mu.Lock()
+		c.stats.EventsSeen++
+		if routed {
+			if fresh {
+				c.pending++
+			} else {
+				c.stats.Coalesced++
 			}
 		}
-	}()
+		if ev.Seq > c.lastSeq {
+			c.lastSeq = ev.Seq
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+	for _, w := range workers {
+		w.close()
+	}
+}
+
+// runWorker re-checks dirty traces until the worker is closed and
+// drained.
+func (c *Checker) runWorker(w *ckWorker) {
+	defer c.wg.Done()
+	for {
+		app, ok := w.next()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		outcomes, err := c.reg.Check(app)
+		elapsed := time.Since(start)
+
+		c.mu.Lock()
+		c.stats.ChecksRun++
+		c.busy += elapsed
+		if err != nil {
+			c.stats.Errors++
+			c.stats.LastError = err.Error()
+			c.traceErrs[app] = err.Error()
+		} else {
+			delete(c.traceErrs, app)
+			c.latest = outcomes
+		}
+		cb := c.onResult
+		c.mu.Unlock()
+
+		if err == nil && cb != nil {
+			cb(outcomes)
+		}
+
+		c.mu.Lock()
+		c.pending--
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// traceShard hashes a trace ID onto a worker index.
+func traceShard(appID string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(appID))
+	return int(h.Sum32() % uint32(n))
 }
 
 // isOwnWrite filters materialization records out of the feed.
@@ -73,27 +283,101 @@ func (c *Checker) isOwnWrite(ev store.Event) bool {
 	return false
 }
 
-// Stop ends continuous checking and drains the worker.
+// Stop ends continuous checking and drains the dispatcher and every
+// worker. Idempotent; Start may be called again afterwards.
 func (c *Checker) Stop() {
-	if c.sub == nil {
+	c.mu.Lock()
+	if !c.running || c.sub == nil {
+		c.mu.Unlock()
 		return
 	}
-	c.sub.Cancel()
-	<-c.done
-	c.sub = nil
+	sub, done, wg := c.sub, c.done, c.wg
+	c.sub = nil // claimed: a concurrent Stop returns above
+	c.mu.Unlock()
+
+	sub.Cancel() // feed closes after delivering queued events
+	<-done       // dispatcher exited and closed the workers
+	wg.Wait()    // workers drained their queues
+
+	c.mu.Lock()
+	c.running = false
 	c.done = nil
+	c.workers = nil
+	c.wg = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// MarkDirty schedules a re-check of one trace exactly as if a change-feed
+// event had touched it, without requiring a store write: the manual kick
+// for out-of-band changes (vocabulary edits, evaluator hot-swaps) and the
+// hook benchmarks use to drive the engine with a synthetic event stream.
+// No-op while the engine is stopped.
+func (c *Checker) MarkDirty(appID string) {
+	c.mu.Lock()
+	if !c.running || len(c.workers) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	workers := c.workers
+	c.mu.Unlock()
+	fresh := workers[traceShard(appID, len(workers))].mark(appID)
+	c.mu.Lock()
+	c.stats.EventsSeen++
+	if fresh {
+		c.pending++
+	} else {
+		c.stats.Coalesced++
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// WaitFor blocks until the engine has consumed every change-feed event up
+// to seq (a store sequence number, e.g. Store.Stats().Seq after a batch
+// of writes) and no re-check is queued or in flight — the quiescence
+// barrier tests and benchmarks use. Returns immediately when stopped.
+func (c *Checker) WaitFor(seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.running && (c.lastSeq < seq || c.pending > 0) {
+		c.cond.Wait()
+	}
 }
 
 // Checked reports how many re-checks have run.
 func (c *Checker) Checked() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.checked
+	return int(c.stats.ChecksRun)
 }
 
-// Latest returns the outcomes of the most recent re-check.
+// Latest returns the outcomes of the most recent successful re-check.
 func (c *Checker) Latest() []*Outcome {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.outcomes
+	return c.latest
+}
+
+// Stats returns a snapshot of the engine counters.
+func (c *Checker) Stats() CheckerStats {
+	cache := c.reg.CacheStats()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.CacheHits = cache.Hits
+	s.CacheMisses = cache.Misses
+	s.QueueDepth = c.pending
+	if c.running && c.sub != nil {
+		s.FeedDepth = c.sub.Depth()
+		s.FeedMaxDepth = c.sub.MaxDepth()
+		if elapsed := time.Since(c.startAt); elapsed > 0 && s.Workers > 0 {
+			s.Utilization = float64(c.busy) / (float64(elapsed) * float64(s.Workers))
+		}
+	}
+	s.TraceErrors = make(map[string]string, len(c.traceErrs))
+	for k, v := range c.traceErrs {
+		s.TraceErrors[k] = v
+	}
+	return s
 }

@@ -9,8 +9,11 @@ package controls
 
 import (
 	"fmt"
+	"hash/fnv"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bom"
 	"repro/internal/provenance"
@@ -80,6 +83,37 @@ type Options struct {
 	// Materialize controls whether Check writes control-point custom nodes
 	// and checks edges into the store (Fig 2). Off, checking is read-only.
 	Materialize bool
+	// DisableCache turns off the incremental result cache. On (the
+	// default), Check skips re-evaluation entirely when neither the trace
+	// nor the deployed control set changed since the last check.
+	DisableCache bool
+	// CheckWorkers is the fan-out width CheckAll uses across traces.
+	// Zero or negative means GOMAXPROCS.
+	CheckWorkers int
+}
+
+// matStripes is the number of per-trace materialization locks; traces
+// hash onto stripes so concurrent checks of different traces materialize
+// in parallel while two checks of the same trace never interleave their
+// read-modify-write of the Fig-2 subgraph.
+const matStripes = 64
+
+// CacheStats summarizes the incremental result cache.
+type CacheStats struct {
+	// Hits counts Check calls answered from cache without re-evaluation.
+	Hits uint64
+	// Misses counts Check calls that had to re-evaluate the trace.
+	Misses uint64
+	// Entries is the number of traces with a cached result.
+	Entries int
+}
+
+// cacheEntry is one cached per-trace result: the outcomes of evaluating
+// every deployed control at one (trace version, registry generation).
+type cacheEntry struct {
+	version  uint64 // store trace version at evaluation time
+	gen      uint64 // registry generation at evaluation time
+	outcomes []*Outcome
 }
 
 // Registry holds the deployed control points of one store.
@@ -92,6 +126,14 @@ type Registry struct {
 	controls map[string]*ControlPoint
 	order    []string
 	matSeq   int
+	gen      uint64 // bumped on every Deploy/Remove; invalidates the cache
+
+	cacheMu     sync.Mutex
+	cache       map[string]*cacheEntry // appID -> last evaluation
+	cacheHits   uint64
+	cacheMisses uint64
+
+	matMu [matStripes]sync.Mutex
 }
 
 // NewRegistry builds an empty registry over the store and vocabulary.
@@ -110,6 +152,7 @@ func NewRegistry(st *store.Store, vocab *bom.Vocabulary, opts Options) (*Registr
 	return &Registry{
 		st: st, vocab: vocab, opts: opts,
 		controls: make(map[string]*ControlPoint),
+		cache:    make(map[string]*cacheEntry),
 	}, nil
 }
 
@@ -152,6 +195,7 @@ func (r *Registry) DeployEvaluator(id, name string, ev Evaluator, text string) (
 		r.order = append(r.order, id)
 	}
 	r.controls[id] = cp
+	r.gen++ // cached results predate this control set
 	return cp, nil
 }
 
@@ -169,6 +213,7 @@ func (r *Registry) Remove(id string) error {
 			break
 		}
 	}
+	r.gen++ // cached results predate this control set
 	return nil
 }
 
@@ -192,18 +237,37 @@ func (r *Registry) List() []*ControlPoint {
 
 // Check evaluates every deployed control against one trace, materializing
 // outcomes when configured. Outcomes are ordered by deployment order.
+//
+// Results are cached per trace, keyed by (trace version, registry
+// generation): when neither the trace nor the deployed control set has
+// changed since the last evaluation, the cached outcomes are returned
+// without touching the graph. Any node or edge write to the trace bumps
+// its store version and forces a re-check; any Deploy or Remove bumps the
+// registry generation and invalidates everything.
 func (r *Registry) Check(appID string) ([]*Outcome, error) {
 	r.mu.RLock()
 	cps := make([]*ControlPoint, 0, len(r.order))
 	for _, id := range r.order {
 		cps = append(cps, r.controls[id])
 	}
+	gen := r.gen
 	r.mu.RUnlock()
 
+	if !r.opts.DisableCache {
+		if out, ok := r.cached(appID, gen); ok {
+			return out, nil
+		}
+	}
+
+	var version uint64
 	outcomes := make([]*Outcome, 0, len(cps))
-	err := r.st.View(func(g *provenance.Graph) error {
+	err := r.st.ViewTrace(appID, func(g *provenance.Graph, v uint64) error {
+		version = v
 		for _, cp := range cps {
-			res := cp.compiled.Evaluate(g, appID)
+			res, err := safeEvaluate(cp, g, appID)
+			if err != nil {
+				return err
+			}
 			outcomes = append(outcomes, &Outcome{
 				ControlID: cp.ID, Name: cp.Name, Version: cp.Version, Result: res,
 			})
@@ -213,7 +277,16 @@ func (r *Registry) Check(appID string) ([]*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !r.opts.DisableCache {
+		r.remember(appID, gen, version, outcomes)
+	}
 	if r.opts.Materialize {
+		// Serialize materialization per trace: the read-modify-write of the
+		// Fig-2 subgraph is not atomic, and two interleaved checks of the
+		// same trace could otherwise double-insert checks edges.
+		lock := &r.matMu[traceStripe(appID)]
+		lock.Lock()
+		defer lock.Unlock()
 		for _, o := range outcomes {
 			if err := r.materialize(o); err != nil {
 				return outcomes, err
@@ -223,17 +296,117 @@ func (r *Registry) Check(appID string) ([]*Outcome, error) {
 	return outcomes, nil
 }
 
-// CheckAll evaluates every control against every trace.
-func (r *Registry) CheckAll() ([]*Outcome, error) {
-	var out []*Outcome
-	for _, app := range r.st.AppIDs() {
-		res, err := r.Check(app)
-		if err != nil {
-			return out, err
+// safeEvaluate runs one evaluator, converting a panic into an error: a
+// misbehaving control must surface in the checker's error stats, not take
+// down the continuous engine (or the daemon hosting it).
+func safeEvaluate(cp *ControlPoint, g *provenance.Graph, appID string) (res *rules.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("controls: %s panicked evaluating %s: %v", cp.ID, appID, p)
 		}
-		out = append(out, res...)
+	}()
+	return cp.compiled.Evaluate(g, appID), nil
+}
+
+// cached returns the memoized outcomes for a trace when they are still
+// current: same registry generation and same store trace version.
+func (r *Registry) cached(appID string, gen uint64) ([]*Outcome, bool) {
+	ver := r.st.TraceVersion(appID)
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	e := r.cache[appID]
+	if e == nil || e.gen != gen || e.version != ver {
+		r.cacheMisses++
+		return nil, false
 	}
-	return out, nil
+	r.cacheHits++
+	// Copy the slice header so callers appending to the result do not
+	// alias the cache.
+	return append([]*Outcome(nil), e.outcomes...), true
+}
+
+// remember stores a trace's outcomes, never replacing a newer entry with
+// an older one (two concurrent checks may finish out of order).
+func (r *Registry) remember(appID string, gen, version uint64, outcomes []*Outcome) {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	if e := r.cache[appID]; e != nil && e.gen == gen && e.version > version {
+		return
+	}
+	r.cache[appID] = &cacheEntry{version: version, gen: gen, outcomes: outcomes}
+}
+
+// CacheStats returns a snapshot of the incremental result cache counters.
+func (r *Registry) CacheStats() CacheStats {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	return CacheStats{Hits: r.cacheHits, Misses: r.cacheMisses, Entries: len(r.cache)}
+}
+
+// traceStripe hashes a trace ID onto a materialization lock stripe.
+func traceStripe(appID string) int {
+	h := fnv.New32a()
+	h.Write([]byte(appID))
+	return int(h.Sum32() % matStripes)
+}
+
+// CheckAll evaluates every control against every trace, fanning out
+// across Options.CheckWorkers goroutines (GOMAXPROCS by default).
+// Outcomes keep the deterministic serial order — traces sorted, controls
+// in deployment order — regardless of which worker checked what.
+func (r *Registry) CheckAll() ([]*Outcome, error) {
+	apps := r.st.AppIDs()
+	workers := r.opts.CheckWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(apps) {
+		workers = len(apps)
+	}
+	if workers <= 1 {
+		var out []*Outcome
+		for _, app := range apps {
+			res, err := r.Check(app)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, res...)
+		}
+		return out, nil
+	}
+
+	results := make([][]*Outcome, len(apps))
+	errs := make([]error, len(apps))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(apps) {
+					return
+				}
+				results[i], errs[i] = r.Check(apps[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	var out []*Outcome
+	var firstErr error
+	for i := range apps {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		out = append(out, results[i]...)
+	}
+	return out, firstErr
 }
 
 // materialize writes the Fig-2 subgraph for one outcome: a controlPoint
@@ -250,9 +423,14 @@ func (r *Registry) materialize(o *Outcome) error {
 			"version":   provenance.Int(int64(o.Version)),
 		},
 	}
-	exists := r.st.Node(nodeID) != nil
-	if exists {
-		if err := r.st.UpdateNode(node); err != nil {
+	// Skip the write when the materialized node already carries exactly
+	// this verdict: re-checks of unchanged traces then leave the store
+	// untouched, which keeps the trace version stable and lets the result
+	// cache converge instead of invalidating itself with its own writes.
+	if prev := r.st.Node(nodeID); prev != nil {
+		if sameControlAttrs(prev, node) {
+			// fall through to edge reconciliation only
+		} else if err := r.st.UpdateNode(node); err != nil {
 			return fmt.Errorf("controls: materialize %s: %v", nodeID, err)
 		}
 	} else {
@@ -291,4 +469,18 @@ func (r *Registry) materialize(o *Outcome) error {
 		}
 	}
 	return nil
+}
+
+// sameControlAttrs reports whether a materialized control node already
+// carries the attributes the new outcome would write.
+func sameControlAttrs(prev, next *provenance.Node) bool {
+	if len(prev.Attrs) != len(next.Attrs) {
+		return false
+	}
+	for k, v := range next.Attrs {
+		if !prev.Attr(k).Equal(v) {
+			return false
+		}
+	}
+	return true
 }

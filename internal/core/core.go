@@ -41,6 +41,12 @@ type Config struct {
 	// Continuous starts incremental correlation and continuous compliance
 	// checking on the change feed.
 	Continuous bool
+	// Workers is the shard count of the continuous checking engine and
+	// the fan-out width of batch CheckAll (0 = GOMAXPROCS).
+	Workers int
+	// DisableCheckCache turns off the incremental compliance result cache
+	// (used by ablation benchmarks; leave off in production).
+	DisableCheckCache bool
 	// MaxViolations caps the dashboard violation feed (0 = default).
 	MaxViolations int
 }
@@ -94,7 +100,9 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 		}
 	}
 	if sys.Registry, err = controls.NewRegistry(st, d.Vocab, controls.Options{
-		Materialize: cfg.Materialize,
+		Materialize:  cfg.Materialize,
+		CheckWorkers: cfg.Workers,
+		DisableCache: cfg.DisableCheckCache,
 	}); err != nil {
 		return fail(err)
 	}
@@ -115,9 +123,9 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 	if sys.Query, err = query.NewEngine(st); err != nil {
 		return fail(err)
 	}
-	sys.Checker = controls.NewChecker(sys.Registry, func(out []*controls.Outcome) {
+	sys.Checker = controls.NewCheckerOpts(sys.Registry, func(out []*controls.Outcome) {
 		sys.Board.Record(out)
-	})
+	}, controls.CheckerOptions{Workers: cfg.Workers})
 	if cfg.Continuous {
 		sys.Correlator.Start()
 		sys.Checker.Start()

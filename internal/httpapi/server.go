@@ -368,12 +368,14 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleStats returns store and pipeline statistics.
+// handleStats returns store, pipeline and continuous-checking statistics.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"store":     s.sys.Store.Stats(),
 		"pipeline":  s.sys.Pipeline.Stats(),
 		"correlate": s.sys.Correlator.Stats(),
+		"checker":   s.sys.Checker.Stats(),
+		"cache":     s.sys.Registry.CacheStats(),
 		"domain":    s.sys.Domain.Name,
 		"traces":    len(s.sys.Store.AppIDs()),
 	})

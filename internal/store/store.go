@@ -33,12 +33,13 @@ type Options struct {
 type Store struct {
 	opts Options
 
-	mu     sync.RWMutex
-	graph  *provenance.Graph
-	rows   map[string]Row // record ID -> current row
-	idx    *indexSet
-	seq    uint64
-	closed bool
+	mu       sync.RWMutex
+	graph    *provenance.Graph
+	rows     map[string]Row // record ID -> current row
+	idx      *indexSet
+	seq      uint64
+	traceVer map[string]uint64 // appID -> monotonic trace version
+	closed   bool
 
 	logMu sync.Mutex // serializes log appends and compaction
 	log   *logWriter
@@ -56,11 +57,12 @@ func Open(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: Options.Model is required")
 	}
 	s := &Store{
-		opts:  opts,
-		graph: provenance.NewGraph(),
-		rows:  make(map[string]Row),
-		idx:   newIndexSet(),
-		subs:  make(map[int]*Subscription),
+		opts:     opts,
+		graph:    provenance.NewGraph(),
+		rows:     make(map[string]Row),
+		idx:      newIndexSet(),
+		traceVer: make(map[string]uint64),
+		subs:     make(map[int]*Subscription),
 	}
 	if opts.Model != nil && !opts.DisableIndexes {
 		for _, tf := range opts.Model.IndexedFields() {
@@ -231,12 +233,21 @@ func (s *Store) applyEntry(e entry, notify bool) error {
 	s.rows[e.row.ID] = e.row
 	s.seq++
 	seq := s.seq
+	// Every mutating commit bumps the touched trace's monotonic version:
+	// the continuous-checking cache keys results by it, so "unchanged
+	// trace" is decidable without comparing graphs. Replay bumps too, so a
+	// recovered store reports the same versions the writer saw.
+	var ver uint64
+	if app := e.row.AppID; app != "" {
+		s.traceVer[app]++
+		ver = s.traceVer[app]
+	}
 	if notify {
 		// Publish before releasing the state lock so subscribers observe
 		// events in exactly commit order. Enqueueing is non-blocking (the
 		// subscription queue is unbounded) and the subscription locks are
 		// leaves, so no cycle is possible.
-		ev := Event{Seq: seq}
+		ev := Event{Seq: seq, TraceVersion: ver}
 		switch e.op {
 		case opPutNode:
 			ev.Kind = EventNode
@@ -260,6 +271,26 @@ func (s *Store) View(fn func(g *provenance.Graph) error) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return fn(s.graph)
+}
+
+// TraceVersion returns the monotonic version of one trace: the number of
+// mutating commits (node puts, updates, edge puts) that touched it. Zero
+// means the trace has never been written. Versions strictly increase with
+// every commit to the trace, so equal versions imply an unchanged trace.
+func (s *Store) TraceVersion(appID string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.traceVer[appID]
+}
+
+// ViewTrace runs fn with read access to the graph together with the
+// current version of one trace, observed atomically under the same lock.
+// Use it when a computation over the trace must be tagged with the exact
+// version it saw (the continuous-checking result cache).
+func (s *Store) ViewTrace(appID string, fn func(g *provenance.Graph, version uint64) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return fn(s.graph, s.traceVer[appID])
 }
 
 // Node returns a copy of the node record, or nil when absent.

@@ -1,0 +1,255 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/provenance"
+)
+
+// TestTraceVersionMonotonic checks the core invariant: every mutating
+// commit bumps the touched trace's version by exactly one, failed commits
+// leave it alone, and other traces never move.
+func TestTraceVersionMonotonic(t *testing.T) {
+	s := memStore(t)
+	if got := s.TraceVersion("A"); got != 0 {
+		t.Fatalf("fresh trace version = %d, want 0", got)
+	}
+	if err := s.PutNode(mkReq("r1", "A", "REQ1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutNode(mkPerson("p1", "A", "Joe")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutEdge(mkSubmitter("e1", "A", "p1", "r1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TraceVersion("A"); got != 3 {
+		t.Fatalf("version after 3 commits = %d, want 3", got)
+	}
+	if err := s.PutNode(mkReq("r2", "B", "REQ2")); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := s.TraceVersion("A"), s.TraceVersion("B"); a != 3 || b != 1 {
+		t.Fatalf("versions A=%d B=%d, want 3 and 1", a, b)
+	}
+	if err := s.UpdateNode(mkReq("r1", "A", "REQ1-v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TraceVersion("A"); got != 4 {
+		t.Fatalf("version after update = %d, want 4", got)
+	}
+	// A rejected commit (duplicate node ID) must not advance the version.
+	if err := s.PutNode(mkReq("r1", "A", "dup")); err == nil {
+		t.Fatal("duplicate PutNode accepted")
+	}
+	if got := s.TraceVersion("A"); got != 4 {
+		t.Fatalf("version after failed commit = %d, want 4", got)
+	}
+}
+
+// TestTraceVersionRecovery proves replay reproduces the versions the
+// writer observed: a recovered store answers TraceVersion identically.
+func TestTraceVersionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Model: testModel(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		app := fmt.Sprintf("A%d", i%2)
+		if err := s.PutNode(mkReq(fmt.Sprintf("n%d", i), app, fmt.Sprintf("R%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := map[string]uint64{"A0": s.TraceVersion("A0"), "A1": s.TraceVersion("A1")}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Options{Dir: dir, Model: testModel(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for app, v := range want {
+		if got := s2.TraceVersion(app); got != v {
+			t.Fatalf("recovered version %s = %d, want %d", app, got, v)
+		}
+	}
+}
+
+// TestEventCarriesTraceVersion checks the change feed reports the
+// post-commit version of the touched trace on every event.
+func TestEventCarriesTraceVersion(t *testing.T) {
+	s := memStore(t)
+	sub := s.Subscribe()
+	if err := s.PutNode(mkReq("r1", "A", "R1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutNode(mkReq("r2", "B", "R2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutNode(mkPerson("p1", "A", "Joe")); err != nil {
+		t.Fatal(err)
+	}
+	sub.Cancel()
+	want := []struct {
+		app string
+		ver uint64
+	}{{"A", 1}, {"B", 1}, {"A", 2}}
+	i := 0
+	for ev := range sub.C() {
+		if i >= len(want) {
+			t.Fatalf("extra event %+v", ev)
+		}
+		if ev.AppID() != want[i].app || ev.TraceVersion != want[i].ver {
+			t.Fatalf("event %d = (%s, v%d), want (%s, v%d)",
+				i, ev.AppID(), ev.TraceVersion, want[i].app, want[i].ver)
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("saw %d events, want %d", i, len(want))
+	}
+}
+
+// TestViewTraceAtomicSnapshot checks ViewTrace hands the callback the
+// version that matches the graph it sees.
+func TestViewTraceAtomicSnapshot(t *testing.T) {
+	s := memStore(t)
+	if err := s.PutNode(mkReq("r1", "A", "R1")); err != nil {
+		t.Fatal(err)
+	}
+	err := s.ViewTrace("A", func(g *provenance.Graph, v uint64) error {
+		if v != 1 {
+			return fmt.Errorf("version in view = %d, want 1", v)
+		}
+		if g.Node("r1") == nil {
+			return fmt.Errorf("graph missing r1 at version 1")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubscriptionDepth exercises the backpressure counters: a consumer
+// that stops reading accumulates queue depth, and draining returns the
+// depth to zero while the high-water mark sticks.
+func TestSubscriptionDepth(t *testing.T) {
+	s := memStore(t)
+	sub := s.Subscribe()
+	if err := s.PutNode(mkReq("r0", "A", "R0")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the pump has the first event in flight (blocked on the
+	// unread channel), so later writes pile up in the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for sub.Depth() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("pump never picked up the first event")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := s.PutNode(mkReq(fmt.Sprintf("r%d", i), "A", fmt.Sprintf("R%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := sub.Depth(); d < 5 {
+		t.Fatalf("Depth = %d with 5 unconsumed writes, want >= 5", d)
+	}
+	if m := sub.MaxDepth(); m < 5 {
+		t.Fatalf("MaxDepth = %d, want >= 5", m)
+	}
+	sub.Cancel()
+	n := 0
+	for range sub.C() {
+		n++
+	}
+	if n != 6 {
+		t.Fatalf("drained %d events, want 6", n)
+	}
+	if d := sub.Depth(); d != 0 {
+		t.Fatalf("Depth after drain = %d, want 0", d)
+	}
+	if m := sub.MaxDepth(); m < 5 {
+		t.Fatalf("MaxDepth after drain = %d, want >= 5", m)
+	}
+}
+
+// FuzzTraceVersion drives a random operation stream against the store and
+// asserts the version-counter invariant after every operation: a
+// successful commit bumps exactly the touched trace by exactly one, and a
+// failed commit bumps nothing.
+func FuzzTraceVersion(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0, 0, 0, 12, 12, 3, 7, 255})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		s, err := Open(Options{Model: testModel(t)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+
+		apps := []string{"A", "B", "C"}
+		want := make(map[string]uint64)
+		reqs := make(map[string][]string)   // per-app requisition node IDs
+		people := make(map[string][]string) // per-app person node IDs
+		next := 0
+		for _, b := range ops {
+			app := apps[int(b>>4)%len(apps)]
+			switch b % 5 {
+			case 0: // insert a requisition
+				id := fmt.Sprintf("n%d", next)
+				next++
+				if err := s.PutNode(mkReq(id, app, "R-"+id)); err != nil {
+					t.Fatalf("PutNode %s: %v", id, err)
+				}
+				want[app]++
+				reqs[app] = append(reqs[app], id)
+			case 1: // insert a person
+				id := fmt.Sprintf("p%d", next)
+				next++
+				if err := s.PutNode(mkPerson(id, app, "P-"+id)); err != nil {
+					t.Fatalf("PutNode %s: %v", id, err)
+				}
+				want[app]++
+				people[app] = append(people[app], id)
+			case 2: // update an existing requisition, when one exists
+				if ids := reqs[app]; len(ids) > 0 {
+					id := ids[int(b)%len(ids)]
+					if err := s.UpdateNode(mkReq(id, app, fmt.Sprintf("R2-%d", b))); err != nil {
+						t.Fatalf("UpdateNode %s: %v", id, err)
+					}
+					want[app]++
+				}
+			case 3: // link a person to a requisition, when both exist
+				if len(reqs[app]) > 0 && len(people[app]) > 0 {
+					id := fmt.Sprintf("e%d", next)
+					next++
+					src := people[app][int(b)%len(people[app])]
+					dst := reqs[app][int(b)%len(reqs[app])]
+					if err := s.PutEdge(mkSubmitter(id, app, src, dst)); err != nil {
+						t.Fatalf("PutEdge %s: %v", id, err)
+					}
+					want[app]++
+				}
+			case 4: // duplicate insert must fail and must not bump
+				if ids := reqs[app]; len(ids) > 0 {
+					if err := s.PutNode(mkReq(ids[0], app, "dup")); err == nil {
+						t.Fatalf("duplicate PutNode %s accepted", ids[0])
+					}
+				}
+			}
+			for _, a := range apps {
+				if got := s.TraceVersion(a); got != want[a] {
+					t.Fatalf("TraceVersion(%s) = %d, want %d (op byte %d)", a, got, want[a], b)
+				}
+			}
+		}
+	})
+}

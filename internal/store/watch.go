@@ -37,8 +37,11 @@ func (k EventKind) String() string {
 type Event struct {
 	Kind EventKind
 	Seq  uint64
-	Node *provenance.Node
-	Edge *provenance.Edge
+	// TraceVersion is the touched trace's monotonic version immediately
+	// after this commit (zero when the record carries no trace ID).
+	TraceVersion uint64
+	Node         *provenance.Node
+	Edge         *provenance.Edge
 }
 
 // AppID returns the trace the changed record belongs to.
@@ -57,12 +60,13 @@ func (e Event) AppID() string {
 // never blocks writers and never loses events — the property continuous
 // compliance checking (experiment E6) depends on.
 type Subscription struct {
-	ch     chan Event
-	mu     sync.Mutex
-	cond   *sync.Cond
-	q      []Event
-	done   bool
-	cancel func()
+	ch       chan Event
+	mu       sync.Mutex
+	cond     *sync.Cond
+	q        []Event
+	maxDepth int
+	done     bool
+	cancel   func()
 }
 
 // Subscribe registers a change-feed consumer. Events committed after the
@@ -101,10 +105,29 @@ func (sub *Subscription) Cancel() {
 	}
 }
 
+// Depth reports the number of events queued behind the consumer right
+// now — the backpressure signal a continuous checker surfaces in its
+// stats so an overwhelmed deployment is visible before memory is.
+func (sub *Subscription) Depth() int {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return len(sub.q)
+}
+
+// MaxDepth reports the high-water mark of the queue since Subscribe.
+func (sub *Subscription) MaxDepth() int {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.maxDepth
+}
+
 func (sub *Subscription) enqueue(e Event) {
 	sub.mu.Lock()
 	if !sub.done {
 		sub.q = append(sub.q, e)
+		if len(sub.q) > sub.maxDepth {
+			sub.maxDepth = len(sub.q)
+		}
 		sub.cond.Signal()
 	}
 	sub.mu.Unlock()
