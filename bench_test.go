@@ -7,6 +7,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/baseline"
@@ -372,6 +373,62 @@ then the internal control is satisfied ;
 		}
 		if err := sys.Registry.Remove(id); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9_GroupCommit measures synced ingest throughput (experiment
+// E9 in DESIGN.md §4.2): every acknowledged write is fsynced, and the
+// group-commit pipeline lets concurrent writers share one fsync where the
+// per-append baseline pays one each. The grouped/per-append ratio at 16
+// writers is the experiment's headline number.
+func BenchmarkE9_GroupCommit(b *testing.B) {
+	d := mustHiring(b)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"grouped", false}, {"per-append", true}} {
+		for _, writers := range []int{1, 4, 16} {
+			mode, writers := mode, writers
+			b.Run(fmt.Sprintf("%s/writers=%d", mode.name, writers), func(b *testing.B) {
+				st, err := store.Open(store.Options{
+					Dir: b.TempDir(), Model: d.Model, Sync: true,
+					DisableGroupCommit: mode.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer st.Close()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					w := w
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := w; i < b.N; i += writers {
+							n := &provenance.Node{
+								ID: fmt.Sprintf("n%d-%d", w, i), Class: provenance.ClassData,
+								Type: "jobRequisition", AppID: fmt.Sprintf("A%d", w),
+								Attrs: map[string]provenance.Value{
+									"reqID": provenance.String(fmt.Sprintf("REQ-%d-%d", w, i)),
+								},
+							}
+							if err := st.PutNode(n); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+				ds := st.Durability()
+				if ds.Fsyncs > 0 {
+					b.ReportMetric(float64(b.N)/float64(ds.Fsyncs), "events/fsync")
+				}
+			})
 		}
 	}
 }

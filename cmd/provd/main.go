@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	provd -domain hiring -addr :8341 [-dir /var/lib/provd] [-continuous] [-materialize] [-workers N]
+//	provd -domain hiring -addr :8341 [-dir /var/lib/provd] [-sync] [-flush-window 2ms]
+//	      [-continuous] [-materialize] [-workers N]
 //
 // Endpoints:
 //
@@ -41,7 +42,12 @@ func main() {
 	continuous := flag.Bool("continuous", false, "correlate and check incrementally on the change feed")
 	materialize := flag.Bool("materialize", false, "materialize control points into the graph (Fig 2)")
 	workers := flag.Int("workers", 0, "continuous-checking shard workers and CheckAll fan-out (0 = GOMAXPROCS)")
+	sync := flag.Bool("sync", false, "fsync before acknowledging writes (group-committed; needs -dir)")
+	flushWindow := flag.Duration("flush-window", 0, "max time a write may wait to share a group commit (0 = opportunistic)")
 	flag.Parse()
+	if *sync && *dir == "" {
+		log.Fatal("provd: -sync requires -dir (an in-memory store has nothing to fsync)")
+	}
 
 	domain, err := buildDomain(*domainName)
 	if err != nil {
@@ -49,7 +55,7 @@ func main() {
 	}
 	sys, err := core.New(domain, core.Config{
 		Dir: *dir, Continuous: *continuous, Materialize: *materialize,
-		Workers: *workers,
+		Workers: *workers, Sync: *sync, FlushWindow: *flushWindow,
 	})
 	if err != nil {
 		log.Fatal(err)

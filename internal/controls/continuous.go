@@ -28,18 +28,18 @@ type Checker struct {
 	onResult func([]*Outcome)
 	opts     CheckerOptions
 
-	mu       sync.Mutex
-	cond     *sync.Cond // broadcast whenever pending/lastSeq move
-	running  bool
-	sub      *store.Subscription
-	done     chan struct{} // closed when the dispatcher exits
-	workers  []*ckWorker
-	wg       *sync.WaitGroup
-	latest   []*Outcome
-	pending  int    // dirty traces queued or being checked
-	lastSeq  uint64 // highest feed sequence the dispatcher has routed
-	startAt  time.Time
-	busy     time.Duration // accumulated worker check time since Start
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast whenever pending/lastSeq move
+	running bool
+	sub     *store.Subscription
+	done    chan struct{} // closed when the dispatcher exits
+	workers []*ckWorker
+	wg      *sync.WaitGroup
+	latest  []*Outcome
+	pending int    // dirty traces queued or being checked
+	lastSeq uint64 // highest feed sequence the dispatcher has routed
+	startAt time.Time
+	busy    time.Duration // accumulated worker check time since Start
 
 	stats     CheckerStats
 	traceErrs map[string]string

@@ -21,6 +21,13 @@ type fixture struct {
 
 func newFixture(t testing.TB, materializable bool) *fixture {
 	t.Helper()
+	return newFixtureOpts(t, materializable, store.Options{})
+}
+
+// newFixtureOpts is newFixture with caller-supplied store options (minus
+// Model, which the fixture owns) — e.g. a Dir for durability tests.
+func newFixtureOpts(t testing.TB, materializable bool, sopts store.Options) *fixture {
+	t.Helper()
 	m := provenance.NewModel("hiring")
 	must := func(err error) {
 		t.Helper()
@@ -51,7 +58,8 @@ func newFixture(t testing.TB, materializable bool) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := store.Open(store.Options{Model: m})
+	sopts.Model = m
+	st, err := store.Open(sopts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"repro/internal/controls"
 	"repro/internal/correlate"
@@ -32,8 +33,13 @@ import (
 type Config struct {
 	// Dir is the store's log directory; empty runs in memory.
 	Dir string
-	// Sync forces fsync per append (durability over throughput).
+	// Sync forces fsync before acknowledging writes (durability over
+	// throughput). Concurrent writers share fsyncs via group commit.
 	Sync bool
+	// FlushWindow bounds how long the group-commit pipeline may hold a
+	// write open to batch it with others. Zero flushes opportunistically:
+	// no added latency, batching only under concurrency.
+	FlushWindow time.Duration
 	// DisableIndexes turns off secondary indexes (ablation D4).
 	DisableIndexes bool
 	// Materialize writes control points into the graph (Fig 2).
@@ -79,6 +85,7 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 	}
 	st, err := store.Open(store.Options{
 		Dir: cfg.Dir, Model: d.Model, Sync: cfg.Sync, DisableIndexes: cfg.DisableIndexes,
+		FlushWindow: cfg.FlushWindow,
 	})
 	if err != nil {
 		return nil, err

@@ -203,16 +203,46 @@ func (p *Pipeline) Ingest(ev AppEvent) error {
 	return nil
 }
 
-// IngestAll processes a batch, continuing past per-event errors; it
-// returns the first error encountered, if any.
+// EventError records the failure of one event within a batch.
+type EventError struct {
+	// Index is the event's position in the submitted batch.
+	Index int
+	// Err is the per-event ingestion failure.
+	Err error
+}
+
+// BatchError aggregates every per-event failure from one IngestAll call.
+// The batch is not transactional: events that succeeded stay recorded.
+type BatchError struct {
+	// Failed lists the failing events in batch order.
+	Failed []EventError
+	// Total is the size of the submitted batch.
+	Total int
+}
+
+func (b *BatchError) Error() string {
+	return fmt.Sprintf("events: %d of %d events failed; first (event %d): %v",
+		len(b.Failed), b.Total, b.Failed[0].Index, b.Failed[0].Err)
+}
+
+// Unwrap exposes the first per-event error for errors.Is/As chains.
+func (b *BatchError) Unwrap() error { return b.Failed[0].Err }
+
+// IngestAll processes a batch, continuing past per-event errors. When any
+// event fails it returns a *BatchError naming every failing index, so
+// callers can surface exactly which events were rejected while the rest
+// of the batch stays recorded.
 func (p *Pipeline) IngestAll(evs []AppEvent) error {
-	var first error
-	for _, ev := range evs {
-		if err := p.Ingest(ev); err != nil && first == nil {
-			first = err
+	var failed []EventError
+	for i, ev := range evs {
+		if err := p.Ingest(ev); err != nil {
+			failed = append(failed, EventError{Index: i, Err: err})
 		}
 	}
-	return first
+	if len(failed) == 0 {
+		return nil
+	}
+	return &BatchError{Failed: failed, Total: len(evs)}
 }
 
 // transform builds the provenance node for the event.

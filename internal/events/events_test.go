@@ -1,6 +1,7 @@
 package events
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -268,6 +269,51 @@ func TestIngestAllContinuesPastErrors(t *testing.T) {
 	}
 	if st.Node("PE9") == nil {
 		t.Fatal("batch stopped at first error")
+	}
+}
+
+func TestIngestAllBatchErrorDetails(t *testing.T) {
+	st := testStore(t)
+	p, err := NewPipeline(st, reqMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	badCount := reqEvent()
+	badCount.Payload["count"] = "NaN-ish"
+	noReq := reqEvent()
+	noReq.Payload["recordId"] = "PE10"
+	delete(noReq.Payload, "req")
+	good := reqEvent()
+	good.Payload["recordId"] = "PE11"
+
+	err = p.IngestAll([]AppEvent{badCount, good, noReq})
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("IngestAll error is %T, want *BatchError", err)
+	}
+	if be.Total != 3 || len(be.Failed) != 2 {
+		t.Fatalf("BatchError = %d failed of %d, want 2 of 3", len(be.Failed), be.Total)
+	}
+	if be.Failed[0].Index != 0 || be.Failed[1].Index != 2 {
+		t.Fatalf("failed indices = %d, %d; want 0, 2", be.Failed[0].Index, be.Failed[1].Index)
+	}
+	if !strings.Contains(be.Failed[1].Err.Error(), "req") {
+		t.Fatalf("index-2 error does not name the missing field: %v", be.Failed[1].Err)
+	}
+	if !strings.Contains(be.Error(), "2 of 3") {
+		t.Fatalf("summary message = %q", be.Error())
+	}
+	if be.Unwrap() != be.Failed[0].Err {
+		t.Fatal("Unwrap does not expose the first per-event error")
+	}
+	if st.Node("PE11") == nil {
+		t.Fatal("good event between failures was not recorded")
+	}
+	// A clean batch reports no error at all — not a typed nil.
+	clean := reqEvent()
+	clean.Payload["recordId"] = "PE12"
+	if err := p.IngestAll([]AppEvent{clean}); err != nil {
+		t.Fatalf("clean batch: %v", err)
 	}
 }
 

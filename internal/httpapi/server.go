@@ -4,7 +4,7 @@ package httpapi
 
 import (
 	"encoding/json"
-
+	"errors"
 	"fmt"
 	"net/http"
 	"repro/internal/audit"
@@ -67,14 +67,31 @@ type eventJSON struct {
 	Payload   map[string]string `json:"payload"`
 }
 
+// maxEventBody caps one /events request body. Ingest buffers the decoded
+// batch in memory, so an unbounded body is an easy memory DoS.
+const maxEventBody = 8 << 20
+
+// eventErrJSON is the wire form of one rejected event in a batch.
+type eventErrJSON struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
 // handleEvents ingests a JSON array of application events (POST).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxEventBody)
 	var evs []eventJSON
 	if err := json.NewDecoder(r.Body).Decode(&evs); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -86,6 +103,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := s.sys.Ingest(batch); err != nil {
+		// Ingestion is not transactional: a batch error names the rejected
+		// events while the rest stay recorded, so surface each one.
+		var be *events.BatchError
+		if errors.As(err, &be) {
+			out := make([]eventErrJSON, len(be.Failed))
+			for i, fe := range be.Failed {
+				out[i] = eventErrJSON{Index: fe.Index, Error: fe.Err.Error()}
+			}
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+				"error":       be.Error(),
+				"eventErrors": out,
+			})
+			return
+		}
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
@@ -371,12 +402,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // handleStats returns store, pipeline and continuous-checking statistics.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"store":     s.sys.Store.Stats(),
-		"pipeline":  s.sys.Pipeline.Stats(),
-		"correlate": s.sys.Correlator.Stats(),
-		"checker":   s.sys.Checker.Stats(),
-		"cache":     s.sys.Registry.CacheStats(),
-		"domain":    s.sys.Domain.Name,
-		"traces":    len(s.sys.Store.AppIDs()),
+		"store":      s.sys.Store.Stats(),
+		"durability": s.sys.Store.Durability(),
+		"pipeline":   s.sys.Pipeline.Stats(),
+		"correlate":  s.sys.Correlator.Stats(),
+		"checker":    s.sys.Checker.Stats(),
+		"cache":      s.sys.Registry.CacheStats(),
+		"domain":     s.sys.Domain.Name,
+		"traces":     len(s.sys.Store.AppIDs()),
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/workload"
@@ -337,4 +338,105 @@ func TestServerConcurrentRequests(t *testing.T) {
 		do(t, s, http.MethodGet, "/query?type=jobRequisition", nil)
 	}
 	<-done
+}
+
+// doRaw posts a raw body, bypassing the JSON-marshalling helper.
+func doRaw(t *testing.T, s *Server, path string, body []byte) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+// TestServerEventsErrorHandling is the /events contract table: malformed
+// JSON is a 400, an oversized body is a 413, and a batch with failing
+// events is a 422 that names each rejected event by index while the good
+// events in the same batch stay recorded.
+func TestServerEventsErrorHandling(t *testing.T) {
+	ts := func(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
+	goodReq := eventJSON{Source: "lombardi", Type: "requisition.submitted", AppID: "T1",
+		Timestamp: ts(100), Payload: map[string]string{"recordId": "N1", "req": "REQ-1"}}
+	noReqKey := eventJSON{Source: "lombardi", Type: "requisition.submitted", AppID: "T2",
+		Timestamp: ts(101), Payload: map[string]string{"recordId": "N2"}}
+	badCount := eventJSON{Source: "hrdb", Type: "candidates.found", AppID: "T1",
+		Timestamp: ts(102), Payload: map[string]string{"recordId": "N3", "req": "REQ-1", "count": "many"}}
+	goodApproval := eventJSON{Source: "mail", Type: "approval.recorded", AppID: "T1",
+		Timestamp: ts(103), Payload: map[string]string{"recordId": "N4", "req": "REQ-1", "approved": "true"}}
+
+	huge := eventJSON{Source: "lombardi", Type: "requisition.submitted", AppID: "T9",
+		Payload: map[string]string{"recordId": "N9", "req": strings.Repeat("x", maxEventBody+1)}}
+	hugeRaw, err := json.Marshal([]eventJSON{huge})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name        string
+		raw         []byte // used when batch is nil
+		batch       []eventJSON
+		wantCode    int
+		wantIndices []int // expected eventErrors indices, nil = no body check
+	}{
+		{name: "malformed-json", raw: []byte(`{"not": "an array"`), wantCode: http.StatusBadRequest},
+		{name: "wrong-shape", raw: []byte(`{"source": "lombardi"}`), wantCode: http.StatusBadRequest},
+		{name: "oversized-body", raw: hugeRaw, wantCode: http.StatusRequestEntityTooLarge},
+		{name: "clean-batch", batch: []eventJSON{goodReq}, wantCode: http.StatusOK},
+		{name: "partial-batch", batch: []eventJSON{goodReq, noReqKey, badCount, goodApproval},
+			wantCode: http.StatusUnprocessableEntity, wantIndices: []int{1, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, _ := testServer(t)
+			var rec *httptest.ResponseRecorder
+			var body []byte
+			if tc.batch != nil {
+				rec, body = do(t, s, http.MethodPost, "/events", tc.batch)
+			} else {
+				rec, body = doRaw(t, s, "/events", tc.raw)
+			}
+			if rec.Code != tc.wantCode {
+				t.Fatalf("status = %d, want %d (body: %s)", rec.Code, tc.wantCode, body)
+			}
+			if rec.Code != http.StatusOK {
+				var errBody struct {
+					Error       string `json:"error"`
+					EventErrors []struct {
+						Index int    `json:"index"`
+						Error string `json:"error"`
+					} `json:"eventErrors"`
+				}
+				if err := json.Unmarshal(body, &errBody); err != nil {
+					t.Fatalf("error body is not JSON: %v (%s)", err, body)
+				}
+				if errBody.Error == "" {
+					t.Fatalf("error body lacks message: %s", body)
+				}
+				if tc.wantIndices != nil {
+					if len(errBody.EventErrors) != len(tc.wantIndices) {
+						t.Fatalf("eventErrors = %s, want indices %v", body, tc.wantIndices)
+					}
+					for i, want := range tc.wantIndices {
+						if errBody.EventErrors[i].Index != want {
+							t.Fatalf("eventErrors[%d].index = %d, want %d", i, errBody.EventErrors[i].Index, want)
+						}
+						if errBody.EventErrors[i].Error == "" {
+							t.Fatalf("eventErrors[%d] lacks a message", i)
+						}
+					}
+				}
+			}
+			if tc.name == "partial-batch" {
+				// The good events around the failures are durable.
+				for _, id := range []string{"N1", "N4"} {
+					if s.sys.Store.Node(id) == nil {
+						t.Fatalf("good event %s was not recorded", id)
+					}
+				}
+				if s.sys.Store.Node("N2") != nil || s.sys.Store.Node("N3") != nil {
+					t.Fatal("rejected event was recorded anyway")
+				}
+			}
+		})
+	}
 }

@@ -1,0 +1,316 @@
+// Package faultfs is a fault-injection implementation of store.FS for
+// crash-recovery and error-path testing. It passes operations through to
+// the real filesystem until an injected fault fires: a one-shot error, a
+// short (torn) write, or a crash — after which every subsequent operation
+// fails, so the files on disk freeze in exactly the state a process kill
+// at that point would have left them. Reopening the directory with the
+// real filesystem then exercises recovery against that state.
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// Kind classifies the filesystem operations faults can target.
+type Kind int
+
+const (
+	OpWrite Kind = iota + 1
+	OpSync
+	OpSyncDir
+	OpRename
+	OpRemove
+	OpTruncate
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpSyncDir:
+		return "syncdir"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	default:
+		return "invalid"
+	}
+}
+
+// Op describes one mutating filesystem operation about to execute.
+type Op struct {
+	Kind Kind
+	Path string
+	// N is the 1-based index of this operation among all mutating
+	// operations the FS has seen.
+	N int
+}
+
+// Fault is the injection decision for one operation.
+type Fault int
+
+const (
+	// None lets the operation through.
+	None Fault = iota
+	// Err fails this operation with ErrInjected; later operations
+	// proceed normally (a transient I/O error).
+	Err
+	// Crash fails this and every subsequent operation with ErrCrashed.
+	// A crashing write persists only a prefix of its bytes (torn write)
+	// before failing, modeling a power cut mid-write.
+	Crash
+)
+
+// ErrInjected is returned by operations failed with Fault Err.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by every operation at and after a Crash fault.
+var ErrCrashed = errors.New("faultfs: crashed")
+
+// FS is the fault-injection filesystem. Decide is consulted once per
+// mutating operation, in execution order.
+type FS struct {
+	base   store.FS
+	decide func(Op) Fault
+
+	mu      sync.Mutex
+	n       int
+	crashed bool
+	syncs   int
+	writes  int
+}
+
+// New builds a fault-injection FS over the real filesystem. decide may be
+// nil, which injects nothing (useful for counting a workload's operations
+// before enumerating crash points).
+func New(decide func(Op) Fault) *FS {
+	if decide == nil {
+		decide = func(Op) Fault { return None }
+	}
+	return &FS{base: store.OSFS{}, decide: decide}
+}
+
+// CrashAt returns a Decide function that crashes on the nth mutating
+// operation (1-based).
+func CrashAt(n int) func(Op) Fault {
+	return func(op Op) Fault {
+		if op.N == n {
+			return Crash
+		}
+		return None
+	}
+}
+
+// ErrOn returns a Decide function that fails the nth operation of the
+// given kind (1-based, counted per kind) with ErrInjected, once.
+func ErrOn(kind Kind, n int) func(Op) Fault {
+	seen := 0
+	var mu sync.Mutex
+	return func(op Op) Fault {
+		if op.Kind != kind {
+			return None
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		seen++
+		if seen == n {
+			return Err
+		}
+		return None
+	}
+}
+
+// Ops reports how many mutating operations the FS has seen.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Crashed reports whether a Crash fault has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// SyncCalls reports how many file fsyncs were attempted.
+func (f *FS) SyncCalls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// WriteCalls reports how many file writes were attempted.
+func (f *FS) WriteCalls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// step records one mutating operation and returns the injection decision.
+func (f *FS) step(kind Kind, path string) (Fault, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return Crash, ErrCrashed
+	}
+	f.n++
+	switch kind {
+	case OpSync:
+		f.syncs++
+	case OpWrite:
+		f.writes++
+	}
+	fault := f.decide(Op{Kind: kind, Path: path, N: f.n})
+	if fault == Crash {
+		f.crashed = true
+	}
+	return fault, nil
+}
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (store.File, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	inner, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{inner: inner, fs: f, path: name}, nil
+}
+
+func (f *FS) Open(name string) (store.File, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	inner, err := f.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{inner: inner, fs: f, path: name}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	switch fault, err := f.step(OpRename, newpath); {
+	case err != nil:
+		return err
+	case fault == Err:
+		return ErrInjected
+	case fault == Crash:
+		return ErrCrashed
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	switch fault, err := f.step(OpRemove, name); {
+	case err != nil:
+		return err
+	case fault == Err:
+		return ErrInjected
+	case fault == Crash:
+		return ErrCrashed
+	}
+	return f.base.Remove(name)
+}
+
+func (f *FS) Truncate(name string, size int64) error {
+	switch fault, err := f.step(OpTruncate, name); {
+	case err != nil:
+		return err
+	case fault == Err:
+		return ErrInjected
+	case fault == Crash:
+		return ErrCrashed
+	}
+	return f.base.Truncate(name, size)
+}
+
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	return f.base.ReadDir(dir)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	switch fault, err := f.step(OpSyncDir, dir); {
+	case err != nil:
+		return err
+	case fault == Err:
+		return ErrInjected
+	case fault == Crash:
+		return ErrCrashed
+	}
+	return f.base.SyncDir(dir)
+}
+
+// file wraps a real file, routing writes and fsyncs through the fault
+// plan.
+type file struct {
+	inner store.File
+	fs    *FS
+	path  string
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	switch fault, err := w.fs.step(OpWrite, w.path); {
+	case err != nil:
+		return 0, err
+	case fault == Err:
+		return 0, ErrInjected
+	case fault == Crash:
+		// Torn write: a prefix reaches the disk, the rest is lost.
+		n, _ := w.inner.Write(p[:len(p)/2])
+		return n, ErrCrashed
+	}
+	return w.inner.Write(p)
+}
+
+func (w *file) Sync() error {
+	switch fault, err := w.fs.step(OpSync, w.path); {
+	case err != nil:
+		return err
+	case fault == Err:
+		return ErrInjected
+	case fault == Crash:
+		return ErrCrashed
+	}
+	return w.inner.Sync()
+}
+
+func (w *file) Read(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	crashed := w.fs.crashed
+	w.fs.mu.Unlock()
+	if crashed {
+		return 0, ErrCrashed
+	}
+	return w.inner.Read(p)
+}
+
+func (w *file) Seek(offset int64, whence int) (int64, error) { return w.inner.Seek(offset, whence) }
+
+func (w *file) Stat() (os.FileInfo, error) { return w.inner.Stat() }
+
+func (w *file) Close() error { return w.inner.Close() }

@@ -1,0 +1,85 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS abstracts the filesystem operations the durability layer performs.
+// Production stores use the process filesystem (OSFS); tests inject a
+// fault-injection implementation (internal/store/faultfs) to exercise
+// short writes, fsync failures and crash-at-any-point recovery without
+// killing the process.
+type FS interface {
+	// OpenFile opens a file with the given flags, creating it when
+	// os.O_CREATE is set.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens a file read-only.
+	Open(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate cuts the named file to size bytes.
+	Truncate(name string, size int64) error
+	// ReadDir lists the file names inside dir.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs a directory, making renames and file creations
+	// inside it durable.
+	SyncDir(dir string) error
+}
+
+// File is the subset of *os.File the log writer and replay need.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Stat() (os.FileInfo, error)
+}
+
+// OSFS is the production FS: a thin veneer over the os package.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncParentDir fsyncs the directory containing path.
+func syncParentDir(fsys FS, path string) error {
+	return fsys.SyncDir(filepath.Dir(path))
+}

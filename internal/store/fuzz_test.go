@@ -1,7 +1,10 @@
 package store
 
 import (
+	"bufio"
+	"bytes"
 	"os"
+	"reflect"
 	"testing"
 )
 
@@ -54,7 +57,126 @@ func FuzzReplayLog(f *testing.F) {
 			t.Skip()
 		}
 		// Must not panic; errors and truncation are both acceptable.
-		_, _ = replayLog(logPath(dir), func(entry) error { return nil })
+		_, _ = replayLog(OSFS{}, logPath(dir), func(entry) error { return nil })
+	})
+}
+
+// frameBytes builds one CRC-framed log frame for an entry.
+func frameBytes(e entry) []byte {
+	var buf bytes.Buffer
+	w := &logWriter{buf: bufio.NewWriter(&buf)}
+	if err := w.writeEntry(e); err != nil {
+		panic(err)
+	}
+	if err := w.buf.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// hiringTraceLog builds an intact log holding a realistic hiring trace —
+// a job requisition, its submitter, the submitterOf relation, an
+// enrichment update and a compaction marker — as the seed corpus base.
+func hiringTraceLog(tb testing.TB) []byte {
+	tb.Helper()
+	log := []byte(logMagic)
+	add := func(op opcode, row Row, err error) {
+		tb.Helper()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		log = append(log, frameBytes(entry{op: op, row: row})...)
+	}
+	req, err := EncodeNode(mkReq("PE3", "App01", "REQ001"))
+	add(opPutNode, req, err)
+	person, err := EncodeNode(mkPerson("PE1", "App01", "Joe Smith"))
+	add(opPutNode, person, err)
+	rel, err := EncodeEdge(mkSubmitter("PE7", "App01", "PE1", "PE3"))
+	add(opPutEdge, rel, err)
+	log = append(log, frameBytes(entry{op: opCompactMark, gen: 1})...)
+	upd, err := EncodeNode(mkReq("PE3", "App01", "REQ001-amended"))
+	add(opUpdateNode, upd, err)
+	return log
+}
+
+// intactPrefix scans raw log bytes exactly as recovery does and returns
+// the entries of the longest intact frame prefix (markers excluded).
+func intactPrefix(data []byte) []entry {
+	if len(data) < len(logMagic) || string(data[:len(logMagic)]) != logMagic {
+		return nil
+	}
+	r := bufio.NewReader(bytes.NewReader(data[len(logMagic):]))
+	var out []entry
+	for {
+		e, _, err := readFrame(r)
+		if err != nil {
+			return out // io.EOF and torn frames both end the prefix
+		}
+		if e.op != opCompactMark {
+			out = append(out, e)
+		}
+	}
+}
+
+// FuzzReplayPrefixConsistency drives replayLog with mutated log bytes —
+// bit flips, truncations, oversized length prefixes — and asserts the two
+// recovery invariants: replay never panics, and it never applies a record
+// past the first corrupt frame (applied entries are exactly the longest
+// intact frame prefix). It also checks the truncation is idempotent: a
+// second replay of the repaired file applies the same entries and drops
+// nothing.
+func FuzzReplayPrefixConsistency(f *testing.F) {
+	base := hiringTraceLog(f)
+	f.Add(base)
+	// Bit flips at header, mid-frame and tail positions.
+	for _, pos := range []int{3, len(logMagic) + 2, len(base)/2 + 1, len(base) - 2} {
+		mut := bytes.Clone(base)
+		mut[pos] ^= 0x40
+		f.Add(mut)
+	}
+	// Truncations mid-header and mid-payload.
+	f.Add(bytes.Clone(base[:len(logMagic)+3]))
+	f.Add(bytes.Clone(base[:len(base)-5]))
+	// Oversized length prefix splices a garbage frame between intact ones.
+	over := bytes.Clone(base[:len(logMagic)])
+	over = append(over, frameBytes(entry{op: opPutNode, row: Row{ID: "a", Class: "data", AppID: "A", XML: "<a/>"}})...)
+	over = append(over, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0)
+	over = append(over, base[len(logMagic):]...)
+	f.Add(over)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := writeFileHelper(dir, data); err != nil {
+			t.Skip()
+		}
+		var applied []entry
+		res, err := replayLog(OSFS{}, logPath(dir), func(e entry) error {
+			applied = append(applied, e)
+			return nil
+		})
+		if err != nil {
+			return // bad magic / unreadable header: rejected wholesale
+		}
+		want := intactPrefix(data)
+		if len(applied) != len(want) || !reflect.DeepEqual(applied, want) {
+			t.Fatalf("replay applied %d entries, intact prefix has %d", len(applied), len(want))
+		}
+		// Replay repaired the file in place; a second pass must agree and
+		// find nothing left to drop.
+		var again []entry
+		res2, err := replayLog(OSFS{}, logPath(dir), func(e entry) error {
+			again = append(again, e)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replay of repaired log failed: %v", err)
+		}
+		if res2.dropped != 0 {
+			t.Fatalf("repaired log dropped %d more bytes (first pass dropped %d)", res2.dropped, res.dropped)
+		}
+		if !reflect.DeepEqual(again, applied) {
+			t.Fatalf("repaired log replays %d entries, first pass applied %d", len(again), len(applied))
+		}
 	})
 }
 

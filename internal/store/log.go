@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 )
 
 // The disk log is a sequence of frames following an 8-byte magic header.
@@ -19,9 +21,17 @@ import (
 //	payload bytes
 //
 // A payload is one log entry: a one-byte opcode followed by the four
-// length-prefixed row columns (ID, CLASS, APPID, XML). Torn or corrupt
-// tails are detected by the CRC/length checks and truncated on recovery,
-// so a crash mid-append loses at most the record being written.
+// length-prefixed row columns (ID, CLASS, APPID, XML), or — for the
+// compaction marker — an 8-byte generation number. Torn or corrupt tails
+// are detected by the CRC/length checks and truncated on recovery, so a
+// crash mid-append loses at most the records of the batch being written.
+//
+// The log can span multiple files. Steady state is a single main file
+// (provenance.log). During a compaction, appends are redirected to a side
+// file (provenance.log.side.<gen>); the rewritten main log begins with a
+// marker frame recording the side generation it folded in, which is how
+// recovery decides whether a surviving side file is stale (already folded)
+// or carries appends the main log does not have. See Store.Compact.
 
 const logMagic = "PROVLOG1"
 
@@ -32,17 +42,28 @@ const (
 	opPutNode opcode = iota + 1
 	opPutEdge
 	opUpdateNode
+	// opCompactMark is a compaction watermark: every side-log generation
+	// up to and including its value is folded into the frames that follow.
+	opCompactMark
 )
 
 var errTornFrame = errors.New("store: torn or corrupt log frame")
 
-// entry is one decoded log record.
+// entry is one decoded log record. gen is meaningful only for
+// opCompactMark entries.
 type entry struct {
 	op  opcode
 	row Row
+	gen uint64
 }
 
 func encodeEntry(e entry) []byte {
+	if e.op == opCompactMark {
+		buf := make([]byte, 9)
+		buf[0] = byte(e.op)
+		binary.LittleEndian.PutUint64(buf[1:], e.gen)
+		return buf
+	}
 	cols := [4]string{e.row.ID, e.row.Class, e.row.AppID, e.row.XML}
 	size := 1
 	for _, c := range cols {
@@ -64,6 +85,13 @@ func decodeEntry(payload []byte) (entry, error) {
 		return entry{}, fmt.Errorf("store: empty log payload")
 	}
 	e := entry{op: opcode(payload[0])}
+	if e.op == opCompactMark {
+		if len(payload) != 9 {
+			return entry{}, fmt.Errorf("store: compact marker payload is %d bytes", len(payload))
+		}
+		e.gen = binary.LittleEndian.Uint64(payload[1:])
+		return e, nil
+	}
 	if e.op != opPutNode && e.op != opPutEdge && e.op != opUpdateNode {
 		return entry{}, fmt.Errorf("store: unknown log opcode %d", payload[0])
 	}
@@ -88,16 +116,20 @@ func decodeEntry(payload []byte) (entry, error) {
 	return e, nil
 }
 
-// logWriter appends frames to the log file.
+// logWriter appends frames to one log file. It is not safe for concurrent
+// use; the store serializes access under logMu.
 type logWriter struct {
-	f   *os.File
-	buf *bufio.Writer
-	// sync forces an fsync after every append when true.
+	fs   FS
+	path string
+	f    File
+	buf  *bufio.Writer
+	// sync records whether the store demands fsync durability. The group
+	// committer decides when to call syncFile; close consults it too.
 	sync bool
 }
 
-func createOrOpenLog(path string, sync bool) (*logWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+func createOrOpenLog(fsys FS, path string, sync bool) (*logWriter, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -116,10 +148,13 @@ func createOrOpenLog(path string, sync bool) (*logWriter, error) {
 		f.Close()
 		return nil, err
 	}
-	return &logWriter{f: f, buf: bufio.NewWriter(f), sync: sync}, nil
+	return &logWriter{fs: fsys, path: path, f: f, buf: bufio.NewWriter(f), sync: sync}, nil
 }
 
-func (w *logWriter) append(e entry) error {
+// writeEntry buffers one frame. Nothing reaches the file (let alone the
+// disk) until flush; the group committer amortizes flush+fsync over a
+// batch of entries.
+func (w *logWriter) writeEntry(e entry) error {
 	payload := encodeEntry(e)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -127,40 +162,81 @@ func (w *logWriter) append(e entry) error {
 	if _, err := w.buf.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := w.buf.Write(payload); err != nil {
+	_, err := w.buf.Write(payload)
+	return err
+}
+
+func (w *logWriter) flush() error { return w.buf.Flush() }
+
+func (w *logWriter) syncFile() error { return w.f.Sync() }
+
+// append writes one frame and flushes it, fsyncing when the writer is in
+// sync mode. It is the non-batched path: compaction rewrites and stores
+// with group commit disabled.
+func (w *logWriter) append(e entry) error {
+	if err := w.writeEntry(e); err != nil {
 		return err
 	}
-	if err := w.buf.Flush(); err != nil {
+	if err := w.flush(); err != nil {
 		return err
 	}
 	if w.sync {
-		return w.f.Sync()
+		return w.syncFile()
 	}
 	return nil
 }
 
+// close flushes, fsyncs (only when the store demanded sync durability)
+// and closes the file. Error reporting is deterministic: every step runs
+// regardless of earlier failures except that a failed flush skips the
+// fsync (the file is known incomplete, syncing it certifies nothing), and
+// the first error in flush -> sync -> close order is returned.
 func (w *logWriter) close() error {
-	if err := w.buf.Flush(); err != nil {
-		w.f.Close()
-		return err
+	flushErr := w.flush()
+	var syncErr error
+	if w.sync && flushErr == nil {
+		syncErr = w.syncFile()
 	}
-	if err := w.f.Sync(); err != nil {
-		w.f.Close()
-		return err
+	closeErr := w.f.Close()
+	switch {
+	case flushErr != nil:
+		return flushErr
+	case syncErr != nil:
+		return syncErr
+	default:
+		return closeErr
 	}
-	return w.f.Close()
+}
+
+// replayResult summarizes one log file's replay.
+type replayResult struct {
+	// dropped is the number of torn-tail bytes truncated away.
+	dropped int64
+	// folded is the highest compaction-marker generation seen: side logs
+	// with generations at or below it are already folded into this file.
+	folded uint64
+	// applied counts entries handed to apply successfully.
+	applied int
+	// skipped counts entries whose apply failed. The writer rejected the
+	// same entries when they were first committed (apply is deterministic
+	// in the preceding state), so skipping reproduces its state exactly.
+	skipped int
 }
 
 // replayLog reads every intact entry from the log file at path. When the
 // tail is torn or corrupt it truncates the file to the last intact frame
-// and reports how many bytes were dropped. A missing file replays nothing.
-func replayLog(path string, apply func(entry) error) (dropped int64, err error) {
-	f, err := os.Open(path)
+// and reports how many bytes were dropped. A missing file replays
+// nothing. Entries that fail to apply are skipped, not fatal: the writer
+// that produced the log also failed to apply them (append happens before
+// apply), so a poisoned entry must not brick recovery.
+func replayLog(fsys FS, path string, apply func(entry) error) (replayResult, error) {
+	var res replayResult
+	f, err := fsys.Open(path)
 	if os.IsNotExist(err) {
-		return 0, nil
+		return res, nil
 	}
 	if err != nil {
-		return 0, err
+		return res, err
 	}
 	defer f.Close()
 
@@ -168,12 +244,26 @@ func replayLog(path string, apply func(entry) error) (dropped int64, err error) 
 	magic := make([]byte, len(logMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
 		if err == io.EOF {
-			return 0, nil // empty file: nothing to replay
+			return res, nil // empty file: nothing to replay
 		}
-		return 0, fmt.Errorf("store: reading log header: %v", err)
+		if err == io.ErrUnexpectedEOF {
+			// Torn magic: the crash hit before the header completed, so no
+			// frame can follow. Reset the file so reopening recreates it.
+			st, serr := f.Stat()
+			if serr != nil {
+				return res, serr
+			}
+			res.dropped = st.Size()
+			f.Close()
+			if terr := fsys.Truncate(path, 0); terr != nil {
+				return res, fmt.Errorf("store: truncating torn log header: %v", terr)
+			}
+			return res, nil
+		}
+		return res, fmt.Errorf("store: reading log header: %v", err)
 	}
 	if string(magic) != logMagic {
-		return 0, fmt.Errorf("store: %s is not a provenance log (bad magic)", path)
+		return res, fmt.Errorf("store: %s is not a provenance log (bad magic)", path)
 	}
 
 	good := int64(len(logMagic))
@@ -186,21 +276,27 @@ func replayLog(path string, apply func(entry) error) (dropped int64, err error) 
 			// Torn tail: truncate to the last intact frame.
 			st, serr := f.Stat()
 			if serr != nil {
-				return 0, serr
+				return res, serr
 			}
-			dropped = st.Size() - good
+			res.dropped = st.Size() - good
 			f.Close()
-			if terr := os.Truncate(path, good); terr != nil {
-				return dropped, fmt.Errorf("store: truncating torn log: %v", terr)
+			if terr := fsys.Truncate(path, good); terr != nil {
+				return res, fmt.Errorf("store: truncating torn log: %v", terr)
 			}
-			return dropped, nil
+			return res, nil
 		}
-		if aerr := apply(e); aerr != nil {
-			return 0, fmt.Errorf("store: replaying %s: %v", path, aerr)
+		if e.op == opCompactMark {
+			if e.gen > res.folded {
+				res.folded = e.gen
+			}
+		} else if aerr := apply(e); aerr != nil {
+			res.skipped++
+		} else {
+			res.applied++
 		}
 		good += frameLen
 	}
-	return 0, nil
+	return res, nil
 }
 
 // readFrame reads one frame. io.EOF means a clean end; any other error
@@ -233,5 +329,64 @@ func readFrame(r *bufio.Reader) (entry, int64, error) {
 	return e, int64(8 + n), nil
 }
 
-// logPath returns the log file path inside dir.
+// logPath returns the main log file path inside dir.
 func logPath(dir string) string { return filepath.Join(dir, "provenance.log") }
+
+// tmpLogPath is the scratch file a compaction snapshot is written to
+// before the atomic rename; a leftover one is garbage from a crashed
+// compaction and is removed at Open.
+func tmpLogPath(dir string) string { return logPath(dir) + ".tmp" }
+
+// sideLogPath names the side log of one compaction generation.
+func sideLogPath(dir string, gen uint64) string {
+	return fmt.Sprintf("%s.side.%d", logPath(dir), gen)
+}
+
+// sideLogGens lists the side-log generations present in dir, ascending.
+func sideLogGens(fsys FS, dir string) ([]uint64, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	prefix := filepath.Base(logPath(dir)) + ".side."
+	var gens []uint64
+	for _, name := range names {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		gen, err := strconv.ParseUint(strings.TrimPrefix(name, prefix), 10, 64)
+		if err != nil {
+			continue // not ours
+		}
+		gens = append(gens, gen)
+	}
+	for i := 1; i < len(gens); i++ {
+		for j := i; j > 0 && gens[j] < gens[j-1]; j-- {
+			gens[j], gens[j-1] = gens[j-1], gens[j]
+		}
+	}
+	return gens, nil
+}
+
+// copyFrames streams every byte after the magic header of the log file at
+// src into w's buffer. Used by compaction to fold a side log into the
+// snapshot; the frames are already CRC-framed so they are copied verbatim.
+func copyFrames(fsys FS, src string, w *logWriter) error {
+	f, err := fsys.Open(src)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr := make([]byte, len(logMagic))
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		if err == io.EOF {
+			return nil // empty side log: nothing to fold
+		}
+		return err
+	}
+	if string(hdr) != logMagic {
+		return fmt.Errorf("store: %s is not a provenance log (bad magic)", src)
+	}
+	_, err = io.Copy(w.buf, f)
+	return err
+}

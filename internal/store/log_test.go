@@ -1,0 +1,100 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"os"
+	"testing"
+)
+
+// fakeFile is a File stub with scriptable failures, for pinning the
+// logWriter.close contract without a real filesystem.
+type fakeFile struct {
+	writeErr, syncErr, closeErr error
+	writes, syncs, closes       int
+}
+
+func (f *fakeFile) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writeErr != nil {
+		return 0, f.writeErr
+	}
+	return len(p), nil
+}
+func (f *fakeFile) Read([]byte) (int, error)       { return 0, errors.New("not readable") }
+func (f *fakeFile) Seek(int64, int) (int64, error) { return 0, nil }
+func (f *fakeFile) Sync() error                    { f.syncs++; return f.syncErr }
+func (f *fakeFile) Close() error                   { f.closes++; return f.closeErr }
+func (f *fakeFile) Stat() (os.FileInfo, error)     { return nil, errors.New("no stat") }
+
+func newFakeWriter(f *fakeFile, sync bool) *logWriter {
+	return &logWriter{f: f, buf: bufio.NewWriter(f), sync: sync}
+}
+
+// TestLogWriterCloseContract pins close's deterministic error ordering:
+// flush -> sync -> close, first failure wins, every step still runs except
+// that a failed flush skips the pointless fsync, and a store opened
+// without Sync never fsyncs at all.
+func TestLogWriterCloseContract(t *testing.T) {
+	someEntry := entry{op: opPutNode, row: Row{ID: "x", Class: "data", AppID: "A", XML: "<x/>"}}
+
+	t.Run("nosync-close-never-syncs", func(t *testing.T) {
+		f := &fakeFile{}
+		w := newFakeWriter(f, false)
+		if err := w.writeEntry(someEntry); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.close(); err != nil {
+			t.Fatal(err)
+		}
+		if f.syncs != 0 || f.closes != 1 {
+			t.Fatalf("syncs=%d closes=%d, want 0/1", f.syncs, f.closes)
+		}
+	})
+	t.Run("sync-close-syncs-once", func(t *testing.T) {
+		f := &fakeFile{}
+		w := newFakeWriter(f, true)
+		if err := w.close(); err != nil {
+			t.Fatal(err)
+		}
+		if f.syncs != 1 || f.closes != 1 {
+			t.Fatalf("syncs=%d closes=%d, want 1/1", f.syncs, f.closes)
+		}
+	})
+	t.Run("flush-error-wins-and-skips-sync", func(t *testing.T) {
+		wantErr := errors.New("disk full")
+		f := &fakeFile{writeErr: wantErr, syncErr: errors.New("later"), closeErr: errors.New("last")}
+		w := newFakeWriter(f, true)
+		if err := w.writeEntry(someEntry); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.close(); err != wantErr {
+			t.Fatalf("close = %v, want flush error", err)
+		}
+		if f.syncs != 0 {
+			t.Fatal("fsync ran after a failed flush")
+		}
+		if f.closes != 1 {
+			t.Fatal("file was not closed after flush error")
+		}
+	})
+	t.Run("sync-error-beats-close-error", func(t *testing.T) {
+		wantErr := errors.New("fsync io error")
+		f := &fakeFile{syncErr: wantErr, closeErr: errors.New("close error")}
+		w := newFakeWriter(f, true)
+		if err := w.close(); err != wantErr {
+			t.Fatalf("close = %v, want sync error", err)
+		}
+		if f.closes != 1 {
+			t.Fatal("file was not closed after sync error")
+		}
+	})
+	t.Run("close-error-reported-last", func(t *testing.T) {
+		wantErr := errors.New("close failed")
+		f := &fakeFile{closeErr: wantErr}
+		w := newFakeWriter(f, true)
+		if err := w.close(); err != wantErr {
+			t.Fatalf("close = %v, want close error", err)
+		}
+	})
+}

@@ -1,10 +1,13 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/provenance"
 )
@@ -17,10 +20,29 @@ type Options struct {
 	// Model is the provenance data model records are validated against.
 	// Required unless SkipValidation is set.
 	Model *provenance.Model
-	// Sync forces an fsync after every append. Off by default: the
-	// recorder clients of the paper tolerate losing the in-flight event on
-	// a crash, and group-commit durability is not the paper's topic.
+	// Sync demands fsync durability: an append only returns once its log
+	// frame is fsynced. Appends are group-committed — concurrent writers
+	// share one write+fsync per batch — so sync throughput scales with
+	// writer concurrency instead of collapsing to one fsync round trip
+	// per record. Off by default: the recorder clients of the paper
+	// tolerate losing the in-flight events on a crash.
 	Sync bool
+	// FlushWindow bounds how long the group committer waits for more
+	// concurrent appends to join a batch after the first arrives. Zero
+	// batches opportunistically: whatever queued during the previous
+	// flush+fsync forms the next batch, adding no artificial latency.
+	FlushWindow time.Duration
+	// MaxCommitBatch caps the entries per group-commit batch (0 = 512).
+	MaxCommitBatch int
+	// DisableGroupCommit forces the serial per-append path — one flush
+	// (and in Sync mode one fsync) per record. Exists as the E9 ablation
+	// baseline.
+	DisableGroupCommit bool
+	// FS is the filesystem the durability layer runs on; nil means the
+	// process filesystem. Fault-injection tests substitute
+	// internal/store/faultfs to exercise torn writes, fsync failures and
+	// crash recovery.
+	FS FS
 	// SkipValidation disables model checking of incoming records.
 	SkipValidation bool
 	// DisableIndexes turns off secondary attribute indexes; lookups fall
@@ -28,10 +50,55 @@ type Options struct {
 	DisableIndexes bool
 }
 
+var errClosed = errors.New("store: closed")
+
+// durabilityCounters tracks the write path's observable durability work.
+type durabilityCounters struct {
+	Fsyncs             atomic.Uint64
+	SyncFailures       atomic.Uint64
+	CommitBatches      atomic.Uint64
+	GroupedCommits     atomic.Uint64
+	MaxCommitBatch     atomic.Uint64
+	Compactions        atomic.Uint64
+	CompactionFailures atomic.Uint64
+}
+
+// DurabilityStats is a snapshot of the durability layer's counters,
+// served under "durability" in the HTTP /stats endpoint.
+type DurabilityStats struct {
+	// GroupCommit reports whether the batched commit pipeline is active.
+	GroupCommit bool
+	// Fsyncs counts log-file fsyncs issued by the commit path.
+	Fsyncs uint64
+	// SyncFailures counts fsyncs that returned an error.
+	SyncFailures uint64
+	// CommitBatches counts group-commit batches made durable.
+	CommitBatches uint64
+	// GroupedCommits counts entries committed through batches; divided by
+	// CommitBatches it yields the achieved batching factor.
+	GroupedCommits uint64
+	// MaxCommitBatch is the largest batch committed so far.
+	MaxCommitBatch uint64
+	// Compactions counts completed log compactions.
+	Compactions uint64
+	// CompactionFailures counts compactions aborted by an error. An
+	// aborted compaction loses nothing: appends continue on the side log
+	// and recovery replays main + side.
+	CompactionFailures uint64
+	// ReplayDroppedBytes is the torn-tail byte count truncated during the
+	// last Open.
+	ReplayDroppedBytes int64
+	// ReplaySkipped counts log entries skipped during the last Open
+	// because they failed to apply (the original writer rejected them
+	// too).
+	ReplaySkipped int
+}
+
 // Store is the provenance store: the append-only row log, the in-memory
 // provenance graph, secondary indexes, and the change feed.
 type Store struct {
 	opts Options
+	fs   FS
 
 	mu       sync.RWMutex
 	graph    *provenance.Graph
@@ -41,8 +108,16 @@ type Store struct {
 	traceVer map[string]uint64 // appID -> monotonic trace version
 	closed   bool
 
-	logMu sync.Mutex // serializes log appends and compaction
-	log   *logWriter
+	logMu      sync.Mutex // serializes log writes and the compaction swap
+	log        *logWriter
+	compactGen uint64 // highest side-log generation created or folded
+
+	compactMu sync.Mutex // one Compact at a time
+	comm      *committer // group-commit pipeline (nil: in-memory or disabled)
+
+	stats         durabilityCounters
+	replayDropped int64
+	replaySkipped int
 
 	subMu   sync.Mutex
 	subs    map[int]*Subscription
@@ -50,19 +125,24 @@ type Store struct {
 }
 
 // Open opens (or creates) a store. When opts.Dir is non-empty the existing
-// log is replayed; a torn tail is truncated silently, matching the
-// at-most-one-record loss the log format guarantees.
+// log — the main file plus any side logs a crashed or aborted compaction
+// left behind — is replayed; torn tails are truncated silently, matching
+// the at-most-one-batch loss the log format guarantees.
 func Open(opts Options) (*Store, error) {
 	if opts.Model == nil && !opts.SkipValidation {
 		return nil, fmt.Errorf("store: Options.Model is required")
 	}
 	s := &Store{
 		opts:     opts,
+		fs:       opts.FS,
 		graph:    provenance.NewGraph(),
 		rows:     make(map[string]Row),
 		idx:      newIndexSet(),
 		traceVer: make(map[string]uint64),
 		subs:     make(map[int]*Subscription),
+	}
+	if s.fs == nil {
+		s.fs = OSFS{}
 	}
 	if opts.Model != nil && !opts.DisableIndexes {
 		for _, tf := range opts.Model.IndexedFields() {
@@ -73,18 +153,67 @@ func Open(opts Options) (*Store, error) {
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %v", err)
 		}
-		if _, err := replayLog(logPath(opts.Dir), func(e entry) error {
-			return s.applyEntry(e, false)
-		}); err != nil {
+		// A leftover snapshot scratch file is garbage from a compaction
+		// that crashed before its atomic rename.
+		if err := s.fs.Remove(tmpLogPath(opts.Dir)); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: %v", err)
+		}
+		active, err := s.replayAll()
+		if err != nil {
 			return nil, err
 		}
-		w, err := createOrOpenLog(logPath(opts.Dir), opts.Sync)
+		w, err := createOrOpenLog(s.fs, active, opts.Sync)
 		if err != nil {
 			return nil, fmt.Errorf("store: %v", err)
 		}
 		s.log = w
+		if !opts.DisableGroupCommit {
+			s.comm = newCommitter(s, opts.FlushWindow, opts.MaxCommitBatch)
+		}
 	}
 	return s, nil
+}
+
+// replayAll replays the main log and every live side log in generation
+// order, removes stale side logs (already folded into the main log), and
+// returns the path appends must continue on: the newest live side log if
+// any survive, else the main log.
+func (s *Store) replayAll() (activePath string, err error) {
+	dir := s.opts.Dir
+	apply := func(e entry) error { return s.applyEntry(e, false) }
+	rr, err := replayLog(s.fs, logPath(dir), apply)
+	if err != nil {
+		return "", err
+	}
+	s.replayDropped = rr.dropped
+	s.replaySkipped = rr.skipped
+	s.compactGen = rr.folded
+
+	gens, err := sideLogGens(s.fs, dir)
+	if err != nil {
+		return "", fmt.Errorf("store: listing side logs: %v", err)
+	}
+	activePath = logPath(dir)
+	for _, gen := range gens {
+		side := sideLogPath(dir, gen)
+		if gen <= rr.folded {
+			// Already folded into the main log by a compaction whose
+			// rename committed but whose cleanup did not finish.
+			if err := s.fs.Remove(side); err != nil && !os.IsNotExist(err) {
+				return "", fmt.Errorf("store: removing stale side log: %v", err)
+			}
+			continue
+		}
+		srr, err := replayLog(s.fs, side, apply)
+		if err != nil {
+			return "", err
+		}
+		s.replayDropped += srr.dropped
+		s.replaySkipped += srr.skipped
+		s.compactGen = gen
+		activePath = side
+	}
+	return activePath, nil
 }
 
 // Close flushes the log and stops every subscription.
@@ -104,10 +233,16 @@ func (s *Store) Close() error {
 	s.subs = map[int]*Subscription{}
 	s.subMu.Unlock()
 
+	// Drain in-flight group commits before the log goes away.
+	if s.comm != nil {
+		s.comm.stop()
+	}
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
 	if s.log != nil {
-		return s.log.close()
+		err := s.log.close()
+		s.log = nil
+		return err
 	}
 	return nil
 }
@@ -164,26 +299,35 @@ func (s *Store) checkNode(n *provenance.Node) error {
 	return s.opts.Model.CheckNode(n)
 }
 
-// commit appends the entry to the log and applies it to the in-memory
-// state. The log append happens first: a record is only visible once it is
-// durable in the log's terms.
+// commit makes the entry durable in the log and applies it to the
+// in-memory state. The log write happens first: a record is only visible
+// once it is durable in the log's terms. Disk stores route through the
+// group-commit pipeline (one flush+fsync shared by a batch of concurrent
+// writers) unless DisableGroupCommit forces the serial path.
 func (s *Store) commit(e entry) error {
 	s.mu.RLock()
 	closed := s.closed
 	s.mu.RUnlock()
 	if closed {
-		return fmt.Errorf("store: closed")
+		return errClosed
 	}
-	// logMu is held across both the append and the in-memory apply so the
-	// log's entry order always equals the order the state (and the change
-	// feed) observed — recovery then reproduces exactly the final state
-	// even under concurrent conflicting updates. Lock order is always
-	// logMu -> mu.
+	if s.comm != nil {
+		return s.comm.enqueue(e)
+	}
+	// Serial path: logMu is held across both the append and the in-memory
+	// apply so the log's entry order always equals the order the state
+	// (and the change feed) observed — recovery then reproduces exactly
+	// the final state even under concurrent conflicting updates. Lock
+	// order is always logMu -> mu. The group committer preserves the same
+	// invariant batch-wise.
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
 	if s.log != nil {
 		if err := s.log.append(e); err != nil {
 			return fmt.Errorf("store: log append: %v", err)
+		}
+		if s.log.sync {
+			s.stats.Fsyncs.Add(1)
 		}
 	}
 	return s.applyEntry(e, true)
@@ -372,6 +516,22 @@ func (s *Store) Stats() Stats {
 	}
 }
 
+// Durability returns a snapshot of the durability layer's counters.
+func (s *Store) Durability() DurabilityStats {
+	return DurabilityStats{
+		GroupCommit:        s.comm != nil,
+		Fsyncs:             s.stats.Fsyncs.Load(),
+		SyncFailures:       s.stats.SyncFailures.Load(),
+		CommitBatches:      s.stats.CommitBatches.Load(),
+		GroupedCommits:     s.stats.GroupedCommits.Load(),
+		MaxCommitBatch:     s.stats.MaxCommitBatch.Load(),
+		Compactions:        s.stats.Compactions.Load(),
+		CompactionFailures: s.stats.CompactionFailures.Load(),
+		ReplayDroppedBytes: s.replayDropped,
+		ReplaySkipped:      s.replaySkipped,
+	}
+}
+
 // AppIDs lists the distinct traces in the store.
 func (s *Store) AppIDs() []string {
 	s.mu.RLock()
@@ -384,14 +544,70 @@ func (s *Store) AppIDs() []string {
 func (s *Store) Model() *provenance.Model { return s.opts.Model }
 
 // Compact rewrites the disk log to contain exactly the current state:
-// every node row first, then every edge row. Update chains collapse to the
-// latest version. No-op for in-memory stores.
+// every node row first, then every edge row, update chains collapsed to
+// the latest version. No-op for in-memory stores.
+//
+// The rewrite is crash-safe and runs concurrently with writers:
+//
+//  1. A brief pause under logMu snapshots the row table and redirects
+//     appends to a fresh side log (generation G).
+//  2. With no locks held, the snapshot is written to a scratch file
+//     headed by a marker frame recording "side generations ≤ G folded",
+//     then fsynced.
+//  3. A second brief pause folds the side log's frames into the scratch
+//     file, fsyncs it, and atomically renames it over the main log — the
+//     single commit point — then fsyncs the directory and cleans up.
+//
+// A crash before the rename leaves the old main log plus the side log
+// (recovery replays both, in order); a crash after it leaves the new main
+// log whose marker proves the side log is stale (recovery deletes it). An
+// error aborts the compaction without data loss: the scratch file is
+// removed and appends simply continue on the side log.
 func (s *Store) Compact() error {
-	if s.log == nil {
+	if s.opts.Dir == "" {
 		return nil
 	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	dir := s.opts.Dir
+	fsys := s.fs
+
+	// Phase 1: freeze the current log at a quiescent point (logMu held, so
+	// no commit is mid-flight and the in-memory state equals the log) and
+	// redirect appends to a fresh side log.
 	s.logMu.Lock()
-	defer s.logMu.Unlock()
+	if s.log == nil {
+		s.logMu.Unlock()
+		return errClosed
+	}
+	if err := s.log.flush(); err != nil {
+		s.logMu.Unlock()
+		return fmt.Errorf("store: compact: %v", err)
+	}
+	if s.opts.Sync {
+		if err := s.log.syncFile(); err != nil {
+			s.logMu.Unlock()
+			return fmt.Errorf("store: compact: %v", err)
+		}
+	}
+	gen := s.compactGen + 1
+	side, err := createOrOpenLog(fsys, sideLogPath(dir, gen), s.opts.Sync)
+	if err != nil {
+		s.logMu.Unlock()
+		return fmt.Errorf("store: compact: opening side log: %v", err)
+	}
+	if s.opts.Sync {
+		if err := syncParentDir(fsys, logPath(dir)); err != nil {
+			side.close()
+			fsys.Remove(sideLogPath(dir, gen))
+			s.logMu.Unlock()
+			return fmt.Errorf("store: compact: %v", err)
+		}
+	}
+	frozen := s.log
+	s.log = side
+	s.compactGen = gen
 
 	s.mu.RLock()
 	entries := make([]entry, 0, len(s.rows))
@@ -408,38 +624,119 @@ func (s *Store) Compact() error {
 		}
 	}
 	s.mu.RUnlock()
+	s.logMu.Unlock()
+
+	// The frozen log never receives another byte; release its handle now.
+	// Its file stays on disk until the rename (main) or cleanup (side).
+	if err := frozen.close(); err != nil {
+		return s.compactAbort(fmt.Errorf("store: compact: closing frozen log: %v", err))
+	}
+
+	// Phase 2: write the snapshot to the scratch file — no store locks
+	// held, writers are appending to the side log in parallel.
 	sort.Slice(entries[:nNodes], func(i, j int) bool { return entries[i].row.ID < entries[j].row.ID })
 	sort.Slice(entries[nNodes:], func(i, j int) bool {
 		return entries[nNodes+i].row.ID < entries[nNodes+j].row.ID
 	})
-
-	tmp := logPath(s.opts.Dir) + ".compact"
-	if err := os.Remove(tmp); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("store: compact: %v", err)
+	tmp := tmpLogPath(dir)
+	if err := fsys.Remove(tmp); err != nil && !os.IsNotExist(err) {
+		return s.compactAbort(fmt.Errorf("store: compact: %v", err))
 	}
-	w, err := createOrOpenLog(tmp, false)
+	tw, err := createOrOpenLog(fsys, tmp, false)
 	if err != nil {
-		return fmt.Errorf("store: compact: %v", err)
+		fsys.Remove(tmp) // created-but-unwritable scratch must not linger
+		return s.compactAbort(fmt.Errorf("store: compact: %v", err))
+	}
+	cleanupTmp := func(err error) error {
+		tw.close()
+		fsys.Remove(tmp)
+		return s.compactAbort(err)
+	}
+	if err := tw.writeEntry(entry{op: opCompactMark, gen: gen}); err != nil {
+		return cleanupTmp(fmt.Errorf("store: compact: %v", err))
 	}
 	for _, e := range entries {
-		if err := w.append(e); err != nil {
-			w.close()
-			return fmt.Errorf("store: compact: %v", err)
+		if err := tw.writeEntry(e); err != nil {
+			return cleanupTmp(fmt.Errorf("store: compact: %v", err))
 		}
 	}
-	if err := w.close(); err != nil {
-		return fmt.Errorf("store: compact: %v", err)
+	if err := tw.flush(); err != nil {
+		return cleanupTmp(fmt.Errorf("store: compact: %v", err))
 	}
-	if err := s.log.close(); err != nil {
-		return fmt.Errorf("store: compact: closing old log: %v", err)
+
+	// Phase 3: fold the side log in and commit with one atomic rename.
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.log == nil {
+		tw.close()
+		fsys.Remove(tmp)
+		return errClosed
 	}
-	if err := os.Rename(tmp, logPath(s.opts.Dir)); err != nil {
-		return fmt.Errorf("store: compact: %v", err)
+	if err := s.log.flush(); err != nil {
+		return cleanupTmp(fmt.Errorf("store: compact: flushing side log: %v", err))
 	}
-	nw, err := createOrOpenLog(logPath(s.opts.Dir), s.opts.Sync)
+	if err := copyFrames(fsys, s.log.path, tw); err != nil {
+		return cleanupTmp(fmt.Errorf("store: compact: folding side log: %v", err))
+	}
+	if err := tw.flush(); err != nil {
+		return cleanupTmp(fmt.Errorf("store: compact: %v", err))
+	}
+	if err := tw.syncFile(); err != nil {
+		return cleanupTmp(fmt.Errorf("store: compact: fsync snapshot: %v", err))
+	}
+	if err := tw.close(); err != nil {
+		return cleanupTmp(fmt.Errorf("store: compact: %v", err))
+	}
+	if err := fsys.Rename(tmp, logPath(dir)); err != nil {
+		fsys.Remove(tmp)
+		return s.compactAbort(fmt.Errorf("store: compact: %v", err))
+	}
+	// The rename is the commit point; everything below is cleanup and
+	// must leave the store coherent even on error.
+	var retErr error
+	if err := syncParentDir(fsys, logPath(dir)); err != nil {
+		retErr = fmt.Errorf("store: compact: fsync dir: %v", err)
+	}
+	oldSide := s.log
+	nw, err := createOrOpenLog(fsys, logPath(dir), s.opts.Sync)
 	if err != nil {
+		// The folded main log cannot accept appends; route them to a
+		// fresh side log so nothing is lost (recovery folds it later).
+		s.stats.CompactionFailures.Add(1)
+		gen2 := gen + 1
+		nw2, err2 := createOrOpenLog(fsys, sideLogPath(dir, gen2), s.opts.Sync)
+		if err2 != nil {
+			s.log = nil // fail closed: appends error rather than corrupt
+			return fmt.Errorf("store: compact: reopening log: %v (side fallback: %v)", err, err2)
+		}
+		oldSide.close()
+		fsys.Remove(oldSide.path)
+		s.log = nw2
+		s.compactGen = gen2
 		return fmt.Errorf("store: compact: reopening log: %v", err)
 	}
+	oldSide.close()
 	s.log = nw
-	return nil
+	if gens, err := sideLogGens(fsys, dir); err == nil {
+		for _, g := range gens {
+			if g <= gen {
+				fsys.Remove(sideLogPath(dir, g))
+			}
+		}
+	}
+	if s.opts.Sync {
+		if err := syncParentDir(fsys, logPath(dir)); err != nil && retErr == nil {
+			retErr = fmt.Errorf("store: compact: fsync dir: %v", err)
+		}
+	}
+	s.stats.Compactions.Add(1)
+	return retErr
+}
+
+// compactAbort records a failed compaction. Appends keep flowing to the
+// side log, which recovery (and the next successful Compact) folds back
+// in, so an aborted compaction never loses data.
+func (s *Store) compactAbort(err error) error {
+	s.stats.CompactionFailures.Add(1)
+	return err
 }
