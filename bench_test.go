@@ -7,8 +7,11 @@ package repro
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/bom"
@@ -427,6 +430,116 @@ func BenchmarkE9_GroupCommit(b *testing.B) {
 				ds := st.Durability()
 				if ds.Fsyncs > 0 {
 					b.ReportMetric(float64(b.N)/float64(ds.Fsyncs), "events/fsync")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE10_ReadWriteMix measures the MVCC snapshot read path (D7)
+// against the shared-mutex baseline (-no-snapshots ablation) under
+// concurrent write pressure: 8 reader goroutines drive compliance checks
+// over a loaded hiring store while 0, 4 or 16 background writers commit
+// enrichment updates through the group-commit pipeline as fast as they
+// can. Reported per variant: aggregate check throughput (checks/s), the
+// p99 single-check latency (p99-us), and the write throughput the
+// background writers sustained alongside (writes/s).
+//
+// With snapshots, every check runs against an immutable published
+// snapshot after one atomic pointer load, so check latency is flat in
+// writer count; under the ablation readers and writers share the state
+// RWMutex and checks stall behind every commit.
+func BenchmarkE10_ReadWriteMix(b *testing.B) {
+	d := mustHiring(b)
+	const traces = 256
+	const readerGoroutines = 8
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"snapshot", false}, {"mutex", true}} {
+		for _, writers := range []int{0, 4, 16} {
+			mode, writers := mode, writers
+			b.Run(fmt.Sprintf("%s/writers=%d", mode.name, writers), func(b *testing.B) {
+				sys, _ := loadedSystem(b, d, traces, core.Config{
+					Dir: b.TempDir(), DisableCheckCache: true,
+					DisableSnapshots: mode.disable,
+				})
+				apps := sys.Store.AppIDs()
+
+				// Background writers: each loops enrichment updates on a
+				// node of its own trace until the readers finish.
+				var touch []*provenance.Node
+				if writers > 0 {
+					touch = benchTouchNodes(b, sys, apps[:writers])
+				}
+				stop := make(chan struct{})
+				var writes atomic.Int64
+				var wwg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					w := w
+					wwg.Add(1)
+					go func() {
+						defer wwg.Done()
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							if err := sys.Store.UpdateNode(touch[w]); err != nil {
+								b.Error(err)
+								return
+							}
+							writes.Add(1)
+						}
+					}()
+				}
+
+				var remaining atomic.Int64
+				remaining.Store(int64(b.N))
+				lat := make([][]time.Duration, readerGoroutines)
+				var rwg sync.WaitGroup
+				b.ResetTimer()
+				for r := 0; r < readerGoroutines; r++ {
+					r := r
+					rwg.Add(1)
+					go func() {
+						defer rwg.Done()
+						samples := make([]time.Duration, 0, b.N/readerGoroutines+8)
+						for {
+							i := remaining.Add(-1)
+							if i < 0 {
+								break
+							}
+							app := apps[int(i)%len(apps)]
+							t0 := time.Now()
+							if _, err := sys.Registry.Check(app); err != nil {
+								b.Error(err)
+								return
+							}
+							samples = append(samples, time.Since(t0))
+						}
+						lat[r] = samples
+					}()
+				}
+				rwg.Wait()
+				b.StopTimer()
+				close(stop)
+				wwg.Wait()
+
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "checks/s")
+				if writers > 0 {
+					b.ReportMetric(float64(writes.Load())/b.Elapsed().Seconds(), "writes/s")
+				}
+				var all []time.Duration
+				for _, s := range lat {
+					all = append(all, s...)
+				}
+				if len(all) > 0 {
+					sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+					b.ReportMetric(float64(all[len(all)/2].Microseconds()), "p50-us")
+					idx := int(float64(len(all)-1) * 0.99)
+					b.ReportMetric(float64(all[idx].Microseconds()), "p99-us")
 				}
 			})
 		}

@@ -44,6 +44,7 @@ func main() {
 	workers := flag.Int("workers", 0, "continuous-checking shard workers and CheckAll fan-out (0 = GOMAXPROCS)")
 	sync := flag.Bool("sync", false, "fsync before acknowledging writes (group-committed; needs -dir)")
 	flushWindow := flag.Duration("flush-window", 0, "max time a write may wait to share a group commit (0 = opportunistic)")
+	noSnapshots := flag.Bool("no-snapshots", false, "disable MVCC snapshot reads; readers share a mutex with writers (E10 ablation)")
 	flag.Parse()
 	if *sync && *dir == "" {
 		log.Fatal("provd: -sync requires -dir (an in-memory store has nothing to fsync)")
@@ -56,6 +57,7 @@ func main() {
 	sys, err := core.New(domain, core.Config{
 		Dir: *dir, Continuous: *continuous, Materialize: *materialize,
 		Workers: *workers, Sync: *sync, FlushWindow: *flushWindow,
+		DisableSnapshots: *noSnapshots,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -237,6 +237,9 @@ func (r *Registry) List() []*ControlPoint {
 
 // Check evaluates every deployed control against one trace, materializing
 // outcomes when configured. Outcomes are ordered by deployment order.
+// Evaluation reads an immutable store snapshot (store.ViewTrace), so
+// checks never contend with writers and always see a prefix-consistent
+// commit boundary of the trace.
 //
 // Results are cached per trace, keyed by (trace version, registry
 // generation): when neither the trace nor the deployed control set has

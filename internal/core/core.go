@@ -42,6 +42,10 @@ type Config struct {
 	FlushWindow time.Duration
 	// DisableIndexes turns off secondary indexes (ablation D4).
 	DisableIndexes bool
+	// DisableSnapshots turns off the store's MVCC snapshot read path;
+	// readers fall back to the shared RWMutex (ablation D7, experiment
+	// E10).
+	DisableSnapshots bool
 	// Materialize writes control points into the graph (Fig 2).
 	Materialize bool
 	// Continuous starts incremental correlation and continuous compliance
@@ -85,7 +89,7 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 	}
 	st, err := store.Open(store.Options{
 		Dir: cfg.Dir, Model: d.Model, Sync: cfg.Sync, DisableIndexes: cfg.DisableIndexes,
-		FlushWindow: cfg.FlushWindow,
+		FlushWindow: cfg.FlushWindow, DisableSnapshots: cfg.DisableSnapshots,
 	})
 	if err != nil {
 		return nil, err

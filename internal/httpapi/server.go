@@ -404,6 +404,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"store":      s.sys.Store.Stats(),
 		"durability": s.sys.Store.Durability(),
+		"snapshots":  s.sys.Store.SnapshotCounters(),
 		"pipeline":   s.sys.Pipeline.Stats(),
 		"correlate":  s.sys.Correlator.Stats(),
 		"checker":    s.sys.Checker.Stats(),

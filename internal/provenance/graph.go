@@ -1,8 +1,11 @@
 package provenance
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Direction selects edge orientation relative to a node when traversing.
@@ -29,36 +32,285 @@ func (d Direction) String() string {
 	}
 }
 
-// Graph is an in-memory provenance graph: nodes keyed by ID with
-// adjacency lists for incoming and outgoing relation edges. Graph is not
-// safe for concurrent mutation; the store serializes access to it.
-type Graph struct {
-	nodes map[string]*Node
-	edges map[string]*Edge
-	out   map[string][]string // node ID -> edge IDs with Source == node
-	in    map[string][]string // node ID -> edge IDs with Target == node
-	// byApp indexes node IDs per trace so that per-trace queries (the
-	// common case: every control evaluation is trace-scoped) cost O(trace)
-	// rather than O(store).
-	byApp map[string][]string
+// ErrFrozen is returned by mutating methods on a snapshot (or on a
+// subgraph returned by Trace): snapshots are immutable by contract, so a
+// write to one is always a caller bug, never a data race.
+var ErrFrozen = errors.New("provenance: graph is a frozen snapshot")
+
+const (
+	// graphBuckets is the fan-out of the trace-shard root. The root is a
+	// value array of bucket pointers, so publishing a snapshot copies
+	// exactly graphBuckets words no matter how many traces the graph
+	// holds; a mutation then clones only the one bucket (and the one
+	// shard) it touches.
+	graphBuckets = 64
+	// routerStripes is the lock striping of the record-ID router.
+	routerStripes = 64
+)
+
+// fnv32 is an inline FNV-1a so bucket/stripe selection never allocates.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
 }
 
-// NewGraph returns an empty graph.
-func NewGraph() *Graph {
-	return &Graph{
+// router maps record IDs to the trace that owns them. It is shared by a
+// working graph and every snapshot derived from it: record IDs are
+// write-once (never reused, never re-homed to another trace), so an entry
+// is immutable after insertion and striped-lock reads stay coherent
+// across snapshots. A router hit only locates the candidate owning trace;
+// visibility is always decided by the (possibly older) shard the calling
+// graph actually holds.
+type router struct {
+	stripes [routerStripes]routerStripe
+}
+
+type routerStripe struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+func newRouter() *router {
+	r := &router{}
+	for i := range r.stripes {
+		r.stripes[i].m = make(map[string]string)
+	}
+	return r
+}
+
+func (r *router) get(id string) (string, bool) {
+	st := &r.stripes[fnv32(id)%routerStripes]
+	st.mu.RLock()
+	app, ok := st.m[id]
+	st.mu.RUnlock()
+	return app, ok
+}
+
+func (r *router) put(id, app string) {
+	st := &r.stripes[fnv32(id)%routerStripes]
+	st.mu.Lock()
+	st.m[id] = app
+	st.mu.Unlock()
+}
+
+// traceShard holds one trace's records: node and edge maps, adjacency
+// lists, and the ID slices backing sorted iteration. Adjacency lists and
+// ID slices are kept sorted at insert time, so reads never sort.
+//
+// A shard is copy-on-first-write per epoch: Snapshot() freezes the whole
+// tree by bumping the working graph's epoch, and the first mutation of a
+// trace in the new epoch deep-copies its shard. Later mutations in the
+// same epoch hit the private copy in place, so copy cost is amortized
+// once per (touched trace × published snapshot), not per write.
+type traceShard struct {
+	epoch uint64
+	// ver is the trace's monotonic version: the number of mutating
+	// commits that touched it. The continuous-checking result cache keys
+	// on it, and the snapshot-isolation stress test asserts a snapshot's
+	// ver always equals the record count the same snapshot exposes.
+	ver     uint64
+	nodes   map[string]*Node
+	edges   map[string]*Edge
+	out     map[string][]string // node ID -> sorted edge IDs with Source == node
+	in      map[string][]string // node ID -> sorted edge IDs with Target == node
+	nodeIDs []string            // sorted
+	edgeIDs []string            // sorted
+}
+
+func newTraceShard(epoch uint64) *traceShard {
+	return &traceShard{
+		epoch: epoch,
 		nodes: make(map[string]*Node),
 		edges: make(map[string]*Edge),
 		out:   make(map[string][]string),
 		in:    make(map[string][]string),
-		byApp: make(map[string][]string),
 	}
 }
 
+// clone deep-copies the shard's containers (record pointers are shared:
+// records are immutable once stored). Slices are copied too, because
+// in-epoch inserts shift elements in place.
+func (sh *traceShard) clone(epoch uint64) *traceShard {
+	c := &traceShard{
+		epoch:   epoch,
+		ver:     sh.ver,
+		nodes:   make(map[string]*Node, len(sh.nodes)+1),
+		edges:   make(map[string]*Edge, len(sh.edges)+1),
+		out:     make(map[string][]string, len(sh.out)+1),
+		in:      make(map[string][]string, len(sh.in)+1),
+		nodeIDs: append(make([]string, 0, len(sh.nodeIDs)+1), sh.nodeIDs...),
+		edgeIDs: append(make([]string, 0, len(sh.edgeIDs)+1), sh.edgeIDs...),
+	}
+	for k, v := range sh.nodes {
+		c.nodes[k] = v
+	}
+	for k, v := range sh.edges {
+		c.edges[k] = v
+	}
+	for k, v := range sh.out {
+		c.out[k] = append(make([]string, 0, len(v)), v...)
+	}
+	for k, v := range sh.in {
+		c.in[k] = append(make([]string, 0, len(v)), v...)
+	}
+	return c
+}
+
+// traceBucket groups the shards of traces that hash to one root slot.
+type traceBucket struct {
+	epoch  uint64
+	shards map[string]*traceShard
+}
+
+// GraphCopyStats counts the copy-on-write work a mutable graph has done
+// since construction: how many trace shards (and the records inside them)
+// were cloned because a snapshot froze the previous version. Divided by
+// the number of snapshots published this measures the amortized publish
+// cost the MVCC design promises to keep sub-linear.
+type GraphCopyStats struct {
+	Shards uint64
+	Nodes  uint64
+	Edges  uint64
+}
+
+// Graph is an in-memory provenance graph: nodes keyed by ID with
+// adjacency lists for incoming and outgoing relation edges, sharded by
+// trace (every record carries an AppID and edges never cross traces, so
+// a trace shard is a self-contained subgraph).
+//
+// A Graph is either mutable (the store's single working graph, mutated
+// under the store's write serialization) or frozen (returned by
+// Snapshot/Trace). Frozen graphs are deeply immutable and safe for
+// concurrent readers with no locking and unbounded retention; mutating
+// methods on them fail with ErrFrozen. Mutating the working graph never
+// disturbs previously taken snapshots: shards are copied on first write
+// after each Snapshot call (structural sharing, see traceShard).
+type Graph struct {
+	epoch   uint64
+	frozen  bool
+	nNodes  int
+	nEdges  int
+	buckets [graphBuckets]*traceBucket
+	router  *router
+
+	// Copy-on-write accounting, meaningful on the working graph only.
+	// Atomics because Store.Stats reads them concurrently with writers.
+	copiedShards atomic.Uint64
+	copiedNodes  atomic.Uint64
+	copiedEdges  atomic.Uint64
+}
+
+// NewGraph returns an empty mutable graph.
+func NewGraph() *Graph {
+	return &Graph{router: newRouter()}
+}
+
 // NumNodes reports the number of nodes in the graph.
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumNodes() int { return g.nNodes }
 
 // NumEdges reports the number of relation edges in the graph.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int { return g.nEdges }
+
+// Frozen reports whether the graph is an immutable snapshot.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// Snapshot returns an immutable point-in-time view of the graph sharing
+// all trace shards with g, then advances g's epoch so the next mutation
+// of each trace copies that trace's shard first. Cost is O(graphBuckets)
+// pointer copies regardless of graph size. Calling Snapshot on a frozen
+// graph returns it unchanged.
+func (g *Graph) Snapshot() *Graph {
+	if g.frozen {
+		return g
+	}
+	snap := &Graph{
+		epoch:   g.epoch,
+		frozen:  true,
+		nNodes:  g.nNodes,
+		nEdges:  g.nEdges,
+		buckets: g.buckets,
+		router:  g.router,
+	}
+	g.epoch++
+	return snap
+}
+
+// CopyStats returns the cumulative copy-on-write counters.
+func (g *Graph) CopyStats() GraphCopyStats {
+	return GraphCopyStats{
+		Shards: g.copiedShards.Load(),
+		Nodes:  g.copiedNodes.Load(),
+		Edges:  g.copiedEdges.Load(),
+	}
+}
+
+// shard returns the trace's shard for reading, or nil.
+func (g *Graph) shard(appID string) *traceShard {
+	b := g.buckets[fnv32(appID)%graphBuckets]
+	if b == nil {
+		return nil
+	}
+	return b.shards[appID]
+}
+
+// shardOf resolves the shard owning a record ID via the router. The
+// router may know IDs newer than this graph (it is shared with the
+// working graph), so a nil shard or an ID missing from the shard simply
+// means "not visible in this version".
+func (g *Graph) shardOf(id string) *traceShard {
+	app, ok := g.router.get(id)
+	if !ok {
+		return nil
+	}
+	return g.shard(app)
+}
+
+// shardForWrite returns the trace's shard for mutation, copying the
+// bucket and the shard out of frozen epochs as needed.
+func (g *Graph) shardForWrite(appID string) *traceShard {
+	bi := fnv32(appID) % graphBuckets
+	b := g.buckets[bi]
+	switch {
+	case b == nil:
+		b = &traceBucket{epoch: g.epoch, shards: make(map[string]*traceShard)}
+		g.buckets[bi] = b
+	case b.epoch != g.epoch:
+		nb := &traceBucket{epoch: g.epoch, shards: make(map[string]*traceShard, len(b.shards)+1)}
+		for k, v := range b.shards {
+			nb.shards[k] = v
+		}
+		b = nb
+		g.buckets[bi] = b
+	}
+	sh := b.shards[appID]
+	switch {
+	case sh == nil:
+		sh = newTraceShard(g.epoch)
+		b.shards[appID] = sh
+	case sh.epoch != g.epoch:
+		sh = sh.clone(g.epoch)
+		g.copiedShards.Add(1)
+		g.copiedNodes.Add(uint64(len(sh.nodes)))
+		g.copiedEdges.Add(uint64(len(sh.edges)))
+		b.shards[appID] = sh
+	}
+	return sh
+}
+
+// insertSorted inserts id into a sorted slice, keeping it sorted. The
+// caller owns the slice (post-clone copies are private to the epoch), so
+// insertion shifts in place.
+func insertSorted(ids []string, id string) []string {
+	pos := sort.SearchStrings(ids, id)
+	ids = append(ids, "")
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = id
+	return ids
+}
 
 // AddNode inserts a node. It rejects invalid nodes and duplicate IDs
 // (record IDs are immutable once written to the provenance store).
@@ -66,14 +318,23 @@ func (g *Graph) AddNode(n *Node) error {
 	if err := n.Validate(); err != nil {
 		return err
 	}
-	if _, ok := g.nodes[n.ID]; ok {
+	if g.frozen {
+		return ErrFrozen
+	}
+	if app, ok := g.router.get(n.ID); ok {
+		if sh := g.shard(app); sh != nil {
+			if _, isEdge := sh.edges[n.ID]; isEdge {
+				return fmt.Errorf("provenance: node ID %s collides with an edge ID", n.ID)
+			}
+		}
 		return fmt.Errorf("provenance: duplicate node ID %s", n.ID)
 	}
-	if _, ok := g.edges[n.ID]; ok {
-		return fmt.Errorf("provenance: node ID %s collides with an edge ID", n.ID)
-	}
-	g.nodes[n.ID] = n
-	g.byApp[n.AppID] = append(g.byApp[n.AppID], n.ID)
+	sh := g.shardForWrite(n.AppID)
+	sh.nodes[n.ID] = n
+	sh.nodeIDs = insertSorted(sh.nodeIDs, n.ID)
+	sh.ver++
+	g.router.put(n.ID, n.AppID)
+	g.nNodes++
 	return nil
 }
 
@@ -84,14 +345,19 @@ func (g *Graph) UpdateNode(n *Node) error {
 	if err := n.Validate(); err != nil {
 		return err
 	}
-	old, ok := g.nodes[n.ID]
-	if !ok {
+	if g.frozen {
+		return ErrFrozen
+	}
+	old := g.Node(n.ID)
+	if old == nil {
 		return fmt.Errorf("provenance: update of unknown node %s", n.ID)
 	}
 	if old.Class != n.Class || old.Type != n.Type || old.AppID != n.AppID {
 		return fmt.Errorf("provenance: update of node %s changes identity (class/type/appID)", n.ID)
 	}
-	g.nodes[n.ID] = n
+	sh := g.shardForWrite(n.AppID)
+	sh.nodes[n.ID] = n
+	sh.ver++
 	return nil
 }
 
@@ -101,43 +367,102 @@ func (g *Graph) AddEdge(e *Edge) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
-	if _, ok := g.edges[e.ID]; ok {
+	if g.frozen {
+		return ErrFrozen
+	}
+	if app, ok := g.router.get(e.ID); ok {
+		if sh := g.shard(app); sh != nil {
+			if _, isNode := sh.nodes[e.ID]; isNode {
+				return fmt.Errorf("provenance: edge ID %s collides with a node ID", e.ID)
+			}
+		}
 		return fmt.Errorf("provenance: duplicate edge ID %s", e.ID)
 	}
-	if _, ok := g.nodes[e.ID]; ok {
-		return fmt.Errorf("provenance: edge ID %s collides with a node ID", e.ID)
-	}
-	src, ok := g.nodes[e.Source]
-	if !ok {
+	src := g.Node(e.Source)
+	if src == nil {
 		return fmt.Errorf("provenance: edge %s references unknown source %s", e.ID, e.Source)
 	}
-	dst, ok := g.nodes[e.Target]
-	if !ok {
+	dst := g.Node(e.Target)
+	if dst == nil {
 		return fmt.Errorf("provenance: edge %s references unknown target %s", e.ID, e.Target)
 	}
 	if src.AppID != e.AppID || dst.AppID != e.AppID {
 		return fmt.Errorf("provenance: edge %s crosses traces (%s: %s -> %s: %s)",
 			e.ID, e.AppID, src.AppID, e.Target, dst.AppID)
 	}
-	g.edges[e.ID] = e
-	g.out[e.Source] = append(g.out[e.Source], e.ID)
-	g.in[e.Target] = append(g.in[e.Target], e.ID)
+	sh := g.shardForWrite(e.AppID)
+	sh.edges[e.ID] = e
+	sh.out[e.Source] = insertSorted(sh.out[e.Source], e.ID)
+	sh.in[e.Target] = insertSorted(sh.in[e.Target], e.ID)
+	sh.edgeIDs = insertSorted(sh.edgeIDs, e.ID)
+	sh.ver++
+	g.router.put(e.ID, e.AppID)
+	g.nEdges++
 	return nil
 }
 
 // Node returns the node with the given ID, or nil.
-func (g *Graph) Node(id string) *Node { return g.nodes[id] }
+func (g *Graph) Node(id string) *Node {
+	sh := g.shardOf(id)
+	if sh == nil {
+		return nil
+	}
+	return sh.nodes[id]
+}
 
 // Edge returns the edge with the given ID, or nil.
-func (g *Graph) Edge(id string) *Edge { return g.edges[id] }
+func (g *Graph) Edge(id string) *Edge {
+	sh := g.shardOf(id)
+	if sh == nil {
+		return nil
+	}
+	return sh.edges[id]
+}
+
+// TraceVersion returns the monotonic version of one trace: the number of
+// mutating operations (node adds, updates, edge adds) applied to it in
+// this graph version. Zero means the trace is absent.
+func (g *Graph) TraceVersion(appID string) uint64 {
+	sh := g.shard(appID)
+	if sh == nil {
+		return 0
+	}
+	return sh.ver
+}
+
+// TraceOf resolves the trace a record ID belongs to in this graph
+// version. ok is false when the ID is not visible here (including IDs
+// written after this snapshot was taken).
+func (g *Graph) TraceOf(id string) (appID string, ok bool) {
+	app, ok := g.router.get(id)
+	if !ok {
+		return "", false
+	}
+	sh := g.shard(app)
+	if sh == nil {
+		return "", false
+	}
+	if _, ok := sh.nodes[id]; ok {
+		return app, true
+	}
+	if _, ok := sh.edges[id]; ok {
+		return app, true
+	}
+	return "", false
+}
 
 // HasEdge reports whether an edge of the given type exists between the two
 // nodes in the given orientation. This is the primitive the paper uses to
 // verify an internal control: "a business control point is satisfied if
-// certain vertices and edges exist in the provenance graph".
+// certain vertices and edges exist in the provenance graph". Allocation
+// free: the adjacency list is scanned in place.
 func (g *Graph) HasEdge(source, edgeType, target string) bool {
-	for _, eid := range g.out[source] {
-		e := g.edges[eid]
+	sh := g.shardOf(source)
+	if sh == nil {
+		return false
+	}
+	for _, eid := range sh.out[source] {
+		e := sh.edges[eid]
 		if e.Type == edgeType && e.Target == target {
 			return true
 		}
@@ -147,74 +472,116 @@ func (g *Graph) HasEdge(source, edgeType, target string) bool {
 
 // Edges returns the edges touching the node in the given direction,
 // filtered by edge type when edgeType is non-empty. The result is a fresh
-// slice sorted by edge ID for determinism.
+// slice sorted by edge ID; adjacency lists are maintained sorted at
+// insert time, so no sort happens here.
 func (g *Graph) Edges(nodeID string, dir Direction, edgeType string) []*Edge {
-	var ids []string
+	sh := g.shardOf(nodeID)
+	if sh == nil {
+		return nil
+	}
+	match := func(e *Edge) bool { return edgeType == "" || e.Type == edgeType }
 	switch dir {
-	case Out:
-		ids = g.out[nodeID]
-	case In:
-		ids = g.in[nodeID]
-	default:
-		ids = append(append([]string(nil), g.out[nodeID]...), g.in[nodeID]...)
-	}
-	res := make([]*Edge, 0, len(ids))
-	for _, id := range ids {
-		e := g.edges[id]
-		if edgeType == "" || e.Type == edgeType {
-			res = append(res, e)
+	case Out, In:
+		ids := sh.out[nodeID]
+		if dir == In {
+			ids = sh.in[nodeID]
 		}
+		res := make([]*Edge, 0, len(ids))
+		for _, id := range ids {
+			if e := sh.edges[id]; match(e) {
+				res = append(res, e)
+			}
+		}
+		return res
+	default:
+		// Merge the two sorted lists. Self-loops are rejected at insert,
+		// so the lists are disjoint and no dedup is needed.
+		out, in := sh.out[nodeID], sh.in[nodeID]
+		res := make([]*Edge, 0, len(out)+len(in))
+		i, j := 0, 0
+		for i < len(out) || j < len(in) {
+			var id string
+			if j >= len(in) || (i < len(out) && out[i] < in[j]) {
+				id = out[i]
+				i++
+			} else {
+				id = in[j]
+				j++
+			}
+			if e := sh.edges[id]; match(e) {
+				res = append(res, e)
+			}
+		}
+		return res
 	}
-	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
-	return res
 }
 
 // Neighbors returns the nodes reachable from nodeID over edges of the
 // given type and direction, sorted by node ID.
 func (g *Graph) Neighbors(nodeID string, dir Direction, edgeType string) []*Node {
-	var res []*Node
-	seen := make(map[string]bool)
+	sh := g.shardOf(nodeID)
+	if sh == nil {
+		return nil
+	}
+	var ids []string
 	add := func(id string) {
-		if !seen[id] {
-			seen[id] = true
-			res = append(res, g.nodes[id])
+		pos := sort.SearchStrings(ids, id)
+		if pos < len(ids) && ids[pos] == id {
+			return
 		}
+		ids = append(ids, "")
+		copy(ids[pos+1:], ids[pos:])
+		ids[pos] = id
 	}
 	if dir == Out || dir == Both {
-		for _, eid := range g.out[nodeID] {
-			if e := g.edges[eid]; edgeType == "" || e.Type == edgeType {
+		for _, eid := range sh.out[nodeID] {
+			if e := sh.edges[eid]; edgeType == "" || e.Type == edgeType {
 				add(e.Target)
 			}
 		}
 	}
 	if dir == In || dir == Both {
-		for _, eid := range g.in[nodeID] {
-			if e := g.edges[eid]; edgeType == "" || e.Type == edgeType {
+		for _, eid := range sh.in[nodeID] {
+			if e := sh.edges[eid]; edgeType == "" || e.Type == edgeType {
 				add(e.Source)
 			}
 		}
 	}
-	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
+	res := make([]*Node, len(ids))
+	for i, id := range ids {
+		res[i] = sh.nodes[id]
+	}
 	return res
 }
 
 // Nodes returns all nodes matching the filter, sorted by ID. A zero-value
-// filter matches everything. Trace-scoped filters use the per-trace index
-// and cost O(trace size).
+// filter matches everything. Trace-scoped filters iterate the trace's
+// pre-sorted shard and cost O(trace size) with no sorting.
 func (g *Graph) Nodes(f NodeFilter) []*Node {
-	var res []*Node
 	if f.AppID != "" {
-		for _, id := range g.byApp[f.AppID] {
-			if n := g.nodes[id]; f.Matches(n) {
+		sh := g.shard(f.AppID)
+		if sh == nil {
+			return nil
+		}
+		var res []*Node
+		for _, id := range sh.nodeIDs {
+			if n := sh.nodes[id]; f.Matches(n) {
 				res = append(res, n)
 			}
 		}
-		sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
 		return res
 	}
-	for _, n := range g.nodes {
-		if f.Matches(n) {
-			res = append(res, n)
+	var res []*Node
+	for _, b := range g.buckets {
+		if b == nil {
+			continue
+		}
+		for _, sh := range b.shards {
+			for _, id := range sh.nodeIDs {
+				if n := sh.nodes[id]; f.Matches(n) {
+					res = append(res, n)
+				}
+			}
 		}
 	}
 	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
@@ -222,11 +589,33 @@ func (g *Graph) Nodes(f NodeFilter) []*Node {
 }
 
 // AllEdges returns all edges matching the filter, sorted by ID.
+// Trace-scoped filters iterate the trace's pre-sorted edge index instead
+// of scanning every edge in the store.
 func (g *Graph) AllEdges(f EdgeFilter) []*Edge {
+	if f.AppID != "" {
+		sh := g.shard(f.AppID)
+		if sh == nil {
+			return nil
+		}
+		var res []*Edge
+		for _, id := range sh.edgeIDs {
+			if e := sh.edges[id]; f.Matches(e) {
+				res = append(res, e)
+			}
+		}
+		return res
+	}
 	var res []*Edge
-	for _, e := range g.edges {
-		if f.Matches(e) {
-			res = append(res, e)
+	for _, b := range g.buckets {
+		if b == nil {
+			continue
+		}
+		for _, sh := range b.shards {
+			for _, id := range sh.edgeIDs {
+				if e := sh.edges[id]; f.Matches(e) {
+					res = append(res, e)
+				}
+			}
 		}
 	}
 	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
@@ -280,33 +669,37 @@ func (f EdgeFilter) Matches(e *Edge) bool {
 }
 
 // Trace extracts the subgraph of a single process execution trace: all
-// nodes and edges whose AppID matches. The returned graph shares record
-// pointers with g and must be treated as read-only.
+// nodes and edges whose AppID matches. The returned graph is a frozen
+// snapshot sharing record pointers with g. Extracting from a frozen graph
+// shares the trace's shard outright (O(1)); extracting from a mutable
+// graph copies the shard so later writes to g cannot leak in.
 func (g *Graph) Trace(appID string) *Graph {
-	t := NewGraph()
-	for _, id := range g.byApp[appID] {
-		n := g.nodes[id]
-		t.nodes[n.ID] = n
-		t.byApp[appID] = append(t.byApp[appID], n.ID)
+	t := &Graph{frozen: true, router: g.router}
+	sh := g.shard(appID)
+	if sh == nil {
+		return t
 	}
-	for _, e := range g.edges {
-		if e.AppID == appID {
-			t.edges[e.ID] = e
-			t.out[e.Source] = append(t.out[e.Source], e.ID)
-			t.in[e.Target] = append(t.in[e.Target], e.ID)
-		}
+	if !g.frozen {
+		sh = sh.clone(sh.epoch)
 	}
+	bi := fnv32(appID) % graphBuckets
+	t.buckets[bi] = &traceBucket{shards: map[string]*traceShard{appID: sh}}
+	t.nNodes = len(sh.nodes)
+	t.nEdges = len(sh.edges)
 	return t
 }
 
 // AppIDs returns the distinct trace identifiers present in the graph,
 // sorted lexicographically.
 func (g *Graph) AppIDs() []string {
-	// Every edge requires same-trace endpoints, so the node index covers
-	// all traces.
-	ids := make([]string, 0, len(g.byApp))
-	for id := range g.byApp {
-		ids = append(ids, id)
+	var ids []string
+	for _, b := range g.buckets {
+		if b == nil {
+			continue
+		}
+		for id := range b.shards {
+			ids = append(ids, id)
+		}
 	}
 	sort.Strings(ids)
 	return ids
@@ -325,18 +718,25 @@ type Census struct {
 // TakeCensus computes the census of the graph.
 func (g *Graph) TakeCensus() Census {
 	c := Census{
-		Nodes:     len(g.nodes),
-		Edges:     len(g.edges),
+		Nodes:     g.nNodes,
+		Edges:     g.nEdges,
 		ByClass:   make(map[Class]int),
 		ByType:    make(map[string]int),
 		EdgeTypes: make(map[string]int),
 	}
-	for _, n := range g.nodes {
-		c.ByClass[n.Class]++
-		c.ByType[n.Type]++
-	}
-	for _, e := range g.edges {
-		c.EdgeTypes[e.Type]++
+	for _, b := range g.buckets {
+		if b == nil {
+			continue
+		}
+		for _, sh := range b.shards {
+			for _, n := range sh.nodes {
+				c.ByClass[n.Class]++
+				c.ByType[n.Type]++
+			}
+			for _, e := range sh.edges {
+				c.EdgeTypes[e.Type]++
+			}
+		}
 	}
 	return c
 }

@@ -242,7 +242,10 @@ func (p *Plan) Indexed() bool { return p.path == indexScan }
 
 // Run executes the plan, returning clones of the matching nodes. Results
 // sort by OrderBy when set (absent values last, ties by ID) and by record
-// ID otherwise.
+// ID otherwise. The whole plan executes inside one store read view
+// (store.ReadTx), so the index probe and the graph resolution always see
+// the same snapshot — an index hit can never dangle against a newer or
+// older graph.
 func (p *Plan) Run() ([]*provenance.Node, error) {
 	var out []*provenance.Node
 	collect := func(n *provenance.Node) bool {
@@ -259,40 +262,31 @@ func (p *Plan) Run() ([]*provenance.Node, error) {
 	if p.q.OrderBy != "" {
 		earlyLimit = 0
 	}
-	switch p.path {
-	case indexScan:
-		pr := p.q.Preds[p.ixKey]
-		ids, ok := p.eng.st.LookupByAttr(p.q.Type, pr.Field, pr.Value)
-		if !ok {
+	err := p.eng.st.ReadTx(func(tx store.ReadTx) error {
+		if p.path == indexScan {
+			pr := p.q.Preds[p.ixKey]
+			ids, ok := tx.LookupByAttr(p.q.Type, pr.Field, pr.Value)
+			if ok {
+				g := tx.Graph()
+				for _, id := range ids {
+					n := g.Node(id)
+					if n == nil || (p.q.AppID != "" && n.AppID != p.q.AppID) {
+						continue
+					}
+					collect(n)
+					if earlyLimit > 0 && len(out) >= earlyLimit {
+						break
+					}
+				}
+				return nil
+			}
 			// Index disappeared (e.g. DisableIndexes); fall back to scan.
-			out, err := p.scan(earlyLimit)
-			if err != nil {
-				return nil, err
-			}
-			return p.finish(out), nil
 		}
-		err := p.eng.st.View(func(g *provenance.Graph) error {
-			for _, id := range ids {
-				n := g.Node(id)
-				if n == nil || (p.q.AppID != "" && n.AppID != p.q.AppID) {
-					continue
-				}
-				collect(n)
-				if earlyLimit > 0 && len(out) >= earlyLimit {
-					break
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	default:
-		scanned, err := p.scan(earlyLimit)
-		if err != nil {
-			return nil, err
-		}
-		out = scanned
+		p.scan(tx.Graph(), earlyLimit, &out)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return p.finish(out), nil
 }
@@ -329,32 +323,24 @@ func (p *Plan) finish(out []*provenance.Node) []*provenance.Node {
 	return out
 }
 
-func (p *Plan) scan(earlyLimit int) ([]*provenance.Node, error) {
-	var out []*provenance.Node
-	err := p.eng.st.View(func(g *provenance.Graph) error {
-		for _, n := range g.Nodes(provenance.NodeFilter{
-			Class: p.q.Class, Type: p.q.Type, AppID: p.q.AppID,
-		}) {
-			ok := true
-			for _, pr := range p.q.Preds {
-				if !pr.Matches(n) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				out = append(out, n.Clone())
-				if earlyLimit > 0 && len(out) >= earlyLimit {
-					return nil
-				}
+func (p *Plan) scan(g *provenance.Graph, earlyLimit int, out *[]*provenance.Node) {
+	for _, n := range g.Nodes(provenance.NodeFilter{
+		Class: p.q.Class, Type: p.q.Type, AppID: p.q.AppID,
+	}) {
+		ok := true
+		for _, pr := range p.q.Preds {
+			if !pr.Matches(n) {
+				ok = false
+				break
 			}
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		if ok {
+			*out = append(*out, n.Clone())
+			if earlyLimit > 0 && len(*out) >= earlyLimit {
+				return
+			}
+		}
 	}
-	return out, nil
 }
 
 // Run is a convenience: plan and execute in one call.

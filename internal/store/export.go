@@ -15,17 +15,18 @@ import (
 // portable backup: ImportRows on an empty store reproduces the state, and
 // external tooling can consume it line by line.
 func (s *Store) ExportRows(w io.Writer) error {
-	s.mu.RLock()
-	nodeRows := make([]Row, 0, len(s.rows))
-	edgeRows := make([]Row, 0)
-	for _, r := range s.rows {
-		if r.Class == provenance.ClassRelation.String() {
-			edgeRows = append(edgeRows, r)
-		} else {
-			nodeRows = append(nodeRows, r)
-		}
-	}
-	s.mu.RUnlock()
+	var nodeRows, edgeRows []Row
+	s.readTx(func(tx ReadTx) error {
+		nodeRows = make([]Row, 0, tx.rows.count)
+		tx.rows.each(func(r Row) {
+			if r.Class == provenance.ClassRelation.String() {
+				edgeRows = append(edgeRows, r)
+			} else {
+				nodeRows = append(nodeRows, r)
+			}
+		})
+		return nil
+	})
 	sort.Slice(nodeRows, func(i, j int) bool { return nodeRows[i].ID < nodeRows[j].ID })
 	sort.Slice(edgeRows, func(i, j int) bool { return edgeRows[i].ID < edgeRows[j].ID })
 

@@ -135,10 +135,17 @@ func (c *committer) collect(batch []*commitReq) []*commitReq {
 
 // process makes one batch durable and applies it. Under logMu the frames
 // are buffered in order, flushed once, fsynced once (sync mode), then
-// applied in the same order — so the log's entry order, the in-memory
-// state's order and the change feed's order all agree, exactly as the
-// serial path guaranteed. A write/flush/fsync failure fails the whole
-// batch (nothing was applied); apply errors are per-entry.
+// applied in the same order, then ONE snapshot covering the whole batch
+// is published, the change-feed events are emitted, and finally the
+// waiters are released — so the log's entry order, the in-memory state's
+// order, the snapshot sequence and the change feed's order all agree,
+// exactly as the serial path guarantees. Publishing before releasing the
+// waiters means an acknowledged write is always visible in the snapshot
+// (read-your-writes); emitting events after the publish means a
+// subscriber reacting to an event always finds a snapshot at least as
+// new as the event (the continuous checker re-checks final state, never
+// a stale snapshot). A write/flush/fsync failure fails the whole batch
+// (nothing was applied); apply errors are per-entry.
 func (c *committer) process(batch []*commitReq) {
 	s := c.s
 	s.logMu.Lock()
@@ -177,8 +184,21 @@ func (c *committer) process(batch []*commitReq) {
 			break
 		}
 	}
-	for _, req := range batch {
-		req.done <- s.applyEntry(req.e, true)
+	errs := make([]error, len(batch))
+	evs := make([]Event, 0, len(batch))
+	for i, req := range batch {
+		ev, err := s.apply(req.e)
+		errs[i] = err
+		if err == nil {
+			evs = append(evs, ev)
+		}
+	}
+	s.publishLocked()
+	for _, ev := range evs {
+		s.publish(ev)
+	}
+	for i, req := range batch {
+		req.done <- errs[i]
 	}
 	s.logMu.Unlock()
 }

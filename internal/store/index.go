@@ -11,8 +11,15 @@ import (
 // value key to the sorted set of node IDs carrying that value. Definition
 // binding in the rule engine hits these indexes instead of scanning
 // (design decision D4 in DESIGN.md).
+//
+// Like the graph and the row table, the set is copy-on-write per publish
+// epoch (D7): snapshot() clones only the tiny per-index root maps, a
+// mutation clones the one value bucket it touches, and posting-list
+// updates always build a fresh slice. Published slices are therefore
+// immutable, which lets lookup return them without copying.
 type indexSet struct {
-	byField map[indexKey]map[string][]string // (type, field) -> value key -> node IDs
+	epoch   uint64
+	byField map[indexKey]*ixIndex // (type, field) -> index
 }
 
 type indexKey struct {
@@ -20,16 +27,71 @@ type indexKey struct {
 	field string
 }
 
-func newIndexSet() *indexSet {
-	return &indexSet{byField: make(map[indexKey]map[string][]string)}
+const ixBuckets = 64
+
+// ixIndex is one declared (type, field) index, its value buckets sharded
+// so an epoch clone copies ixBuckets pointers, not the whole value map.
+type ixIndex struct {
+	epoch   uint64
+	buckets [ixBuckets]*ixBucket
 }
 
-// declare creates an empty index for (type, field).
+type ixBucket struct {
+	epoch uint64
+	vals  map[string][]string // value key -> sorted node IDs
+}
+
+func newIndexSet() *indexSet {
+	return &indexSet{byField: make(map[indexKey]*ixIndex)}
+}
+
+// snapshot returns a frozen copy sharing every index, then advances the
+// working set's epoch.
+func (x *indexSet) snapshot() *indexSet {
+	snap := &indexSet{epoch: x.epoch, byField: make(map[indexKey]*ixIndex, len(x.byField))}
+	for k, v := range x.byField {
+		snap.byField[k] = v
+	}
+	x.epoch++
+	return snap
+}
+
+// declare creates an empty index for (type, field). Only called during
+// Open, before any snapshot exists.
 func (x *indexSet) declare(typ, field string) {
 	k := indexKey{typ, field}
 	if _, ok := x.byField[k]; !ok {
-		x.byField[k] = make(map[string][]string)
+		x.byField[k] = &ixIndex{epoch: x.epoch}
 	}
+}
+
+// bucketForWrite returns the value bucket for key, copying the index and
+// the bucket out of frozen epochs as needed.
+func (x *indexSet) bucketForWrite(k indexKey, valKey string) *ixBucket {
+	ix, ok := x.byField[k]
+	if !ok {
+		return nil
+	}
+	if ix.epoch != x.epoch {
+		nix := &ixIndex{epoch: x.epoch, buckets: ix.buckets}
+		x.byField[k] = nix
+		ix = nix
+	}
+	bi := rowHash(valKey) % ixBuckets
+	b := ix.buckets[bi]
+	switch {
+	case b == nil:
+		b = &ixBucket{epoch: x.epoch, vals: make(map[string][]string)}
+		ix.buckets[bi] = b
+	case b.epoch != x.epoch:
+		nb := &ixBucket{epoch: x.epoch, vals: make(map[string][]string, len(b.vals)+1)}
+		for k, v := range b.vals {
+			nb.vals[k] = v
+		}
+		b = nb
+		ix.buckets[bi] = b
+	}
+	return b
 }
 
 // add indexes every indexed attribute the node carries.
@@ -41,20 +103,21 @@ func (x *indexSet) add(n *provenance.Node) {
 		if v.IsZero() {
 			continue
 		}
-		k := indexKey{n.Type, field}
-		bucket, ok := x.byField[k]
-		if !ok {
+		b := x.bucketForWrite(indexKey{n.Type, field}, v.Key())
+		if b == nil {
 			continue
 		}
-		ids := bucket[v.Key()]
+		ids := b.vals[v.Key()]
 		pos := sort.SearchStrings(ids, n.ID)
 		if pos < len(ids) && ids[pos] == n.ID {
 			continue
 		}
-		ids = append(ids, "")
-		copy(ids[pos+1:], ids[pos:])
-		ids[pos] = n.ID
-		bucket[v.Key()] = ids
+		// Fresh slice: the old one may be visible in published snapshots.
+		next := make([]string, 0, len(ids)+1)
+		next = append(next, ids[:pos]...)
+		next = append(next, n.ID)
+		next = append(next, ids[pos:]...)
+		b.vals[v.Key()] = next
 	}
 }
 
@@ -67,33 +130,39 @@ func (x *indexSet) remove(n *provenance.Node) {
 		if v.IsZero() {
 			continue
 		}
-		k := indexKey{n.Type, field}
-		bucket, ok := x.byField[k]
-		if !ok {
+		b := x.bucketForWrite(indexKey{n.Type, field}, v.Key())
+		if b == nil {
 			continue
 		}
-		ids := bucket[v.Key()]
+		ids := b.vals[v.Key()]
 		pos := sort.SearchStrings(ids, n.ID)
 		if pos < len(ids) && ids[pos] == n.ID {
-			ids = append(ids[:pos], ids[pos+1:]...)
-			if len(ids) == 0 {
-				delete(bucket, v.Key())
-			} else {
-				bucket[v.Key()] = ids
+			if len(ids) == 1 {
+				delete(b.vals, v.Key())
+				continue
 			}
+			next := make([]string, 0, len(ids)-1)
+			next = append(next, ids[:pos]...)
+			next = append(next, ids[pos+1:]...)
+			b.vals[v.Key()] = next
 		}
 	}
 }
 
 // lookup returns the IDs indexed under (type, field, value) and whether an
-// index exists for the pair. The returned slice is a copy.
+// index exists for the pair. The returned slice is immutable — posting
+// lists are never mutated in place — so callers may retain it but must
+// not modify it.
 func (x *indexSet) lookup(typ, field string, v provenance.Value) ([]string, bool) {
-	bucket, ok := x.byField[indexKey{typ, field}]
+	ix, ok := x.byField[indexKey{typ, field}]
 	if !ok {
 		return nil, false
 	}
-	ids := bucket[v.Key()]
-	return append([]string(nil), ids...), true
+	b := ix.buckets[rowHash(v.Key())%ixBuckets]
+	if b == nil {
+		return nil, true
+	}
+	return b.vals[v.Key()], true
 }
 
 // size reports the number of declared indexes.

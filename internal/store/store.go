@@ -48,6 +48,11 @@ type Options struct {
 	// DisableIndexes turns off secondary attribute indexes; lookups fall
 	// back to scans. Exists for the index ablation (experiment E5).
 	DisableIndexes bool
+	// DisableSnapshots turns off the MVCC read path: no snapshots are
+	// published and every reader falls back to taking the state RWMutex,
+	// contending with writers exactly as the pre-snapshot store did.
+	// Exists as the E10 ablation baseline.
+	DisableSnapshots bool
 }
 
 var errClosed = errors.New("store: closed")
@@ -61,6 +66,12 @@ type durabilityCounters struct {
 	MaxCommitBatch     atomic.Uint64
 	Compactions        atomic.Uint64
 	CompactionFailures atomic.Uint64
+}
+
+// snapCounters tracks the MVCC read path's observable work.
+type snapCounters struct {
+	publishes   atomic.Uint64
+	readerLoads atomic.Uint64
 }
 
 // DurabilityStats is a snapshot of the durability layer's counters,
@@ -94,19 +105,55 @@ type DurabilityStats struct {
 	ReplaySkipped int
 }
 
+// SnapshotStats is a snapshot of the MVCC read path's counters, served
+// under "snapshots" in the HTTP /stats endpoint.
+type SnapshotStats struct {
+	// Enabled reports whether the copy-on-write snapshot read path is
+	// active (false under the DisableSnapshots ablation).
+	Enabled bool
+	// Publishes counts snapshots published — one per commit on the
+	// serial path, one per batch on the group-commit path.
+	Publishes uint64
+	// ReaderLoads counts lock-free snapshot pointer loads by readers.
+	ReaderLoads uint64
+	// CopiedShards / CopiedNodes / CopiedEdges count the copy-on-write
+	// work writers did: trace shards (and the records inside them)
+	// cloned because a published snapshot froze the previous version.
+	// CopiedNodes/Publishes approximates the per-publish copy cost.
+	CopiedShards uint64
+	CopiedNodes  uint64
+	CopiedEdges  uint64
+}
+
 // Store is the provenance store: the append-only row log, the in-memory
 // provenance graph, secondary indexes, and the change feed.
+//
+// Reads are MVCC (design decision D7): every commit publishes an
+// immutable snapshot of the full state through an atomic pointer, and
+// readers run against the snapshot with no locking. The mu RWMutex still
+// serializes writers against each other's state mutation and carries the
+// whole read load only under the DisableSnapshots ablation.
 type Store struct {
 	opts Options
 	fs   FS
 
-	mu       sync.RWMutex
-	graph    *provenance.Graph
-	rows     map[string]Row // record ID -> current row
-	idx      *indexSet
-	seq      uint64
-	traceVer map[string]uint64 // appID -> monotonic trace version
-	closed   bool
+	mu     sync.RWMutex
+	graph  *provenance.Graph // working graph; the pointer itself is stable
+	rows   *rowTable         // working row table; pointer stable
+	idx    *indexSet         // working indexes; pointer stable
+	seq    uint64
+	closed bool
+
+	// snap is the published snapshot readers load. Written only under
+	// logMu (the commit boundary), so a loaded snapshot is always a
+	// prefix-consistent batch boundary — never a torn batch. snapDirty
+	// flags commits whose publication was deferred to the next read;
+	// loadsAtPublish (guarded by logMu) is the reader-load count at the
+	// last publish, used to detect write-only bursts.
+	snap           atomic.Pointer[snapshot]
+	snapDirty      atomic.Bool
+	loadsAtPublish uint64
+	snapCount      snapCounters
 
 	logMu      sync.Mutex // serializes log writes and the compaction swap
 	log        *logWriter
@@ -133,13 +180,12 @@ func Open(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: Options.Model is required")
 	}
 	s := &Store{
-		opts:     opts,
-		fs:       opts.FS,
-		graph:    provenance.NewGraph(),
-		rows:     make(map[string]Row),
-		idx:      newIndexSet(),
-		traceVer: make(map[string]uint64),
-		subs:     make(map[int]*Subscription),
+		opts:  opts,
+		fs:    opts.FS,
+		graph: provenance.NewGraph(),
+		rows:  newRowTable(),
+		idx:   newIndexSet(),
+		subs:  make(map[int]*Subscription),
 	}
 	if s.fs == nil {
 		s.fs = OSFS{}
@@ -171,6 +217,11 @@ func Open(opts Options) (*Store, error) {
 			s.comm = newCommitter(s, opts.FlushWindow, opts.MaxCommitBatch)
 		}
 	}
+	// Publish the initial snapshot (replayed state, or empty) so readers
+	// never observe a nil pointer.
+	if !opts.DisableSnapshots {
+		s.forcePublishLocked()
+	}
 	return s, nil
 }
 
@@ -180,7 +231,10 @@ func Open(opts Options) (*Store, error) {
 // any survive, else the main log.
 func (s *Store) replayAll() (activePath string, err error) {
 	dir := s.opts.Dir
-	apply := func(e entry) error { return s.applyEntry(e, false) }
+	apply := func(e entry) error {
+		_, err := s.apply(e)
+		return err
+	}
 	rr, err := replayLog(s.fs, logPath(dir), apply)
 	if err != nil {
 		return "", err
@@ -277,6 +331,11 @@ func (s *Store) UpdateNode(n *provenance.Node) error {
 // notifies the change feed.
 func (s *Store) PutEdge(e *provenance.Edge) error {
 	if !s.opts.SkipValidation {
+		// Pre-validate against the working graph under the state lock
+		// (not a snapshot): the write path must not trigger the read
+		// barrier, and the working graph also sees batch-mates already
+		// applied but not yet published. AddEdge re-checks authoritatively
+		// at apply time.
 		s.mu.RLock()
 		src := s.graph.Node(e.Source)
 		dst := s.graph.Node(e.Target)
@@ -302,8 +361,9 @@ func (s *Store) checkNode(n *provenance.Node) error {
 // commit makes the entry durable in the log and applies it to the
 // in-memory state. The log write happens first: a record is only visible
 // once it is durable in the log's terms. Disk stores route through the
-// group-commit pipeline (one flush+fsync shared by a batch of concurrent
-// writers) unless DisableGroupCommit forces the serial path.
+// group-commit pipeline (one flush+fsync+snapshot publish shared by a
+// batch of concurrent writers) unless DisableGroupCommit forces the
+// serial path.
 func (s *Store) commit(e entry) error {
 	s.mu.RLock()
 	closed := s.closed
@@ -314,9 +374,10 @@ func (s *Store) commit(e entry) error {
 	if s.comm != nil {
 		return s.comm.enqueue(e)
 	}
-	// Serial path: logMu is held across both the append and the in-memory
-	// apply so the log's entry order always equals the order the state
-	// (and the change feed) observed — recovery then reproduces exactly
+	// Serial path: logMu is held across the append, the in-memory apply,
+	// the snapshot publish and the change-feed emit, so the log's entry
+	// order always equals the order the state, the published snapshots
+	// and the change feed observed — recovery then reproduces exactly
 	// the final state even under concurrent conflicting updates. Lock
 	// order is always logMu -> mu. The group committer preserves the same
 	// invariant batch-wise.
@@ -330,88 +391,194 @@ func (s *Store) commit(e entry) error {
 			s.stats.Fsyncs.Add(1)
 		}
 	}
-	return s.applyEntry(e, true)
-}
-
-// applyEntry mutates the in-memory state. notify controls whether the
-// change feed fires (replay does not notify).
-func (s *Store) applyEntry(e entry, notify bool) error {
-	n, ed, err := DecodeRow(e.row)
+	ev, err := s.apply(e)
 	if err != nil {
+		// A rejected apply left the state untouched; the published
+		// snapshot is still current.
 		return err
 	}
-	s.mu.Lock()
-	switch e.op {
-	case opPutNode:
-		if n == nil {
-			s.mu.Unlock()
-			return fmt.Errorf("store: put-node entry decoded to non-node %s", e.row.ID)
-		}
-		if err := s.graph.AddNode(n); err != nil {
-			s.mu.Unlock()
-			return err
-		}
-		s.idx.add(n)
-	case opUpdateNode:
-		if n == nil {
-			s.mu.Unlock()
-			return fmt.Errorf("store: update entry decoded to non-node %s", e.row.ID)
-		}
-		old := s.graph.Node(n.ID)
-		if err := s.graph.UpdateNode(n); err != nil {
-			s.mu.Unlock()
-			return err
-		}
-		s.idx.remove(old)
-		s.idx.add(n)
-	case opPutEdge:
-		if ed == nil {
-			s.mu.Unlock()
-			return fmt.Errorf("store: put-edge entry decoded to non-edge %s", e.row.ID)
-		}
-		if err := s.graph.AddEdge(ed); err != nil {
-			s.mu.Unlock()
-			return err
-		}
-	}
-	s.rows[e.row.ID] = e.row
-	s.seq++
-	seq := s.seq
-	// Every mutating commit bumps the touched trace's monotonic version:
-	// the continuous-checking cache keys results by it, so "unchanged
-	// trace" is decidable without comparing graphs. Replay bumps too, so a
-	// recovered store reports the same versions the writer saw.
-	var ver uint64
-	if app := e.row.AppID; app != "" {
-		s.traceVer[app]++
-		ver = s.traceVer[app]
-	}
-	if notify {
-		// Publish before releasing the state lock so subscribers observe
-		// events in exactly commit order. Enqueueing is non-blocking (the
-		// subscription queue is unbounded) and the subscription locks are
-		// leaves, so no cycle is possible.
-		ev := Event{Seq: seq, TraceVersion: ver}
-		switch e.op {
-		case opPutNode:
-			ev.Kind = EventNode
-			ev.Node = n
-		case opUpdateNode:
-			ev.Kind = EventNodeUpdate
-			ev.Node = n
-		case opPutEdge:
-			ev.Kind = EventEdge
-			ev.Edge = ed
-		}
-		s.publish(ev)
-	}
-	s.mu.Unlock()
+	s.publishLocked()
+	s.publish(ev)
 	return nil
 }
 
-// View runs fn with read access to the provenance graph. The graph must
-// not be mutated or retained past fn's return; use clones for that.
+// apply mutates the in-memory working state and returns the change-feed
+// event describing the mutation. It does NOT publish a snapshot or emit
+// the event — the commit paths do both after the whole batch applied, so
+// readers and subscribers only ever observe batch boundaries.
+func (s *Store) apply(e entry) (Event, error) {
+	n, ed, err := DecodeRow(e.row)
+	if err != nil {
+		return Event{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ev Event
+	switch e.op {
+	case opPutNode:
+		if n == nil {
+			return Event{}, fmt.Errorf("store: put-node entry decoded to non-node %s", e.row.ID)
+		}
+		if err := s.graph.AddNode(n); err != nil {
+			return Event{}, err
+		}
+		s.idx.add(n)
+		ev.Kind, ev.Node = EventNode, n
+	case opUpdateNode:
+		if n == nil {
+			return Event{}, fmt.Errorf("store: update entry decoded to non-node %s", e.row.ID)
+		}
+		old := s.graph.Node(n.ID)
+		if err := s.graph.UpdateNode(n); err != nil {
+			return Event{}, err
+		}
+		s.idx.remove(old)
+		s.idx.add(n)
+		ev.Kind, ev.Node = EventNodeUpdate, n
+	case opPutEdge:
+		if ed == nil {
+			return Event{}, fmt.Errorf("store: put-edge entry decoded to non-edge %s", e.row.ID)
+		}
+		if err := s.graph.AddEdge(ed); err != nil {
+			return Event{}, err
+		}
+		ev.Kind, ev.Edge = EventEdge, ed
+	}
+	s.rows.put(e.row)
+	s.seq++
+	ev.Seq = s.seq
+	// Every mutating commit bumps the touched trace's monotonic version
+	// (maintained inside the graph's trace shard): the continuous-checking
+	// cache keys results by it, so "unchanged trace" is decidable without
+	// comparing graphs. Replay bumps too, so a recovered store reports the
+	// same versions the writer saw. The event carries the post-commit
+	// version.
+	if app := e.row.AppID; app != "" {
+		ev.TraceVersion = s.graph.TraceVersion(app)
+	}
+	return ev, nil
+}
+
+// publishLocked makes the batch that just applied visible to readers.
+// The caller holds logMu — the only context that mutates state — so the
+// published snapshot is always a clean commit (batch) boundary. No-op
+// under the DisableSnapshots ablation.
+//
+// Publication is deferred behind a read barrier: if no reader consumed
+// the currently published snapshot, the commit only marks the state
+// dirty and the first subsequent read publishes (forcePublishLocked via
+// loadSnap). A long write-only burst therefore pays one copy-on-write
+// epoch in total instead of one per commit — without this, N sequential
+// commits to one trace clone the trace's shard N times (quadratic).
+// Read-your-writes still holds: a write is acknowledged only after the
+// dirty mark (or publish), so any later read observes it.
+func (s *Store) publishLocked() {
+	if s.opts.DisableSnapshots {
+		return
+	}
+	if s.snapCount.readerLoads.Load() == s.loadsAtPublish {
+		s.snapDirty.Store(true)
+		return
+	}
+	s.forcePublishLocked()
+}
+
+// forcePublishLocked unconditionally publishes a fresh immutable
+// snapshot of the working state. Caller holds logMu.
+func (s *Store) forcePublishLocked() {
+	s.snap.Store(&snapshot{
+		graph: s.graph.Snapshot(),
+		rows:  s.rows.snapshot(),
+		idx:   s.idx.snapshot(),
+		seq:   s.seq,
+	})
+	s.snapDirty.Store(false)
+	s.loadsAtPublish = s.snapCount.readerLoads.Load()
+	s.snapCount.publishes.Add(1)
+}
+
+// loadSnap returns the published snapshot, or nil when the ablation
+// forces the locking read path. When deferred commits are pending (see
+// publishLocked) it first publishes them — the read barrier. The common
+// case under active reading stays one atomic load with no locks: eager
+// publication resumes as soon as the reader-load counter moves.
+func (s *Store) loadSnap() *snapshot {
+	if s.opts.DisableSnapshots {
+		return nil
+	}
+	s.snapCount.readerLoads.Add(1)
+	if s.snapDirty.Load() {
+		s.logMu.Lock()
+		if s.snapDirty.Load() {
+			s.forcePublishLocked()
+		}
+		s.logMu.Unlock()
+	}
+	return s.snap.Load()
+}
+
+// ReadTx is a consistent read-only view of the whole store state: graph,
+// row table and secondary indexes all from the same published snapshot.
+// Obtained through Store.ReadTx; valid only within the callback (under
+// the DisableSnapshots ablation it aliases the locked working state).
+type ReadTx struct {
+	g    *provenance.Graph
+	rows *rowTable
+	idx  *indexSet
+	seq  uint64
+}
+
+// Graph returns the view's provenance graph.
+func (tx ReadTx) Graph() *provenance.Graph { return tx.g }
+
+// Seq returns the commit sequence number the view corresponds to.
+func (tx ReadTx) Seq() uint64 { return tx.seq }
+
+// LookupByAttr is Store.LookupByAttr against this view: index and graph
+// are guaranteed to be the same version, so an index hit can be resolved
+// against the graph without a torn read.
+func (tx ReadTx) LookupByAttr(typ, field string, v provenance.Value) ([]string, bool) {
+	if ids, ok := tx.idx.lookup(typ, field, v); ok {
+		return ids, true
+	}
+	var res []string
+	for _, n := range tx.g.Nodes(provenance.NodeFilter{Type: typ}) {
+		if n.Attr(field).Equal(v) {
+			res = append(res, n.ID)
+		}
+	}
+	return res, false
+}
+
+// ReadTx runs fn with a consistent view of graph, rows and indexes. With
+// snapshots enabled this is one atomic pointer load and fn runs lock-free
+// against the immutable snapshot; under the ablation fn runs under the
+// state read lock.
+func (s *Store) ReadTx(fn func(tx ReadTx) error) error {
+	return s.readTx(fn)
+}
+
+func (s *Store) readTx(fn func(tx ReadTx) error) error {
+	if snap := s.loadSnap(); snap != nil {
+		return fn(ReadTx{g: snap.graph, rows: snap.rows, idx: snap.idx, seq: snap.seq})
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return fn(ReadTx{g: s.graph, rows: s.rows, idx: s.idx, seq: s.seq})
+}
+
+// View runs fn with read access to the provenance graph. The graph fn
+// receives is an immutable published snapshot: fn (and anything it hands
+// the graph to) may retain it indefinitely and read it concurrently with
+// writers — it simply stops receiving updates. Snapshot isolation is
+// prefix-consistent: a snapshot always sits on a commit boundary (batch
+// boundary under group commit), never inside a torn batch. Only under
+// the DisableSnapshots ablation does the old contract apply: the graph
+// is the locked working state and must not be retained past fn's return.
 func (s *Store) View(fn func(g *provenance.Graph) error) error {
+	if snap := s.loadSnap(); snap != nil {
+		return fn(snap.graph)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return fn(s.graph)
@@ -422,40 +589,64 @@ func (s *Store) View(fn func(g *provenance.Graph) error) error {
 // means the trace has never been written. Versions strictly increase with
 // every commit to the trace, so equal versions imply an unchanged trace.
 func (s *Store) TraceVersion(appID string) uint64 {
+	if snap := s.loadSnap(); snap != nil {
+		return snap.graph.TraceVersion(appID)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.traceVer[appID]
+	return s.graph.TraceVersion(appID)
 }
 
 // ViewTrace runs fn with read access to the graph together with the
-// current version of one trace, observed atomically under the same lock.
-// Use it when a computation over the trace must be tagged with the exact
-// version it saw (the continuous-checking result cache).
+// version of one trace, observed atomically in the same snapshot (same
+// lock under the ablation). Use it when a computation over the trace must
+// be tagged with the exact version it saw (the continuous-checking result
+// cache). The retention semantics match View: the snapshot graph may be
+// retained past fn's return.
 func (s *Store) ViewTrace(appID string, fn func(g *provenance.Graph, version uint64) error) error {
+	if snap := s.loadSnap(); snap != nil {
+		return fn(snap.graph, snap.graph.TraceVersion(appID))
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return fn(s.graph, s.traceVer[appID])
+	return fn(s.graph, s.graph.TraceVersion(appID))
 }
 
-// Node returns a copy of the node record, or nil when absent.
+// Node returns the node record, or nil when absent. The record is shared
+// with the store's immutable state and must be treated as read-only;
+// callers that want to mutate (e.g. to build an enrichment update) must
+// Clone first.
 func (s *Store) Node(id string) *provenance.Node {
+	if snap := s.loadSnap(); snap != nil {
+		return snap.graph.Node(id)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.graph.Node(id).Clone()
+	return s.graph.Node(id)
 }
 
-// Edge returns a copy of the edge record, or nil when absent.
+// Edge returns the edge record, or nil when absent. Read-only, like Node.
 func (s *Store) Edge(id string) *provenance.Edge {
+	if snap := s.loadSnap(); snap != nil {
+		return snap.graph.Edge(id)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.graph.Edge(id).Clone()
+	return s.graph.Edge(id)
 }
 
 // Row returns the stored Table-1 row for a record ID.
 func (s *Store) Row(id string) (Row, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.rows[id]
+	var (
+		r  Row
+		ok bool
+	)
+	s.readTx(func(tx ReadTx) error {
+		if app, found := tx.g.TraceOf(id); found {
+			r, ok = tx.rows.get(app, id)
+		}
+		return nil
+	})
 	return r, ok
 }
 
@@ -463,56 +654,70 @@ func (s *Store) Row(id string) (Row, bool) {
 // the query the paper's Table 1 illustrates: all provenance entities of an
 // execution trace.
 func (s *Store) RowsForApp(appID string) []Row {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var res []Row
-	for _, r := range s.rows {
-		if r.AppID == appID {
-			res = append(res, r)
-		}
-	}
-	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
+	s.readTx(func(tx ReadTx) error {
+		res = tx.rows.forApp(appID)
+		return nil
+	})
 	return res
 }
 
 // LookupByAttr returns the IDs of nodes of the given type whose field
 // equals the value. It uses the secondary index when one is declared,
 // otherwise it scans. The second result reports whether an index was used
-// (surfaced by EXPLAIN in the query engine).
+// (surfaced by EXPLAIN in the query engine). The returned slice is
+// immutable and must not be modified.
 func (s *Store) LookupByAttr(typ, field string, v provenance.Value) ([]string, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if ids, ok := s.idx.lookup(typ, field, v); ok {
-		return ids, true
-	}
-	var res []string
-	for _, n := range s.graph.Nodes(provenance.NodeFilter{Type: typ}) {
-		if n.Attr(field).Equal(v) {
-			res = append(res, n.ID)
-		}
-	}
-	return res, false
+	var (
+		res  []string
+		used bool
+	)
+	s.readTx(func(tx ReadTx) error {
+		res, used = tx.LookupByAttr(typ, field, v)
+		return nil
+	})
+	return res, used
 }
 
 // Stats summarizes the store contents.
 type Stats struct {
-	Nodes   int
-	Edges   int
-	Rows    int
-	Seq     uint64
-	Indexes int
+	Nodes     int
+	Edges     int
+	Rows      int
+	Seq       uint64
+	Indexes   int
+	Snapshots SnapshotStats
 }
 
 // Stats returns current store statistics.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return Stats{
-		Nodes:   s.graph.NumNodes(),
-		Edges:   s.graph.NumEdges(),
-		Rows:    len(s.rows),
-		Seq:     s.seq,
-		Indexes: s.idx.size(),
+	var st Stats
+	s.readTx(func(tx ReadTx) error {
+		st = Stats{
+			Nodes:   tx.g.NumNodes(),
+			Edges:   tx.g.NumEdges(),
+			Rows:    tx.rows.count,
+			Seq:     tx.seq,
+			Indexes: tx.idx.size(),
+		}
+		return nil
+	})
+	st.Snapshots = s.SnapshotCounters()
+	return st
+}
+
+// SnapshotCounters returns the MVCC read path's counters. The working
+// graph pointer is stable for the store's lifetime, so the copy counters
+// (atomics inside the graph) are read without locks.
+func (s *Store) SnapshotCounters() SnapshotStats {
+	cs := s.graph.CopyStats()
+	return SnapshotStats{
+		Enabled:      !s.opts.DisableSnapshots,
+		Publishes:    s.snapCount.publishes.Load(),
+		ReaderLoads:  s.snapCount.readerLoads.Load(),
+		CopiedShards: cs.Shards,
+		CopiedNodes:  cs.Nodes,
+		CopiedEdges:  cs.Edges,
 	}
 }
 
@@ -534,9 +739,12 @@ func (s *Store) Durability() DurabilityStats {
 
 // AppIDs lists the distinct traces in the store.
 func (s *Store) AppIDs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.graph.AppIDs()
+	var ids []string
+	s.readTx(func(tx ReadTx) error {
+		ids = tx.g.AppIDs()
+		return nil
+	})
+	return ids
 }
 
 // Model returns the data model the store validates against (may be nil
@@ -550,7 +758,11 @@ func (s *Store) Model() *provenance.Model { return s.opts.Model }
 // The rewrite is crash-safe and runs concurrently with writers:
 //
 //  1. A brief pause under logMu snapshots the row table and redirects
-//     appends to a fresh side log (generation G).
+//     appends to a fresh side log (generation G). With the MVCC read
+//     path on, "snapshots the row table" is one pointer load — the
+//     published snapshot IS the log's content at this quiescent point —
+//     so the pause does not scale with store size and concurrent
+//     snapshot readers are never blocked.
 //  2. With no locks held, the snapshot is written to a scratch file
 //     headed by a marker frame recording "side generations ≤ G folded",
 //     then fsynced.
@@ -609,22 +821,48 @@ func (s *Store) Compact() error {
 	s.log = side
 	s.compactGen = gen
 
-	s.mu.RLock()
-	entries := make([]entry, 0, len(s.rows))
-	for _, r := range s.rows {
-		if r.Class == provenance.ClassRelation.String() {
-			continue
+	var entries []entry
+	var nNodes int
+	if !s.opts.DisableSnapshots {
+		// Grab the current snapshot's row table — O(1) under logMu; the
+		// entry list is built lock-free below. Deferred commits must be
+		// published first so the snapshot equals the frozen log.
+		if s.snapDirty.Load() {
+			s.forcePublishLocked()
 		}
-		entries = append(entries, entry{op: opPutNode, row: r})
+		rows := s.snap.Load().rows
+		s.logMu.Unlock()
+		entries = make([]entry, 0, rows.count)
+		rows.each(func(r Row) {
+			if r.Class != provenance.ClassRelation.String() {
+				entries = append(entries, entry{op: opPutNode, row: r})
+			}
+		})
+		nNodes = len(entries)
+		rows.each(func(r Row) {
+			if r.Class == provenance.ClassRelation.String() {
+				entries = append(entries, entry{op: opPutEdge, row: r})
+			}
+		})
+	} else {
+		// Ablation: copy the working row table under the state lock, as
+		// the pre-snapshot store did.
+		s.mu.RLock()
+		entries = make([]entry, 0, s.rows.count)
+		s.rows.each(func(r Row) {
+			if r.Class != provenance.ClassRelation.String() {
+				entries = append(entries, entry{op: opPutNode, row: r})
+			}
+		})
+		nNodes = len(entries)
+		s.rows.each(func(r Row) {
+			if r.Class == provenance.ClassRelation.String() {
+				entries = append(entries, entry{op: opPutEdge, row: r})
+			}
+		})
+		s.mu.RUnlock()
+		s.logMu.Unlock()
 	}
-	nNodes := len(entries)
-	for _, r := range s.rows {
-		if r.Class == provenance.ClassRelation.String() {
-			entries = append(entries, entry{op: opPutEdge, row: r})
-		}
-	}
-	s.mu.RUnlock()
-	s.logMu.Unlock()
 
 	// The frozen log never receives another byte; release its handle now.
 	// Its file stays on disk until the rename (main) or cleanup (side).

@@ -76,10 +76,12 @@ func TestStorePutAndGet(t *testing.T) {
 	if n == nil || n.Attr("reqID").Str() != "REQ1" {
 		t.Fatalf("Node(r1) = %v", n)
 	}
-	// Returned record is a copy: mutating it must not affect the store.
-	n.SetAttr("reqID", provenance.String("HACKED"))
+	// Returned records are shared with the immutable snapshot and
+	// read-only by contract; mutation goes through Clone + UpdateNode.
+	cp := n.Clone()
+	cp.SetAttr("reqID", provenance.String("REQ1-cloned"))
 	if s.Node("r1").Attr("reqID").Str() != "REQ1" {
-		t.Error("store state leaked through Node()")
+		t.Error("mutating a clone affected the store")
 	}
 	e := s.Edge("e1")
 	if e == nil || e.Source != "p1" {
