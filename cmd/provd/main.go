@@ -45,6 +45,7 @@ func main() {
 	sync := flag.Bool("sync", false, "fsync before acknowledging writes (group-committed; needs -dir)")
 	flushWindow := flag.Duration("flush-window", 0, "max time a write may wait to share a group commit (0 = opportunistic)")
 	noSnapshots := flag.Bool("no-snapshots", false, "disable MVCC snapshot reads; readers share a mutex with writers (E10 ablation)")
+	noRuleIndexes := flag.Bool("no-rule-indexes", false, "disable index-accelerated rule evaluation; binders scan full trace shards (E11 ablation)")
 	flag.Parse()
 	if *sync && *dir == "" {
 		log.Fatal("provd: -sync requires -dir (an in-memory store has nothing to fsync)")
@@ -57,7 +58,8 @@ func main() {
 	sys, err := core.New(domain, core.Config{
 		Dir: *dir, Continuous: *continuous, Materialize: *materialize,
 		Workers: *workers, Sync: *sync, FlushWindow: *flushWindow,
-		DisableSnapshots: *noSnapshots,
+		DisableSnapshots:   *noSnapshots,
+		DisableRuleIndexes: *noRuleIndexes,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -72,6 +72,13 @@ type CheckerStats struct {
 	// cache counters (shared with batch CheckAll calls).
 	CacheHits   uint64
 	CacheMisses uint64
+	// BindingHits / BindingMisses mirror the registry's cross-control
+	// binding cache, and BindingReuseRatio is hits/(hits+misses): how
+	// often a control's binder candidates were served by a set another
+	// control already computed on the same trace version.
+	BindingHits       uint64
+	BindingMisses     uint64
+	BindingReuseRatio float64
 	// QueueDepth is the number of dirty traces awaiting or undergoing a
 	// re-check right now.
 	QueueDepth int
@@ -362,11 +369,15 @@ func (c *Checker) Latest() []*Outcome {
 // Stats returns a snapshot of the engine counters.
 func (c *Checker) Stats() CheckerStats {
 	cache := c.reg.CacheStats()
+	bind := c.reg.BindingStats()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.stats
 	s.CacheHits = cache.Hits
 	s.CacheMisses = cache.Misses
+	s.BindingHits = bind.Hits
+	s.BindingMisses = bind.Misses
+	s.BindingReuseRatio = bind.ReuseRatio()
 	s.QueueDepth = c.pending
 	if c.running && c.sub != nil {
 		s.FeedDepth = c.sub.Depth()

@@ -90,6 +90,10 @@ type Options struct {
 	// CheckWorkers is the fan-out width CheckAll uses across traces.
 	// Zero or negative means GOMAXPROCS.
 	CheckWorkers int
+	// DisableBindingReuse turns off the cross-control binding cache: each
+	// control then recomputes its binder candidate sets from scratch, as
+	// before the rule planner existed. Part of the E11 ablation.
+	DisableBindingReuse bool
 }
 
 // matStripes is the number of per-trace materialization locks; traces
@@ -133,7 +137,23 @@ type Registry struct {
 	cacheHits   uint64
 	cacheMisses uint64
 
+	// Cross-control binding reuse: one rules.BindingCache per trace,
+	// keyed by the store's per-trace version counter — the same counter
+	// the result cache keys on, so both invalidate together on any write
+	// to the trace. Unlike the result cache, binding caches survive
+	// Deploy/Remove: candidate sets depend only on trace content.
+	bindMu       sync.Mutex
+	bindings     map[string]*traceBindings // appID -> current-version cache
+	bindCounters rules.BindingCounters
+
 	matMu [matStripes]sync.Mutex
+}
+
+// traceBindings pins one trace's binding cache to the trace version it
+// was populated from.
+type traceBindings struct {
+	version uint64
+	cache   *rules.BindingCache
 }
 
 // NewRegistry builds an empty registry over the store and vocabulary.
@@ -153,6 +173,7 @@ func NewRegistry(st *store.Store, vocab *bom.Vocabulary, opts Options) (*Registr
 		st: st, vocab: vocab, opts: opts,
 		controls: make(map[string]*ControlPoint),
 		cache:    make(map[string]*cacheEntry),
+		bindings: make(map[string]*traceBindings),
 	}, nil
 }
 
@@ -266,8 +287,9 @@ func (r *Registry) Check(appID string) ([]*Outcome, error) {
 	outcomes := make([]*Outcome, 0, len(cps))
 	err := r.st.ViewTrace(appID, func(g *provenance.Graph, v uint64) error {
 		version = v
+		bindings := r.bindingCacheFor(appID, v)
 		for _, cp := range cps {
-			res, err := safeEvaluate(cp, g, appID)
+			res, err := safeEvaluate(cp, g, appID, bindings)
 			if err != nil {
 				return err
 			}
@@ -301,14 +323,99 @@ func (r *Registry) Check(appID string) ([]*Outcome, error) {
 
 // safeEvaluate runs one evaluator, converting a panic into an error: a
 // misbehaving control must surface in the checker's error stats, not take
-// down the continuous engine (or the daemon hosting it).
-func safeEvaluate(cp *ControlPoint, g *provenance.Graph, appID string) (res *rules.Result, err error) {
+// down the continuous engine (or the daemon hosting it). Evaluators that
+// support shared bindings (compiled rule controls) receive the trace's
+// binding cache; others evaluate standalone.
+func safeEvaluate(cp *ControlPoint, g *provenance.Graph, appID string, bindings *rules.BindingCache) (res *rules.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("controls: %s panicked evaluating %s: %v", cp.ID, appID, p)
 		}
 	}()
+	if se, ok := cp.compiled.(sharedEvaluator); ok && bindings != nil {
+		return se.EvaluateWith(g, appID, bindings), nil
+	}
 	return cp.compiled.Evaluate(g, appID), nil
+}
+
+// sharedEvaluator is the optional Evaluator extension for cross-control
+// binding reuse; *rules.Control implements it.
+type sharedEvaluator interface {
+	EvaluateWith(g *provenance.Graph, appID string, cache *rules.BindingCache) *rules.Result
+}
+
+// bindingCacheFor returns the binding cache for one trace at one version,
+// creating or replacing it when the trace moved. Nil when reuse is
+// disabled. Concurrent checks of the same trace at the same version share
+// one cache; a check racing a newer version simply repopulates.
+func (r *Registry) bindingCacheFor(appID string, version uint64) *rules.BindingCache {
+	if r.opts.DisableBindingReuse {
+		return nil
+	}
+	r.bindMu.Lock()
+	defer r.bindMu.Unlock()
+	if tb := r.bindings[appID]; tb != nil && tb.version == version {
+		return tb.cache
+	}
+	tb := &traceBindings{version: version, cache: rules.NewBindingCache(&r.bindCounters)}
+	r.bindings[appID] = tb
+	return tb.cache
+}
+
+// BindingStats summarizes cross-control binding reuse.
+type BindingStats struct {
+	// Enabled is false under the DisableBindingReuse ablation.
+	Enabled bool
+	// Hits counts binder candidate sets served from a shared cache;
+	// Misses counts the computations that populated one.
+	Hits   uint64
+	Misses uint64
+	// Traces is the number of traces holding a live binding cache;
+	// Entries sums their memoized candidate sets.
+	Traces  int
+	Entries int
+}
+
+// ReuseRatio is Hits/(Hits+Misses): the fraction of binder evaluations
+// answered by a shared candidate set.
+func (s BindingStats) ReuseRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// BindingStats returns a snapshot of the binding-reuse counters.
+func (r *Registry) BindingStats() BindingStats {
+	st := BindingStats{
+		Enabled: !r.opts.DisableBindingReuse,
+		Hits:    r.bindCounters.Hits.Load(),
+		Misses:  r.bindCounters.Misses.Load(),
+	}
+	r.bindMu.Lock()
+	defer r.bindMu.Unlock()
+	st.Traces = len(r.bindings)
+	for _, tb := range r.bindings {
+		st.Entries += tb.cache.Len()
+	}
+	return st
+}
+
+// Plans returns the binder access plans of every deployed control that
+// exposes them (compiled rule controls), keyed by control ID.
+func (r *Registry) Plans() map[string][]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string][]string)
+	for id, cp := range r.controls {
+		if p, ok := cp.compiled.(interface{ PlanSummaries() []string }); ok {
+			if s := p.PlanSummaries(); len(s) > 0 {
+				out[id] = s
+			}
+		}
+	}
+	return out
 }
 
 // cached returns the memoized outcomes for a trace when they are still

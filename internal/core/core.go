@@ -57,6 +57,11 @@ type Config struct {
 	// DisableCheckCache turns off the incremental compliance result cache
 	// (used by ablation benchmarks; leave off in production).
 	DisableCheckCache bool
+	// DisableRuleIndexes turns off index-accelerated rule evaluation:
+	// graph secondary-index lookups fall back to full-shard scans and the
+	// cross-control binding cache is bypassed (ablation D8, experiment
+	// E11).
+	DisableRuleIndexes bool
 	// MaxViolations caps the dashboard violation feed (0 = default).
 	MaxViolations int
 }
@@ -90,6 +95,7 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 	st, err := store.Open(store.Options{
 		Dir: cfg.Dir, Model: d.Model, Sync: cfg.Sync, DisableIndexes: cfg.DisableIndexes,
 		FlushWindow: cfg.FlushWindow, DisableSnapshots: cfg.DisableSnapshots,
+		DisableRuleIndexes: cfg.DisableRuleIndexes,
 	})
 	if err != nil {
 		return nil, err
@@ -111,9 +117,10 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 		}
 	}
 	if sys.Registry, err = controls.NewRegistry(st, d.Vocab, controls.Options{
-		Materialize:  cfg.Materialize,
-		CheckWorkers: cfg.Workers,
-		DisableCache: cfg.DisableCheckCache,
+		Materialize:         cfg.Materialize,
+		CheckWorkers:        cfg.Workers,
+		DisableCache:        cfg.DisableCheckCache,
+		DisableBindingReuse: cfg.DisableRuleIndexes,
 	}); err != nil {
 		return fail(err)
 	}

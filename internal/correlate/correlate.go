@@ -55,7 +55,7 @@ func (k *KeyJoin) Name() string { return k.RuleName }
 // Derive implements Rule by hash-joining the two node sets on the key.
 func (k *KeyJoin) Derive(g *provenance.Graph, appID string) []*provenance.Edge {
 	targets := make(map[string][]*provenance.Node)
-	for _, t := range g.Nodes(provenance.NodeFilter{Type: k.TargetType, AppID: appID}) {
+	for _, t := range g.NodesByType(appID, k.TargetType) {
 		v := t.Attr(k.TargetField)
 		if v.IsZero() {
 			continue
@@ -63,7 +63,7 @@ func (k *KeyJoin) Derive(g *provenance.Graph, appID string) []*provenance.Edge {
 		targets[v.Key()] = append(targets[v.Key()], t)
 	}
 	var res []*provenance.Edge
-	for _, s := range g.Nodes(provenance.NodeFilter{Type: k.SourceType, AppID: appID}) {
+	for _, s := range g.NodesByType(appID, k.SourceType) {
 		v := s.Attr(k.SourceField)
 		if v.IsZero() {
 			continue

@@ -55,7 +55,7 @@ func (d *DurationEnricher) Name() string { return d.EnricherName }
 // Enrich implements Enricher.
 func (d *DurationEnricher) Enrich(g *provenance.Graph, appID string) []AttrUpdate {
 	var out []AttrUpdate
-	for _, n := range g.Nodes(provenance.NodeFilter{Type: d.NodeType, AppID: appID}) {
+	for _, n := range g.NodesByType(appID, d.NodeType) {
 		start, end := n.Attr(d.StartField), n.Attr(d.EndField)
 		if start.IsZero() || end.IsZero() {
 			continue

@@ -101,11 +101,13 @@ func All(quick bool) []Runner {
 	e5Sizes := []int{1000, 5000, 10000, 25000}
 	e6Traces := 2000
 	e7Sizes := []int{10, 100, 1000, 10000}
+	e11Sizes := []int{250, 1000, 4000}
 	if quick {
 		traces = 300
 		e5Sizes = []int{200, 500, 1000}
 		e6Traces = 200
 		e7Sizes = []int{10, 100, 1000}
+		e11Sizes = []int{250, 1000}
 	}
 	return []Runner{
 		{"E1", "Table 1 storage rows", func() (*Table, error) { return E1Table1(traces) }},
@@ -118,5 +120,8 @@ func All(quick bool) []Runner {
 		{"E6", "continuous vs batch checking", func() (*Table, error) { return E6Continuous(e6Traces) }},
 		{"E7", "vocabulary scaling", func() (*Table, error) { return E7VocabScale(e7Sizes) }},
 		{"E8", "control change cost", E8ChangeCost},
+		{"E11", "index-accelerated rule evaluation", func() (*Table, error) {
+			return E11RuleIndex(e11Sizes, 16)
+		}},
 	}
 }

@@ -401,15 +401,19 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 
 // handleStats returns store, pipeline and continuous-checking statistics.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	storeStats := s.sys.Store.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"store":      s.sys.Store.Stats(),
-		"durability": s.sys.Store.Durability(),
-		"snapshots":  s.sys.Store.SnapshotCounters(),
-		"pipeline":   s.sys.Pipeline.Stats(),
-		"correlate":  s.sys.Correlator.Stats(),
-		"checker":    s.sys.Checker.Stats(),
-		"cache":      s.sys.Registry.CacheStats(),
-		"domain":     s.sys.Domain.Name,
-		"traces":     len(s.sys.Store.AppIDs()),
+		"store":       storeStats,
+		"durability":  s.sys.Store.Durability(),
+		"snapshots":   s.sys.Store.SnapshotCounters(),
+		"ruleIndexes": storeStats.RuleIndexes,
+		"pipeline":    s.sys.Pipeline.Stats(),
+		"correlate":   s.sys.Correlator.Stats(),
+		"checker":     s.sys.Checker.Stats(),
+		"cache":       s.sys.Registry.CacheStats(),
+		"bindings":    s.sys.Registry.BindingStats(),
+		"plans":       s.sys.Registry.Plans(),
+		"domain":      s.sys.Domain.Name,
+		"traces":      len(s.sys.Store.AppIDs()),
 	})
 }

@@ -119,15 +119,27 @@ type traceShard struct {
 	in      map[string][]string // node ID -> sorted edge IDs with Target == node
 	nodeIDs []string            // sorted
 	edgeIDs []string            // sorted
+
+	// Secondary indexes (see index.go): sorted posting lists maintained
+	// at insert time under the same copy-on-write discipline as the
+	// record maps above.
+	byClass map[Class][]string  // node class -> sorted node IDs
+	byType  map[string][]string // node type -> sorted node IDs
+	outT    map[adjKey][]string // (source, edge type) -> sorted edge IDs
+	inT     map[adjKey][]string // (target, edge type) -> sorted edge IDs
 }
 
 func newTraceShard(epoch uint64) *traceShard {
 	return &traceShard{
-		epoch: epoch,
-		nodes: make(map[string]*Node),
-		edges: make(map[string]*Edge),
-		out:   make(map[string][]string),
-		in:    make(map[string][]string),
+		epoch:   epoch,
+		nodes:   make(map[string]*Node),
+		edges:   make(map[string]*Edge),
+		out:     make(map[string][]string),
+		in:      make(map[string][]string),
+		byClass: make(map[Class][]string),
+		byType:  make(map[string][]string),
+		outT:    make(map[adjKey][]string),
+		inT:     make(map[adjKey][]string),
 	}
 }
 
@@ -144,6 +156,10 @@ func (sh *traceShard) clone(epoch uint64) *traceShard {
 		in:      make(map[string][]string, len(sh.in)+1),
 		nodeIDs: append(make([]string, 0, len(sh.nodeIDs)+1), sh.nodeIDs...),
 		edgeIDs: append(make([]string, 0, len(sh.edgeIDs)+1), sh.edgeIDs...),
+		byClass: make(map[Class][]string, len(sh.byClass)),
+		byType:  make(map[string][]string, len(sh.byType)),
+		outT:    make(map[adjKey][]string, len(sh.outT)+1),
+		inT:     make(map[adjKey][]string, len(sh.inT)+1),
 	}
 	for k, v := range sh.nodes {
 		c.nodes[k] = v
@@ -156,6 +172,18 @@ func (sh *traceShard) clone(epoch uint64) *traceShard {
 	}
 	for k, v := range sh.in {
 		c.in[k] = append(make([]string, 0, len(v)), v...)
+	}
+	for k, v := range sh.byClass {
+		c.byClass[k] = append(make([]string, 0, len(v)+1), v...)
+	}
+	for k, v := range sh.byType {
+		c.byType[k] = append(make([]string, 0, len(v)+1), v...)
+	}
+	for k, v := range sh.outT {
+		c.outT[k] = append(make([]string, 0, len(v)), v...)
+	}
+	for k, v := range sh.inT {
+		c.inT[k] = append(make([]string, 0, len(v)), v...)
 	}
 	return c
 }
@@ -196,6 +224,11 @@ type Graph struct {
 	nEdges  int
 	buckets [graphBuckets]*traceBucket
 	router  *router
+	// ix counts index hits/misses; shared (like the router) between a
+	// working graph and its snapshots. noIndex disables index-backed
+	// reads, for the scan ablation; posting lists are still maintained.
+	ix      *indexCounters
+	noIndex bool
 
 	// Copy-on-write accounting, meaningful on the working graph only.
 	// Atomics because Store.Stats reads them concurrently with writers.
@@ -206,7 +239,7 @@ type Graph struct {
 
 // NewGraph returns an empty mutable graph.
 func NewGraph() *Graph {
-	return &Graph{router: newRouter()}
+	return &Graph{router: newRouter(), ix: &indexCounters{}}
 }
 
 // NumNodes reports the number of nodes in the graph.
@@ -234,6 +267,8 @@ func (g *Graph) Snapshot() *Graph {
 		nEdges:  g.nEdges,
 		buckets: g.buckets,
 		router:  g.router,
+		ix:      g.ix,
+		noIndex: g.noIndex,
 	}
 	g.epoch++
 	return snap
@@ -332,6 +367,8 @@ func (g *Graph) AddNode(n *Node) error {
 	sh := g.shardForWrite(n.AppID)
 	sh.nodes[n.ID] = n
 	sh.nodeIDs = insertSorted(sh.nodeIDs, n.ID)
+	sh.byClass[n.Class] = insertSorted(sh.byClass[n.Class], n.ID)
+	sh.byType[n.Type] = insertSorted(sh.byType[n.Type], n.ID)
 	sh.ver++
 	g.router.put(n.ID, n.AppID)
 	g.nNodes++
@@ -394,6 +431,8 @@ func (g *Graph) AddEdge(e *Edge) error {
 	sh.edges[e.ID] = e
 	sh.out[e.Source] = insertSorted(sh.out[e.Source], e.ID)
 	sh.in[e.Target] = insertSorted(sh.in[e.Target], e.ID)
+	sh.outT[adjKey{e.Source, e.Type}] = insertSorted(sh.outT[adjKey{e.Source, e.Type}], e.ID)
+	sh.inT[adjKey{e.Target, e.Type}] = insertSorted(sh.inT[adjKey{e.Target, e.Type}], e.ID)
 	sh.edgeIDs = insertSorted(sh.edgeIDs, e.ID)
 	sh.ver++
 	g.router.put(e.ID, e.AppID)
@@ -461,6 +500,14 @@ func (g *Graph) HasEdge(source, edgeType, target string) bool {
 	if sh == nil {
 		return false
 	}
+	if !g.noIndex {
+		for _, eid := range sh.outT[adjKey{source, edgeType}] {
+			if sh.edges[eid].Target == target {
+				return true
+			}
+		}
+		return false
+	}
 	for _, eid := range sh.out[source] {
 		e := sh.edges[eid]
 		if e.Type == edgeType && e.Target == target {
@@ -473,15 +520,35 @@ func (g *Graph) HasEdge(source, edgeType, target string) bool {
 // Edges returns the edges touching the node in the given direction,
 // filtered by edge type when edgeType is non-empty. The result is a fresh
 // slice sorted by edge ID; adjacency lists are maintained sorted at
-// insert time, so no sort happens here.
+// insert time, so no sort happens here. A typed lookup reads the typed
+// posting list: the result is pre-sized exactly and edges of other types
+// are never touched.
 func (g *Graph) Edges(nodeID string, dir Direction, edgeType string) []*Edge {
 	sh := g.shardOf(nodeID)
 	if sh == nil {
 		return nil
 	}
+	typed := edgeType != "" && !g.noIndex
+	if typed {
+		g.ix.edgeHits.Add(1)
+	} else {
+		g.ix.edgeScans.Add(1)
+	}
 	match := func(e *Edge) bool { return edgeType == "" || e.Type == edgeType }
 	switch dir {
 	case Out, In:
+		if typed {
+			m := sh.outT
+			if dir == In {
+				m = sh.inT
+			}
+			ids := m[adjKey{nodeID, edgeType}]
+			res := make([]*Edge, len(ids))
+			for i, id := range ids {
+				res[i] = sh.edges[id]
+			}
+			return res
+		}
 		ids := sh.out[nodeID]
 		if dir == In {
 			ids = sh.in[nodeID]
@@ -497,6 +564,10 @@ func (g *Graph) Edges(nodeID string, dir Direction, edgeType string) []*Edge {
 		// Merge the two sorted lists. Self-loops are rejected at insert,
 		// so the lists are disjoint and no dedup is needed.
 		out, in := sh.out[nodeID], sh.in[nodeID]
+		if typed {
+			out = sh.outT[adjKey{nodeID, edgeType}]
+			in = sh.inT[adjKey{nodeID, edgeType}]
+		}
 		res := make([]*Edge, 0, len(out)+len(in))
 		i, j := 0, 0
 		for i < len(out) || j < len(in) {
@@ -508,7 +579,7 @@ func (g *Graph) Edges(nodeID string, dir Direction, edgeType string) []*Edge {
 				id = in[j]
 				j++
 			}
-			if e := sh.edges[id]; match(e) {
+			if e := sh.edges[id]; typed || match(e) {
 				res = append(res, e)
 			}
 		}
@@ -533,16 +604,24 @@ func (g *Graph) Neighbors(nodeID string, dir Direction, edgeType string) []*Node
 		copy(ids[pos+1:], ids[pos:])
 		ids[pos] = id
 	}
+	// A typed traversal walks the typed posting lists, so edges of other
+	// types are never loaded.
+	typed := edgeType != "" && !g.noIndex
+	outIDs, inIDs := sh.out[nodeID], sh.in[nodeID]
+	if typed {
+		outIDs = sh.outT[adjKey{nodeID, edgeType}]
+		inIDs = sh.inT[adjKey{nodeID, edgeType}]
+	}
 	if dir == Out || dir == Both {
-		for _, eid := range sh.out[nodeID] {
-			if e := sh.edges[eid]; edgeType == "" || e.Type == edgeType {
+		for _, eid := range outIDs {
+			if e := sh.edges[eid]; typed || edgeType == "" || e.Type == edgeType {
 				add(e.Target)
 			}
 		}
 	}
 	if dir == In || dir == Both {
-		for _, eid := range sh.in[nodeID] {
-			if e := sh.edges[eid]; edgeType == "" || e.Type == edgeType {
+		for _, eid := range inIDs {
+			if e := sh.edges[eid]; typed || edgeType == "" || e.Type == edgeType {
 				add(e.Source)
 			}
 		}
@@ -556,13 +635,19 @@ func (g *Graph) Neighbors(nodeID string, dir Direction, edgeType string) []*Node
 
 // Nodes returns all nodes matching the filter, sorted by ID. A zero-value
 // filter matches everything. Trace-scoped filters iterate the trace's
-// pre-sorted shard and cost O(trace size) with no sorting.
+// pre-sorted shard and cost O(trace size) with no sorting; class- or
+// type-constrained filters are served from the shard posting lists and
+// cost O(matches) instead.
 func (g *Graph) Nodes(f NodeFilter) []*Node {
 	if f.AppID != "" {
 		sh := g.shard(f.AppID)
 		if sh == nil {
 			return nil
 		}
+		if res, ok := g.indexedNodes(sh, f); ok {
+			return res
+		}
+		g.ix.nodeScans.Add(1)
 		var res []*Node
 		for _, id := range sh.nodeIDs {
 			if n := sh.nodes[id]; f.Matches(n) {
@@ -571,12 +656,27 @@ func (g *Graph) Nodes(f NodeFilter) []*Node {
 		}
 		return res
 	}
+	indexed := !g.noIndex && (f.Type != "" || f.Class != ClassInvalid)
+	if indexed {
+		g.ix.nodeHits.Add(1)
+	} else {
+		g.ix.nodeScans.Add(1)
+	}
 	var res []*Node
 	for _, b := range g.buckets {
 		if b == nil {
 			continue
 		}
 		for _, sh := range b.shards {
+			if indexed {
+				ids, residual, _ := sh.posting(f)
+				for _, id := range ids {
+					if n := sh.nodes[id]; !residual || n.Class == f.Class {
+						res = append(res, n)
+					}
+				}
+				continue
+			}
 			for _, id := range sh.nodeIDs {
 				if n := sh.nodes[id]; f.Matches(n) {
 					res = append(res, n)
@@ -674,7 +774,7 @@ func (f EdgeFilter) Matches(e *Edge) bool {
 // shares the trace's shard outright (O(1)); extracting from a mutable
 // graph copies the shard so later writes to g cannot leak in.
 func (g *Graph) Trace(appID string) *Graph {
-	t := &Graph{frozen: true, router: g.router}
+	t := &Graph{frozen: true, router: g.router, ix: g.ix, noIndex: g.noIndex}
 	sh := g.shard(appID)
 	if sh == nil {
 		return t

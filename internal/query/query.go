@@ -324,9 +324,17 @@ func (p *Plan) finish(out []*provenance.Node) []*provenance.Node {
 }
 
 func (p *Plan) scan(g *provenance.Graph, earlyLimit int, out *[]*provenance.Node) {
-	for _, n := range g.Nodes(provenance.NodeFilter{
-		Class: p.q.Class, Type: p.q.Type, AppID: p.q.AppID,
-	}) {
+	// Both branches are index-backed: NodesByType reads the trace's type
+	// posting list directly, and Nodes routes class/type filters through
+	// the same per-shard postings (scanning only under the
+	// DisableRuleIndexes ablation).
+	var cands []*provenance.Node
+	if p.q.Type != "" && p.q.Class == provenance.ClassInvalid {
+		cands = g.NodesByType(p.q.AppID, p.q.Type)
+	} else {
+		cands = g.Nodes(provenance.NodeFilter{Class: p.q.Class, Type: p.q.Type, AppID: p.q.AppID})
+	}
+	for _, n := range cands {
 		ok := true
 		for _, pr := range p.q.Preds {
 			if !pr.Matches(n) {

@@ -103,6 +103,7 @@ func (c *compiler) compileDefinition(d *bal.Definition) (compiledDef, error) {
 			}
 			b.where = where
 		}
+		b.plan = c.buildBinderPlan(concept.Class, d.Binder.Where)
 		cd.binder = b
 		cd.typ = exprType{isNode: true, class: concept.Class}
 	default:
@@ -526,7 +527,7 @@ func (c *compiler) compileNav(n *bal.Nav) (*compiledExpr, error) {
 			nodes: func(ev *evalCtx) []*provenance.Node {
 				var out []*provenance.Node
 				for _, src := range of.nodes(ev) {
-					out = append(out, xom.Navigate(ev.g, src, rel)...)
+					out = append(out, ev.navigate(src, rel)...)
 				}
 				return dedupNodes(out)
 			},

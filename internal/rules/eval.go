@@ -1,8 +1,6 @@
 package rules
 
 import (
-	"sort"
-
 	"repro/internal/provenance"
 )
 
@@ -19,7 +17,16 @@ import (
 //     branch's status action decides Satisfied/Violated; a branch without
 //     one defaults to Satisfied for then and Violated for else.
 func (c *Control) Evaluate(g *provenance.Graph, appID string) *Result {
-	ev := &evalCtx{g: g, appID: appID, vars: make(map[string]*binding)}
+	return c.EvaluateWith(g, appID, nil)
+}
+
+// EvaluateWith is Evaluate with a shared binding cache: shareable binder
+// candidate sets are looked up in (and stored into) cache, so N controls
+// binding the same concept against the same trace version compute the
+// set once. A nil cache disables sharing. The caller must key the
+// cache's lifetime to the trace version (see BindingCache).
+func (c *Control) EvaluateWith(g *provenance.Graph, appID string, cache *BindingCache) *Result {
+	ev := &evalCtx{g: g, appID: appID, vars: make(map[string]*binding), cache: cache}
 	res := &Result{AppID: appID, Bindings: make(map[string][]string)}
 
 	for _, d := range c.defs {
@@ -62,33 +69,61 @@ func (c *Control) Evaluate(g *provenance.Graph, appID string) *Result {
 // a binder matched nothing (NotApplicable).
 func (c *Control) bindDef(ev *evalCtx, d compiledDef) (*binding, bool) {
 	if d.binder != nil {
-		var matched []*provenance.Node
-		candidates := ev.g.Nodes(provenance.NodeFilter{
-			Type:  d.binder.class.Name,
-			AppID: ev.appID,
-		})
-		for _, cand := range candidates {
-			if d.binder.where == nil {
-				matched = append(matched, cand)
-				continue
-			}
-			ev.this = cand
-			verdict := d.binder.where(ev)
-			ev.this = nil
-			if verdict == triTrue {
-				matched = append(matched, cand)
-			}
-		}
+		matched := c.bindCandidates(ev, d)
 		if len(matched) == 0 {
 			return nil, false
 		}
-		sort.Slice(matched, func(i, j int) bool { return matched[i].ID < matched[j].ID })
 		return &binding{typ: d.typ, nodes: matched}, true
 	}
 	if d.typ.isNode {
 		return &binding{typ: d.typ, nodes: d.expr.nodes(ev)}, true
 	}
 	return &binding{typ: d.typ, val: d.expr.value(ev)}, true
+}
+
+// bindCandidates computes the binder's candidate set by following its
+// compiled plan: enumerate via the type posting list, reject candidates
+// on hoisted equality prefilters (only when the attribute is present and
+// unequal — a missing attribute still flows through the full
+// three-valued where clause so its diagnostics are preserved), then run
+// the residual where. Shareable sets are served from (and stored into)
+// the evaluation's binding cache; cached entries replay the notes their
+// computation emitted.
+func (c *Control) bindCandidates(ev *evalCtx, d compiledDef) []*provenance.Node {
+	pl := &d.binder.plan
+	if ev.cache != nil && pl.shareable {
+		if e, ok := ev.cache.lookup(pl.fingerprint); ok {
+			ev.notes = append(ev.notes, e.notes...)
+			return e.nodes
+		}
+	}
+	noteMark := len(ev.notes)
+	var matched []*provenance.Node
+	// NodesByType returns candidates sorted by ID on both the indexed and
+	// the ablation path, so matched needs no re-sort.
+candidates:
+	for _, cand := range ev.g.NodesByType(ev.appID, pl.typeName) {
+		for i := range pl.prefilters {
+			pf := &pl.prefilters[i]
+			if v := pf.field.Get(cand); !v.IsZero() && !v.Equal(pf.val) {
+				continue candidates
+			}
+		}
+		if d.binder.where == nil {
+			matched = append(matched, cand)
+			continue
+		}
+		ev.this = cand
+		verdict := d.binder.where(ev)
+		ev.this = nil
+		if verdict == triTrue {
+			matched = append(matched, cand)
+		}
+	}
+	if ev.cache != nil && pl.shareable {
+		ev.cache.store(pl.fingerprint, matched, ev.notes[noteMark:])
+	}
+	return matched
 }
 
 // EvaluateAll runs the control on every trace in the graph, sorted by

@@ -146,10 +146,40 @@ type evalCtx struct {
 	vars  map[string]*binding
 	this  *provenance.Node
 	notes []string
+	// cache, when non-nil, shares binder candidate sets across controls
+	// evaluated against the same trace version (see BindingCache).
+	cache *BindingCache
+	// navMemo memoizes relation-navigation traversals within this one
+	// evaluation: a phrase like "the approval of 'the request'" costs one
+	// graph walk no matter how many times the rule text repeats it.
+	navMemo map[navMemoKey][]*provenance.Node
 }
 
 func (ev *evalCtx) note(format string, args ...any) {
 	ev.notes = append(ev.notes, fmt.Sprintf(format, args...))
+}
+
+// navMemoKey identifies one traversal: a relation (relations are
+// per-class singletons in the XOM) applied to one source node.
+type navMemoKey struct {
+	rel *xom.Relation
+	src string
+}
+
+// navigate runs one relation navigation through the per-evaluation memo.
+// The memoized slice is never returned directly — callers append it into
+// their own result — so aliasing is safe.
+func (ev *evalCtx) navigate(src *provenance.Node, rel *xom.Relation) []*provenance.Node {
+	k := navMemoKey{rel, src.ID}
+	if res, ok := ev.navMemo[k]; ok {
+		return res
+	}
+	res := xom.Navigate(ev.g, src, rel)
+	if ev.navMemo == nil {
+		ev.navMemo = make(map[navMemoKey][]*provenance.Node)
+	}
+	ev.navMemo[k] = res
+	return res
 }
 
 // binding is a runtime variable value.
@@ -183,6 +213,7 @@ type compiledDef struct {
 type compiledBinder struct {
 	class *xom.Class
 	where compiledCond // nil = unconstrained
+	plan  binderPlan   // access path, extracted at compile time
 }
 
 // Control is a compiled internal control, ready to evaluate on traces.

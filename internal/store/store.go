@@ -53,6 +53,12 @@ type Options struct {
 	// contending with writers exactly as the pre-snapshot store did.
 	// Exists as the E10 ablation baseline.
 	DisableSnapshots bool
+	// DisableRuleIndexes turns off the graph's secondary indexes (class,
+	// type and typed-adjacency posting lists) on the read path: filtered
+	// node and edge lookups fall back to full-shard scans, which is what
+	// rule binders paid before the indexes existed. Exists as the E11
+	// ablation baseline.
+	DisableRuleIndexes bool
 }
 
 var errClosed = errors.New("store: closed")
@@ -194,6 +200,9 @@ func Open(opts Options) (*Store, error) {
 		for _, tf := range opts.Model.IndexedFields() {
 			s.idx.declare(tf[0], tf[1])
 		}
+	}
+	if opts.DisableRuleIndexes {
+		s.graph.DisableIndexLookups()
 	}
 	if opts.Dir != "" {
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
@@ -536,13 +545,15 @@ func (tx ReadTx) Seq() uint64 { return tx.seq }
 
 // LookupByAttr is Store.LookupByAttr against this view: index and graph
 // are guaranteed to be the same version, so an index hit can be resolved
-// against the graph without a torn read.
+// against the graph without a torn read. The scan fallback (field not
+// declared indexed in the model) enumerates candidates through the
+// graph's type posting lists instead of filtering every node.
 func (tx ReadTx) LookupByAttr(typ, field string, v provenance.Value) ([]string, bool) {
 	if ids, ok := tx.idx.lookup(typ, field, v); ok {
 		return ids, true
 	}
 	var res []string
-	for _, n := range tx.g.Nodes(provenance.NodeFilter{Type: typ}) {
+	for _, n := range tx.g.NodesByType("", typ) {
 		if n.Attr(field).Equal(v) {
 			res = append(res, n.ID)
 		}
@@ -687,6 +698,11 @@ type Stats struct {
 	Seq       uint64
 	Indexes   int
 	Snapshots SnapshotStats
+	// RuleIndexes counts graph secondary-index hits versus scans; the
+	// working graph and all snapshots share one counter set.
+	RuleIndexes provenance.IndexStats
+	// RuleIndexesEnabled is false under the DisableRuleIndexes ablation.
+	RuleIndexesEnabled bool
 }
 
 // Stats returns current store statistics.
@@ -703,6 +719,8 @@ func (s *Store) Stats() Stats {
 		return nil
 	})
 	st.Snapshots = s.SnapshotCounters()
+	st.RuleIndexes = s.graph.IndexStats()
+	st.RuleIndexesEnabled = !s.opts.DisableRuleIndexes
 	return st
 }
 
