@@ -6,6 +6,8 @@ package repro
 // cmd/benchrunner prints the full experiment tables with parameter sweeps.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/controls"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/ingest"
 	"repro/internal/provenance"
 	"repro/internal/query"
 	"repro/internal/rules"
@@ -540,6 +543,115 @@ func BenchmarkE10_ReadWriteMix(b *testing.B) {
 					b.ReportMetric(float64(all[len(all)/2].Microseconds()), "p50-us")
 					idx := int(float64(len(all)-1) * 0.99)
 					b.ReportMetric(float64(all[idx].Microseconds()), "p99-us")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE12_AsyncIngest measures experiment E12: the asynchronous
+// ingestion gateway (D9) against the synchronous ingest baseline
+// (-sync-ingest ablation) on a durable, fsynced store with continuous
+// correlation/checking live in both modes. Each benchmark iteration
+// replays the same simulated hiring event stream — split into 64-event
+// client batches and striped across W concurrent writers — into a fresh
+// system (fresh systems keep every iteration's writes real; replaying
+// into a loaded store would be absorbed as duplicate rows). Sync writers
+// pay the full group commit per call; async writers offer batches to the
+// bounded gateway under idempotency keys, back off on 429, and the
+// iteration ends only when the gateway has drained every admitted event.
+// Reported: durable events/s, p99 admission latency (the admission call
+// is the commit itself in sync mode), and shed 429s per op for async.
+func BenchmarkE12_AsyncIngest(b *testing.B) {
+	d := mustHiring(b)
+	const traces = 200
+	res := d.Simulate(workload.SimOptions{Seed: 12, Traces: traces, ViolationRate: 0.3, Visibility: 1.0})
+	batches := res.EventBatches(64)
+	total := len(res.Events)
+	for _, mode := range []struct {
+		name  string
+		async bool
+	}{{"sync", false}, {"async", true}} {
+		for _, writers := range []int{4, 16} {
+			mode, writers := mode, writers
+			b.Run(fmt.Sprintf("%s/writers=%d", mode.name, writers), func(b *testing.B) {
+				var admit []time.Duration
+				var shed atomic.Uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					sys, err := core.New(d, core.Config{
+						Dir: b.TempDir(), Sync: true, Continuous: true,
+						DisableAsyncIngest: !mode.async,
+						IngestQueueDepth:   512,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					lat := make([][]time.Duration, writers)
+					b.StartTimer()
+					var wg sync.WaitGroup
+					for w := 0; w < writers; w++ {
+						w := w
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							samples := make([]time.Duration, 0, len(batches)/writers+1)
+							for j := w; j < len(batches); j += writers {
+								if !mode.async {
+									t0 := time.Now()
+									if err := sys.Ingest(batches[j]); err != nil {
+										b.Error(err)
+										return
+									}
+									samples = append(samples, time.Since(t0))
+									continue
+								}
+								key := fmt.Sprintf("e12-%d-%d", w, j)
+								for {
+									t0 := time.Now()
+									_, err := sys.Gateway.Offer(key, batches[j])
+									var ov *ingest.OverloadError
+									if errors.As(err, &ov) {
+										shed.Add(1)
+										time.Sleep(ov.RetryAfter)
+										continue
+									}
+									if err != nil {
+										b.Error(err)
+										return
+									}
+									samples = append(samples, time.Since(t0))
+									break
+								}
+							}
+							lat[w] = samples
+						}()
+					}
+					wg.Wait()
+					if mode.async {
+						ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+						if err := sys.Gateway.WaitIdle(ctx); err != nil {
+							b.Fatal(err)
+						}
+						cancel()
+					}
+					b.StopTimer()
+					for _, s := range lat {
+						admit = append(admit, s...)
+					}
+					sys.Close()
+					b.StartTimer()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(total*b.N)/b.Elapsed().Seconds(), "events/s")
+				if len(admit) > 0 {
+					sort.Slice(admit, func(i, j int) bool { return admit[i] < admit[j] })
+					idx := int(float64(len(admit)-1) * 0.99)
+					b.ReportMetric(float64(admit[idx].Microseconds()), "p99-admit-us")
+				}
+				if mode.async {
+					b.ReportMetric(float64(shed.Load())/float64(b.N), "shed/op")
 				}
 			})
 		}

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -12,6 +14,8 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/events"
+	"repro/internal/ingest"
 	"repro/internal/workload"
 )
 
@@ -19,6 +23,7 @@ import (
 type client struct {
 	base string
 	out  io.Writer
+	in   io.Reader // stdin for `ingest`; injectable for tests
 }
 
 // getJSON issues a GET and decodes the JSON response into v.
@@ -96,6 +101,8 @@ func (c *client) cmdSimulate(args []string) error {
 	violations := fs.Float64("violations", 0.3, "seeded violation rate")
 	visibility := fs.Float64("visibility", 1.0, "capture probability of unmanaged events")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	async := fs.Bool("async", false, "ship through the spooling recorder (admission control, retries) instead of one synchronous POST")
+	batch := fs.Int("batch", 128, "recorder batch size (with -async)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,23 +125,122 @@ func (c *client) cmdSimulate(args []string) error {
 		Seed: *seed, Traces: *traces,
 		ViolationRate: *violations, Visibility: *visibility,
 	})
-	evs := make([]eventWire, len(res.Events))
-	for i, ev := range res.Events {
-		evs[i] = eventWire{Source: ev.Source, Type: ev.Type, AppID: ev.AppID,
-			Timestamp: ev.Timestamp, Payload: ev.Payload}
-	}
-	var stats map[string]any
-	if err := c.postJSON("/events", evs, &stats); err != nil {
-		return err
-	}
 	seededViolations := 0
 	for _, tr := range res.Truth {
 		if tr.Violation {
 			seededViolations++
 		}
 	}
+	if *async {
+		if err := c.ship(res.Events, *batch); err != nil {
+			return err
+		}
+	} else {
+		evs := make([]eventWire, len(res.Events))
+		for i, ev := range res.Events {
+			evs[i] = eventWire{Source: ev.Source, Type: ev.Type, AppID: ev.AppID,
+				Timestamp: ev.Timestamp, Payload: ev.Payload}
+		}
+		var stats map[string]any
+		if err := c.postJSON("/events?sync=1", evs, &stats); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(c.out, "ingested %d events from %d traces (%d seeded violations, %d events lost to visibility)\n",
-		len(evs), *traces, seededViolations, res.Dropped)
+		len(res.Events), *traces, seededViolations, res.Dropped)
+	return nil
+}
+
+// ship delivers events through the spooling recorder: spool, batch,
+// retry with backoff until every batch is applied.
+func (c *client) ship(evs []events.AppEvent, batch int) error {
+	rec := ingest.NewRecorder(ingest.RecorderConfig{MaxBatch: batch},
+		&ingest.HTTPSender{Base: c.base})
+	for _, ev := range evs {
+		for {
+			err := rec.Record(ev)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ingest.ErrSpoolFull) {
+				rec.Close()
+				return err
+			}
+			time.Sleep(5 * time.Millisecond) // spool full: natural backpressure
+		}
+	}
+	if err := rec.Close(); err != nil {
+		return err
+	}
+	st := rec.Stats()
+	fmt.Fprintf(c.out, "shipped %d events in %d batches (%d retries: %d overloads, %d transport errors)\n",
+		st.Enqueued, st.Applied, st.Retries, st.Overloads, st.TransportErrors)
+	for _, ee := range rec.EventErrors() {
+		fmt.Fprintf(c.out, "event rejected (batch index %d): %s\n", ee.Index, ee.Err)
+	}
+	return nil
+}
+
+// cmdIngest streams NDJSON application events from stdin through the
+// spooling recorder — the shape a real recorder client integration takes.
+func (c *client) cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
+	fs.SetOutput(c.out)
+	batch := fs.Int("batch", 128, "recorder batch size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := c.in
+	if in == nil {
+		in = os.Stdin
+	}
+	rec := ingest.NewRecorder(ingest.RecorderConfig{MaxBatch: *batch},
+		&ingest.HTTPSender{Base: c.base})
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var w eventWire
+		if err := json.Unmarshal(raw, &w); err != nil {
+			rec.Close()
+			return fmt.Errorf("stdin line %d: %v", line, err)
+		}
+		ev := events.AppEvent{Source: w.Source, Type: w.Type, AppID: w.AppID,
+			Timestamp: w.Timestamp, Payload: w.Payload}
+		for {
+			err := rec.Record(ev)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ingest.ErrSpoolFull) {
+				rec.Close()
+				return err
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		rec.Close()
+		return err
+	}
+	if err := rec.Close(); err != nil {
+		return err
+	}
+	st := rec.Stats()
+	fmt.Fprintf(c.out, "ingested %d events in %d batches (%d retries: %d overloads, %d transport errors)\n",
+		st.Enqueued, st.Applied, st.Retries, st.Overloads, st.TransportErrors)
+	rejected := rec.EventErrors()
+	for _, ee := range rejected {
+		fmt.Fprintf(c.out, "event rejected (batch index %d): %s\n", ee.Index, ee.Err)
+	}
+	if len(rejected) > 0 {
+		return fmt.Errorf("%d events rejected", len(rejected))
+	}
 	return nil
 }
 

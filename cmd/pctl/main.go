@@ -8,8 +8,13 @@
 //
 // Commands:
 //
-//	simulate -domain hiring -traces 100 [-violations 0.3] [-visibility 1.0] [-seed 1]
-//	    generate process instances and ingest their application events
+//	simulate -domain hiring -traces 100 [-violations 0.3] [-visibility 1.0] [-seed 1] [-async]
+//	    generate process instances and ingest their application events;
+//	    -async ships them through the spooling recorder (admission
+//	    control, idempotent retries) instead of one synchronous POST
+//	ingest [-batch 128]
+//	    stream NDJSON application events from stdin through the spooling
+//	    recorder (one JSON event object per line)
 //	controls
 //	    list deployed controls
 //	deploy -id my-control -name "Title" -file rule.bal
@@ -49,6 +54,11 @@ func main() {
 // run parses global flags and dispatches the subcommand. Split from main
 // for testability.
 func run(args []string, out io.Writer) error {
+	return runIO(args, os.Stdin, out)
+}
+
+// runIO additionally injects stdin (the `ingest` command reads it).
+func runIO(args []string, in io.Reader, out io.Writer) error {
 	global := flag.NewFlagSet("pctl", flag.ContinueOnError)
 	server := global.String("server", "http://localhost:8341", "provd base URL")
 	global.SetOutput(out)
@@ -57,13 +67,15 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (simulate, controls, deploy, remove, check, dashboard, violations, rows, graph, report, stats)")
+		return fmt.Errorf("missing command (simulate, ingest, controls, deploy, remove, check, dashboard, violations, rows, graph, report, stats)")
 	}
-	c := &client{base: *server, out: out}
+	c := &client{base: *server, out: out, in: in}
 	cmd, cmdArgs := rest[0], rest[1:]
 	switch cmd {
 	case "simulate":
 		return c.cmdSimulate(cmdArgs)
+	case "ingest":
+		return c.cmdIngest(cmdArgs)
 	case "controls":
 		return c.cmdControls(cmdArgs)
 	case "deploy":

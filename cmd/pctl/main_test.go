@@ -213,3 +213,63 @@ func TestPctlReport(t *testing.T) {
 		}
 	}
 }
+
+// TestPctlSimulateAsync ships the simulation through the spooling
+// recorder: admission, retries-until-applied, flush-on-close.
+func TestPctlSimulateAsync(t *testing.T) {
+	url := startProvd(t)
+	out, err := pctl(t, url, "simulate", "-domain", "hiring", "-traces", "10",
+		"-seed", "7", "-async", "-batch", "16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "shipped") || !strings.Contains(out, "10 traces") {
+		t.Fatalf("async simulate output: %s", out)
+	}
+	// The events really landed: all traces are checkable.
+	out, err = pctl(t, url, "check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "30 outcomes") {
+		t.Fatalf("check after async simulate: %s", out)
+	}
+}
+
+// TestPctlIngestNDJSON streams newline-delimited events from stdin
+// through the recorder, including a rejected event surfaced by index.
+func TestPctlIngestNDJSON(t *testing.T) {
+	url := startProvd(t)
+	ndjson := `
+{"source":"lombardi","type":"requisition.submitted","appId":"T1","payload":{"recordId":"N1","req":"REQ-1"}}
+
+{"source":"mail","type":"approval.recorded","appId":"T1","payload":{"recordId":"N2","req":"REQ-1","approved":"true"}}
+`
+	var out strings.Builder
+	err := runIO([]string{"-server", url, "ingest", "-batch", "4"},
+		strings.NewReader(ndjson), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ingested 2 events") {
+		t.Fatalf("ingest output: %s", out.String())
+	}
+
+	// A rejected event (missing required field) fails the run and names
+	// the event.
+	bad := `{"source":"lombardi","type":"requisition.submitted","appId":"T2","payload":{"recordId":"N9"}}`
+	out.Reset()
+	err = runIO([]string{"-server", url, "ingest"}, strings.NewReader(bad), &out)
+	if err == nil {
+		t.Fatalf("rejected event not reported: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "event rejected") {
+		t.Fatalf("ingest output lacks rejection: %s", out.String())
+	}
+
+	// Malformed NDJSON is a line-numbered error.
+	err = runIO([]string{"-server", url, "ingest"}, strings.NewReader("not json\n"), &out)
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("malformed line error = %v", err)
+	}
+}

@@ -7,10 +7,21 @@
 //
 //	provd -domain hiring -addr :8341 [-dir /var/lib/provd] [-sync] [-flush-window 2ms]
 //	      [-continuous] [-materialize] [-workers N]
+//	      [-ingest-shards N] [-ingest-queue N] [-ingest-batch N]
+//	      [-ingest-window D] [-sync-ingest]
+//
+// Event ingestion is asynchronous by default: POST /events admits the
+// batch into the bounded ingestion gateway and answers 202 with an ack
+// token (or 429 + Retry-After under overload). -sync-ingest restores the
+// old synchronous path. On SIGINT/SIGTERM the server stops accepting
+// work, drains the admitted backlog, and exits cleanly.
 //
 // Endpoints:
 //
-//	POST   /events            ingest a JSON array of application events
+//	POST   /events            admit a JSON array of application events (202
+//	                          ack; ?sync=1 forces synchronous ingestion)
+//	GET    /ingest/ack?token= poll an admitted batch's status
+//	GET    /ingest/stats      ingestion gateway counters
 //	GET    /controls          list deployed controls
 //	POST   /controls          deploy {"id","name","text"}
 //	DELETE /controls?id=X     remove a control
@@ -24,11 +35,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/httpapi"
@@ -46,6 +62,12 @@ func main() {
 	flushWindow := flag.Duration("flush-window", 0, "max time a write may wait to share a group commit (0 = opportunistic)")
 	noSnapshots := flag.Bool("no-snapshots", false, "disable MVCC snapshot reads; readers share a mutex with writers (E10 ablation)")
 	noRuleIndexes := flag.Bool("no-rule-indexes", false, "disable index-accelerated rule evaluation; binders scan full trace shards (E11 ablation)")
+	ingestShards := flag.Int("ingest-shards", 0, "ingestion gateway admission queues, hashed by trace (0 = default)")
+	ingestQueue := flag.Int("ingest-queue", 0, "events each admission queue holds before shedding load with 429 (0 = default)")
+	ingestBatch := flag.Int("ingest-batch", 0, "events coalesced per store commit by the gateway (0 = default)")
+	ingestWindow := flag.Duration("ingest-window", 0, "max time an undersized gateway batch waits for company (0 = opportunistic)")
+	syncIngest := flag.Bool("sync-ingest", false, "disable the async ingestion gateway; POST /events ingests synchronously (E12 ablation)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain admitted events on shutdown")
 	flag.Parse()
 	if *sync && *dir == "" {
 		log.Fatal("provd: -sync requires -dir (an in-memory store has nothing to fsync)")
@@ -60,19 +82,55 @@ func main() {
 		Workers: *workers, Sync: *sync, FlushWindow: *flushWindow,
 		DisableSnapshots:   *noSnapshots,
 		DisableRuleIndexes: *noRuleIndexes,
+		IngestShards:       *ingestShards,
+		IngestQueueDepth:   *ingestQueue,
+		IngestMaxBatch:     *ingestBatch,
+		IngestFlushWindow:  *ingestWindow,
+		DisableAsyncIngest: *syncIngest,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer sys.Close()
 
-	log.Printf("provd: domain %s, %d controls deployed, listening on %s",
-		domain.Name, len(domain.Controls), *addr)
-	srv := httpapi.NewServer(sys, *continuous)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	mode := "async ingest"
+	if *syncIngest {
+		mode = "sync ingest"
+	}
+	log.Printf("provd: domain %s, %d controls deployed, %s, listening on %s",
+		domain.Name, len(domain.Controls), mode, *addr)
+	srv := &http.Server{Addr: *addr, Handler: httpapi.NewServer(sys, *continuous)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		sys.Close()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	case <-ctx.Done():
 	}
+
+	// Graceful shutdown: stop accepting connections, let in-flight
+	// requests finish, then drain the ingestion gateway so every admitted
+	// event reaches the store before the process exits.
+	log.Printf("provd: shutting down, draining ingest backlog (max %v)", *drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("provd: http shutdown: %v", err)
+	}
+	if sys.Gateway != nil {
+		if err := sys.Gateway.Drain(shutCtx); err != nil && !errors.Is(err, context.Canceled) {
+			log.Printf("provd: ingest drain: %v", err)
+		}
+	}
+	if err := sys.Close(); err != nil {
+		log.Printf("provd: close: %v", err)
+	}
+	log.Print("provd: bye")
 }
 
 func buildDomain(name string) (*workload.Domain, error) {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/correlate"
 	"repro/internal/dashboard"
 	"repro/internal/events"
+	"repro/internal/ingest"
 	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -64,6 +65,19 @@ type Config struct {
 	DisableRuleIndexes bool
 	// MaxViolations caps the dashboard violation feed (0 = default).
 	MaxViolations int
+	// IngestShards / IngestQueueDepth / IngestMaxBatch / IngestFlushWindow
+	// size the async ingestion gateway: the number of trace-hashed
+	// admission queues, each queue's event capacity, the events coalesced
+	// per store commit, and how long an undersized run may wait for
+	// company (zero = opportunistic). Zero values take the gateway
+	// defaults.
+	IngestShards      int
+	IngestQueueDepth  int
+	IngestMaxBatch    int
+	IngestFlushWindow time.Duration
+	// DisableAsyncIngest skips the gateway: events are ingested
+	// synchronously on the caller (ablation D9, experiment E12).
+	DisableAsyncIngest bool
 }
 
 // System is one wired instance of the paper's architecture.
@@ -80,6 +94,9 @@ type System struct {
 	Checker    *controls.Checker
 	Board      *dashboard.Board
 	Query      *query.Engine
+	// Gateway is the async ingestion front door; nil when
+	// Config.DisableAsyncIngest is set.
+	Gateway *ingest.Gateway
 
 	continuous bool
 }
@@ -148,7 +165,43 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 		sys.Correlator.Start()
 		sys.Checker.Start()
 	}
+	if !cfg.DisableAsyncIngest {
+		if sys.Gateway, err = ingest.New(ingest.Config{
+			Shards:      cfg.IngestShards,
+			QueueDepth:  cfg.IngestQueueDepth,
+			MaxBatch:    cfg.IngestMaxBatch,
+			FlushWindow: cfg.IngestFlushWindow,
+			Dir:         cfg.Dir,
+		}, sys.ingestSink(cfg.Continuous)); err != nil {
+			sys.Close()
+			return nil, err
+		}
+	}
 	return sys, nil
+}
+
+// ingestSink is the gateway's downstream: one coalesced run becomes one
+// keyed pipeline commit; in batch mode (no continuous correlator) the
+// touched traces are then re-correlated so async ingest still yields a
+// connected graph.
+func (s *System) ingestSink(continuous bool) ingest.Sink {
+	return func(kevs []events.KeyedEvent) error {
+		err := s.Pipeline.IngestKeyed(kevs)
+		if !continuous {
+			seen := make(map[string]bool, 4)
+			for _, kev := range kevs {
+				app := kev.Event.AppID
+				if app == "" || seen[app] {
+					continue
+				}
+				seen[app] = true
+				if cerr := s.Correlator.RunTrace(app); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+		}
+		return err
+	}
 }
 
 // DeployControl deploys (or redeploys) a control and, for durable
@@ -209,11 +262,19 @@ func (s *System) CheckAll() ([]*controls.Outcome, error) {
 	return out, nil
 }
 
-// Close stops continuous workers and closes the store.
+// Close drains the ingestion gateway (admitted events are flushed, not
+// dropped), stops continuous workers, and closes the store.
 func (s *System) Close() error {
+	var gerr error
+	if s.Gateway != nil {
+		gerr = s.Gateway.Close()
+	}
 	if s.continuous {
 		s.Checker.Stop()
 		s.Correlator.Stop()
 	}
-	return s.Store.Close()
+	if err := s.Store.Close(); err != nil {
+		return err
+	}
+	return gerr
 }

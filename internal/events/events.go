@@ -9,6 +9,7 @@
 package events
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -112,6 +113,25 @@ func (m *Mapping) matches(ev AppEvent) bool {
 	return ev.Type == m.EventType && (m.Source == "" || ev.Source == m.Source)
 }
 
+// RecorderStats counts one recorder client's outcomes, keyed by the
+// recorder's name in Stats.PerRecorder.
+type RecorderStats struct {
+	// Recorded counts events this recorder turned into provenance records.
+	Recorded int
+	// NoTrace counts events this recorder matched but had to drop for lack
+	// of an AppID — the package doc's "dropped and counted" promise, now
+	// attributable to the recorder that saw them.
+	NoTrace int
+	// TransformErrors counts events whose payload-to-record transformation
+	// failed (missing required fields, unparsable values).
+	TransformErrors int
+	// StoreErrors counts records the provenance store rejected.
+	StoreErrors int
+	// Duplicates counts at-least-once redeliveries absorbed idempotently:
+	// the record was already stored with identical content.
+	Duplicates int
+}
+
 // Stats counts pipeline outcomes.
 type Stats struct {
 	// Ingested counts every event offered to the pipeline.
@@ -124,6 +144,12 @@ type Stats struct {
 	NoTrace int
 	// Errors counts events whose transformation or storage failed.
 	Errors int
+	// Duplicates counts redelivered events absorbed idempotently (keyed
+	// ingestion only; the single-event path still reports them as errors).
+	Duplicates int
+	// PerRecorder breaks Recorded/NoTrace/errors/duplicates down by
+	// recorder name.
+	PerRecorder map[string]RecorderStats
 }
 
 // Pipeline routes application events through the registered recorder
@@ -157,48 +183,73 @@ func NewPipeline(st *store.Store, mappings ...*Mapping) (*Pipeline, error) {
 	return &Pipeline{st: st, mappings: mappings}, nil
 }
 
+// rec returns the named recorder's mutable counter bucket. Caller holds
+// p.mu; the returned pointer must not escape the critical section.
+func (p *Pipeline) rec(name string) *RecorderStats {
+	if p.stats.PerRecorder == nil {
+		p.stats.PerRecorder = make(map[string]RecorderStats)
+	}
+	rs := p.stats.PerRecorder[name]
+	return &rs
+}
+
+// bump applies fn to the named recorder's counters under the lock.
+func (p *Pipeline) bump(name string, fn func(*RecorderStats)) {
+	rs := p.rec(name)
+	fn(rs)
+	p.stats.PerRecorder[name] = *rs
+}
+
+// match finds the recorder claiming the event, counting Ingested and
+// Unmatched. A nil return means no recorder matched. Caller holds no lock.
+func (p *Pipeline) match(ev AppEvent) *Mapping {
+	p.mu.Lock()
+	p.stats.Ingested++
+	p.mu.Unlock()
+	for _, cand := range p.mappings {
+		if cand.matches(ev) {
+			return cand
+		}
+	}
+	p.mu.Lock()
+	p.stats.Unmatched++
+	p.mu.Unlock()
+	return nil
+}
+
 // Ingest processes one application event. Unmatched events and events
 // without a trace ID are counted, not errors: in a partially managed
 // environment both are routine.
 func (p *Pipeline) Ingest(ev AppEvent) error {
-	p.mu.Lock()
-	p.stats.Ingested++
-	p.mu.Unlock()
-
-	var m *Mapping
-	for _, cand := range p.mappings {
-		if cand.matches(ev) {
-			m = cand
-			break
-		}
-	}
+	m := p.match(ev)
 	if m == nil {
-		p.mu.Lock()
-		p.stats.Unmatched++
-		p.mu.Unlock()
 		return nil
 	}
 	if ev.AppID == "" {
 		p.mu.Lock()
 		p.stats.NoTrace++
+		p.bump(m.Name, func(rs *RecorderStats) { rs.NoTrace++ })
 		p.mu.Unlock()
 		return nil
 	}
-	n, err := p.transform(m, ev)
+	n, err := p.transform(m, ev, "", 0)
 	if err != nil {
 		p.mu.Lock()
 		p.stats.Errors++
+		p.bump(m.Name, func(rs *RecorderStats) { rs.TransformErrors++ })
 		p.mu.Unlock()
 		return fmt.Errorf("events: recorder %s: %v", m.Name, err)
 	}
 	if err := p.st.PutNode(n); err != nil {
 		p.mu.Lock()
 		p.stats.Errors++
+		p.bump(m.Name, func(rs *RecorderStats) { rs.StoreErrors++ })
 		p.mu.Unlock()
 		return fmt.Errorf("events: recorder %s: %v", m.Name, err)
 	}
 	p.mu.Lock()
 	p.stats.Recorded++
+	p.bump(m.Name, func(rs *RecorderStats) { rs.Recorded++ })
 	p.mu.Unlock()
 	return nil
 }
@@ -245,14 +296,121 @@ func (p *Pipeline) IngestAll(evs []AppEvent) error {
 	return &BatchError{Failed: failed, Total: len(evs)}
 }
 
-// transform builds the provenance node for the event.
-func (p *Pipeline) transform(m *Mapping, ev AppEvent) (*provenance.Node, error) {
+// KeyedEvent pairs one application event with its idempotent delivery
+// identity: the idempotency key of the client batch that carried it and
+// the event's index within that batch. The pair makes the event's derived
+// record ID stable across redeliveries.
+type KeyedEvent struct {
+	Event AppEvent
+	// Key is the client batch's idempotency key; empty falls back to the
+	// pipeline's sequential ID assignment.
+	Key string
+	// Index is the event's position within its keyed client batch (not
+	// within the coalesced run handed to IngestKeyed).
+	Index int
+}
+
+// IngestKeyed processes a coalesced run of keyed events — the ingestion
+// gateway's unit of work — with at-least-once delivery semantics and one
+// store commit for the whole run:
+//
+//   - Events without a mapping-declared ID key get IDs derived from
+//     (batch key, index), so a redelivered batch regenerates identical
+//     records.
+//   - Records the store rejects as duplicates of byte-identical rows are
+//     counted as Duplicates and treated as success: the event is already
+//     recorded, which is exactly what at-least-once asks for. A duplicate
+//     ID with DIFFERENT content is still an error (an ID collision).
+//   - All surviving records are committed through store.PutNodes: one log
+//     flush, one shared fsync, one snapshot, regardless of run size.
+//
+// The returned *BatchError (if any) indexes failures by position in kevs,
+// so the gateway can map them back to each client batch's own indices.
+func (p *Pipeline) IngestKeyed(kevs []KeyedEvent) error {
+	var failed []EventError
+	nodes := make([]*provenance.Node, 0, len(kevs))
+	names := make([]string, 0, len(kevs)) // recorder per node
+	at := make([]int, 0, len(kevs))       // nodes[j] transforms kevs[at[j]]
+	for i, kev := range kevs {
+		m := p.match(kev.Event)
+		if m == nil {
+			continue
+		}
+		if kev.Event.AppID == "" {
+			p.mu.Lock()
+			p.stats.NoTrace++
+			p.bump(m.Name, func(rs *RecorderStats) { rs.NoTrace++ })
+			p.mu.Unlock()
+			continue
+		}
+		n, err := p.transform(m, kev.Event, kev.Key, kev.Index)
+		if err != nil {
+			p.mu.Lock()
+			p.stats.Errors++
+			p.bump(m.Name, func(rs *RecorderStats) { rs.TransformErrors++ })
+			p.mu.Unlock()
+			failed = append(failed, EventError{Index: i, Err: fmt.Errorf("events: recorder %s: %v", m.Name, err)})
+			continue
+		}
+		nodes = append(nodes, n)
+		names = append(names, m.Name)
+		at = append(at, i)
+	}
+	for j, err := range p.st.PutNodes(nodes) {
+		switch {
+		case err == nil:
+			p.mu.Lock()
+			p.stats.Recorded++
+			p.bump(names[j], func(rs *RecorderStats) { rs.Recorded++ })
+			p.mu.Unlock()
+		case errors.Is(err, provenance.ErrDuplicate) && p.sameRow(nodes[j]):
+			p.mu.Lock()
+			p.stats.Duplicates++
+			p.bump(names[j], func(rs *RecorderStats) { rs.Duplicates++ })
+			p.mu.Unlock()
+		default:
+			p.mu.Lock()
+			p.stats.Errors++
+			p.bump(names[j], func(rs *RecorderStats) { rs.StoreErrors++ })
+			p.mu.Unlock()
+			failed = append(failed, EventError{Index: at[j], Err: fmt.Errorf("events: recorder %s: %v", names[j], err)})
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	sort.Slice(failed, func(a, b int) bool { return failed[a].Index < failed[b].Index })
+	return &BatchError{Failed: failed, Total: len(kevs)}
+}
+
+// sameRow reports whether the store already holds n encoded to the exact
+// same Table-1 row — the signature of a redelivered record. Row encoding
+// is deterministic (attributes sort), so byte equality is content equality.
+func (p *Pipeline) sameRow(n *provenance.Node) bool {
+	row, err := store.EncodeNode(n)
+	if err != nil {
+		return false
+	}
+	have, ok := p.st.Row(n.ID)
+	return ok && have.XML == row.XML
+}
+
+// transform builds the provenance node for the event. Events whose
+// mapping declares no stable ID key normally receive a sequential ID;
+// when the event arrived under a batch idempotency key the ID is derived
+// from (key, index) instead, so a redelivered batch regenerates byte-for-
+// byte identical records — the property that makes at-least-once delivery
+// safe (the store rejects the duplicate, the pipeline recognizes it as
+// already recorded).
+func (p *Pipeline) transform(m *Mapping, ev AppEvent, key string, index int) (*provenance.Node, error) {
 	id := ""
 	if m.IDKey != "" {
 		id = ev.Payload[m.IDKey]
 		if id == "" {
 			return nil, fmt.Errorf("event lacks ID key %q", m.IDKey)
 		}
+	} else if key != "" {
+		id = fmt.Sprintf("PE-%s-%d", key, index)
 	} else {
 		p.mu.Lock()
 		p.seq++
@@ -284,7 +442,14 @@ func (p *Pipeline) transform(m *Mapping, ev AppEvent) (*provenance.Node, error) 
 func (p *Pipeline) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	st := p.stats
+	if p.stats.PerRecorder != nil {
+		st.PerRecorder = make(map[string]RecorderStats, len(p.stats.PerRecorder))
+		for name, rs := range p.stats.PerRecorder {
+			st.PerRecorder[name] = rs
+		}
+	}
+	return st
 }
 
 // Recorders lists the registered recorder names, sorted.

@@ -350,3 +350,136 @@ func BenchmarkPipelineIngest(b *testing.B) {
 		}
 	}
 }
+
+// kevs builds a keyed run from one batch key.
+func kevs(key string, evs ...AppEvent) []KeyedEvent {
+	out := make([]KeyedEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = KeyedEvent{Event: ev, Key: key, Index: i}
+	}
+	return out
+}
+
+func taskEvent(app, email string) AppEvent {
+	return AppEvent{Source: "x", Type: "task.submit", AppID: app,
+		Timestamp: time.Unix(7000, 0).UTC(),
+		Payload:   map[string]string{"email": email}}
+}
+
+// TestIngestKeyedDeterministicIDs: events without a mapping ID key get IDs
+// derived from (batch key, index), and redelivering the same batch is
+// absorbed idempotently — no new records, no error, Duplicates counted.
+func TestIngestKeyedDeterministicIDs(t *testing.T) {
+	st := testStore(t)
+	p, err := NewPipeline(st, reqMapping(), taskMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := kevs("b1", taskEvent("App01", "a@acme.com"), taskEvent("App01", "b@acme.com"), reqEvent())
+	if err := p.IngestKeyed(batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"PE-b1-0", "PE-b1-1", "PE3"} {
+		if st.Node(id) == nil {
+			t.Fatalf("missing record %s", id)
+		}
+	}
+	nodesBefore := st.Stats().Nodes
+	// Redelivery: the whole batch again, byte-identical.
+	if err := p.IngestKeyed(batch); err != nil {
+		t.Fatalf("redelivery rejected: %v", err)
+	}
+	if got := st.Stats().Nodes; got != nodesBefore {
+		t.Fatalf("redelivery grew the store: %d -> %d nodes", nodesBefore, got)
+	}
+	s := p.Stats()
+	if s.Duplicates != 3 {
+		t.Fatalf("Duplicates = %d, want 3", s.Duplicates)
+	}
+	if s.Recorded != 3 {
+		t.Fatalf("Recorded = %d, want 3", s.Recorded)
+	}
+	if rs := s.PerRecorder["task-recorder"]; rs.Recorded != 2 || rs.Duplicates != 2 {
+		t.Fatalf("task-recorder stats = %+v", rs)
+	}
+}
+
+// TestIngestKeyedIDCollision: a duplicate ID carrying DIFFERENT content is
+// an error, not a benign redelivery.
+func TestIngestKeyedIDCollision(t *testing.T) {
+	st := testStore(t)
+	p, err := NewPipeline(st, reqMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.IngestKeyed(kevs("b1", reqEvent())); err != nil {
+		t.Fatal(err)
+	}
+	changed := reqEvent()
+	changed.Payload["ptype"] = "replacement"
+	err = p.IngestKeyed(kevs("b2", changed))
+	var be *BatchError
+	if !errors.As(err, &be) || be.Failed[0].Index != 0 {
+		t.Fatalf("collision not reported: %v", err)
+	}
+	if p.Stats().Duplicates != 0 {
+		t.Fatalf("collision miscounted as duplicate: %+v", p.Stats())
+	}
+}
+
+// TestIngestKeyedPerRecorderStats: transform errors, no-trace drops and
+// unmatched events land in the right counters, with per-recorder
+// attribution for everything a recorder claimed.
+func TestIngestKeyedPerRecorderStats(t *testing.T) {
+	st := testStore(t)
+	p, err := NewPipeline(st, reqMapping(), taskMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := reqEvent()
+	delete(missing.Payload, "req") // required field
+	missing.Payload["recordId"] = "PE9"
+	noTrace := taskEvent("", "x@acme.com")
+	stranger := AppEvent{Source: "y", Type: "unknown.kind", AppID: "App01"}
+	err = p.IngestKeyed(kevs("b1", missing, noTrace, stranger, taskEvent("App01", "ok@acme.com")))
+	var be *BatchError
+	if !errors.As(err, &be) || len(be.Failed) != 1 || be.Failed[0].Index != 0 {
+		t.Fatalf("want one failure at index 0, got %v", err)
+	}
+	s := p.Stats()
+	if s.Ingested != 4 || s.Recorded != 1 || s.Unmatched != 1 || s.NoTrace != 1 || s.Errors != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if rs := s.PerRecorder["req-recorder"]; rs.TransformErrors != 1 {
+		t.Fatalf("req-recorder stats = %+v", rs)
+	}
+	if rs := s.PerRecorder["task-recorder"]; rs.NoTrace != 1 || rs.Recorded != 1 {
+		t.Fatalf("task-recorder stats = %+v", rs)
+	}
+}
+
+// TestIngestPerRecorderStatsSinglePath: the one-event path attributes
+// errors and drops the same way the keyed path does.
+func TestIngestPerRecorderStatsSinglePath(t *testing.T) {
+	st := testStore(t)
+	p, err := NewPipeline(st, reqMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ingest(reqEvent()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ingest(reqEvent()); err == nil { // duplicate ID: store error
+		t.Fatal("duplicate accepted on single path")
+	}
+	bad := reqEvent()
+	bad.Payload["recordId"] = "PE8"
+	bad.Payload["count"] = "not-a-number"
+	if err := p.Ingest(bad); err == nil {
+		t.Fatal("unparsable field accepted")
+	}
+	rs := p.Stats().PerRecorder["req-recorder"]
+	if rs.Recorded != 1 || rs.StoreErrors != 1 || rs.TransformErrors != 1 {
+		t.Fatalf("req-recorder stats = %+v", rs)
+	}
+}

@@ -102,12 +102,16 @@ func All(quick bool) []Runner {
 	e6Traces := 2000
 	e7Sizes := []int{10, 100, 1000, 10000}
 	e11Sizes := []int{250, 1000, 4000}
+	e12Traces := 800
+	e12Writers := []int{1, 4, 16}
 	if quick {
 		traces = 300
 		e5Sizes = []int{200, 500, 1000}
 		e6Traces = 200
 		e7Sizes = []int{10, 100, 1000}
 		e11Sizes = []int{250, 1000}
+		e12Traces = 120
+		e12Writers = []int{1, 4}
 	}
 	return []Runner{
 		{"E1", "Table 1 storage rows", func() (*Table, error) { return E1Table1(traces) }},
@@ -122,6 +126,9 @@ func All(quick bool) []Runner {
 		{"E8", "control change cost", E8ChangeCost},
 		{"E11", "index-accelerated rule evaluation", func() (*Table, error) {
 			return E11RuleIndex(e11Sizes, 16)
+		}},
+		{"E12", "async ingestion gateway vs sync ingest", func() (*Table, error) {
+			return E12Ingest(e12Traces, e12Writers)
 		}},
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/ingest"
 	"repro/internal/provenance"
 	"repro/internal/query"
 	"repro/internal/viz"
@@ -31,6 +32,8 @@ type Server struct {
 func NewServer(sys *core.System, continuous bool) *Server {
 	s := &Server{sys: sys, mux: http.NewServeMux(), continuous: continuous}
 	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/ingest/ack", s.handleIngestAck)
+	s.mux.HandleFunc("/ingest/stats", s.handleIngestStats)
 	s.mux.HandleFunc("/controls", s.handleControls)
 	s.mux.HandleFunc("/compliance", s.handleCompliance)
 	s.mux.HandleFunc("/dashboard", s.handleDashboard)
@@ -78,6 +81,14 @@ type eventErrJSON struct {
 }
 
 // handleEvents ingests a JSON array of application events (POST).
+//
+// With the async gateway enabled the batch is ADMITTED, not ingested:
+// the response is 202 with an ack (token + idempotency key) the client
+// can poll at /ingest/ack, 429 with a Retry-After hint when admission
+// queues are full, or 503 while draining. An Ingest-Key request header
+// carries the client's idempotency key; redelivering under the same key
+// returns the original batch's ack instead of ingesting twice. ?sync=1
+// forces the legacy synchronous path.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
@@ -101,6 +112,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			Source: e.Source, Type: e.Type, AppID: e.AppID,
 			Timestamp: e.Timestamp, Payload: e.Payload,
 		}
+	}
+	if s.sys.Gateway != nil && r.URL.Query().Get("sync") == "" {
+		s.admitAsync(w, r, batch)
+		return
 	}
 	if err := s.sys.Ingest(batch); err != nil {
 		// Ingestion is not transactional: a batch error names the rejected
@@ -127,6 +142,65 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, s.sys.Pipeline.Stats())
+}
+
+// admitAsync offers one batch to the ingestion gateway and maps its
+// verdict onto HTTP: 202 admitted (or deduped), 429 overloaded with a
+// Retry-After hint, 503 draining.
+func (s *Server) admitAsync(w http.ResponseWriter, r *http.Request, batch []events.AppEvent) {
+	key := r.Header.Get("Ingest-Key")
+	st, err := s.sys.Gateway.Offer(key, batch)
+	if err == nil {
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	var oe *ingest.OverloadError
+	switch {
+	case errors.As(err, &oe):
+		secs := int(oe.RetryAfter / time.Second)
+		if oe.RetryAfter%time.Second != 0 {
+			secs++ // Retry-After is whole seconds; round up
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":        err.Error(),
+			"retryAfterMs": oe.RetryAfter.Milliseconds(),
+		})
+	case errors.Is(err, ingest.ErrDraining), errors.Is(err, ingest.ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+	}
+}
+
+// handleIngestAck reports an admitted batch's status by ack token —
+// including the per-event error indices once the batch is applied.
+func (s *Server) handleIngestAck(w http.ResponseWriter, r *http.Request) {
+	if s.sys.Gateway == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("async ingest disabled"))
+		return
+	}
+	token := r.URL.Query().Get("token")
+	if token == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("token parameter required"))
+		return
+	}
+	st, ok := s.sys.Gateway.Ack(token)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown ack token %q", token))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleIngestStats returns the gateway counters.
+func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {
+	if s.sys.Gateway == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sys.Gateway.Stats())
 }
 
 // controlJSON is the wire form of a control deployment.
@@ -402,7 +476,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // handleStats returns store, pipeline and continuous-checking statistics.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	storeStats := s.sys.Store.Stats()
+	var ingestStats any
+	if s.sys.Gateway != nil {
+		ingestStats = s.sys.Gateway.Stats()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"ingest":      ingestStats,
 		"store":       storeStats,
 		"durability":  s.sys.Store.Durability(),
 		"snapshots":   s.sys.Store.SnapshotCounters(),

@@ -2,9 +2,12 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -56,10 +59,44 @@ func ingestSim(t *testing.T, s *Server, d *workload.Domain, traces int) *workloa
 		})
 	}
 	rec, body := do(t, s, http.MethodPost, "/events", evs)
-	if rec.Code != http.StatusOK {
+	if rec.Code != http.StatusAccepted {
 		t.Fatalf("ingest: %d %s", rec.Code, body)
 	}
+	var ack struct {
+		Token string `json:"token"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil || ack.Token == "" {
+		t.Fatalf("admission ack: %v (%s)", err, body)
+	}
+	awaitApplied(t, s, ack.Token)
 	return res
+}
+
+// awaitApplied polls /ingest/ack until the admitted batch is applied —
+// the async analogue of the old synchronous 200.
+func awaitApplied(t *testing.T, s *Server, token string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec, body := do(t, s, http.MethodGet, "/ingest/ack?token="+token, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("ack poll: %d %s", rec.Code, body)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "applied" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch %s never applied", token)
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 func TestServerIngestAndCompliance(t *testing.T) {
@@ -349,10 +386,12 @@ func doRaw(t *testing.T, s *Server, path string, body []byte) (*httptest.Respons
 	return rec, rec.Body.Bytes()
 }
 
-// TestServerEventsErrorHandling is the /events contract table: malformed
-// JSON is a 400, an oversized body is a 413, and a batch with failing
-// events is a 422 that names each rejected event by index while the good
-// events in the same batch stay recorded.
+// TestServerEventsErrorHandling is the SYNCHRONOUS /events contract
+// table (?sync=1, the pre-gateway protocol): malformed JSON is a 400, an
+// oversized body is a 413, and a batch with failing events is a 422 that
+// names each rejected event by index while the good events in the same
+// batch stay recorded. TestServerAsyncIngestContract covers the async
+// protocol.
 func TestServerEventsErrorHandling(t *testing.T) {
 	ts := func(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
 	goodReq := eventJSON{Source: "lombardi", Type: "requisition.submitted", AppID: "T1",
@@ -391,9 +430,9 @@ func TestServerEventsErrorHandling(t *testing.T) {
 			var rec *httptest.ResponseRecorder
 			var body []byte
 			if tc.batch != nil {
-				rec, body = do(t, s, http.MethodPost, "/events", tc.batch)
+				rec, body = do(t, s, http.MethodPost, "/events?sync=1", tc.batch)
 			} else {
-				rec, body = doRaw(t, s, "/events", tc.raw)
+				rec, body = doRaw(t, s, "/events?sync=1", tc.raw)
 			}
 			if rec.Code != tc.wantCode {
 				t.Fatalf("status = %d, want %d (body: %s)", rec.Code, tc.wantCode, body)
@@ -499,5 +538,182 @@ func TestServerStatsSnapshots(t *testing.T) {
 				t.Fatalf("live counters flat after ingest+compliance: %+v", ss)
 			}
 		})
+	}
+}
+
+// TestServerAsyncIngestContract is the async /events protocol table: a
+// clean batch is a 202 whose ack token reaches "applied"; a redelivered
+// idempotency key gets the original ack back with deduped set; a batch
+// the admission queues cannot hold is a 429 with a Retry-After header; a
+// draining gateway is a 503; per-event rejections survive the async path
+// and come back on the ack, indexed by the client batch's own positions.
+func TestServerAsyncIngestContract(t *testing.T) {
+	d, err := workload.Hiring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(d, core.Config{IngestShards: 1, IngestQueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	s := NewServer(sys, false)
+
+	ts := func(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
+	goodReq := eventJSON{Source: "lombardi", Type: "requisition.submitted", AppID: "T1",
+		Timestamp: ts(100), Payload: map[string]string{"recordId": "N1", "req": "REQ-1"}}
+	noReqKey := eventJSON{Source: "lombardi", Type: "requisition.submitted", AppID: "T2",
+		Timestamp: ts(101), Payload: map[string]string{"recordId": "N2"}}
+	badCount := eventJSON{Source: "hrdb", Type: "candidates.found", AppID: "T1",
+		Timestamp: ts(102), Payload: map[string]string{"recordId": "N3", "req": "REQ-1", "count": "many"}}
+	goodApproval := eventJSON{Source: "mail", Type: "approval.recorded", AppID: "T1",
+		Timestamp: ts(103), Payload: map[string]string{"recordId": "N4", "req": "REQ-1", "approved": "true"}}
+
+	post := func(key string, batch []eventJSON) (*httptest.ResponseRecorder, []byte) {
+		t.Helper()
+		raw, err := json.Marshal(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/events", bytes.NewReader(raw))
+		if key != "" {
+			req.Header.Set("Ingest-Key", key)
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		return rec, rec.Body.Bytes()
+	}
+	type ackJSON struct {
+		Token       string `json:"token"`
+		Key         string `json:"key"`
+		State       string `json:"state"`
+		Deduped     bool   `json:"deduped"`
+		EventErrors []struct {
+			Index int    `json:"index"`
+			Error string `json:"error"`
+		} `json:"eventErrors"`
+	}
+
+	// Admission: 202 with a pollable token; the batch applies.
+	rec, body := post("batch-1", []eventJSON{goodReq})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("clean batch = %d %s", rec.Code, body)
+	}
+	var first ackJSON
+	if err := json.Unmarshal(body, &first); err != nil || first.Token == "" || first.Key != "batch-1" {
+		t.Fatalf("ack = %s (err %v)", body, err)
+	}
+	awaitApplied(t, s, first.Token)
+	if sys.Store.Node("N1") == nil {
+		t.Fatal("applied batch not in store")
+	}
+
+	// Idempotent redelivery: same key, original ack, nothing re-ingested.
+	rec, body = post("batch-1", []eventJSON{goodReq})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("redelivery = %d %s", rec.Code, body)
+	}
+	var again ackJSON
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Deduped || again.Token != first.Token {
+		t.Fatalf("redelivery ack = %s, want deduped token %s", body, first.Token)
+	}
+
+	// Per-event errors survive the async path: admitted 202, failures
+	// reported on the ack by client-batch index (1: missing required
+	// field, 2: unparsable int), good neighbors recorded.
+	rec, body = post("batch-2", []eventJSON{goodReq, noReqKey, badCount, goodApproval})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("partial batch = %d %s", rec.Code, body)
+	}
+	var partial ackJSON
+	if err := json.Unmarshal(body, &partial); err != nil {
+		t.Fatal(err)
+	}
+	awaitApplied(t, s, partial.Token)
+	rec, body = do(t, s, http.MethodGet, "/ingest/ack?token="+partial.Token, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ack poll = %d", rec.Code)
+	}
+	var final ackJSON
+	if err := json.Unmarshal(body, &final); err != nil {
+		t.Fatal(err)
+	}
+	if len(final.EventErrors) != 2 || final.EventErrors[0].Index != 1 || final.EventErrors[1].Index != 2 {
+		t.Fatalf("ack eventErrors = %s, want indices 1 and 2", body)
+	}
+	for _, e := range final.EventErrors {
+		if e.Error == "" {
+			t.Fatalf("eventError lacks a message: %s", body)
+		}
+	}
+	if sys.Store.Node("N4") == nil {
+		t.Fatal("good event N4 not recorded")
+	}
+	if sys.Store.Node("N2") != nil || sys.Store.Node("N3") != nil {
+		t.Fatal("rejected event recorded anyway")
+	}
+
+	// Overload: a batch larger than the whole admission queue can never
+	// be reserved — 429, Retry-After header, retryAfterMs body, and no
+	// partial admission.
+	over := make([]eventJSON, 5) // QueueDepth is 4
+	for i := range over {
+		e := goodReq
+		e.AppID = "T-over"
+		e.Payload = map[string]string{"recordId": fmt.Sprintf("OV%d", i), "req": "REQ-OV"}
+		over[i] = e
+	}
+	rec, body = post("batch-over", over)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overload = %d %s", rec.Code, body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want whole seconds >= 1", ra)
+	}
+	var overBody struct {
+		Error        string `json:"error"`
+		RetryAfterMS int64  `json:"retryAfterMs"`
+	}
+	if err := json.Unmarshal(body, &overBody); err != nil || overBody.Error == "" || overBody.RetryAfterMS <= 0 {
+		t.Fatalf("overload body = %s (err %v)", body, err)
+	}
+	if sys.Store.Node("OV0") != nil {
+		t.Fatal("rejected batch partially admitted")
+	}
+
+	// Gateway counters on /ingest/stats.
+	rec, body = do(t, s, http.MethodGet, "/ingest/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest stats = %d", rec.Code)
+	}
+	var istats struct {
+		AdmittedBatches uint64 `json:"admittedBatches"`
+		RejectedBatches uint64 `json:"rejectedBatches"`
+		DedupedBatches  uint64 `json:"dedupedBatches"`
+	}
+	if err := json.Unmarshal(body, &istats); err != nil {
+		t.Fatal(err)
+	}
+	if istats.AdmittedBatches != 2 || istats.RejectedBatches != 1 || istats.DedupedBatches != 1 {
+		t.Fatalf("ingest stats = %s", body)
+	}
+
+	// Draining: 503 with a Retry-After.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sys.Gateway.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec, body = post("batch-late", []eventJSON{goodReq})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining = %d %s", rec.Code, body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After header")
 	}
 }

@@ -37,6 +37,13 @@ func (d Direction) String() string {
 // write to one is always a caller bug, never a data race.
 var ErrFrozen = errors.New("provenance: graph is a frozen snapshot")
 
+// ErrDuplicate marks AddNode/AddEdge rejections caused by an ID that is
+// already recorded. At-least-once delivery paths (the ingestion gateway's
+// retry semantics) match it with errors.Is to distinguish a redelivered
+// record — benign when the stored row is identical — from a genuine
+// validation failure.
+var ErrDuplicate = errors.New("duplicate record ID")
+
 const (
 	// graphBuckets is the fan-out of the trace-shard root. The root is a
 	// value array of bucket pointers, so publishing a snapshot copies
@@ -362,7 +369,7 @@ func (g *Graph) AddNode(n *Node) error {
 				return fmt.Errorf("provenance: node ID %s collides with an edge ID", n.ID)
 			}
 		}
-		return fmt.Errorf("provenance: duplicate node ID %s", n.ID)
+		return fmt.Errorf("provenance: duplicate node ID %s: %w", n.ID, ErrDuplicate)
 	}
 	sh := g.shardForWrite(n.AppID)
 	sh.nodes[n.ID] = n
@@ -413,7 +420,7 @@ func (g *Graph) AddEdge(e *Edge) error {
 				return fmt.Errorf("provenance: edge ID %s collides with a node ID", e.ID)
 			}
 		}
-		return fmt.Errorf("provenance: duplicate edge ID %s", e.ID)
+		return fmt.Errorf("provenance: duplicate edge ID %s: %w", e.ID, ErrDuplicate)
 	}
 	src := g.Node(e.Source)
 	if src == nil {

@@ -1,0 +1,162 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/provenance"
+)
+
+// TestPutNodesCommitsRunAsOneUnit: a PutNodes run lands in the store as
+// one commit unit — every node recorded, visible together, and (on the
+// group-commit path) counted as a single commit batch.
+func TestPutNodesCommitsRunAsOneUnit(t *testing.T) {
+	for _, mode := range []string{"memory", "disk", "disk-sync"} {
+		t.Run(mode, func(t *testing.T) {
+			opts := Options{Model: testModel(t)}
+			switch mode {
+			case "disk":
+				opts.Dir = t.TempDir()
+			case "disk-sync":
+				opts.Dir = t.TempDir()
+				opts.Sync = true
+			}
+			s, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			before := s.Durability()
+			ns := make([]*provenance.Node, 40)
+			for i := range ns {
+				ns[i] = mkReq(fmt.Sprintf("r%02d", i), fmt.Sprintf("A%d", i%4), fmt.Sprintf("REQ%02d", i))
+			}
+			for i, err := range s.PutNodes(ns) {
+				if err != nil {
+					t.Fatalf("node %d: %v", i, err)
+				}
+			}
+			if got := s.Stats().Nodes; got != len(ns) {
+				t.Fatalf("nodes = %d, want %d", got, len(ns))
+			}
+			for _, n := range ns {
+				if s.Node(n.ID) == nil {
+					t.Fatalf("node %s not visible", n.ID)
+				}
+			}
+			after := s.Durability()
+			if mode == "disk-sync" {
+				// The run shares fsyncs: far fewer than one per record.
+				if syncs := after.Fsyncs - before.Fsyncs; syncs == 0 || syncs >= uint64(len(ns)) {
+					t.Fatalf("fsyncs = %d for %d records", syncs, len(ns))
+				}
+			}
+			if mode != "memory" {
+				if after.CommitBatches == before.CommitBatches {
+					t.Fatal("no commit batch recorded")
+				}
+				if after.MaxCommitBatch < uint64(len(ns)) {
+					t.Fatalf("MaxCommitBatch = %d, want >= %d", after.MaxCommitBatch, len(ns))
+				}
+			}
+		})
+	}
+}
+
+// TestPutNodesPerEntryErrors: invalid and duplicate nodes fail alone; the
+// rest of the run stays recorded, and duplicate rejections carry the
+// provenance.ErrDuplicate sentinel at-least-once deliverers match on.
+func TestPutNodesPerEntryErrors(t *testing.T) {
+	s := memStore(t)
+	if err := s.PutNode(mkReq("dup", "A", "REQ0")); err != nil {
+		t.Fatal(err)
+	}
+	ns := []*provenance.Node{
+		mkReq("ok1", "A", "REQ1"),
+		mkReq("dup", "A", "REQ0"), // duplicate ID
+		{ID: "bad", Class: provenance.ClassData, Type: "ghost", AppID: "A"}, // undeclared type
+		mkReq("ok2", "B", "REQ2"),
+	}
+	errs := s.PutNodes(ns)
+	if errs[0] != nil || errs[3] != nil {
+		t.Fatalf("valid nodes failed: %v / %v", errs[0], errs[3])
+	}
+	if !errors.Is(errs[1], provenance.ErrDuplicate) {
+		t.Fatalf("duplicate error = %v, want ErrDuplicate", errs[1])
+	}
+	if errs[2] == nil {
+		t.Fatal("undeclared type accepted")
+	}
+	if s.Node("ok1") == nil || s.Node("ok2") == nil {
+		t.Fatal("valid run members not recorded")
+	}
+}
+
+// TestPutNodesChangeFeed: one run emits one change-feed event per recorded
+// node, after the covering snapshot is published.
+func TestPutNodesChangeFeed(t *testing.T) {
+	s := memStore(t)
+	sub := s.Subscribe()
+	defer sub.Cancel()
+	ns := []*provenance.Node{mkReq("r1", "A", "R1"), mkReq("r2", "A", "R2"), mkReq("r3", "B", "R3")}
+	for i, err := range s.PutNodes(ns) {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	for i := range ns {
+		ev, ok := <-sub.C()
+		if !ok {
+			t.Fatalf("feed closed after %d events", i)
+		}
+		if ev.Kind != EventNode || ev.Node.ID != ns[i].ID {
+			t.Fatalf("event %d = %+v, want node %s", i, ev, ns[i].ID)
+		}
+	}
+}
+
+// TestPutNodesClosedStore: a run against a closed store fails every entry.
+func TestPutNodesClosedStore(t *testing.T) {
+	s, err := Open(Options{Model: testModel(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	errs := s.PutNodes([]*provenance.Node{mkReq("r1", "A", "R1"), mkReq("r2", "A", "R2")})
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("entry %d accepted after close", i)
+		}
+	}
+}
+
+// TestPutNodesRecoveredAfterReplay: a batch-committed run survives reopen
+// exactly like per-record commits do.
+func TestPutNodesRecoveredAfterReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Model: testModel(t), Dir: dir, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := make([]*provenance.Node, 10)
+	for i := range ns {
+		ns[i] = mkReq(fmt.Sprintf("r%d", i), "A", fmt.Sprintf("REQ%d", i))
+	}
+	for i, err := range s.PutNodes(ns) {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(Options{Model: testModel(t), Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Stats().Nodes; got != len(ns) {
+		t.Fatalf("recovered %d nodes, want %d", got, len(ns))
+	}
+}

@@ -14,12 +14,17 @@ import (
 // requests queued while the previous fsync was in flight form the next
 // batch — and can additionally wait a bounded flush window to accumulate
 // more (Options.FlushWindow).
+//
+// A request carries one or more entries: the ingestion gateway commits a
+// whole coalesced event batch as a single request (one enqueue, one wait,
+// one shared fsync for the run), so batch writers pay the pipeline's
+// coordination cost once per batch instead of once per record.
 
-// commitReq is one writer's pending append: the entry plus the channel its
-// commit error is delivered on.
+// commitReq is one writer's pending append run: the entries plus the
+// channel their per-entry commit errors are delivered on.
 type commitReq struct {
-	e    entry
-	done chan error
+	entries []entry
+	done    chan []error
 }
 
 // committer is the group-commit pipeline. One goroutine drains the request
@@ -59,15 +64,32 @@ func newCommitter(s *Store, window time.Duration, maxBatch int) *committer {
 // enqueue submits one entry and blocks until its batch is durable (or
 // failed). Returns the commit error exactly as the serial path would.
 func (c *committer) enqueue(e entry) error {
-	req := &commitReq{e: e, done: make(chan error, 1)}
+	return c.enqueueAll([]entry{e})[0]
+}
+
+// enqueueAll submits a run of entries as one commit unit and blocks until
+// the run is durable (or failed). The run shares a single flush+fsync —
+// with whatever other requests joined the same batch — and the returned
+// per-entry errors align with entries.
+func (c *committer) enqueueAll(entries []entry) []error {
+	req := &commitReq{entries: entries, done: make(chan []error, 1)}
 	c.mu.RLock()
 	if c.stopped {
 		c.mu.RUnlock()
-		return errClosed
+		return errsAll(len(entries), errClosed)
 	}
 	c.reqs <- req
 	c.mu.RUnlock()
 	return <-req.done
+}
+
+// errsAll fills a per-entry error slice with one shared error.
+func errsAll(n int, err error) []error {
+	errs := make([]error, n)
+	for i := range errs {
+		errs[i] = err
+	}
+	return errs
 }
 
 // stop drains every in-flight request and terminates the pipeline. Safe to
@@ -98,34 +120,48 @@ func (c *committer) run() {
 	}
 }
 
+// batchEntries counts the entries carried by the queued requests.
+func batchEntries(batch []*commitReq) int {
+	n := 0
+	for _, req := range batch {
+		n += len(req.entries)
+	}
+	return n
+}
+
 // collect grows the batch: first greedily with whatever is already
 // queued, then — when a flush window is configured — by waiting up to the
-// window for stragglers. A closed channel ends collection.
+// window for stragglers. The entry cap is soft against multi-entry
+// requests: a request is never split, so one oversized run forms its own
+// batch. A closed channel ends collection.
 func (c *committer) collect(batch []*commitReq) []*commitReq {
-	for len(batch) < c.maxBatch {
+	n := batchEntries(batch)
+	for n < c.maxBatch {
 		select {
 		case req, ok := <-c.reqs:
 			if !ok {
 				return batch
 			}
 			batch = append(batch, req)
+			n += len(req.entries)
 			continue
 		default:
 		}
 		break
 	}
-	if c.window <= 0 || len(batch) >= c.maxBatch {
+	if c.window <= 0 || n >= c.maxBatch {
 		return batch
 	}
 	timer := time.NewTimer(c.window)
 	defer timer.Stop()
-	for len(batch) < c.maxBatch {
+	for n < c.maxBatch {
 		select {
 		case req, ok := <-c.reqs:
 			if !ok {
 				return batch
 			}
 			batch = append(batch, req)
+			n += len(req.entries)
 		case <-timer.C:
 			return batch
 		}
@@ -148,14 +184,18 @@ func (c *committer) collect(batch []*commitReq) []*commitReq {
 // (nothing was applied); apply errors are per-entry.
 func (c *committer) process(batch []*commitReq) {
 	s := c.s
+	total := batchEntries(batch)
 	s.logMu.Lock()
 	var err error
 	if s.log == nil {
 		err = errClosed
 	} else {
+	write:
 		for _, req := range batch {
-			if err = s.log.writeEntry(req.e); err != nil {
-				break
+			for _, e := range req.entries {
+				if err = s.log.writeEntry(e); err != nil {
+					break write
+				}
 			}
 		}
 		if err == nil {
@@ -171,34 +211,38 @@ func (c *committer) process(batch []*commitReq) {
 	}
 	if err != nil {
 		for _, req := range batch {
-			req.done <- err
+			req.done <- errsAll(len(req.entries), err)
 		}
 		s.logMu.Unlock()
 		return
 	}
 	s.stats.CommitBatches.Add(1)
-	s.stats.GroupedCommits.Add(uint64(len(batch)))
+	s.stats.GroupedCommits.Add(uint64(total))
 	for {
 		max := s.stats.MaxCommitBatch.Load()
-		if uint64(len(batch)) <= max || s.stats.MaxCommitBatch.CompareAndSwap(max, uint64(len(batch))) {
+		if uint64(total) <= max || s.stats.MaxCommitBatch.CompareAndSwap(max, uint64(total)) {
 			break
 		}
 	}
-	errs := make([]error, len(batch))
-	evs := make([]Event, 0, len(batch))
+	results := make([][]error, len(batch))
+	evs := make([]Event, 0, total)
 	for i, req := range batch {
-		ev, err := s.apply(req.e)
-		errs[i] = err
-		if err == nil {
-			evs = append(evs, ev)
+		errs := make([]error, len(req.entries))
+		for j, e := range req.entries {
+			ev, err := s.apply(e)
+			errs[j] = err
+			if err == nil {
+				evs = append(evs, ev)
+			}
 		}
+		results[i] = errs
 	}
 	s.publishLocked()
 	for _, ev := range evs {
 		s.publish(ev)
 	}
 	for i, req := range batch {
-		req.done <- errs[i]
+		req.done <- results[i]
 	}
 	s.logMu.Unlock()
 }

@@ -360,6 +360,94 @@ func (s *Store) PutEdge(e *provenance.Edge) error {
 	return s.commit(entry{op: opPutEdge, row: row})
 }
 
+// PutNodes validates, persists and indexes a run of node records as ONE
+// commit unit: one log flush (and in Sync mode one shared fsync), one
+// snapshot publish, one change-feed emission covering the whole run. The
+// ingestion gateway's batcher workers use it to amortize the commit
+// pipeline's per-record coordination across a coalesced event batch. The
+// run is not transactional — each node stands or falls alone — and the
+// returned slice aligns per-node errors with ns (nil entries succeeded).
+func (s *Store) PutNodes(ns []*provenance.Node) []error {
+	errs := make([]error, len(ns))
+	entries := make([]entry, 0, len(ns))
+	at := make([]int, 0, len(ns)) // entries[j] belongs to ns[at[j]]
+	for i, n := range ns {
+		if err := s.checkNode(n); err != nil {
+			errs[i] = err
+			continue
+		}
+		row, err := EncodeNode(n)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		entries = append(entries, entry{op: opPutNode, row: row})
+		at = append(at, i)
+	}
+	if len(entries) == 0 {
+		return errs
+	}
+	for j, err := range s.commitAll(entries) {
+		errs[at[j]] = err
+	}
+	return errs
+}
+
+// commitAll makes a run of entries durable and applies them as one commit
+// unit. Group-commit stores enqueue the run as a single request (one wait,
+// one shared fsync); the serial path mirrors the committer's discipline
+// under logMu — write every frame, flush once, fsync once, apply in order,
+// publish one snapshot, emit the events. Per-entry errors align with
+// entries; a log write/flush/fsync failure fails the whole run.
+func (s *Store) commitAll(entries []entry) []error {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return errsAll(len(entries), errClosed)
+	}
+	if s.comm != nil {
+		return s.comm.enqueueAll(entries)
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.log != nil {
+		var err error
+		for _, e := range entries {
+			if err = s.log.writeEntry(e); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = s.log.flush()
+		}
+		if err == nil && s.log.sync {
+			err = s.log.syncFile()
+			s.stats.Fsyncs.Add(1)
+			if err != nil {
+				s.stats.SyncFailures.Add(1)
+			}
+		}
+		if err != nil {
+			return errsAll(len(entries), fmt.Errorf("store: log append: %v", err))
+		}
+	}
+	errs := make([]error, len(entries))
+	evs := make([]Event, 0, len(entries))
+	for i, e := range entries {
+		ev, err := s.apply(e)
+		errs[i] = err
+		if err == nil {
+			evs = append(evs, ev)
+		}
+	}
+	s.publishLocked()
+	for _, ev := range evs {
+		s.publish(ev)
+	}
+	return errs
+}
+
 func (s *Store) checkNode(n *provenance.Node) error {
 	if s.opts.SkipValidation {
 		return n.Validate()

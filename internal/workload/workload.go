@@ -164,6 +164,25 @@ func (d *Domain) Simulate(opts SimOptions) *SimResult {
 	return res
 }
 
+// EventBatches splits the captured events into ingestion batches of at
+// most size events each, preserving delivery order. Recorder clients and
+// the ingestion experiments use it to model clients that ship events in
+// bounded posts rather than one giant array.
+func (r *SimResult) EventBatches(size int) [][]events.AppEvent {
+	if size <= 0 {
+		size = 128
+	}
+	var batches [][]events.AppEvent
+	for off := 0; off < len(r.Events); off += size {
+		end := off + size
+		if end > len(r.Events) {
+			end = len(r.Events)
+		}
+		batches = append(batches, r.Events[off:end])
+	}
+	return batches
+}
+
 func sortStrings(s []string) {
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j] < s[j-1]; j-- {

@@ -324,3 +324,37 @@ func TestVisibilityMonotonicity(t *testing.T) {
 		t.Fatalf("low-visibility correctness %v collapsed", low)
 	}
 }
+
+// TestEventBatches verifies batching preserves order, respects the size
+// bound, and covers every captured event exactly once.
+func TestEventBatches(t *testing.T) {
+	d, err := workload.Hiring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.Simulate(workload.SimOptions{Seed: 7, Traces: 20, Visibility: 1.0})
+	for _, size := range []int{1, 7, 128, len(res.Events) + 1} {
+		batches := res.EventBatches(size)
+		var flat int
+		for i, b := range batches {
+			if len(b) == 0 || len(b) > size {
+				t.Fatalf("size %d: batch %d has %d events", size, i, len(b))
+			}
+			if i < len(batches)-1 && len(b) != size {
+				t.Fatalf("size %d: non-final batch %d has %d events", size, i, len(b))
+			}
+			for j, ev := range b {
+				if !reflect.DeepEqual(ev, res.Events[flat+j]) {
+					t.Fatalf("size %d: batch %d event %d out of order", size, i, j)
+				}
+			}
+			flat += len(b)
+		}
+		if flat != len(res.Events) {
+			t.Fatalf("size %d: batches cover %d of %d events", size, flat, len(res.Events))
+		}
+	}
+	if got := res.EventBatches(0); len(got) == 0 {
+		t.Fatal("EventBatches(0) returned nothing; want default size")
+	}
+}
