@@ -9,7 +9,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -21,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/ingest"
+	"repro/internal/latency"
 	"repro/internal/provenance"
 	"repro/internal/query"
 	"repro/internal/rules"
@@ -534,15 +534,13 @@ func BenchmarkE10_ReadWriteMix(b *testing.B) {
 				if writers > 0 {
 					b.ReportMetric(float64(writes.Load())/b.Elapsed().Seconds(), "writes/s")
 				}
-				var all []time.Duration
+				var all latency.Digest
 				for _, s := range lat {
-					all = append(all, s...)
+					all.AddAll(s)
 				}
-				if len(all) > 0 {
-					sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-					b.ReportMetric(float64(all[len(all)/2].Microseconds()), "p50-us")
-					idx := int(float64(len(all)-1) * 0.99)
-					b.ReportMetric(float64(all[idx].Microseconds()), "p99-us")
+				if all.Count() > 0 {
+					b.ReportMetric(float64(all.P50().Microseconds()), "p50-us")
+					b.ReportMetric(float64(all.P99().Microseconds()), "p99-us")
 				}
 			})
 		}
@@ -575,7 +573,7 @@ func BenchmarkE12_AsyncIngest(b *testing.B) {
 		for _, writers := range []int{4, 16} {
 			mode, writers := mode, writers
 			b.Run(fmt.Sprintf("%s/writers=%d", mode.name, writers), func(b *testing.B) {
-				var admit []time.Duration
+				var admit latency.Digest
 				var shed atomic.Uint64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -638,17 +636,15 @@ func BenchmarkE12_AsyncIngest(b *testing.B) {
 					}
 					b.StopTimer()
 					for _, s := range lat {
-						admit = append(admit, s...)
+						admit.AddAll(s)
 					}
 					sys.Close()
 					b.StartTimer()
 				}
 				b.StopTimer()
 				b.ReportMetric(float64(total*b.N)/b.Elapsed().Seconds(), "events/s")
-				if len(admit) > 0 {
-					sort.Slice(admit, func(i, j int) bool { return admit[i] < admit[j] })
-					idx := int(float64(len(admit)-1) * 0.99)
-					b.ReportMetric(float64(admit[idx].Microseconds()), "p99-admit-us")
+				if admit.Count() > 0 {
+					b.ReportMetric(float64(admit.P99().Microseconds()), "p99-admit-us")
 				}
 				if mode.async {
 					b.ReportMetric(float64(shed.Load())/float64(b.N), "shed/op")

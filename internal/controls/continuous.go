@@ -82,6 +82,11 @@ type CheckerStats struct {
 	// QueueDepth is the number of dirty traces awaiting or undergoing a
 	// re-check right now.
 	QueueDepth int
+	// LastSeq is the highest change-feed sequence the dispatcher has
+	// routed — compared against the store's commit sequence it tells an
+	// observer (the /stats endpoint, the provbench harness) how far
+	// continuous checking lags ingestion.
+	LastSeq uint64
 	// FeedDepth is the change-feed backlog behind the dispatcher, and
 	// FeedMaxDepth its high-water mark — the backpressure signals.
 	FeedDepth    int
@@ -379,6 +384,7 @@ func (c *Checker) Stats() CheckerStats {
 	s.BindingMisses = bind.Misses
 	s.BindingReuseRatio = bind.ReuseRatio()
 	s.QueueDepth = c.pending
+	s.LastSeq = c.lastSeq
 	if c.running && c.sub != nil {
 		s.FeedDepth = c.sub.Depth()
 		s.FeedMaxDepth = c.sub.MaxDepth()

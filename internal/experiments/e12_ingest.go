@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/ingest"
+	"repro/internal/latency"
 	"repro/internal/workload"
 )
 
@@ -142,18 +142,15 @@ func e12Measure(d *workload.Domain, batches [][]events.AppEvent, writers int, as
 	}
 	elapsed := time.Since(start)
 
-	var all []time.Duration
+	var all latency.Digest
 	for _, s := range lat {
-		all = append(all, s...)
+		all.AddAll(s)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	m := e12Measurement{
 		events:     total,
 		throughput: float64(total) / elapsed.Seconds(),
+		p99:        all.P99(),
 		shed:       shed.Load(),
-	}
-	if len(all) > 0 {
-		m.p99 = all[int(float64(len(all)-1)*0.99)]
 	}
 	return m, nil
 }

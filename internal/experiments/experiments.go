@@ -10,6 +10,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Table is one experiment's output: a titled grid plus free-form notes.
@@ -104,6 +105,9 @@ func All(quick bool) []Runner {
 	e11Sizes := []int{250, 1000, 4000}
 	e12Traces := 800
 	e12Writers := []int{1, 4, 16}
+	e13Duration := 1500 * time.Millisecond
+	e13Rate := 300.0
+	e13Mults := []float64{0.5, 1, 2, 4}
 	if quick {
 		traces = 300
 		e5Sizes = []int{200, 500, 1000}
@@ -112,6 +116,9 @@ func All(quick bool) []Runner {
 		e11Sizes = []int{250, 1000}
 		e12Traces = 120
 		e12Writers = []int{1, 4}
+		e13Duration = 400 * time.Millisecond
+		e13Rate = 150
+		e13Mults = []float64{0.5, 2, 6}
 	}
 	return []Runner{
 		{"E1", "Table 1 storage rows", func() (*Table, error) { return E1Table1(traces) }},
@@ -129,6 +136,9 @@ func All(quick bool) []Runner {
 		}},
 		{"E12", "async ingestion gateway vs sync ingest", func() (*Table, error) {
 			return E12Ingest(e12Traces, e12Writers)
+		}},
+		{"E13", "open-loop load sweep (provbench)", func() (*Table, error) {
+			return E13Provbench(e13Duration, e13Rate, e13Mults)
 		}},
 	}
 }

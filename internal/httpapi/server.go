@@ -494,5 +494,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"plans":       s.sys.Registry.Plans(),
 		"domain":      s.sys.Domain.Name,
 		"traces":      len(s.sys.Store.AppIDs()),
+		"seq":         storeStats.Seq,
 	})
 }

@@ -285,6 +285,9 @@ func TestServerDashboardAndStats(t *testing.T) {
 	if stats["domain"] != "hiring" {
 		t.Fatalf("stats = %v", stats)
 	}
+	if seq, ok := stats["seq"].(float64); !ok || seq <= 0 {
+		t.Fatalf("stats.seq = %v, want a positive commit sequence", stats["seq"])
+	}
 }
 
 func TestServerMethodChecks(t *testing.T) {

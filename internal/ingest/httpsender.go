@@ -32,6 +32,7 @@ type wireEvent struct {
 
 // wireAck mirrors the server's ack/error JSON across the response shapes.
 type wireAck struct {
+	Token        string `json:"token"`
 	State        string `json:"state"`
 	RetryAfterMS int64  `json:"retryAfterMs"`
 	Error        string `json:"error"`
@@ -96,7 +97,7 @@ func (h *HTTPSender) Send(key string, evs []events.AppEvent) (SendResult, error)
 		if State(ack.State) == StateApplied {
 			st = StateApplied
 		}
-		return SendResult{State: st, EventErrors: ack.eventErrs()}, nil
+		return SendResult{State: st, Token: ack.Token, EventErrors: ack.eventErrs()}, nil
 	case http.StatusOK:
 		// Legacy synchronous server: recorded before responding.
 		return SendResult{State: StateApplied}, nil

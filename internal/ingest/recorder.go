@@ -28,6 +28,9 @@ type SendResult struct {
 	// State is the batch's ack state: StateApplied is terminal;
 	// StatePending means admitted, poll again with the same key.
 	State State
+	// Token addresses the server-side ack for polling (async admission
+	// only; empty on synchronous protocols, which are terminal anyway).
+	Token string
 	// Overloaded marks an admission-control rejection; retry later.
 	Overloaded bool
 	// RetryAfter is the server's backoff hint (overload only).

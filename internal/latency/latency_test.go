@@ -1,0 +1,125 @@
+package latency
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDigestQuantiles(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	ramp1000 := func() []time.Duration {
+		s := make([]time.Duration, 1000)
+		for i := range s {
+			s[i] = ms(i + 1) // 1ms..1000ms
+		}
+		return s
+	}
+	cases := []struct {
+		name           string
+		samples        []time.Duration
+		p50, p99, p999 time.Duration
+		max, mean      time.Duration
+	}{
+		{name: "empty"},
+		{
+			name:    "single",
+			samples: []time.Duration{ms(7)},
+			p50:     ms(7), p99: ms(7), p999: ms(7), max: ms(7), mean: ms(7),
+		},
+		{
+			name:    "duplicates",
+			samples: []time.Duration{ms(5), ms(5), ms(5), ms(5)},
+			p50:     ms(5), p99: ms(5), p999: ms(5), max: ms(5), mean: ms(5),
+		},
+		{
+			name:    "ramp-1000",
+			samples: ramp1000(),
+			// idx = floor((n-1)*q): 499 -> 500ms, 989 -> 990ms, 998 -> 999ms.
+			p50: ms(500), p99: ms(990), p999: ms(999),
+			max: ms(1000), mean: ms(500), // (1+1000)/2 = 500.5, truncates to 500ms? -> 500500us
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var d Digest
+			// Insert in reverse to prove ordering doesn't matter.
+			for i := len(tc.samples) - 1; i >= 0; i-- {
+				d.Add(tc.samples[i])
+			}
+			if d.Count() != len(tc.samples) {
+				t.Fatalf("Count = %d, want %d", d.Count(), len(tc.samples))
+			}
+			if got := d.P50(); got != tc.p50 {
+				t.Errorf("P50 = %v, want %v", got, tc.p50)
+			}
+			if got := d.P99(); got != tc.p99 {
+				t.Errorf("P99 = %v, want %v", got, tc.p99)
+			}
+			if got := d.P999(); got != tc.p999 {
+				t.Errorf("P999 = %v, want %v", got, tc.p999)
+			}
+			if got := d.Max(); got != tc.max {
+				t.Errorf("Max = %v, want %v", got, tc.max)
+			}
+			if tc.name != "ramp-1000" { // mean truncation checked below
+				if got := d.Mean(); got != tc.mean {
+					t.Errorf("Mean = %v, want %v", got, tc.mean)
+				}
+			}
+		})
+	}
+}
+
+func TestDigestMeanTruncates(t *testing.T) {
+	var d Digest
+	for i := 1; i <= 1000; i++ {
+		d.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got, want := d.Mean(), 500500*time.Microsecond; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestDigestMergeAndInterleavedAdd(t *testing.T) {
+	var a, b Digest
+	for i := 1; i <= 50; i++ {
+		a.Add(time.Duration(i) * time.Millisecond)
+	}
+	for i := 51; i <= 100; i++ {
+		b.Add(time.Duration(i) * time.Millisecond)
+	}
+	// Query before merge, then merge and query again: the digest must
+	// re-sort after post-query mutation.
+	if got, want := a.Max(), 50*time.Millisecond; got != want {
+		t.Fatalf("pre-merge Max = %v, want %v", got, want)
+	}
+	a.Merge(&b)
+	a.Merge(nil) // no-op
+	if got, want := a.Count(), 100; got != want {
+		t.Fatalf("merged Count = %d, want %d", got, want)
+	}
+	if got, want := a.P50(), 50*time.Millisecond; got != want {
+		t.Errorf("merged P50 = %v, want %v", got, want)
+	}
+	if got, want := a.Max(), 100*time.Millisecond; got != want {
+		t.Errorf("merged Max = %v, want %v", got, want)
+	}
+}
+
+func TestDigestQuantileClamps(t *testing.T) {
+	var d Digest
+	d.AddAll([]time.Duration{time.Millisecond, 2 * time.Millisecond})
+	if got := d.Quantile(-0.5); got != time.Millisecond {
+		t.Errorf("Quantile(-0.5) = %v, want 1ms", got)
+	}
+	if got := d.Quantile(1.5); got != 2*time.Millisecond {
+		t.Errorf("Quantile(1.5) = %v, want 2ms", got)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var d Digest
+	if s := d.Summary(); s != (Summary{}) {
+		t.Errorf("empty Summary = %+v, want zero", s)
+	}
+}

@@ -1,0 +1,135 @@
+package provbench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrival is an interarrival-time process: each call draws the gap to
+// the next request from the process's distribution. All processes are
+// parameterized by their mean interarrival time, so swapping the
+// process changes burstiness (the variance shape) without changing the
+// offered rate — the knob the open-loop experiments sweep.
+type Arrival interface {
+	// Name identifies the process ("poisson", "gamma", "weibull",
+	// "uniform") in specs and reports.
+	Name() string
+	// Next draws one interarrival gap from rng.
+	Next(rng *rand.Rand) time.Duration
+}
+
+// ArrivalSpec selects and shapes an arrival process in a workload spec.
+type ArrivalSpec struct {
+	// Process is the process name; empty defaults to "poisson".
+	Process string `json:"process,omitempty"`
+	// Shape is the gamma/weibull shape parameter k. Shape < 1 is
+	// burstier than Poisson (CV > 1), shape > 1 smoother (CV < 1).
+	// Ignored by poisson and uniform; 0 defaults to 1.
+	Shape float64 `json:"shape,omitempty"`
+}
+
+// NewArrival builds the process described by spec with the given mean
+// interarrival time.
+func NewArrival(spec ArrivalSpec, mean time.Duration) (Arrival, error) {
+	if mean <= 0 {
+		return nil, fmt.Errorf("provbench: arrival mean must be positive, got %v", mean)
+	}
+	shape := spec.Shape
+	if shape == 0 {
+		shape = 1
+	}
+	if shape < 0 {
+		return nil, fmt.Errorf("provbench: arrival shape must be positive, got %g", shape)
+	}
+	switch spec.Process {
+	case "", "poisson":
+		return poissonArrival{mean: mean}, nil
+	case "gamma":
+		return gammaArrival{mean: mean, shape: shape}, nil
+	case "weibull":
+		// Pre-solve the scale so the mean stays 1/rate:
+		// E[X] = scale * Gamma(1 + 1/k).
+		return weibullArrival{shape: shape, scale: float64(mean) / math.Gamma(1+1/shape)}, nil
+	case "uniform":
+		return uniformArrival{mean: mean}, nil
+	default:
+		return nil, fmt.Errorf("provbench: unknown arrival process %q (want poisson, gamma, weibull or uniform)", spec.Process)
+	}
+}
+
+// poissonArrival is the memoryless baseline: exponential interarrivals,
+// CV = 1.
+type poissonArrival struct{ mean time.Duration }
+
+func (poissonArrival) Name() string { return "poisson" }
+func (p poissonArrival) Next(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(p.mean))
+}
+
+// gammaArrival draws Gamma(shape, 1) scaled so the mean interarrival is
+// preserved. CV = 1/sqrt(shape): shape 0.25 yields heavy bursts with
+// long gaps between them.
+type gammaArrival struct {
+	mean  time.Duration
+	shape float64
+}
+
+func (gammaArrival) Name() string { return "gamma" }
+func (g gammaArrival) Next(rng *rand.Rand) time.Duration {
+	x := gammaSample(rng, g.shape)
+	return time.Duration(x / g.shape * float64(g.mean))
+}
+
+// weibullArrival inverts the Weibull CDF: X = scale * (-ln U)^(1/k).
+type weibullArrival struct {
+	shape, scale float64
+}
+
+func (weibullArrival) Name() string { return "weibull" }
+func (w weibullArrival) Next(rng *rand.Rand) time.Duration {
+	u := rng.Float64()
+	for u == 0 { // ln(0) guard
+		u = rng.Float64()
+	}
+	return time.Duration(w.scale * math.Pow(-math.Log(u), 1/w.shape))
+}
+
+// uniformArrival paces perfectly evenly: CV = 0. The closed-loop
+// comparison point and the simplest deterministic schedule.
+type uniformArrival struct{ mean time.Duration }
+
+func (uniformArrival) Name() string { return "uniform" }
+func (u uniformArrival) Next(*rand.Rand) time.Duration {
+	return u.mean
+}
+
+// gammaSample draws Gamma(shape, 1) by Marsaglia-Tsang squeeze
+// (shape >= 1) with the standard U^(1/a) boost for shape < 1.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package provbench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// sampleStats draws n gaps and returns their mean and coefficient of
+// variation — the burstiness gauge the processes differ on.
+func sampleStats(t *testing.T, a Arrival, n int, seed int64) (mean, cv float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		g := float64(a.Next(rng))
+		sum += g
+		sumSq += g * g
+	}
+	mean = sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance) / mean
+}
+
+func TestArrivalMeanAndBurstiness(t *testing.T) {
+	const (
+		n    = 50000
+		mean = 10 * time.Millisecond
+	)
+	cases := []struct {
+		name         string
+		spec         ArrivalSpec
+		wantCVLo     float64
+		wantCVHi     float64
+		meanTolerate float64 // relative tolerance on the mean
+	}{
+		{"uniform", ArrivalSpec{Process: "uniform"}, 0, 0.001, 0.001},
+		{"poisson", ArrivalSpec{Process: "poisson"}, 0.95, 1.05, 0.03},
+		// Gamma shape 0.25: CV = 1/sqrt(0.25) = 2.
+		{"gamma-bursty", ArrivalSpec{Process: "gamma", Shape: 0.25}, 1.85, 2.15, 0.05},
+		// Gamma shape 4: CV = 0.5 — smoother than Poisson.
+		{"gamma-smooth", ArrivalSpec{Process: "gamma", Shape: 4}, 0.45, 0.55, 0.03},
+		// Weibull shape 0.5: CV = sqrt(5) ~ 2.24.
+		{"weibull-bursty", ArrivalSpec{Process: "weibull", Shape: 0.5}, 2.0, 2.5, 0.06},
+		{"default-is-poisson", ArrivalSpec{}, 0.95, 1.05, 0.03},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := NewArrival(tc.spec, mean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMean, gotCV := sampleStats(t, a, n, 42)
+			if rel := math.Abs(gotMean-float64(mean)) / float64(mean); rel > tc.meanTolerate {
+				t.Errorf("mean = %v, want %v within %.1f%%", time.Duration(gotMean), mean, tc.meanTolerate*100)
+			}
+			if gotCV < tc.wantCVLo || gotCV > tc.wantCVHi {
+				t.Errorf("CV = %.3f, want in [%.2f, %.2f]", gotCV, tc.wantCVLo, tc.wantCVHi)
+			}
+		})
+	}
+}
+
+func TestArrivalDeterministicPerSeed(t *testing.T) {
+	for _, spec := range []ArrivalSpec{
+		{Process: "poisson"}, {Process: "gamma", Shape: 0.5}, {Process: "weibull", Shape: 2}, {Process: "uniform"},
+	} {
+		a, err := NewArrival(spec, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, r2 := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+		for i := 0; i < 100; i++ {
+			if g1, g2 := a.Next(r1), a.Next(r2); g1 != g2 {
+				t.Fatalf("%s: draw %d diverged with equal seeds: %v vs %v", a.Name(), i, g1, g2)
+			}
+		}
+	}
+}
+
+func TestNewArrivalRejectsBadSpecs(t *testing.T) {
+	if _, err := NewArrival(ArrivalSpec{Process: "pareto"}, time.Second); err == nil {
+		t.Error("unknown process accepted")
+	}
+	if _, err := NewArrival(ArrivalSpec{}, 0); err == nil {
+		t.Error("zero mean accepted")
+	}
+	if _, err := NewArrival(ArrivalSpec{Process: "gamma", Shape: -1}, time.Second); err == nil {
+		t.Error("negative shape accepted")
+	}
+}

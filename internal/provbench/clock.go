@@ -1,0 +1,115 @@
+package provbench
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the harness time source. The open-loop runner paces the
+// schedule and measures every latency through it, so tests substitute a
+// fake and real runs use the wall clock — no wall-clock sleep ever
+// appears in a unit test.
+type Clock interface {
+	Now() time.Time
+	// After fires once d has elapsed. d <= 0 fires immediately.
+	After(d time.Duration) <-chan time.Time
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+func (RealClock) Now() time.Time                         { return time.Now() }
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// FakeClock is a manually advanced clock for tests. Goroutines parked
+// in After are released when Advance moves the clock past their
+// deadline. Safe for concurrent use.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+	// auto makes After advance the clock itself instead of parking:
+	// virtual time where every wait completes instantly. Single-caller
+	// deterministic runs (the inline runner) use this mode.
+	auto bool
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock starts a fake clock at start.
+func NewFakeClock(start time.Time) *FakeClock { return &FakeClock{now: start} }
+
+// NewVirtualClock starts an auto-advancing fake clock: After(d) moves
+// time forward by d and fires immediately. Virtual time for
+// deterministic single-goroutine runs.
+func NewVirtualClock(start time.Time) *FakeClock { return &FakeClock{now: start, auto: true} }
+
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if c.auto {
+		if d > 0 {
+			c.now = c.now.Add(d)
+		}
+		ch <- c.now
+		return ch
+	}
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward and releases every waiter whose
+// deadline has passed, in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	sort.SliceStable(c.waiters, func(i, j int) bool { return c.waiters[i].at.Before(c.waiters[j].at) })
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			w.ch <- c.now
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+}
+
+// Waiters reports how many goroutines are parked in After — tests use
+// it to know the runner has reached its next pacing wait before
+// advancing.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+// NextDeadline reports the earliest parked deadline (zero time when no
+// waiters) so tests can advance exactly to it.
+func (c *FakeClock) NextDeadline() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var min time.Time
+	for _, w := range c.waiters {
+		if min.IsZero() || w.at.Before(min) {
+			min = w.at
+		}
+	}
+	return min
+}

@@ -1,0 +1,182 @@
+package provbench
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+func testSpec(seed int64) Spec {
+	s := Spec{
+		Name:     "unit",
+		Seed:     seed,
+		Duration: Dur(500 * time.Millisecond),
+		Classes: []ClientClass{
+			{
+				Name: "interactive", Domain: "hiring", Clients: 4,
+				RatePerSec: 80, Skew: 1,
+				Arrival:  ArrivalSpec{Process: "poisson"},
+				BatchMin: 4, BatchMax: 16, ViolationRate: 0.3,
+			},
+			{
+				Name: "batch", Domain: "claims", Clients: 2,
+				RatePerSec: 20,
+				Arrival:    ArrivalSpec{Process: "gamma", Shape: 0.5},
+				BatchMin:   32, BatchMax: 64,
+			},
+		},
+	}
+	return s
+}
+
+func traceBytes(t *testing.T, s *Schedule) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGenerateDeterministic is the deterministic-generation property:
+// the same spec + seed yields an identical batch stream across two
+// independent runs, and across a record -> replay round trip; a
+// different seed diverges.
+func TestGenerateDeterministic(t *testing.T) {
+	s1, err := Generate(testSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Generate(testSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := traceBytes(t, s1), traceBytes(t, s2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same spec + seed produced different schedules")
+	}
+
+	// Record -> replay round trip: replayed schedule re-records to the
+	// same bytes and carries the same op stream.
+	replayed, err := ReadTrace(bytes.NewReader(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, traceBytes(t, replayed)) {
+		t.Fatal("record -> replay -> record changed the trace bytes")
+	}
+	if replayed.Events != s1.Events || len(replayed.Ops) != len(s1.Ops) {
+		t.Fatalf("replay: %d ops / %d events, want %d / %d",
+			len(replayed.Ops), replayed.Events, len(s1.Ops), s1.Events)
+	}
+	for i := range s1.Ops {
+		a, b := s1.Ops[i], replayed.Ops[i]
+		if a.At != b.At || a.Key != b.Key || a.Client != b.Client || a.Class != b.Class || len(a.Events) != len(b.Events) {
+			t.Fatalf("replayed op %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+
+	s3, err := Generate(testSpec(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b1, traceBytes(t, s3)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateScheduleShape(t *testing.T) {
+	sched, err := Generate(testSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Ops) == 0 {
+		t.Fatal("empty schedule")
+	}
+	horizon := time.Duration(sched.Spec.Duration)
+	perClass := map[string]int{}
+	var events int
+	for i, op := range sched.Ops {
+		if op.At < 0 || op.At > horizon {
+			t.Fatalf("op %d at %v outside horizon %v", i, op.At, horizon)
+		}
+		if i > 0 && op.At < sched.Ops[i-1].At {
+			t.Fatalf("ops not time-ordered at %d", i)
+		}
+		if len(op.Events) == 0 {
+			t.Fatalf("op %d has no events", i)
+		}
+		if op.Key == "" || op.Client == "" || op.Class == "" {
+			t.Fatalf("op %d missing identity: %+v", i, op)
+		}
+		perClass[op.Class]++
+		events += len(op.Events)
+	}
+	if events != sched.Events {
+		t.Errorf("Events = %d, sum = %d", sched.Events, events)
+	}
+	// Offered volume tracks rate * horizon (Poisson/gamma noise allows
+	// a generous band).
+	for _, c := range sched.Spec.Classes {
+		want := c.RatePerSec * horizon.Seconds()
+		got := float64(perClass[c.Name])
+		if got < want*0.5 || got > want*1.6 {
+			t.Errorf("class %s offered %v ops, want about %v", c.Name, got, want)
+		}
+	}
+}
+
+func TestClientWeightsSkew(t *testing.T) {
+	w := clientWeights(4, 1)
+	var sum float64
+	for i, v := range w {
+		sum += v
+		if i > 0 && v >= w[i-1] {
+			t.Errorf("skew 1: weight %d (%v) not below weight %d (%v)", i, v, i-1, w[i-1])
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v, want 1", sum)
+	}
+	for _, v := range clientWeights(3, 0) {
+		if math.Abs(v-1.0/3) > 1e-9 {
+			t.Errorf("skew 0 weight %v, want 1/3", v)
+		}
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	bad := testSpec(1)
+	bad.Classes[0].Domain = "lending"
+	if _, err := Generate(bad); err == nil {
+		t.Error("unknown domain accepted")
+	}
+	bad = testSpec(1)
+	bad.Duration = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero duration accepted")
+	}
+	bad = testSpec(1)
+	bad.Classes[1].Name = bad.Classes[0].Name
+	if _, err := Generate(bad); err == nil {
+		t.Error("duplicate class name accepted")
+	}
+	bad = testSpec(1)
+	bad.Classes[0].RatePerSec = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader([]byte("not json\n"))); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader([]byte(`{"provbench":99,"spec":{}}` + "\n"))); err == nil {
+		t.Error("future version accepted")
+	}
+}

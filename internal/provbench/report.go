@@ -1,0 +1,217 @@
+package provbench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/latency"
+)
+
+// ClassReport is one SLO class's outcome.
+type ClassReport struct {
+	Class       string `json:"class"`
+	Offered     int    `json:"offered"`
+	Admitted    int    `json:"admitted"`
+	Shed        int    `json:"shed"`
+	Errors      int    `json:"errors"`
+	AckTimeouts int    `json:"ackTimeouts"`
+	// Events counts admitted events.
+	Events int `json:"events"`
+	// OfferedPerSec is the class's achieved offered rate over the
+	// schedule horizon — a property of the schedule, so deterministic.
+	OfferedPerSec float64 `json:"offeredPerSec"`
+	// Admit, Ack and Detect summarize the three latencies: offer-call
+	// duration, offer-to-terminal-ack, and offer-to-checker-caught-up.
+	Admit  latency.Summary `json:"admit"`
+	Ack    latency.Summary `json:"ack"`
+	Detect latency.Summary `json:"detect"`
+	// LastError is the most recent offer error, empty when none.
+	LastError string `json:"lastError,omitempty"`
+}
+
+// Report is one harness run's machine-readable outcome. It carries no
+// wall-clock timestamps: under virtual time the whole struct is a pure
+// function of the schedule, so two runs of the same seed serialize to
+// identical bytes.
+type Report struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	// Duration is the schedule horizon; ElapsedUS the measured run
+	// time (dispatch through drain) on the run's clock.
+	Duration  Dur   `json:"duration"`
+	ElapsedUS int64 `json:"elapsedUs"`
+
+	Offered    int `json:"offered"`
+	Admitted   int `json:"admitted"`
+	Shed       int `json:"shed"`
+	Errors     int `json:"errors"`
+	Incomplete int `json:"incomplete"`
+	// EventsOffered counts scheduled events, EventsAdmitted the subset
+	// the target accepted.
+	EventsOffered  int `json:"eventsOffered"`
+	EventsAdmitted int `json:"eventsAdmitted"`
+	// OfferedPerSec is scheduled ops over the horizon; EventsPerSec is
+	// admitted events over measured elapsed time.
+	OfferedPerSec float64 `json:"offeredPerSec"`
+	EventsPerSec  float64 `json:"eventsPerSec"`
+	// MaxScheduleSlipUS is the worst dispatch lateness relative to the
+	// schedule — the open-loop fidelity gauge.
+	MaxScheduleSlipUS int64 `json:"maxScheduleSlipUs"`
+
+	Classes []ClassReport `json:"classes"`
+	// Gateway snapshots the target's ingestion gateway counters when
+	// the target exposes them.
+	Gateway *ingest.Stats `json:"gateway,omitempty"`
+}
+
+// report snapshots the collectors into a Report. Collector locks are
+// taken per class, so a report built after a drain timeout (with ops
+// still in flight) is internally consistent.
+func (r *runner) report(sched *Schedule, elapsed time.Duration) *Report {
+	horizon := time.Duration(sched.Spec.Duration)
+	if horizon <= 0 {
+		// Replayed schedules can carry a zero-duration spec; fall back
+		// to the last scheduled offset.
+		horizon = sched.Ops[len(sched.Ops)-1].At
+		if horizon <= 0 {
+			horizon = time.Microsecond
+		}
+	}
+	rep := &Report{
+		Name:              sched.Spec.Name,
+		Seed:              sched.Spec.Seed,
+		Duration:          Dur(horizon),
+		ElapsedUS:         elapsed.Microseconds(),
+		EventsOffered:     sched.Events,
+		MaxScheduleSlipUS: r.maxSlipUS.Load(),
+	}
+	names := make([]string, 0, len(r.classes))
+	for name := range r.classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cc := r.classes[name]
+		cc.mu.Lock()
+		cr := ClassReport{
+			Class: name, Offered: cc.offered, Admitted: cc.admitted,
+			Shed: cc.shed, Errors: cc.errors, AckTimeouts: cc.ackTimeouts,
+			Events:        cc.events,
+			OfferedPerSec: float64(cc.offered) / horizon.Seconds(),
+			Admit:         cc.admit.Summary(),
+			Ack:           cc.ack.Summary(),
+			Detect:        cc.detect.Summary(),
+			LastError:     cc.lastErr,
+		}
+		cc.mu.Unlock()
+		rep.Classes = append(rep.Classes, cr)
+		rep.Offered += cr.Offered
+		rep.Admitted += cr.Admitted
+		rep.Shed += cr.Shed
+		rep.Errors += cr.Errors
+		rep.EventsAdmitted += cr.Events
+	}
+	rep.Incomplete = rep.Offered - int(r.completed.Load())
+	rep.OfferedPerSec = float64(rep.Offered) / horizon.Seconds()
+	if elapsed > 0 {
+		rep.EventsPerSec = float64(rep.EventsAdmitted) / elapsed.Seconds()
+	}
+	if gs, ok := r.target.(GatewayStatser); ok {
+		if st, have := gs.GatewayStats(); have {
+			rep.Gateway = &st
+		}
+	}
+	return rep
+}
+
+// WriteJSON emits the report as indented JSON. Field order is fixed by
+// the struct, so equal reports serialize to equal bytes.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// csvHeader is the stable column set of the CSV report.
+var csvHeader = []string{
+	"class", "offered", "admitted", "shed", "errors", "ackTimeouts", "events",
+	"offeredPerSec",
+	"admit_p50_us", "admit_p99_us", "admit_p999_us",
+	"ack_p50_us", "ack_p99_us", "ack_p999_us",
+	"detect_p50_us", "detect_p99_us", "detect_p999_us",
+}
+
+// WriteCSV emits one row per SLO class plus a TOTAL row.
+func (rep *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := func(name string, offered, admitted, shed, errs, timeouts, events int,
+		rate float64, admit, ack, detect latency.Summary) []string {
+		return []string{
+			name,
+			strconv.Itoa(offered), strconv.Itoa(admitted), strconv.Itoa(shed),
+			strconv.Itoa(errs), strconv.Itoa(timeouts), strconv.Itoa(events),
+			strconv.FormatFloat(rate, 'f', 2, 64),
+			strconv.FormatInt(admit.P50US, 10), strconv.FormatInt(admit.P99US, 10), strconv.FormatInt(admit.P999US, 10),
+			strconv.FormatInt(ack.P50US, 10), strconv.FormatInt(ack.P99US, 10), strconv.FormatInt(ack.P999US, 10),
+			strconv.FormatInt(detect.P50US, 10), strconv.FormatInt(detect.P99US, 10), strconv.FormatInt(detect.P999US, 10),
+		}
+	}
+	var admitAll, ackAll, detectAll latency.Summary
+	for _, c := range rep.Classes {
+		if err := cw.Write(row(c.Class, c.Offered, c.Admitted, c.Shed, c.Errors,
+			c.AckTimeouts, c.Events, c.OfferedPerSec, c.Admit, c.Ack, c.Detect)); err != nil {
+			return err
+		}
+	}
+	// The TOTAL row repeats the counts; cross-class quantiles are not
+	// recomputed (mixing SLO classes into one percentile is exactly
+	// what per-class reporting exists to avoid), so they print as 0.
+	if err := cw.Write(row("TOTAL", rep.Offered, rep.Admitted, rep.Shed, rep.Errors,
+		0, rep.EventsAdmitted, rep.OfferedPerSec, admitAll, ackAll, detectAll)); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Render draws the report as aligned human-readable text.
+func (rep *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== provbench: %s (seed %d) ==\n", rep.Name, rep.Seed)
+	fmt.Fprintf(&b, "horizon %v, elapsed %v, offered %d ops (%.1f/s), admitted %d, shed %d, errors %d, incomplete %d\n",
+		time.Duration(rep.Duration), time.Duration(rep.ElapsedUS)*time.Microsecond,
+		rep.Offered, rep.OfferedPerSec, rep.Admitted, rep.Shed, rep.Errors, rep.Incomplete)
+	fmt.Fprintf(&b, "events: offered %d, admitted %d (%.0f/s); max schedule slip %dus\n",
+		rep.EventsOffered, rep.EventsAdmitted, rep.EventsPerSec, rep.MaxScheduleSlipUS)
+	fmt.Fprintf(&b, "%-14s %8s %8s %6s %6s  %-24s %-24s %-24s\n",
+		"class", "offered", "admitted", "shed", "errs",
+		"admit p50/p99/p999", "ack p50/p99/p999", "detect p50/p99/p999")
+	q := func(s latency.Summary) string {
+		if s.Count == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%dus/%dus/%dus", s.P50US, s.P99US, s.P999US)
+	}
+	for _, c := range rep.Classes {
+		fmt.Fprintf(&b, "%-14s %8d %8d %6d %6d  %-24s %-24s %-24s\n",
+			c.Class, c.Offered, c.Admitted, c.Shed, c.Errors,
+			q(c.Admit), q(c.Ack), q(c.Detect))
+	}
+	if rep.Gateway != nil {
+		fmt.Fprintf(&b, "gateway: admitted %d batches / %d events, rejected %d, flushes %d (max %d), maxQueued %d\n",
+			rep.Gateway.AdmittedBatches, rep.Gateway.AdmittedEvents,
+			rep.Gateway.RejectedBatches, rep.Gateway.Flushes,
+			rep.Gateway.MaxFlush, rep.Gateway.MaxQueuedEvents)
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package provbench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// dryRun executes one deterministic dry run: Inline + virtual clock +
+// NullTarget, the exact configuration cmd/provbench uses for -dry.
+func dryRun(t *testing.T, sched *Schedule) *Report {
+	t.Helper()
+	rep, err := Run(sched, &NullTarget{PendingPolls: 2}, Options{
+		Clock:   NewVirtualClock(time.Unix(0, 0)),
+		AckPoll: time.Millisecond,
+		Inline:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func reportBytes(t *testing.T, rep *Report) (jsonB, csvB []byte) {
+	t.Helper()
+	var jb, cb bytes.Buffer
+	if err := rep.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), cb.Bytes()
+}
+
+// TestReportByteIdentical is the acceptance criterion: a fixed-seed
+// dry run produces byte-identical JSON and CSV reports across repeated
+// runs, and across a record -> replay round trip; a different seed
+// produces a different report.
+func TestReportByteIdentical(t *testing.T) {
+	gen := func(seed int64) *Schedule {
+		s, err := Generate(testSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	j1, c1 := reportBytes(t, dryRun(t, gen(21)))
+	j2, c2 := reportBytes(t, dryRun(t, gen(21)))
+	if !bytes.Equal(j1, j2) {
+		t.Error("same seed: JSON reports differ")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Error("same seed: CSV reports differ")
+	}
+
+	// Replaying a recorded trace must reproduce the same report bytes.
+	var trace bytes.Buffer
+	if err := WriteTrace(&trace, gen(21)); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReadTrace(&trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, c3 := reportBytes(t, dryRun(t, replayed))
+	if !bytes.Equal(j1, j3) || !bytes.Equal(c1, c3) {
+		t.Error("replayed schedule produced a different report")
+	}
+
+	j4, _ := reportBytes(t, dryRun(t, gen(22)))
+	if bytes.Equal(j1, j4) {
+		t.Error("different seeds produced identical reports")
+	}
+}
+
+// TestReportCSVShape parses the CSV back and checks the column set,
+// one row per class plus TOTAL, and that the TOTAL counts add up.
+func TestReportCSVShape(t *testing.T) {
+	sched, err := Generate(testSpec(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := dryRun(t, sched)
+	_, csvB := reportBytes(t, rep)
+	rows, err := csv.NewReader(bytes.NewReader(csvB)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rep.Classes)+2 {
+		t.Fatalf("CSV has %d rows, want header + %d classes + TOTAL", len(rows), len(rep.Classes))
+	}
+	for i, col := range csvHeader {
+		if rows[0][i] != col {
+			t.Errorf("CSV column %d = %q, want %q", i, rows[0][i], col)
+		}
+	}
+	total := rows[len(rows)-1]
+	if total[0] != "TOTAL" {
+		t.Fatalf("last row is %q, want TOTAL", total[0])
+	}
+	var offered int
+	for _, r := range rows[1 : len(rows)-1] {
+		n, err := strconv.Atoi(r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		offered += n
+	}
+	if got, _ := strconv.Atoi(total[1]); got != offered || offered != rep.Offered {
+		t.Errorf("TOTAL offered = %s, class sum = %d, report = %d", total[1], offered, rep.Offered)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	sched, err := Generate(testSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dryRun(t, sched).Render()
+	for _, want := range []string{"provbench", "interactive", "batch", "admit p50/p99/p999"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}

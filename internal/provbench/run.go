@@ -1,0 +1,225 @@
+package provbench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/latency"
+)
+
+// Options tunes a harness run.
+type Options struct {
+	// Clock paces the schedule and takes every measurement; nil uses
+	// the wall clock. Tests inject a FakeClock, deterministic dry runs
+	// a virtual one.
+	Clock Clock
+	// AckPoll is the pending-ack poll interval (default 2ms).
+	AckPoll time.Duration
+	// AckTimeout abandons polling a batch that never reaches its
+	// terminal state (default 30s); such ops count as ack timeouts.
+	AckTimeout time.Duration
+	// DetectEvery samples detection lag on every Nth admitted op by
+	// waiting for the continuous checker to catch up to the store
+	// sequence the op produced. 0 disables sampling. Requires a target
+	// implementing DetectionSampler.
+	DetectEvery int
+	// DrainTimeout bounds the wait for in-flight ops once the schedule
+	// is exhausted (default 30s); ops still outstanding then count as
+	// incomplete.
+	DrainTimeout time.Duration
+	// Inline executes ops on the dispatcher goroutine instead of
+	// fanning out. Combined with a virtual clock and a deterministic
+	// target this makes the whole run — measurements included — a pure
+	// function of the schedule, which is how byte-identical reports
+	// are produced. Never use it against a live target: inline
+	// execution closes the loop.
+	Inline bool
+}
+
+func (o *Options) fill() {
+	if o.Clock == nil {
+		o.Clock = RealClock{}
+	}
+	if o.AckPoll <= 0 {
+		o.AckPoll = 2 * time.Millisecond
+	}
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 30 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 30 * time.Second
+	}
+}
+
+// classCollector accumulates one SLO class's outcomes. Per-class
+// mutexes keep collection contention off the hot dispatch path.
+type classCollector struct {
+	mu          sync.Mutex
+	offered     int
+	admitted    int
+	shed        int
+	errors      int
+	ackTimeouts int
+	events      int
+	lastErr     string
+	admit       latency.Digest
+	ack         latency.Digest
+	detect      latency.Digest
+}
+
+type runner struct {
+	opts    Options
+	target  Target
+	poller  AckPoller
+	sampler DetectionSampler
+
+	classes   map[string]*classCollector
+	completed atomic.Int64
+	admitSeq  atomic.Int64
+	maxSlipUS atomic.Int64
+}
+
+// Run executes the schedule against the target, open-loop: every op is
+// dispatched at its scheduled offset regardless of how earlier ops
+// fared. Sheds and errors are counted, never retried; a slow target
+// accumulates in-flight ops (and measured latency), not schedule
+// delay.
+func Run(sched *Schedule, target Target, opts Options) (*Report, error) {
+	if len(sched.Ops) == 0 {
+		return nil, fmt.Errorf("provbench: empty schedule")
+	}
+	opts.fill()
+	r := &runner{opts: opts, target: target, classes: map[string]*classCollector{}}
+	r.poller, _ = target.(AckPoller)
+	r.sampler, _ = target.(DetectionSampler)
+	if opts.DetectEvery > 0 && r.sampler == nil {
+		return nil, fmt.Errorf("provbench: detection sampling needs an in-process target")
+	}
+	for _, op := range sched.Ops {
+		if r.classes[op.Class] == nil {
+			r.classes[op.Class] = &classCollector{}
+		}
+	}
+
+	clock := opts.Clock
+	start := clock.Now()
+	var wg sync.WaitGroup
+	for i := range sched.Ops {
+		op := &sched.Ops[i]
+		deadline := start.Add(op.At)
+		if now := clock.Now(); deadline.After(now) {
+			<-clock.After(deadline.Sub(now))
+		}
+		// Slip is how late dispatch fired relative to the schedule —
+		// the open-loop invariant: it must stay bounded by clock
+		// granularity even when the target sheds or wedges.
+		if slip := (clock.Now().Sub(start) - op.At).Microseconds(); slip > r.maxSlipUS.Load() {
+			r.maxSlipUS.Store(slip)
+		}
+		cc := r.classes[op.Class]
+		cc.mu.Lock()
+		cc.offered++
+		cc.mu.Unlock()
+		if opts.Inline {
+			r.exec(op, cc)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.exec(op, cc)
+		}()
+	}
+
+	// Inline runs have nothing in flight; skipping the drain wait keeps
+	// virtual-time runs free of the auto-advancing drain timer.
+	if !opts.Inline {
+		done := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-clock.After(opts.DrainTimeout):
+		}
+	}
+	elapsed := clock.Now().Sub(start)
+	return r.report(sched, elapsed), nil
+}
+
+// exec runs one op end to end: offer, ack poll, detection sample.
+func (r *runner) exec(op *Op, cc *classCollector) {
+	defer r.completed.Add(1)
+	clock := r.opts.Clock
+	t0 := clock.Now()
+	res, err := r.target.Offer(op.Key, op.Events)
+	admitLat := clock.Now().Sub(t0)
+
+	if err != nil {
+		cc.mu.Lock()
+		cc.errors++
+		cc.lastErr = err.Error()
+		cc.mu.Unlock()
+		return
+	}
+	if res.Shed {
+		cc.mu.Lock()
+		cc.shed++
+		cc.mu.Unlock()
+		return
+	}
+
+	applied := res.Applied
+	ackLat := admitLat
+	timedOut := false
+	if !applied && r.poller != nil && res.Token != "" {
+		for {
+			ok, perr := r.poller.Applied(res.Token)
+			if perr != nil || clock.Now().Sub(t0) > r.opts.AckTimeout {
+				timedOut = true
+				break
+			}
+			if ok {
+				applied = true
+				ackLat = clock.Now().Sub(t0)
+				break
+			}
+			<-clock.After(r.opts.AckPoll)
+		}
+	} else if !applied {
+		// No poll path: admission is the only observable state.
+		applied = true
+	}
+
+	sampledDetect := false
+	var detectLat time.Duration
+	if applied {
+		n := r.admitSeq.Add(1)
+		if r.opts.DetectEvery > 0 && (n-1)%int64(r.opts.DetectEvery) == 0 {
+			// Wait until the continuous checker has consumed the change
+			// feed past this op's commit: offer -> durable -> checked is
+			// the detection-lag the compliance story cares about.
+			r.sampler.WaitChecked(r.sampler.Seq())
+			detectLat = clock.Now().Sub(t0)
+			sampledDetect = true
+		}
+	}
+
+	cc.mu.Lock()
+	cc.admitted++
+	cc.events += len(op.Events)
+	cc.admit.Add(admitLat)
+	if applied {
+		cc.ack.Add(ackLat)
+	}
+	if timedOut {
+		cc.ackTimeouts++
+	}
+	if sampledDetect {
+		cc.detect.Add(detectLat)
+	}
+	cc.mu.Unlock()
+}

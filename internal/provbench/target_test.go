@@ -1,0 +1,118 @@
+package provbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func systemSpec(seed int64) Spec {
+	return DefaultSpec("hiring", seed, 300*time.Millisecond, 200, 4,
+		ArrivalSpec{Process: "poisson"})
+}
+
+// TestSystemTargetAsync drives a live core.System through its async
+// ingestion gateway end to end: admission, ack polling, and detection
+// lag sampled against the continuous checker.
+func TestSystemTargetAsync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live system run")
+	}
+	ctor, err := domainFor("hiring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ctor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(d, core.Config{
+		Dir: t.TempDir(), Continuous: true, IngestQueueDepth: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	sched, err := Generate(systemSpec(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sched, &SystemTarget{Sys: sys}, Options{
+		AckPoll: time.Millisecond, DetectEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admitted == 0 {
+		t.Fatal("no batches admitted")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d offer errors, last: %s", rep.Errors, rep.Classes[0].LastError)
+	}
+	if rep.Incomplete != 0 {
+		t.Errorf("%d ops incomplete after drain", rep.Incomplete)
+	}
+	cr := rep.Classes[0]
+	if cr.Ack.Count == 0 || cr.Ack.P99US < cr.Admit.P50US {
+		t.Errorf("ack summary implausible: %+v vs admit %+v", cr.Ack, cr.Admit)
+	}
+	if cr.Detect.Count == 0 {
+		t.Error("detection sampling produced no samples")
+	}
+	if rep.Gateway == nil {
+		t.Fatal("async target reported no gateway stats")
+	}
+	if int(rep.Gateway.AdmittedBatches) != rep.Admitted {
+		t.Errorf("gateway admitted %d batches, report says %d",
+			rep.Gateway.AdmittedBatches, rep.Admitted)
+	}
+}
+
+// TestSystemTargetSyncIngest covers the -sync-ingest ablation: offers
+// commit synchronously, so admission and ack coincide and there is no
+// gateway to report on.
+func TestSystemTargetSyncIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live system run")
+	}
+	ctor, err := domainFor("hiring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ctor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(d, core.Config{
+		Dir: t.TempDir(), Continuous: true, DisableAsyncIngest: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	sched, err := Generate(systemSpec(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sched, &SystemTarget{Sys: sys}, Options{DetectEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admitted != rep.Offered || rep.Shed != 0 || rep.Errors != 0 {
+		t.Errorf("sync ingest: admitted/shed/errors = %d/%d/%d of %d offered",
+			rep.Admitted, rep.Shed, rep.Errors, rep.Offered)
+	}
+	cr := rep.Classes[0]
+	if cr.Ack.Count != cr.Admit.Count {
+		t.Errorf("sync ingest: ack count %d != admit count %d", cr.Ack.Count, cr.Admit.Count)
+	}
+	if cr.Detect.Count == 0 {
+		t.Error("detection sampling produced no samples")
+	}
+	if rep.Gateway != nil {
+		t.Error("sync target reported gateway stats")
+	}
+}

@@ -1,0 +1,118 @@
+package provbench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/events"
+)
+
+// Trace file format: JSON Lines. The first line is a header carrying
+// the format version and the originating spec; every following line is
+// one scheduled op. The encoding is canonical — struct fields in
+// declaration order, payload maps sorted by encoding/json — so the
+// same schedule always serializes to identical bytes, which is what
+// makes record -> replay a reproducibility tool rather than merely a
+// persistence one.
+
+// traceVersion guards against replaying files from a future format.
+const traceVersion = 1
+
+type traceHeader struct {
+	Provbench int  `json:"provbench"`
+	Spec      Spec `json:"spec"`
+}
+
+type traceOp struct {
+	AtNS   int64        `json:"atNs"`
+	Client string       `json:"client"`
+	Class  string       `json:"class"`
+	Key    string       `json:"key"`
+	Events []traceEvent `json:"events"`
+}
+
+// traceEvent mirrors the wire shape httpapi speaks, so recorded traces
+// double as raw material for any HTTP client.
+type traceEvent struct {
+	Source    string            `json:"source"`
+	Type      string            `json:"type"`
+	AppID     string            `json:"appId"`
+	Timestamp time.Time         `json:"timestamp"`
+	Payload   map[string]string `json:"payload,omitempty"`
+}
+
+// WriteTrace records a schedule to w in the trace format.
+func WriteTrace(w io.Writer, s *Schedule) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{Provbench: traceVersion, Spec: s.Spec}); err != nil {
+		return fmt.Errorf("provbench: write trace header: %v", err)
+	}
+	for _, op := range s.Ops {
+		to := traceOp{
+			AtNS: op.At.Nanoseconds(), Client: op.Client, Class: op.Class, Key: op.Key,
+			Events: make([]traceEvent, len(op.Events)),
+		}
+		for i, ev := range op.Events {
+			to.Events[i] = traceEvent{
+				Source: ev.Source, Type: ev.Type, AppID: ev.AppID,
+				Timestamp: ev.Timestamp, Payload: ev.Payload,
+			}
+		}
+		if err := enc.Encode(to); err != nil {
+			return fmt.Errorf("provbench: write trace op: %v", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace replays a recorded schedule from r.
+func ReadTrace(r io.Reader) (*Schedule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("provbench: read trace: %v", err)
+		}
+		return nil, fmt.Errorf("provbench: empty trace file")
+	}
+	var hdr traceHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Provbench == 0 {
+		return nil, fmt.Errorf("provbench: bad trace header (not a provbench trace?)")
+	}
+	if hdr.Provbench > traceVersion {
+		return nil, fmt.Errorf("provbench: trace format v%d is newer than this binary (v%d)", hdr.Provbench, traceVersion)
+	}
+	sched := &Schedule{Spec: hdr.Spec}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var to traceOp
+		if err := json.Unmarshal(sc.Bytes(), &to); err != nil {
+			return nil, fmt.Errorf("provbench: trace line %d: %v", line, err)
+		}
+		op := Op{
+			At:     time.Duration(to.AtNS),
+			Client: to.Client, Class: to.Class, Key: to.Key,
+			Events: make([]events.AppEvent, len(to.Events)),
+		}
+		for i, ev := range to.Events {
+			op.Events[i] = events.AppEvent{
+				Source: ev.Source, Type: ev.Type, AppID: ev.AppID,
+				Timestamp: ev.Timestamp, Payload: ev.Payload,
+			}
+		}
+		sched.Ops = append(sched.Ops, op)
+		sched.Events += len(op.Events)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("provbench: read trace: %v", err)
+	}
+	return sched, nil
+}
