@@ -65,7 +65,7 @@ func TestPctlEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "60 outcomes") {
+	if !strings.Contains(out, "80 outcomes") {
 		t.Fatalf("check output: %s", out)
 	}
 	out, err = pctl(t, url, "check", "-failures")
@@ -231,7 +231,7 @@ func TestPctlSimulateAsync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "30 outcomes") {
+	if !strings.Contains(out, "40 outcomes") {
 		t.Fatalf("check after async simulate: %s", out)
 	}
 }

@@ -62,6 +62,7 @@ func main() {
 	flushWindow := flag.Duration("flush-window", 0, "max time a write may wait to share a group commit (0 = opportunistic)")
 	noSnapshots := flag.Bool("no-snapshots", false, "disable MVCC snapshot reads; readers share a mutex with writers (E10 ablation)")
 	noRuleIndexes := flag.Bool("no-rule-indexes", false, "disable index-accelerated rule evaluation; binders scan full trace shards (E11 ablation)")
+	noDeltaEval := flag.Bool("no-delta-eval", false, "disable delta-driven control checking; every dirty trace re-evaluates all controls (E14 ablation)")
 	ingestShards := flag.Int("ingest-shards", 0, "ingestion gateway admission queues, hashed by trace (0 = default)")
 	ingestQueue := flag.Int("ingest-queue", 0, "events each admission queue holds before shedding load with 429 (0 = default)")
 	ingestBatch := flag.Int("ingest-batch", 0, "events coalesced per store commit by the gateway (0 = default)")
@@ -82,6 +83,7 @@ func main() {
 		Workers: *workers, Sync: *sync, FlushWindow: *flushWindow,
 		DisableSnapshots:   *noSnapshots,
 		DisableRuleIndexes: *noRuleIndexes,
+		DisableDeltaEval:   *noDeltaEval,
 		IngestShards:       *ingestShards,
 		IngestQueueDepth:   *ingestQueue,
 		IngestMaxBatch:     *ingestBatch,

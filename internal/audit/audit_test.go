@@ -61,7 +61,7 @@ func TestBuildReportStructure(t *testing.T) {
 	if rep.Domain != "hiring" || rep.Traces != 60 {
 		t.Fatalf("report header = %q, %d", rep.Domain, rep.Traces)
 	}
-	if len(rep.Sections) != 3 {
+	if len(rep.Sections) != 4 {
 		t.Fatalf("sections = %d", len(rep.Sections))
 	}
 	for i := 1; i < len(rep.Sections); i++ {

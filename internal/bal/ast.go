@@ -319,6 +319,33 @@ func (c *InList) String() string {
 	return c.E.String() + " is one of " + strings.Join(parts, ", ")
 }
 
+// Within is the windowed temporal predicate
+// "X is within <amount> <unit> of Y": the absolute distance between two
+// captured timestamps is at most the window. Amount is the literal's
+// lexical form and Unit the (singular) time unit word; Seconds carries
+// the resolved window width.
+type Within struct {
+	E, Anchor Expr
+	Amount    string
+	Unit      string
+	Seconds   int64
+	Pos       Pos
+}
+
+func (*Within) condNode() {}
+
+// Position implements Cond.
+func (c *Within) Position() Pos { return c.Pos }
+
+// String implements Cond.
+func (c *Within) String() string {
+	unit := c.Unit
+	if c.Amount != "1" {
+		unit += "s"
+	}
+	return c.E.String() + " is within " + c.Amount + " " + unit + " of " + c.Anchor.String()
+}
+
 // Contains tests "X contains Y" (substring on strings).
 type Contains struct {
 	L, R Expr

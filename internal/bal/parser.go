@@ -1,6 +1,7 @@
 package bal
 
 import (
+	"strconv"
 	"strings"
 )
 
@@ -355,6 +356,8 @@ func (p *parser) parseComparison() (Cond, error) {
 				return nil, err
 			}
 			return &InList{E: l, List: list, Pos: t.Pos}, nil
+		case p.acceptWord("within"):
+			return p.parseWithin(l, t.Pos)
 		case p.acceptWord("between"):
 			lo, err := p.parseExpr()
 			if err != nil {
@@ -384,6 +387,51 @@ func (p *parser) parseComparison() (Cond, error) {
 	default:
 		return nil, errf(t.Pos, "expected a comparison after %s, found %s", exprSummary(l), t)
 	}
+}
+
+// withinUnits maps singular time-unit words to their width in seconds.
+var withinUnits = map[string]int64{
+	"second": 1,
+	"minute": 60,
+	"hour":   3600,
+	"day":    86400,
+}
+
+// parseWithin parses the tail of "X is within <amount> <unit> of Y".
+// "is within" has been consumed; the amount must be a whole number and
+// the unit a second/minute/hour/day word (plural accepted).
+func (p *parser) parseWithin(l Expr, pos Pos) (Cond, error) {
+	t := p.cur()
+	if t.Kind != TokNumber || strings.Contains(t.Text, ".") {
+		return nil, errf(t.Pos, "expected a whole number of time units after \"within\", found %s", t)
+	}
+	amount, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil || amount <= 0 {
+		return nil, errf(t.Pos, "window width must be a positive whole number, found %q", t.Text)
+	}
+	p.pos++
+	u := p.cur()
+	if u.Kind != TokWord {
+		return nil, errf(u.Pos, "expected a time unit (seconds, minutes, hours, days), found %s", u)
+	}
+	unit := strings.TrimSuffix(u.Text, "s")
+	width, ok := withinUnits[unit]
+	if !ok {
+		return nil, errf(u.Pos, "unknown time unit %q (use seconds, minutes, hours or days)", u.Text)
+	}
+	p.pos++
+	if err := p.expectWord("of"); err != nil {
+		return nil, err
+	}
+	anchor, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Within{
+		E: l, Anchor: anchor,
+		Amount: t.Text, Unit: unit, Seconds: amount * width,
+		Pos: pos,
+	}, nil
 }
 
 func exprSummary(e Expr) string {

@@ -27,6 +27,7 @@ type Checker struct {
 	reg      *Registry
 	onResult func([]*Outcome)
 	opts     CheckerOptions
+	windows  *windowTracker
 
 	mu      sync.Mutex
 	cond    *sync.Cond // broadcast whenever pending/lastSeq move
@@ -69,9 +70,31 @@ type CheckerStats struct {
 	// Errors counts failed re-checks (reg.Check returned an error).
 	Errors uint64
 	// CacheHits / CacheMisses mirror the registry's incremental result
-	// cache counters (shared with batch CheckAll calls).
+	// cache counters (shared with batch CheckAll calls). A cache hit is a
+	// re-check that probed the trace version and found it unchanged —
+	// distinct from a delta skip, which never probes at all.
 	CacheHits   uint64
 	CacheMisses uint64
+	// DeltaChecks / DeltaSkips / DeltaPartials / DeltaFallbacks mirror
+	// the registry's delta-discrimination counters: skips were answered
+	// without touching the graph (no version probe, no allocation),
+	// partials re-evaluated only the affected controls, fallbacks
+	// degraded to a full re-check. DeltaSkipRatio is skips/checks.
+	DeltaChecks    uint64
+	DeltaSkips     uint64
+	DeltaPartials  uint64
+	DeltaFallbacks uint64
+	DeltaSkipRatio float64
+	// ControlsEvaluated / ControlsSkipped count per-control work on the
+	// delta path: skipped controls kept their cached verdict because the
+	// write set provably could not affect them.
+	ControlsEvaluated uint64
+	ControlsSkipped   uint64
+	// WindowsOpen / WindowsExpired / WindowsResolved summarize sliding-
+	// window state across traces (see WindowStats).
+	WindowsOpen     int
+	WindowsExpired  int
+	WindowsResolved int
 	// BindingHits / BindingMisses mirror the registry's cross-control
 	// binding cache, and BindingReuseRatio is hits/(hits+misses): how
 	// often a control's binder candidates were served by a set another
@@ -101,55 +124,71 @@ type CheckerStats struct {
 	TraceErrors map[string]string
 }
 
-// ckWorker is one shard: a FIFO of dirty traces plus membership set.
+// ckWorker is one shard: a FIFO of dirty traces, each carrying the
+// write set accumulated while it waited. A nil write set means "anything
+// may have changed" (a manual MarkDirty kick) and forces a full
+// re-check.
 type ckWorker struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []string
-	dirty  map[string]bool
+	dirty  map[string]*store.WriteSet
 	closed bool
 }
 
 func newCkWorker() *ckWorker {
-	w := &ckWorker{dirty: make(map[string]bool)}
+	w := &ckWorker{dirty: make(map[string]*store.WriteSet)}
 	w.cond = sync.NewCond(&w.mu)
 	return w
 }
 
-// mark flags a trace dirty. It reports whether the trace was newly dirty
-// (false means the event coalesced into an already-pending re-check).
-func (w *ckWorker) mark(app string) bool {
+// mark flags a trace dirty, taking ownership of ws (nil = full). It
+// reports whether the trace was newly dirty; when it was already
+// pending, the write sets merge losslessly under the worker lock — the
+// coalesced re-check covers the union of both deltas (or degrades to
+// full across a version gap, never silently narrower).
+func (w *ckWorker) mark(app string, ws *store.WriteSet) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return false
 	}
-	if w.dirty[app] {
+	if pending, ok := w.dirty[app]; ok {
+		if pending != nil {
+			if ws == nil {
+				w.dirty[app] = nil
+			} else {
+				pending.Merge(ws)
+			}
+		}
 		return false
 	}
-	w.dirty[app] = true
+	w.dirty[app] = ws
 	w.queue = append(w.queue, app)
 	w.cond.Signal()
 	return true
 }
 
-// next blocks until a dirty trace is available and claims it. The second
-// result is false once the worker is closed and drained. Claiming removes
-// the trace from the dirty set, so events arriving during the re-check
-// re-mark it — the final state of a trace is never lost to coalescing.
-func (w *ckWorker) next() (string, bool) {
+// next blocks until a dirty trace is available and claims it, returning
+// the trace with its accumulated write set. The last result is false
+// once the worker is closed and drained. Claiming removes the trace from
+// the dirty set, so events arriving during the re-check re-mark it with
+// a fresh delta — the final state of a trace is never lost to
+// coalescing.
+func (w *ckWorker) next() (string, *store.WriteSet, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for len(w.queue) == 0 && !w.closed {
 		w.cond.Wait()
 	}
 	if len(w.queue) == 0 {
-		return "", false
+		return "", nil, false
 	}
 	app := w.queue[0]
 	w.queue = w.queue[1:]
+	ws := w.dirty[app]
 	delete(w.dirty, app)
-	return app, true
+	return app, ws, true
 }
 
 // close stops the worker after it drains its queue.
@@ -171,6 +210,7 @@ func NewChecker(reg *Registry, onResult func([]*Outcome)) *Checker {
 // NewCheckerOpts builds a continuous checker with explicit options.
 func NewCheckerOpts(reg *Registry, onResult func([]*Outcome), opts CheckerOptions) *Checker {
 	c := &Checker{reg: reg, onResult: onResult, opts: opts, traceErrs: make(map[string]string)}
+	c.windows = newWindowTracker(reg)
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -216,8 +256,11 @@ func (c *Checker) dispatch(sub *store.Subscription, workers []*ckWorker, done ch
 		fresh := false
 		app := ev.AppID()
 		if app != "" && !c.isOwnWrite(ev) {
+			c.windows.observe(ev)
 			routed = true
-			fresh = workers[traceShard(app, len(workers))].mark(app)
+			ws := store.NewWriteSet()
+			ws.AddEvent(ev)
+			fresh = workers[traceShard(app, len(workers))].mark(app, ws)
 		}
 		c.mu.Lock()
 		c.stats.EventsSeen++
@@ -244,12 +287,12 @@ func (c *Checker) dispatch(sub *store.Subscription, workers []*ckWorker, done ch
 func (c *Checker) runWorker(w *ckWorker) {
 	defer c.wg.Done()
 	for {
-		app, ok := w.next()
+		app, ws, ok := w.next()
 		if !ok {
 			return
 		}
 		start := time.Now()
-		outcomes, err := c.reg.Check(app)
+		outcomes, skipped, err := c.reg.CheckDelta(app, ws)
 		elapsed := time.Since(start)
 
 		c.mu.Lock()
@@ -261,12 +304,16 @@ func (c *Checker) runWorker(w *ckWorker) {
 			c.traceErrs[app] = err.Error()
 		} else {
 			delete(c.traceErrs, app)
-			c.latest = outcomes
+			if !skipped {
+				c.latest = outcomes
+			}
 		}
 		cb := c.onResult
 		c.mu.Unlock()
 
-		if err == nil && cb != nil {
+		// A skipped check proved nothing changed: observers already hold
+		// the exact outcomes, so there is nothing to deliver.
+		if err == nil && !skipped && cb != nil {
 			cb(outcomes)
 		}
 
@@ -320,12 +367,24 @@ func (c *Checker) Stop() {
 	c.mu.Unlock()
 }
 
-// MarkDirty schedules a re-check of one trace exactly as if a change-feed
-// event had touched it, without requiring a store write: the manual kick
-// for out-of-band changes (vocabulary edits, evaluator hot-swaps) and the
-// hook benchmarks use to drive the engine with a synthetic event stream.
-// No-op while the engine is stopped.
+// MarkDirty schedules a full re-check of one trace exactly as if a
+// change-feed event had touched it, without requiring a store write: the
+// manual kick for out-of-band changes (vocabulary edits, evaluator
+// hot-swaps) and the hook benchmarks use to drive the engine with a
+// synthetic event stream. No-op while the engine is stopped.
 func (c *Checker) MarkDirty(appID string) {
+	c.markDirty(appID, nil)
+}
+
+// MarkDirtyDelta schedules a delta-driven re-check of one trace carrying
+// an explicit write set; the checker takes ownership of ws (it may merge
+// later deltas into it while the trace waits). A nil ws is equivalent to
+// MarkDirty. No-op while the engine is stopped.
+func (c *Checker) MarkDirtyDelta(appID string, ws *store.WriteSet) {
+	c.markDirty(appID, ws)
+}
+
+func (c *Checker) markDirty(appID string, ws *store.WriteSet) {
 	c.mu.Lock()
 	if !c.running || len(c.workers) == 0 {
 		c.mu.Unlock()
@@ -333,7 +392,7 @@ func (c *Checker) MarkDirty(appID string) {
 	}
 	workers := c.workers
 	c.mu.Unlock()
-	fresh := workers[traceShard(appID, len(workers))].mark(appID)
+	fresh := workers[traceShard(appID, len(workers))].mark(appID, ws)
 	c.mu.Lock()
 	c.stats.EventsSeen++
 	if fresh {
@@ -343,6 +402,20 @@ func (c *Checker) MarkDirty(appID string) {
 	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
+}
+
+// Tick advances wall-clock window tracking: traces holding a window
+// whose deadline newly passed without its target event are re-marked for
+// a re-check, so their outcomes re-surface to observers. Returns how
+// many traces expired. Callers (the daemon, tests) own the cadence; the
+// engine never consults the clock on its own, keeping verdicts
+// reproducible.
+func (c *Checker) Tick(now time.Time) int {
+	expired := c.windows.expire(now)
+	for _, app := range expired {
+		c.MarkDirty(app)
+	}
+	return len(expired)
 }
 
 // WaitFor blocks until the engine has consumed every change-feed event up
@@ -375,6 +448,8 @@ func (c *Checker) Latest() []*Outcome {
 func (c *Checker) Stats() CheckerStats {
 	cache := c.reg.CacheStats()
 	bind := c.reg.BindingStats()
+	delta := c.reg.DeltaStats()
+	win := c.windows.stats()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.stats
@@ -383,6 +458,16 @@ func (c *Checker) Stats() CheckerStats {
 	s.BindingHits = bind.Hits
 	s.BindingMisses = bind.Misses
 	s.BindingReuseRatio = bind.ReuseRatio()
+	s.DeltaChecks = delta.Checks
+	s.DeltaSkips = delta.Skips
+	s.DeltaPartials = delta.Partials
+	s.DeltaFallbacks = delta.Fallbacks
+	s.DeltaSkipRatio = delta.SkipRatio()
+	s.ControlsEvaluated = delta.ControlsEvaluated
+	s.ControlsSkipped = delta.ControlsSkipped
+	s.WindowsOpen = win.Open
+	s.WindowsExpired = win.Expired
+	s.WindowsResolved = win.Resolved
 	s.QueueDepth = c.pending
 	s.LastSeq = c.lastSeq
 	if c.running && c.sub != nil {

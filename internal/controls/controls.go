@@ -94,6 +94,10 @@ type Options struct {
 	// control then recomputes its binder candidate sets from scratch, as
 	// before the rule planner existed. Part of the E11 ablation.
 	DisableBindingReuse bool
+	// DisableDeltaEval turns off delta-driven checking: CheckDelta then
+	// ignores its write set and re-evaluates the whole trace, as before
+	// footprint discrimination existed. The E14 ablation.
+	DisableDeltaEval bool
 }
 
 // matStripes is the number of per-trace materialization locks; traces
@@ -145,6 +149,14 @@ type Registry struct {
 	bindMu       sync.Mutex
 	bindings     map[string]*traceBindings // appID -> current-version cache
 	bindCounters rules.BindingCounters
+
+	// Delta-discrimination counters (see delta.go).
+	deltaChecks    atomic.Uint64
+	deltaSkips     atomic.Uint64
+	deltaPartials  atomic.Uint64
+	deltaFallbacks atomic.Uint64
+	ctrlsEvaluated atomic.Uint64
+	ctrlsSkipped   atomic.Uint64
 
 	matMu [matStripes]sync.Mutex
 }
@@ -236,6 +248,15 @@ func (r *Registry) Remove(id string) error {
 	}
 	r.gen++ // cached results predate this control set
 	return nil
+}
+
+// Gen returns the registry generation: it bumps on every Deploy or
+// Remove, so an observer caching anything derived from the deployed
+// control set (the checker's window tracker) can detect staleness.
+func (r *Registry) Gen() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
 }
 
 // Get returns a deployed control, or nil.

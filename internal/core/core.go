@@ -78,6 +78,11 @@ type Config struct {
 	// DisableAsyncIngest skips the gateway: events are ingested
 	// synchronously on the caller (ablation D9, experiment E12).
 	DisableAsyncIngest bool
+	// DisableDeltaEval turns off delta-driven control checking: the
+	// continuous engine then re-evaluates every control of a dirty trace
+	// instead of discriminating with the commits' write set (ablation
+	// D11, experiment E14).
+	DisableDeltaEval bool
 }
 
 // System is one wired instance of the paper's architecture.
@@ -138,6 +143,7 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 		CheckWorkers:        cfg.Workers,
 		DisableCache:        cfg.DisableCheckCache,
 		DisableBindingReuse: cfg.DisableRuleIndexes,
+		DisableDeltaEval:    cfg.DisableDeltaEval,
 	}); err != nil {
 		return fail(err)
 	}

@@ -108,6 +108,10 @@ func All(quick bool) []Runner {
 	e13Duration := 1500 * time.Millisecond
 	e13Rate := 300.0
 	e13Mults := []float64{0.5, 1, 2, 4}
+	e14Sizes := []int{1000, 4000, 16000}
+	e14Commits := 64
+	e14Duration := 1200 * time.Millisecond
+	e14Rate := 200.0
 	if quick {
 		traces = 300
 		e5Sizes = []int{200, 500, 1000}
@@ -119,6 +123,10 @@ func All(quick bool) []Runner {
 		e13Duration = 400 * time.Millisecond
 		e13Rate = 150
 		e13Mults = []float64{0.5, 2, 6}
+		e14Sizes = []int{250, 1000}
+		e14Commits = 24
+		e14Duration = 400 * time.Millisecond
+		e14Rate = 100
 	}
 	return []Runner{
 		{"E1", "Table 1 storage rows", func() (*Table, error) { return E1Table1(traces) }},
@@ -139,6 +147,9 @@ func All(quick bool) []Runner {
 		}},
 		{"E13", "open-loop load sweep (provbench)", func() (*Table, error) {
 			return E13Provbench(e13Duration, e13Rate, e13Mults)
+		}},
+		{"E14", "delta-driven evaluation vs full re-evaluation", func() (*Table, error) {
+			return E14Delta(e14Sizes, e14Commits, e14Duration, e14Rate)
 		}},
 	}
 }

@@ -491,6 +491,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"checker":     s.sys.Checker.Stats(),
 		"cache":       s.sys.Registry.CacheStats(),
 		"bindings":    s.sys.Registry.BindingStats(),
+		"delta":       s.sys.Registry.DeltaStats(),
 		"plans":       s.sys.Registry.Plans(),
 		"domain":      s.sys.Domain.Name,
 		"traces":      len(s.sys.Store.AppIDs()),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bal"
 	"repro/internal/bom"
@@ -24,7 +25,13 @@ func Compile(text string, vocab *bom.Vocabulary) (*Control, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &compiler{vocab: vocab, varTypes: make(map[string]exprType)}
+	c := &compiler{
+		vocab:      vocab,
+		varTypes:   make(map[string]exprType),
+		binderVars: make(map[string]bool),
+		fpReads:    make(map[string]struct{}),
+		fpEdges:    make(map[string]struct{}),
+	}
 	ctrl := &Control{text: text, rt: rt, vocab: vocab}
 	for _, d := range rt.Definitions {
 		cd, err := c.compileDefinition(d)
@@ -46,6 +53,14 @@ func Compile(text string, vocab *bom.Vocabulary) (*Control, error) {
 	if err != nil {
 		return nil, err
 	}
+	fp := &Footprint{wildcard: c.fpWildcard, reads: c.fpReads, edges: c.fpEdges}
+	for _, d := range ctrl.defs {
+		if d.binder != nil {
+			fp.binders = append(fp.binders, d.binder.plan)
+		}
+	}
+	ctrl.footprint = fp
+	ctrl.windows = c.windows
 	return ctrl, nil
 }
 
@@ -76,6 +91,18 @@ type compiler struct {
 	varTypes map[string]exprType
 	// thisClass is non-nil while compiling a binder's where clause.
 	thisClass *xom.Class
+
+	// Footprint collection (see delta.go). binderVars marks variables
+	// bound by "a <concept>" binders: attribute reads on them are covered
+	// by the binder's access plan and stay out of fpReads.
+	binderVars map[string]bool
+	fpReads    map[string]struct{}
+	fpEdges    map[string]struct{}
+	fpWildcard bool
+	// tscope, while non-nil, collects the timestamp sources of a Within
+	// operand being compiled.
+	tscope  *timeScope
+	windows []WindowSpec
 }
 
 func errAt(pos bal.Pos, format string, args ...any) error {
@@ -106,6 +133,7 @@ func (c *compiler) compileDefinition(d *bal.Definition) (compiledDef, error) {
 		b.plan = c.buildBinderPlan(concept.Class, d.Binder.Where)
 		cd.binder = b
 		cd.typ = exprType{isNode: true, class: concept.Class}
+		c.binderVars[d.Var] = true
 	default:
 		e, err := c.compileExpr(d.Expr)
 		if err != nil {
@@ -157,6 +185,8 @@ func (c *compiler) compileCond(cond bal.Cond) (compiledCond, error) {
 		return c.compileInList(n)
 	case *bal.Between:
 		return c.compileBetween(n)
+	case *bal.Within:
+		return c.compileWithin(n)
 	case *bal.Contains:
 		l, err := c.compileExpr(n.L)
 		if err != nil {
@@ -360,6 +390,76 @@ func (c *compiler) compileBetween(n *bal.Between) (compiledCond, error) {
 	}, nil
 }
 
+// navCoveredByBinder reports whether an attribute read through this
+// operand only ever touches nodes a binder access plan already accounts
+// for: the "this" of a where clause, or a variable bound by a binder.
+func (c *compiler) navCoveredByBinder(of bal.Expr) bool {
+	switch n := of.(type) {
+	case *bal.This:
+		return true
+	case *bal.VarRef:
+		return c.binderVars[n.Name]
+	default:
+		return false
+	}
+}
+
+// compileWithin lowers the windowed temporal predicate
+// "X is within <d> of Y" to |X - Y| <= d over two captured timestamps,
+// with the usual three-valued semantics: a side that was never captured
+// yields Unknown, never a false alarm. The predicate is deliberately
+// clock-free — it compares recorded provenance, not the evaluation
+// instant — so verdicts stay reproducible; wall-clock window expiry is
+// the window tracker's job (controls package), fed by the same specs
+// this compilation collects.
+func (c *compiler) compileWithin(n *bal.Within) (compiledCond, error) {
+	collect := func(e bal.Expr) (*compiledExpr, []TimeRef, bool, error) {
+		prev := c.tscope
+		c.tscope = &timeScope{}
+		ce, err := c.compileExpr(e)
+		scope := c.tscope
+		c.tscope = prev
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return ce, scope.refs, scope.any, nil
+	}
+	target, tRefs, tAny, err := collect(n.E)
+	if err != nil {
+		return nil, err
+	}
+	anchor, aRefs, aAny, err := collect(n.Anchor)
+	if err != nil {
+		return nil, err
+	}
+	for _, side := range []*compiledExpr{target, anchor} {
+		if side.typ.isNode || side.typ.kind != provenance.KindTime {
+			return nil, errAt(n.Pos, "is-within requires timestamps, got %s", side.typ.describe())
+		}
+	}
+	window := time.Duration(n.Seconds) * time.Second
+	c.windows = append(c.windows, WindowSpec{
+		Window: window,
+		Anchor: aRefs, AnchorAny: aAny,
+		Target: tRefs, TargetAny: tAny,
+	})
+	return func(ev *evalCtx) tri {
+		tv, av := target.value(ev), anchor.value(ev)
+		if tv.IsZero() || av.IsZero() {
+			ev.note("%s: operand of is-within is unknown", n.Pos)
+			return triUnknown
+		}
+		d := tv.TimeVal().Sub(av.TimeVal())
+		if d < 0 {
+			d = -d
+		}
+		if d <= window {
+			return triTrue
+		}
+		return triFalse
+	}, nil
+}
+
 func (c *compiler) compileExpr(e bal.Expr) (*compiledExpr, error) {
 	switch n := e.(type) {
 	case *bal.Lit:
@@ -482,6 +582,17 @@ func (c *compiler) compileNav(n *bal.Nav) (*compiledExpr, error) {
 	switch entry.Kind {
 	case bom.Attribute:
 		field := entry.Field
+		// Footprint: an attribute read on "this" or on a binder-bound
+		// variable only ever touches nodes that passed the binder's
+		// prefilters, so the binder's access plan covers it; any other
+		// operand (a navigation result) makes every write to the class a
+		// potential influence.
+		if !c.navCoveredByBinder(n.Of) {
+			c.fpReads[of.typ.class.Name] = struct{}{}
+		}
+		if c.tscope != nil && entry.ResultKind == provenance.KindTime {
+			c.tscope.refs = append(c.tscope.refs, TimeRef{Type: of.typ.class.Name, Field: field.Name})
+		}
 		return &compiledExpr{
 			typ: exprType{kind: entry.ResultKind},
 			value: func(ev *evalCtx) provenance.Value {
@@ -498,6 +609,12 @@ func (c *compiler) compileNav(n *bal.Nav) (*compiledExpr, error) {
 		}, nil
 	case bom.MethodCall:
 		method := entry.Method
+		// A method body may read anything in the graph: the footprint
+		// degrades to wildcard rather than guess at its reads.
+		c.fpWildcard = true
+		if c.tscope != nil && entry.ResultKind == provenance.KindTime {
+			c.tscope.any = true
+		}
 		return &compiledExpr{
 			typ: exprType{kind: entry.ResultKind},
 			value: func(ev *evalCtx) provenance.Value {
@@ -518,6 +635,7 @@ func (c *compiler) compileNav(n *bal.Nav) (*compiledExpr, error) {
 		}, nil
 	case bom.RelationNav:
 		rel := entry.Relation
+		c.fpEdges[rel.EdgeType] = struct{}{}
 		var class *xom.Class
 		if entry.ResultConcept != nil {
 			class = entry.ResultConcept.Class

@@ -1,0 +1,178 @@
+package rules
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/provenance"
+)
+
+// Delta discrimination. A compiled control's data dependencies are fully
+// known at compile time: which node types its binders enumerate (and
+// which hoisted equality prefilters gate them), which node types it
+// reads attributes from through navigations, and which relation edge
+// types those navigations traverse. The Footprint captures them so a
+// consumer holding a commit's write set can decide — without touching
+// the graph — whether the commit can possibly change the control's
+// outcome. This is the Rete-style alpha-discrimination step over the
+// binder access plans: a write that matches no binder type probe, passes
+// no prefilter in either its pre- or post-image, reads into no navigated
+// type and adds no navigated edge provably leaves the control's verdict,
+// bindings and alerts untouched.
+//
+// The test is one-sided by design: it may claim "affected" for a write
+// that turns out not to matter (a bounded false positive costs one
+// re-evaluation), but it must never claim "unaffected" for a write that
+// does (a false negative would freeze a stale verdict). The equivalence
+// property test and the discrimination fuzz target hold that line.
+
+// Footprint is a control's compile-time data-dependency summary.
+type Footprint struct {
+	// wildcard marks a control whose reads cannot be bounded statically
+	// (it calls an XOM method, which may touch the whole graph): every
+	// write affects it.
+	wildcard bool
+	// binders are the access plans of the control's binder definitions.
+	// Attribute reads on the bound variables (and on "this" inside where
+	// clauses) are covered here: only nodes passing the plan's prefilters
+	// can ever be bound, so a node rejected by a prefilter in both its
+	// pre- and post-image cannot feed those reads.
+	binders []binderPlan
+	// reads are node types whose attributes the control reads outside
+	// binder coverage (navigation results); any write to such a node
+	// affects the control.
+	reads map[string]struct{}
+	// edges are relation edge types the control navigates; any new edge
+	// of such a type affects the control.
+	edges map[string]struct{}
+}
+
+// Footprint returns the control's data-dependency summary.
+func (c *Control) Footprint() *Footprint { return c.footprint }
+
+// Wildcard reports whether the footprint gave up on static bounds —
+// every write then affects the control.
+func (fp *Footprint) Wildcard() bool { return fp.wildcard }
+
+// passesPrefilters mirrors bindCandidates' rejection rule: only a
+// present-and-unequal attribute disqualifies a candidate (a missing
+// attribute still flows through the three-valued where, so it may bind).
+func passesPrefilters(pl *binderPlan, n *provenance.Node) bool {
+	for i := range pl.prefilters {
+		pf := &pl.prefilters[i]
+		if v := pf.field.Get(n); !v.IsZero() && !v.Equal(pf.val) {
+			return false
+		}
+	}
+	return true
+}
+
+// AffectedByNode reports whether a node write can affect the control.
+// prev is the pre-image for updates, nil for inserts. The fast path is
+// allocation-free: map probes and attribute fetches only.
+func (fp *Footprint) AffectedByNode(node, prev *provenance.Node) bool {
+	if fp.wildcard {
+		return true
+	}
+	if _, ok := fp.reads[node.Type]; ok {
+		return true
+	}
+	for i := range fp.binders {
+		pl := &fp.binders[i]
+		if pl.typeName != node.Type {
+			continue
+		}
+		// An insert affects the binder iff it can enter the candidate
+		// set; an update iff it was or becomes able to.
+		if passesPrefilters(pl, node) {
+			return true
+		}
+		if prev != nil && passesPrefilters(pl, prev) {
+			return true
+		}
+	}
+	return false
+}
+
+// AffectedByEdge reports whether a new edge of the given type can affect
+// the control.
+func (fp *Footprint) AffectedByEdge(edgeType string) bool {
+	if fp.wildcard {
+		return true
+	}
+	_, ok := fp.edges[edgeType]
+	return ok
+}
+
+// Describe renders the footprint for EXPLAIN-style introspection.
+func (fp *Footprint) Describe() string {
+	if fp.wildcard {
+		return "wildcard (method call: every write affects)"
+	}
+	var parts []string
+	for i := range fp.binders {
+		pl := &fp.binders[i]
+		s := "binder(" + pl.typeName
+		for _, pf := range pl.prefilters {
+			s += " " + pf.phrase + "=" + pf.val.Text()
+		}
+		parts = append(parts, s+")")
+	}
+	var reads []string
+	for t := range fp.reads {
+		reads = append(reads, t)
+	}
+	sort.Strings(reads)
+	for _, t := range reads {
+		parts = append(parts, "reads("+t+")")
+	}
+	var edges []string
+	for t := range fp.edges {
+		edges = append(edges, t)
+	}
+	sort.Strings(edges)
+	for _, t := range edges {
+		parts = append(parts, "edge("+t+")")
+	}
+	if len(parts) == 0 {
+		return "empty"
+	}
+	return strings.Join(parts, " ")
+}
+
+// TimeRef names one captured timestamp a windowed predicate reads: the
+// node type and attribute it comes from.
+type TimeRef struct {
+	Type  string
+	Field string
+}
+
+// WindowSpec describes one windowed ("is within d of") predicate of a
+// control: its width and the timestamp attributes feeding each side.
+// AnchorAny/TargetAny mark sides whose sources could not be bounded
+// statically (a method call); window tracking then watches every
+// captured timestamp for that side.
+type WindowSpec struct {
+	// Window is the predicate's width.
+	Window time.Duration
+	// Anchor are the timestamp attributes of the right-hand ("of ...")
+	// side — the event the window is measured from.
+	Anchor []TimeRef
+	// Target are the timestamp attributes of the left-hand side — the
+	// event that must land inside the window.
+	Target    []TimeRef
+	AnchorAny bool
+	TargetAny bool
+}
+
+// Windows returns the control's windowed-predicate specs, in source
+// order. Empty for controls without temporal predicates.
+func (c *Control) Windows() []WindowSpec { return c.windows }
+
+// timeScope accumulates the timestamp sources of one Within operand
+// while it compiles.
+type timeScope struct {
+	refs []TimeRef
+	any  bool
+}

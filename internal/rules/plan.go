@@ -160,6 +160,8 @@ func condRefsVars(cond bal.Cond) bool {
 		return false
 	case *bal.Between:
 		return exprRefsVars(n.E) || exprRefsVars(n.Lo) || exprRefsVars(n.Hi)
+	case *bal.Within:
+		return exprRefsVars(n.E) || exprRefsVars(n.Anchor)
 	case *bal.Contains:
 		return exprRefsVars(n.L) || exprRefsVars(n.R)
 	default:

@@ -225,6 +225,11 @@ type Control struct {
 	then  []compiledAction
 	els   []compiledAction
 	vocab *bom.Vocabulary
+	// footprint is the compile-time data-dependency summary delta
+	// discrimination consults; windows are the temporal predicates the
+	// window tracker maintains from deltas.
+	footprint *Footprint
+	windows   []WindowSpec
 }
 
 // Text returns the original rule text.

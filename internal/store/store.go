@@ -531,7 +531,7 @@ func (s *Store) apply(e entry) (Event, error) {
 		}
 		s.idx.remove(old)
 		s.idx.add(n)
-		ev.Kind, ev.Node = EventNodeUpdate, n
+		ev.Kind, ev.Node, ev.Prev = EventNodeUpdate, n, old
 	case opPutEdge:
 		if ed == nil {
 			return Event{}, fmt.Errorf("store: put-edge entry decoded to non-edge %s", e.row.ID)

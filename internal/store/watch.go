@@ -42,6 +42,11 @@ type Event struct {
 	TraceVersion uint64
 	Node         *provenance.Node
 	Edge         *provenance.Edge
+	// Prev is the node's pre-image on EventNodeUpdate (nil otherwise):
+	// delta-driven control evaluation tests access-plan prefilters against
+	// both the old and the new attributes, so an update that neither was
+	// nor becomes a binder candidate is provably unable to affect it.
+	Prev *provenance.Node
 }
 
 // AppID returns the trace the changed record belongs to.
@@ -170,6 +175,9 @@ func (s *Store) publish(e Event) {
 	}
 	if e.Edge != nil {
 		e.Edge = e.Edge.Clone()
+	}
+	if e.Prev != nil {
+		e.Prev = e.Prev.Clone()
 	}
 	s.subMu.Lock()
 	for _, sub := range s.subs {

@@ -1,0 +1,133 @@
+package store
+
+import "repro/internal/provenance"
+
+// writeSetCap bounds the records a WriteSet retains. A burst larger than
+// this collapses the set to full — the consumer then falls back to a
+// whole-trace re-evaluation, which is exactly what it would have done
+// before write sets existed. The cap keeps coalescing O(1) in memory no
+// matter how long a trace's dirty interval grows.
+const writeSetCap = 256
+
+// NodeWrite is one node mutation in a write set. Prev carries the
+// pre-image for updates (nil for inserts) so a consumer can test
+// predicates against both the old and the new attribute values —
+// a node that never matched and still does not match cannot have
+// affected anything.
+type NodeWrite struct {
+	Kind EventKind
+	Node *provenance.Node
+	Prev *provenance.Node
+}
+
+// EdgeWrite is one edge insertion in a write set.
+type EdgeWrite struct {
+	Edge *provenance.Edge
+}
+
+// WriteSet is the accumulated delta of one trace between two of its
+// versions: every node and edge commit in the half-open version interval
+// (Base, Max]. The continuous checker threads write sets from the change
+// feed through its dirty-set coalescing into delta-driven re-checks
+// (Registry.CheckDelta); a nil or full WriteSet means "anything may have
+// changed" and forces a whole-trace re-evaluation.
+//
+// Records are the change feed's clones: retaining them is safe.
+type WriteSet struct {
+	full  bool
+	base  uint64 // trace version before the first covered commit
+	max   uint64 // trace version after the last covered commit
+	Nodes []NodeWrite
+	Edges []EdgeWrite
+}
+
+// NewWriteSet returns an empty write set.
+func NewWriteSet() *WriteSet { return &WriteSet{} }
+
+// FullWriteSet returns a write set that covers everything: consumers must
+// treat the whole trace as potentially changed.
+func FullWriteSet() *WriteSet { return &WriteSet{full: true} }
+
+// Full reports whether the set has degraded to "anything may have
+// changed" — it was built full, overflowed the record cap, or was merged
+// across a version gap.
+func (ws *WriteSet) Full() bool { return ws.full }
+
+// Base is the trace version immediately before the first covered commit:
+// a consumer holding results valid at version >= Base sees no gap below
+// the delta. Zero (with Max zero) means the set covers no commit yet.
+func (ws *WriteSet) Base() uint64 { return ws.base }
+
+// Max is the trace version immediately after the last covered commit.
+func (ws *WriteSet) Max() uint64 { return ws.max }
+
+// Len reports the number of retained records (zero once full).
+func (ws *WriteSet) Len() int { return len(ws.Nodes) + len(ws.Edges) }
+
+// AddEvent folds one change-feed event into the set. Events of one trace
+// must be added in commit order (the order the feed delivers them).
+func (ws *WriteSet) AddEvent(ev Event) {
+	if ev.TraceVersion > 0 {
+		if ws.base == 0 && ws.max == 0 {
+			ws.base = ev.TraceVersion - 1
+		}
+		if ev.TraceVersion > ws.max {
+			ws.max = ev.TraceVersion
+		}
+	} else {
+		// An event without a trace version cannot be placed in the version
+		// interval; the set can no longer vouch for contiguity.
+		ws.full = true
+	}
+	if ws.full {
+		ws.Nodes, ws.Edges = nil, nil
+		return
+	}
+	switch {
+	case ev.Node != nil:
+		ws.Nodes = append(ws.Nodes, NodeWrite{Kind: ev.Kind, Node: ev.Node, Prev: ev.Prev})
+	case ev.Edge != nil:
+		ws.Edges = append(ws.Edges, EdgeWrite{Edge: ev.Edge})
+	}
+	if len(ws.Nodes)+len(ws.Edges) > writeSetCap {
+		ws.full = true
+		ws.Nodes, ws.Edges = nil, nil
+	}
+}
+
+// Merge folds another write set into this one (coalescing: two pending
+// dirty intervals of the same trace become one). Contiguity is checked —
+// merging across a version gap, where commits between the two sets were
+// never observed, degrades the result to full rather than silently
+// claiming coverage it does not have.
+func (ws *WriteSet) Merge(o *WriteSet) {
+	if o == nil {
+		ws.full = true
+		ws.Nodes, ws.Edges = nil, nil
+		return
+	}
+	if o.base > 0 || o.max > 0 {
+		switch {
+		case ws.base == 0 && ws.max == 0:
+			ws.base = o.base
+		case o.base > ws.max:
+			ws.full = true // gap between the intervals
+		}
+		if o.max > ws.max {
+			ws.max = o.max
+		}
+	}
+	if o.full {
+		ws.full = true
+	}
+	if ws.full {
+		ws.Nodes, ws.Edges = nil, nil
+		return
+	}
+	ws.Nodes = append(ws.Nodes, o.Nodes...)
+	ws.Edges = append(ws.Edges, o.Edges...)
+	if len(ws.Nodes)+len(ws.Edges) > writeSetCap {
+		ws.full = true
+		ws.Nodes, ws.Edges = nil, nil
+	}
+}

@@ -52,12 +52,14 @@ func Hiring() (*Domain, error) {
 			"jobRequisition.reqID":                "requisition ID",
 			"jobRequisition.positionType":         "position type",
 			"jobRequisition.submitterEmail":       "submitter email",
+			"jobRequisition.submittedAt":          "submission time",
 			"jobRequisition.getManagerGen":        "general manager",
 			"jobRequisition.submitterOfInverse":   "submitter",
 			"jobRequisition.approvalOfInverse":    "approval",
 			"jobRequisition.candidatesForInverse": "candidate list",
 			"approvalStatus.approved":             "approved flag",
 			"approvalStatus.approverEmail":        "approver email",
+			"approvalStatus.decidedAt":            "decision time",
 			"candidateList.count":                 "candidate count",
 		},
 	})
@@ -82,6 +84,7 @@ func Hiring() (*Domain, error) {
 			"skip-approval":        "gm-approval",
 			"self-approval":        "four-eyes",
 			"proceed-after-reject": "no-reject-proceed",
+			"late-approval":        "approval-timeliness",
 		},
 	}
 	return d, nil
@@ -166,6 +169,9 @@ func buildHiringModel(m *provenance.Model) error {
 		func() error {
 			return m.AddField("jobRequisition", &provenance.FieldDef{Name: "submitterEmail", Kind: provenance.KindString})
 		},
+		func() error {
+			return m.AddField("jobRequisition", &provenance.FieldDef{Name: "submittedAt", Kind: provenance.KindTime})
+		},
 
 		func() error {
 			return m.AddType(&provenance.TypeDef{Name: "approvalStatus", Class: provenance.ClassData,
@@ -179,6 +185,9 @@ func buildHiringModel(m *provenance.Model) error {
 		},
 		func() error {
 			return m.AddField("approvalStatus", &provenance.FieldDef{Name: "approverEmail", Kind: provenance.KindString})
+		},
+		func() error {
+			return m.AddField("approvalStatus", &provenance.FieldDef{Name: "decidedAt", Kind: provenance.KindTime})
 		},
 
 		func() error {
@@ -239,6 +248,7 @@ func hiringMappings() []*events.Mapping {
 				{PayloadKey: "dept", Attr: "dept", Kind: str},
 				{PayloadKey: "position", Attr: "position", Kind: str},
 				{PayloadKey: "submitterEmail", Attr: "submitterEmail", Kind: str},
+				{PayloadKey: "submittedAt", Attr: "submittedAt", Kind: provenance.KindTime},
 			}},
 		{Name: "lombardi-submit-task", Source: "lombardi", EventType: "task.submit",
 			NodeType: "submission", Class: provenance.ClassTask, IDKey: "recordId",
@@ -258,6 +268,7 @@ func hiringMappings() []*events.Mapping {
 				{PayloadKey: "req", Attr: "reqID", Kind: str, Required: true},
 				{PayloadKey: "approved", Attr: "approved", Kind: provenance.KindBool, Required: true},
 				{PayloadKey: "approverEmail", Attr: "approverEmail", Kind: str},
+				{PayloadKey: "decidedAt", Attr: "decidedAt", Kind: provenance.KindTime},
 			}},
 		{Name: "hrdb-search-task", Source: "hrdb", EventType: "task.search",
 			NodeType: "candidateSearch", Class: provenance.ClassTask, IDKey: "recordId",
@@ -377,6 +388,24 @@ else
   add alert "candidate search proceeded after rejection" ;
 `,
 		},
+		{
+			ID:   "approval-timeliness",
+			Name: "GM approval must follow submission within 48 hours",
+			Text: `
+definitions
+  set 'the request' to a job requisition ;
+if
+  the position type of 'the request' is not "new"
+  or the approval of 'the request' does not exist
+  or the decision time of the approval of 'the request'
+     is within 48 hours of the submission time of 'the request'
+then
+  the internal control is satisfied ;
+else
+  the internal control is not satisfied ;
+  add alert "general manager approval recorded more than 48 hours after submission" ;
+`,
+		},
 	}
 }
 
@@ -432,6 +461,7 @@ func generateHiringTrace(rng *rand.Rand, app string, seed string) []GenEvent {
 	emit(true, "lombardi", "requisition.submitted", 1, map[string]string{
 		"recordId": app + "-req", "req": reqID, "ptype": ptype,
 		"dept": hm.dept, "position": "Sales Specialist", "submitterEmail": hm.email,
+		"submittedAt": ts(at(1)),
 	})
 	emit(true, "lombardi", "task.submit", 1, map[string]string{
 		"recordId": app + "-t-submit", "actorEmail": hm.email,
@@ -453,7 +483,22 @@ func generateHiringTrace(rng *rand.Rand, app string, seed string) []GenEvent {
 			})
 			emit(false, "mail", "approval.recorded", 3, map[string]string{
 				"recordId": app + "-apprv", "req": reqID,
-				"approved": "true", "approverEmail": hm.email,
+				"approved": "true", "approverEmail": hm.email, "decidedAt": ts(at(3)),
+			})
+		case "late-approval":
+			// The approval is genuine — right approver, right outcome — but
+			// recorded 60 hours after submission, violating the 48-hour
+			// timeliness window.
+			emit(true, "hrdir", "person.observed", 2, map[string]string{
+				"recordId": app + "-gm", "name": gm.name, "email": gm.email, "role": "General Manager",
+			})
+			emit(false, "mail", "task.approve", 3, map[string]string{
+				"recordId": app + "-t-approve", "actorEmail": gm.email,
+			})
+			emit(false, "mail", "approval.recorded", 3, map[string]string{
+				"recordId": app + "-apprv", "req": reqID,
+				"approved": "true", "approverEmail": gm.email,
+				"decidedAt": ts(at(1).Add(60 * time.Hour)),
 			})
 		case "proceed-after-reject":
 			approved = false
@@ -465,7 +510,7 @@ func generateHiringTrace(rng *rand.Rand, app string, seed string) []GenEvent {
 			})
 			emit(false, "mail", "approval.recorded", 3, map[string]string{
 				"recordId": app + "-apprv", "req": reqID,
-				"approved": "false", "approverEmail": gm.email,
+				"approved": "false", "approverEmail": gm.email, "decidedAt": ts(at(3)),
 			})
 		default:
 			approved = rng.Float64() < 0.9
@@ -478,6 +523,7 @@ func generateHiringTrace(rng *rand.Rand, app string, seed string) []GenEvent {
 			emit(false, "mail", "approval.recorded", 3, map[string]string{
 				"recordId": app + "-apprv", "req": reqID,
 				"approved": fmt.Sprintf("%t", approved), "approverEmail": gm.email,
+				"decidedAt": ts(at(3)),
 			})
 			if !approved {
 				searchHappens = false // compliant rejection: process stops

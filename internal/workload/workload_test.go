@@ -205,7 +205,7 @@ func TestDuplicateDelivery(t *testing.T) {
 func TestViolationKindsAccessors(t *testing.T) {
 	d := domains(t)[0]
 	kinds := d.ViolationKinds()
-	if len(kinds) != 3 {
+	if len(kinds) != 4 {
 		t.Fatalf("kinds = %v", kinds)
 	}
 	for i := 1; i < len(kinds); i++ {
@@ -238,7 +238,7 @@ func TestLowVisibilityDegradesGracefully(t *testing.T) {
 	for _, c := range counts {
 		total += c
 	}
-	if total != 150*3 {
+	if total != 150*4 {
 		t.Fatalf("total verdicts = %d", total)
 	}
 }
@@ -285,7 +285,7 @@ func BenchmarkEndToEndHiring(b *testing.B) {
 func ExampleDomain() {
 	d, _ := workload.Hiring()
 	fmt.Println(d.Name, len(d.Controls))
-	// Output: hiring 3
+	// Output: hiring 4
 }
 
 // TestVisibilityMonotonicity: lowering visibility can only reduce the
