@@ -486,6 +486,49 @@ func (c *client) cmdReport(args []string) error {
 	return err
 }
 
+// segmentWire mirrors store.SegmentInfo.
+type segmentWire struct {
+	ID        uint64  `json:"id"`
+	Path      string  `json:"path"`
+	SizeBytes int64   `json:"size_bytes"`
+	Traces    int     `json:"traces"`
+	Rows      int     `json:"rows"`
+	Blocks    int     `json:"blocks"`
+	SealSeq   uint64  `json:"seal_seq"`
+	MinSeq    uint64  `json:"min_seq"`
+	MaxSeq    uint64  `json:"max_seq"`
+	MinApp    string  `json:"min_app"`
+	MaxApp    string  `json:"max_app"`
+	BloomFill float64 `json:"bloom_fill"`
+	BloomFPP  float64 `json:"bloom_fpp"`
+}
+
+func (c *client) cmdSegments(args []string) error {
+	var segs []segmentWire
+	if err := c.getJSON("/segments", &segs); err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		fmt.Fprintln(c.out, "no sealed segments")
+		return nil
+	}
+	fmt.Fprintf(c.out, "%-4s %10s %7s %6s %6s %12s %-24s %10s %8s\n",
+		"ID", "SIZE", "TRACES", "ROWS", "BLOCKS", "SEQ", "TRACE RANGE", "BLOOM", "FPP")
+	var bytes int64
+	var traces, rows int
+	for _, s := range segs {
+		fmt.Fprintf(c.out, "%-4d %10d %7d %6d %6d %5d..%-5d %-24s %9.1f%% %8.4f\n",
+			s.ID, s.SizeBytes, s.Traces, s.Rows, s.Blocks, s.MinSeq, s.MaxSeq,
+			s.MinApp+".."+s.MaxApp, 100*s.BloomFill, s.BloomFPP)
+		bytes += s.SizeBytes
+		traces += s.Traces
+		rows += s.Rows
+	}
+	fmt.Fprintf(c.out, "%d segments, %d sealed traces, %d rows, %d bytes\n",
+		len(segs), traces, rows, bytes)
+	return nil
+}
+
 func (c *client) cmdStats(args []string) error {
 	var stats map[string]any
 	if err := c.getJSON("/stats", &stats); err != nil {

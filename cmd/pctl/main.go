@@ -33,6 +33,9 @@
 //	    print a trace's provenance graph (or Graphviz DOT with -dot)
 //	report [-findings 20]
 //	    print the plain-text compliance audit report
+//	segments
+//	    list the store's sealed cold-tier segments with zone maps and
+//	    bloom-filter stats
 //	stats
 //	    print store and pipeline statistics
 package main
@@ -67,7 +70,7 @@ func runIO(args []string, in io.Reader, out io.Writer) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (simulate, ingest, controls, deploy, remove, check, dashboard, violations, rows, graph, report, stats)")
+		return fmt.Errorf("missing command (simulate, ingest, controls, deploy, remove, check, dashboard, violations, rows, graph, report, segments, stats)")
 	}
 	c := &client{base: *server, out: out, in: in}
 	cmd, cmdArgs := rest[0], rest[1:]
@@ -94,6 +97,8 @@ func runIO(args []string, in io.Reader, out io.Writer) error {
 		return c.cmdGraph(cmdArgs)
 	case "report":
 		return c.cmdReport(cmdArgs)
+	case "segments":
+		return c.cmdSegments(cmdArgs)
 	case "stats":
 		return c.cmdStats(cmdArgs)
 	default:

@@ -214,6 +214,47 @@ func TestPctlReport(t *testing.T) {
 	}
 }
 
+// TestPctlSegments lists the cold tier: empty on a fresh in-memory
+// store, and one sealed segment after a durable store demotes traces.
+func TestPctlSegments(t *testing.T) {
+	url := startProvd(t)
+	out, err := pctl(t, url, "segments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no sealed segments") {
+		t.Fatalf("segments on empty store: %s", out)
+	}
+
+	d, err := workload.Hiring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(d, core.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(httpapi.NewServer(sys, false))
+	t.Cleanup(func() {
+		srv.Close()
+		sys.Close()
+	})
+	if _, err := pctl(t, srv.URL, "simulate", "-domain", "hiring", "-traces", "3", "-seed", "9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Store.DemoteTraces("hiring-000000", "hiring-000001"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = pctl(t, srv.URL, "segments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 segments, 2 sealed traces") ||
+		!strings.Contains(out, "hiring-000000..hiring-000001") {
+		t.Fatalf("segments output:\n%s", out)
+	}
+}
+
 // TestPctlSimulateAsync ships the simulation through the spooling
 // recorder: admission, retries-until-applied, flush-on-close.
 func TestPctlSimulateAsync(t *testing.T) {

@@ -9,6 +9,8 @@
 //	      [-continuous] [-materialize] [-workers N]
 //	      [-ingest-shards N] [-ingest-queue N] [-ingest-batch N]
 //	      [-ingest-window D] [-sync-ingest]
+//	      [-segment-cold N] [-segment-cache-mb N] [-no-tiering]
+//	      [-compact-every D] [-window-tick D]
 //
 // Event ingestion is asynchronous by default: POST /events admits the
 // batch into the bounded ingestion gateway and answers 202 with an ack
@@ -31,7 +33,11 @@
 //	GET    /graph?app=X       one trace's nodes and edges
 //	GET    /rows?app=X        one trace's Table-1 rows
 //	GET    /query?type=&field=&value=[&explain=1]  typed node query
+//	GET    /segments          sealed cold-tier segments with zone maps
 //	GET    /stats             store/pipeline statistics
+//
+// /graph and /compliance accept ?asof=N (a store sequence) for
+// point-in-time audit reads against the tiered store's history.
 package main
 
 import (
@@ -68,6 +74,11 @@ func main() {
 	ingestBatch := flag.Int("ingest-batch", 0, "events coalesced per store commit by the gateway (0 = default)")
 	ingestWindow := flag.Duration("ingest-window", 0, "max time an undersized gateway batch waits for company (0 = opportunistic)")
 	syncIngest := flag.Bool("sync-ingest", false, "disable the async ingestion gateway; POST /events ingests synchronously (E12 ablation)")
+	segmentCold := flag.Uint64("segment-cold", 4096, "commits a trace may sit untouched before compaction seals it into a cold segment (0 = never demote; needs -dir)")
+	segmentCacheMB := flag.Int("segment-cache-mb", 0, "sealed-segment block cache size in MiB (0 = default 32)")
+	noTiering := flag.Bool("no-tiering", false, "disable tiered storage; every trace stays in memory (E15 ablation)")
+	compactEvery := flag.Duration("compact-every", time.Minute, "compaction cadence: demotes cold traces and shrinks the log, skipping idle ticks (0 = never; needs -dir)")
+	windowTick := flag.Duration("window-tick", time.Minute, "cadence for surfacing expired control windows without a triggering commit (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain admitted events on shutdown")
 	flag.Parse()
 	if *sync && *dir == "" {
@@ -89,6 +100,11 @@ func main() {
 		IngestMaxBatch:     *ingestBatch,
 		IngestFlushWindow:  *ingestWindow,
 		DisableAsyncIngest: *syncIngest,
+		DisableTiering:     *noTiering,
+		SegmentColdAfter:   *segmentCold,
+		SegmentCacheMB:     *segmentCacheMB,
+		CompactEvery:       *compactEvery,
+		WindowTick:         *windowTick,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -42,6 +42,9 @@ type Checker struct {
 	startAt time.Time
 	busy    time.Duration // accumulated worker check time since Start
 
+	tickerStop chan struct{} // non-nil while a ticker driver runs
+	tickerDone chan struct{}
+
 	stats     CheckerStats
 	traceErrs map[string]string
 }
@@ -95,6 +98,11 @@ type CheckerStats struct {
 	WindowsOpen     int
 	WindowsExpired  int
 	WindowsResolved int
+	// TickerTicks counts wall-clock ticks delivered by the background
+	// ticker driver (StartTicker), and TickerExpired the traces those
+	// ticks re-marked for a re-check because a window deadline passed.
+	TickerTicks   uint64
+	TickerExpired uint64
 	// BindingHits / BindingMisses mirror the registry's cross-control
 	// binding cache, and BindingReuseRatio is hits/(hits+misses): how
 	// often a control's binder candidates were served by a set another
@@ -416,6 +424,71 @@ func (c *Checker) Tick(now time.Time) int {
 		c.MarkDirty(app)
 	}
 	return len(expired)
+}
+
+// StartTicker starts a background driver that calls Tick with the wall
+// clock every interval — the daemon's cadence for surfacing expired
+// windows without a triggering store write. Idempotent while a driver
+// runs; a non-positive interval is a no-op. The driver is independent of
+// Start/Stop (Tick on a stopped engine finds no workers and marks
+// nothing), so the two lifecycles may be managed separately.
+func (c *Checker) StartTicker(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	tk := time.NewTicker(interval)
+	if !c.runTicker(tk.C, tk.Stop) {
+		tk.Stop()
+	}
+}
+
+// runTicker installs an arbitrary tick source — StartTicker hands it a
+// time.Ticker, tests inject a channel they feed from a fake clock — and
+// reports whether it was installed (false: a driver is already running).
+// cleanup, when non-nil, runs as the driver goroutine exits.
+func (c *Checker) runTicker(ticks <-chan time.Time, cleanup func()) bool {
+	c.mu.Lock()
+	if c.tickerStop != nil {
+		c.mu.Unlock()
+		return false
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	c.tickerStop, c.tickerDone = stop, done
+	c.mu.Unlock()
+	go func() {
+		defer close(done)
+		if cleanup != nil {
+			defer cleanup()
+		}
+		for {
+			select {
+			case now := <-ticks:
+				n := c.Tick(now)
+				c.mu.Lock()
+				c.stats.TickerTicks++
+				c.stats.TickerExpired += uint64(n)
+				c.mu.Unlock()
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return true
+}
+
+// StopTicker stops the ticker driver and waits for it to exit.
+// Idempotent; a no-op when no driver is running.
+func (c *Checker) StopTicker() {
+	c.mu.Lock()
+	stop, done := c.tickerStop, c.tickerDone
+	c.tickerStop, c.tickerDone = nil, nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
 }
 
 // WaitFor blocks until the engine has consumed every change-feed event up

@@ -342,6 +342,42 @@ func (r *Registry) Check(appID string) ([]*Outcome, error) {
 	return outcomes, nil
 }
 
+// CheckGraph evaluates every deployed control against a caller-supplied
+// trace graph — the point-in-time audit path: pair it with
+// store.TraceAsOf to ask "what would today's controls have said at
+// commit N?". Nothing is cached or materialized: the graph is not the
+// live trace, so its outcomes must not shadow the incremental result
+// cache, and writing control nodes for a historical reading would
+// corrupt the present. Cross-control binding reuse still applies within
+// the call via a throwaway cache.
+func (r *Registry) CheckGraph(appID string, g *provenance.Graph) ([]*Outcome, error) {
+	if g == nil {
+		return nil, fmt.Errorf("controls: nil graph")
+	}
+	r.mu.RLock()
+	cps := make([]*ControlPoint, 0, len(r.order))
+	for _, id := range r.order {
+		cps = append(cps, r.controls[id])
+	}
+	r.mu.RUnlock()
+
+	var bindings *rules.BindingCache
+	if !r.opts.DisableBindingReuse {
+		bindings = rules.NewBindingCache(&r.bindCounters)
+	}
+	outcomes := make([]*Outcome, 0, len(cps))
+	for _, cp := range cps {
+		res, err := safeEvaluate(cp, g, appID, bindings)
+		if err != nil {
+			return nil, err
+		}
+		outcomes = append(outcomes, &Outcome{
+			ControlID: cp.ID, Name: cp.Name, Version: cp.Version, Result: res,
+		})
+	}
+	return outcomes, nil
+}
+
 // safeEvaluate runs one evaluator, converting a panic into an error: a
 // misbehaving control must surface in the checker's error stats, not take
 // down the continuous engine (or the daemon hosting it). Evaluators that

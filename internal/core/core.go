@@ -83,6 +83,31 @@ type Config struct {
 	// instead of discriminating with the commits' write set (ablation
 	// D11, experiment E14).
 	DisableDeltaEval bool
+	// DisableTiering turns off the store's tiered-storage layer: Compact
+	// never demotes traces to sealed segments and existing segments are
+	// ignored (ablation D12, experiment E15).
+	DisableTiering bool
+	// SegmentColdAfter is the demotion policy: during store compaction a
+	// trace untouched for this many commits is sealed into an on-disk
+	// segment and dropped from the hot tier. Zero keeps every trace hot.
+	SegmentColdAfter uint64
+	// SegmentCacheMB caps the sealed-segment block cache in MiB
+	// (0 = store default, 32 MiB).
+	SegmentCacheMB int
+	// CompactEvery, when positive, runs store compaction on this cadence.
+	// Compaction is the demotion engine's heartbeat — SegmentColdAfter
+	// only takes effect when something calls Compact — so a durable
+	// daemon wanting automatic demotion sets both. Ticks are skipped
+	// while the store has not grown since the last compaction, so an
+	// idle system never rewrites its log. Zero leaves compaction to the
+	// caller.
+	CompactEvery time.Duration
+	// WindowTick, when positive, starts a wall-clock ticker that calls
+	// Checker.Tick at this cadence so traces whose sliding-window
+	// deadline passes without the target event re-surface to observers.
+	// Zero leaves the clock to the caller (Tick stays available);
+	// verdicts themselves never read the wall clock either way.
+	WindowTick time.Duration
 }
 
 // System is one wired instance of the paper's architecture.
@@ -103,7 +128,9 @@ type System struct {
 	// Config.DisableAsyncIngest is set.
 	Gateway *ingest.Gateway
 
-	continuous bool
+	continuous  bool
+	compactStop chan struct{} // non-nil while the compaction ticker runs
+	compactDone chan struct{}
 }
 
 // New builds and starts a system for a domain: opens the store against the
@@ -118,6 +145,9 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 		Dir: cfg.Dir, Model: d.Model, Sync: cfg.Sync, DisableIndexes: cfg.DisableIndexes,
 		FlushWindow: cfg.FlushWindow, DisableSnapshots: cfg.DisableSnapshots,
 		DisableRuleIndexes: cfg.DisableRuleIndexes,
+		DisableTiering:     cfg.DisableTiering,
+		SegmentColdAfter:   cfg.SegmentColdAfter,
+		SegmentCacheBytes:  int64(cfg.SegmentCacheMB) << 20,
 	})
 	if err != nil {
 		return nil, err
@@ -170,6 +200,12 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 	if cfg.Continuous {
 		sys.Correlator.Start()
 		sys.Checker.Start()
+	}
+	if cfg.WindowTick > 0 {
+		sys.Checker.StartTicker(cfg.WindowTick)
+	}
+	if cfg.CompactEvery > 0 && cfg.Dir != "" {
+		sys.startCompactor(cfg.CompactEvery)
 	}
 	if !cfg.DisableAsyncIngest {
 		if sys.Gateway, err = ingest.New(ingest.Config{
@@ -268,6 +304,34 @@ func (s *System) CheckAll() ([]*controls.Outcome, error) {
 	return out, nil
 }
 
+// startCompactor runs Compact on a cadence, skipping ticks while the
+// store has not grown — demotion (and log shrinkage) happens without an
+// operator in the loop, and an idle system never rewrites its log. A
+// failed compaction aborts cleanly (the store keeps serving from the old
+// log) and is retried on the next grown tick.
+func (s *System) startCompactor(every time.Duration) {
+	s.compactStop = make(chan struct{})
+	s.compactDone = make(chan struct{})
+	go func() {
+		defer close(s.compactDone)
+		tk := time.NewTicker(every)
+		defer tk.Stop()
+		var lastSeq uint64
+		for {
+			select {
+			case <-tk.C:
+				if seq := s.Store.Stats().Seq; seq != lastSeq {
+					if s.Store.Compact() == nil {
+						lastSeq = seq
+					}
+				}
+			case <-s.compactStop:
+				return
+			}
+		}
+	}()
+}
+
 // Close drains the ingestion gateway (admitted events are flushed, not
 // dropped), stops continuous workers, and closes the store.
 func (s *System) Close() error {
@@ -275,6 +339,12 @@ func (s *System) Close() error {
 	if s.Gateway != nil {
 		gerr = s.Gateway.Close()
 	}
+	if s.compactStop != nil {
+		close(s.compactStop)
+		<-s.compactDone
+		s.compactStop = nil
+	}
+	s.Checker.StopTicker()
 	if s.continuous {
 		s.Checker.Stop()
 		s.Correlator.Stop()

@@ -285,3 +285,56 @@ if the approval of 'the request' exists then the internal control is satisfied ;
 		t.Fatal("removed control resurrected")
 	}
 }
+
+// TestSystemTieredDemotion wires the tier knobs through core: a durable
+// system with an aggressive cold threshold and a fast compaction
+// heartbeat demotes untouched traces to sealed segments on its own, and
+// demoted traces stay fully checkable. The ablation keeps everything
+// resident.
+func TestSystemTieredDemotion(t *testing.T) {
+	d := hiring(t)
+	sys, err := core.New(d, core.Config{
+		Dir:              t.TempDir(),
+		SegmentColdAfter: 1,
+		CompactEvery:     5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	res := d.Simulate(workload.SimOptions{Seed: 11, Traces: 6, ViolationRate: 0.3, Visibility: 1.0})
+	if err := sys.Ingest(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CorrelateAll(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.Store.Tiering().SealedTraces == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("compaction heartbeat never demoted: %+v", sys.Store.Tiering())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Demoted traces still answer compliance checks through rehydration.
+	out, err := sys.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 6*len(d.Controls) {
+		t.Fatalf("outcomes = %d, want %d", len(out), 6*len(d.Controls))
+	}
+
+	abl, err := core.New(d, core.Config{Dir: t.TempDir(), DisableTiering: true, SegmentColdAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer abl.Close()
+	if ti := abl.Store.Tiering(); ti.Enabled {
+		t.Fatalf("ablation reports tiering enabled: %+v", ti)
+	}
+	if err := abl.Store.DemoteTraces("x"); err == nil {
+		t.Fatal("ablation accepted a demotion")
+	}
+}

@@ -112,6 +112,7 @@ func All(quick bool) []Runner {
 	e14Commits := 64
 	e14Duration := 1200 * time.Millisecond
 	e14Rate := 200.0
+	e15Sizes := []int{1000, 10000}
 	if quick {
 		traces = 300
 		e5Sizes = []int{200, 500, 1000}
@@ -127,6 +128,7 @@ func All(quick bool) []Runner {
 		e14Commits = 24
 		e14Duration = 400 * time.Millisecond
 		e14Rate = 100
+		e15Sizes = []int{150, 1500}
 	}
 	return []Runner{
 		{"E1", "Table 1 storage rows", func() (*Table, error) { return E1Table1(traces) }},
@@ -150,6 +152,9 @@ func All(quick bool) []Runner {
 		}},
 		{"E14", "delta-driven evaluation vs full re-evaluation", func() (*Table, error) {
 			return E14Delta(e14Sizes, e14Commits, e14Duration, e14Rate)
+		}},
+		{"E15", "tiered storage vs all-resident ablation", func() (*Table, error) {
+			return E15Tiering(e15Sizes)
 		}},
 	}
 }

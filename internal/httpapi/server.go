@@ -11,11 +11,13 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/controls"
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/ingest"
 	"repro/internal/provenance"
 	"repro/internal/query"
+	"repro/internal/store"
 	"repro/internal/viz"
 )
 
@@ -42,6 +44,7 @@ func NewServer(sys *core.System, continuous bool) *Server {
 	s.mux.HandleFunc("/graph.dot", s.handleGraphDOT)
 	s.mux.HandleFunc("/rows", s.handleRows)
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/segments", s.handleSegments)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/report", s.handleReport)
 	return s
@@ -254,13 +257,47 @@ type outcomeJSON struct {
 	Binds   map[string][]string `json:"bindings,omitempty"`
 }
 
-// handleCompliance checks one trace (?app=) or all traces.
+// asOfParam parses the optional ?asof= store sequence. ok is false when
+// the parameter is present but malformed (the handler has replied).
+func asOfParam(w http.ResponseWriter, r *http.Request) (seq uint64, present, ok bool) {
+	raw := r.URL.Query().Get("asof")
+	if raw == "" {
+		return 0, false, true
+	}
+	seq, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("asof: %v", err))
+		return 0, true, false
+	}
+	return seq, true, true
+}
+
+// handleCompliance checks one trace (?app=) or all traces. With ?asof=N
+// the named trace is read at store sequence N (a sealed segment or the
+// live state, whichever held it then) and today's deployed controls are
+// evaluated against that historical graph — the audit question "what
+// would the verdicts have been at commit N?". As-of outcomes are not
+// recorded on the dashboard: historical readings must not move live KPIs.
 func (s *Server) handleCompliance(w http.ResponseWriter, r *http.Request) {
 	app := r.URL.Query().Get("app")
+	asof, asofSet, ok := asOfParam(w, r)
+	if !ok {
+		return
+	}
 	var err error
 	var outcomes []outcomeJSON
 	appendOutcomes := func(app string) error {
-		res, err := s.sys.Check(app)
+		var res []*controls.Outcome
+		var err error
+		if asofSet {
+			g, _, gerr := s.sys.Store.TraceAsOf(app, asof)
+			if gerr != nil {
+				return gerr
+			}
+			res, err = s.sys.Registry.CheckGraph(app, g)
+		} else {
+			res, err = s.sys.Check(app)
+		}
 		if err != nil {
 			return err
 		}
@@ -276,6 +313,10 @@ func (s *Server) handleCompliance(w http.ResponseWriter, r *http.Request) {
 	}
 	if app != "" {
 		err = appendOutcomes(app)
+	} else if asofSet {
+		err = fmt.Errorf("asof requires the app parameter")
+		writeErr(w, http.StatusBadRequest, err)
+		return
 	} else {
 		for _, a := range s.sys.Store.AppIDs() {
 			if err = appendOutcomes(a); err != nil {
@@ -324,16 +365,21 @@ type edgeJSON struct {
 
 // handleGraph returns the provenance subgraph of one trace — the query
 // frontend that "enables visualization and navigation through the
-// provenance graph from the outside".
+// provenance graph from the outside". With ?asof=N the trace is read at
+// store sequence N, served from whichever tier held it then (sealed
+// segment or live state) — the point-in-time audit view.
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	app := r.URL.Query().Get("app")
 	if app == "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("app parameter required"))
 		return
 	}
+	asof, asofSet, ok := asOfParam(w, r)
+	if !ok {
+		return
+	}
 	out := graphJSON{AppID: app}
-	err := s.sys.Store.View(func(g *provenance.Graph) error {
-		tr := g.Trace(app)
+	render := func(tr *provenance.Graph) {
 		for _, n := range tr.Nodes(provenance.NodeFilter{}) {
 			attrs := make(map[string]string, len(n.Attrs))
 			for k, v := range n.Attrs {
@@ -348,8 +394,21 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 				ID: e.ID, Type: e.Type, Source: e.Source, Target: e.Target,
 			})
 		}
-		return nil
-	})
+	}
+	var err error
+	if asofSet {
+		var g *provenance.Graph
+		if g, _, err = s.sys.Store.TraceAsOf(app, asof); err == nil {
+			render(g)
+		}
+	} else {
+		// ViewTrace, not View: a demoted trace is served from its sealed
+		// segment instead of rendering empty.
+		err = s.sys.Store.ViewTrace(app, func(g *provenance.Graph, _ uint64) error {
+			render(g.Trace(app))
+			return nil
+		})
+	}
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -367,7 +426,7 @@ func (s *Server) handleGraphDOT(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := viz.Options{HideTaskOrder: r.URL.Query().Get("order") == "off"}
 	var dot string
-	err := s.sys.Store.View(func(g *provenance.Graph) error {
+	err := s.sys.Store.ViewTrace(app, func(g *provenance.Graph, _ uint64) error {
 		dot = viz.TraceDOT(g, app, opts)
 		return nil
 	})
@@ -473,6 +532,17 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleSegments lists the sealed on-disk segments with their zone maps
+// and bloom statistics — the operator's view of the cold tier (`pctl
+// segments`).
+func (s *Server) handleSegments(w http.ResponseWriter, r *http.Request) {
+	segs := s.sys.Store.Segments()
+	if segs == nil {
+		segs = []store.SegmentInfo{}
+	}
+	writeJSON(w, http.StatusOK, segs)
+}
+
 // handleStats returns store, pipeline and continuous-checking statistics.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	storeStats := s.sys.Store.Stats()
@@ -490,6 +560,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"correlate":   s.sys.Correlator.Stats(),
 		"checker":     s.sys.Checker.Stats(),
 		"cache":       s.sys.Registry.CacheStats(),
+		"tiering":     storeStats.Tiering,
 		"bindings":    s.sys.Registry.BindingStats(),
 		"delta":       s.sys.Registry.DeltaStats(),
 		"plans":       s.sys.Registry.Plans(),

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -288,6 +289,143 @@ func TestServerDashboardAndStats(t *testing.T) {
 	if seq, ok := stats["seq"].(float64); !ok || seq <= 0 {
 		t.Fatalf("stats.seq = %v, want a positive commit sequence", stats["seq"])
 	}
+}
+
+// TestServerTieringAndAsOf exercises the tiered-storage surface: tiering
+// counters in /stats, the /segments listing, and ?asof= point-in-time
+// reads on /graph and /compliance served from a sealed segment.
+func TestServerTieringAndAsOf(t *testing.T) {
+	d, err := workload.Hiring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(d, core.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	s := NewServer(sys, false)
+	ingestSim(t, s, d, 3)
+	app := "hiring-000000"
+	sealSeq := sys.Store.Stats().Seq
+
+	graphIDs := func(path string) []string {
+		t.Helper()
+		rec, body := do(t, s, http.MethodGet, path, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: %d %s", path, rec.Code, body)
+		}
+		var g struct {
+			Nodes []struct {
+				ID string `json:"id"`
+			} `json:"nodes"`
+		}
+		if err := json.Unmarshal(body, &g); err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]string, 0, len(g.Nodes))
+		for _, n := range g.Nodes {
+			ids = append(ids, n.ID)
+		}
+		sort.Strings(ids)
+		return ids
+	}
+	verdicts := func(path string) string {
+		t.Helper()
+		rec, body := do(t, s, http.MethodGet, path, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: %d %s", path, rec.Code, body)
+		}
+		var out []outcomeJSON
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, o := range out {
+			fmt.Fprintf(&b, "%s=%s;", o.Control, o.Verdict)
+		}
+		return b.String()
+	}
+
+	liveGraph := graphIDs("/graph?app=" + app)
+	liveVerdicts := verdicts("/compliance?app=" + app)
+	if len(liveGraph) == 0 || liveVerdicts == "" {
+		t.Fatalf("empty live reads: %v %q", liveGraph, liveVerdicts)
+	}
+	if err := sys.Store.DemoteTraces(app); err != nil {
+		t.Fatal(err)
+	}
+
+	// The demoted trace reads identically at its seal point.
+	asof := fmt.Sprintf("&asof=%d", sealSeq)
+	if got := graphIDs("/graph?app=" + app + asof); !slicesEqual(got, liveGraph) {
+		t.Fatalf("as-of graph = %v, want %v", got, liveGraph)
+	}
+	if got := verdicts("/compliance?app=" + app + asof); got != liveVerdicts {
+		t.Fatalf("as-of verdicts = %q, want %q", got, liveVerdicts)
+	}
+
+	// Plain (non-asof) reads are cold-transparent too: the demoted trace
+	// renders from its sealed segment instead of coming back empty.
+	if got := graphIDs("/graph?app=" + app); !slicesEqual(got, liveGraph) {
+		t.Fatalf("cold graph = %v, want %v", got, liveGraph)
+	}
+	if rec, body := do(t, s, http.MethodGet, "/graph.dot?app="+app, nil); rec.Code != http.StatusOK || !strings.Contains(string(body), app) {
+		t.Fatalf("cold graph.dot: %d %.120s", rec.Code, body)
+	}
+
+	rec, body := do(t, s, http.MethodGet, "/segments", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("segments: %d %s", rec.Code, body)
+	}
+	var segs []map[string]any
+	if err := json.Unmarshal(body, &segs); err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0]["traces"].(float64) != 1 {
+		t.Fatalf("segments = %s", body)
+	}
+
+	rec, body = do(t, s, http.MethodGet, "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	var stats struct {
+		Tiering struct {
+			Enabled      bool `json:"enabled"`
+			Segments     int  `json:"segments"`
+			SealedTraces int  `json:"sealed_traces"`
+		} `json:"tiering"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Tiering.Enabled || stats.Tiering.Segments != 1 || stats.Tiering.SealedTraces != 1 {
+		t.Fatalf("stats.tiering = %+v", stats.Tiering)
+	}
+
+	// Malformed and unanswerable as-of requests fail loudly.
+	if rec, _ := do(t, s, http.MethodGet, "/graph?app="+app+"&asof=bogus", nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bogus asof: %d", rec.Code)
+	}
+	if rec, _ := do(t, s, http.MethodGet, "/compliance?asof=1", nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("asof without app: %d", rec.Code)
+	}
+	if rec, _ := do(t, s, http.MethodGet, "/graph?app=no-such-trace&asof=1", nil); rec.Code == http.StatusOK {
+		t.Fatal("as-of read of an unknown trace succeeded")
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestServerMethodChecks(t *testing.T) {

@@ -79,7 +79,15 @@ type router struct {
 type routerStripe struct {
 	mu sync.RWMutex
 	m  map[string]string
+	// peak is the stripe's high-water entry count. Go maps never release
+	// bucket arrays on delete, so after a large eviction the map would
+	// keep its peak footprint forever; drop rebuilds the map once it has
+	// shrunk well below peak, which is what actually returns the memory.
+	peak int
 }
+
+// routerShrinkSlack keeps tiny stripes from rebuilding on every drop.
+const routerShrinkSlack = 64
 
 func newRouter() *router {
 	r := &router{}
@@ -101,7 +109,44 @@ func (r *router) put(id, app string) {
 	st := &r.stripes[fnv32(id)%routerStripes]
 	st.mu.Lock()
 	st.m[id] = app
+	if len(st.m) > st.peak {
+		st.peak = len(st.m)
+	}
 	st.mu.Unlock()
+}
+
+// drop removes a batch of IDs. Used when a trace's records leave the hot
+// tier for good (demotion to a sealed segment): retaining the entries
+// would grow the router linearly with total trace count and defeat
+// tiering's bounded-memory goal. See Graph.EvictRouting for the
+// visibility contract.
+func (r *router) drop(ids []string) {
+	var grouped [routerStripes][]string
+	for _, id := range ids {
+		si := fnv32(id) % routerStripes
+		grouped[si] = append(grouped[si], id)
+	}
+	for si := range grouped {
+		if len(grouped[si]) == 0 {
+			continue
+		}
+		st := &r.stripes[si]
+		st.mu.Lock()
+		for _, id := range grouped[si] {
+			delete(st.m, id)
+		}
+		// Rebuild once well below peak; halving the trigger each time
+		// keeps total rebuild work linear across a long demotion run.
+		if st.peak > 2*len(st.m)+routerShrinkSlack {
+			m := make(map[string]string, len(st.m))
+			for k, v := range st.m {
+				m[k] = v
+			}
+			st.m = m
+			st.peak = len(m)
+		}
+		st.mu.Unlock()
+	}
 }
 
 // traceShard holds one trace's records: node and edge maps, adjacency
@@ -216,6 +261,14 @@ type GraphCopyStats struct {
 // adjacency lists for incoming and outgoing relation edges, sharded by
 // trace (every record carries an AppID and edges never cross traces, so
 // a trace shard is a self-contained subgraph).
+//
+// The graph holds only the HOT tier: traces the store demotes to sealed
+// on-disk segments leave the graph entirely (DropTrace, then
+// EvictRouting for their record-ID router entries) and come back on
+// demand (RestoreTrace), so resident memory — shards AND router — tracks
+// the working set, not the total trace count. ID-based reads of demoted
+// records resolve through the segments' row-ID bloom filters instead of
+// the router.
 //
 // A Graph is either mutable (the store's single working graph, mutated
 // under the store's write serialization) or frozen (returned by
@@ -794,6 +847,161 @@ func (g *Graph) Trace(appID string) *Graph {
 	t.nNodes = len(sh.nodes)
 	t.nEdges = len(sh.edges)
 	return t
+}
+
+// NumTraces reports the number of resident trace shards.
+func (g *Graph) NumTraces() int {
+	n := 0
+	for _, b := range g.buckets {
+		if b != nil {
+			n += len(b.shards)
+		}
+	}
+	return n
+}
+
+// TraceHint resolves a record ID to its owning trace through the shared
+// router alone, without requiring the trace's shard to be resident. The
+// store's tiering layer uses it to route ID-based reads to cold traces;
+// in-graph visibility checks should use TraceOf instead.
+func (g *Graph) TraceHint(id string) (appID string, ok bool) {
+	return g.router.get(id)
+}
+
+// DropTrace removes a trace's shard from the graph (demotion to a sealed
+// segment). Router entries for the trace's records are NOT touched here;
+// the store evicts them separately with EvictRouting once the sealed
+// segment is registered and can answer ID-based reads itself. Previously
+// published snapshots are untouched: the bucket is cloned out of frozen
+// epochs first. Returns false when the trace is not resident.
+func (g *Graph) DropTrace(appID string) bool {
+	if g.frozen {
+		return false
+	}
+	bi := fnv32(appID) % graphBuckets
+	b := g.buckets[bi]
+	if b == nil {
+		return false
+	}
+	sh := b.shards[appID]
+	if sh == nil {
+		return false
+	}
+	if b.epoch != g.epoch {
+		nb := &traceBucket{epoch: g.epoch, shards: make(map[string]*traceShard, len(b.shards))}
+		for k, v := range b.shards {
+			nb.shards[k] = v
+		}
+		b = nb
+		g.buckets[bi] = b
+	}
+	delete(b.shards, appID)
+	g.nNodes -= len(sh.nodes)
+	g.nEdges -= len(sh.edges)
+	return true
+}
+
+// Vacuum rebuilds every bucket's shard map at its current size. Go maps
+// never release bucket arrays on delete, so after a mass demotion
+// (many DropTrace calls) the buckets would keep their peak footprint
+// forever; rebuilding them is what actually returns the memory.
+// Published snapshots hold their own bucket pointers and are untouched.
+// No-op on frozen graphs.
+func (g *Graph) Vacuum() {
+	if g.frozen {
+		return
+	}
+	for bi, b := range g.buckets {
+		if b == nil {
+			continue
+		}
+		nb := &traceBucket{epoch: g.epoch, shards: make(map[string]*traceShard, len(b.shards))}
+		for k, v := range b.shards {
+			nb.shards[k] = v
+		}
+		g.buckets[bi] = nb
+	}
+}
+
+// EvictRouting removes the given record IDs from the shared record-ID
+// router. The router is shared by the working graph and every snapshot,
+// so eviction is global: it must only run once the records' sealed
+// segment is registered and serves ID-based reads, and only for traces
+// no snapshot still needs to route by raw ID. Trace-level reads (by app
+// ID) never touch the router and are unaffected. Without eviction the
+// router grows with every record ever written — linear in total trace
+// count — which is exactly the memory curve tiering exists to flatten.
+// A later write to the trace promotes it, and RestoreTrace re-inserts
+// the entries, so duplicate-ID detection for redelivered events still
+// holds (promotion is keyed by app ID, not by the router).
+func (g *Graph) EvictRouting(ids []string) {
+	g.router.drop(ids)
+}
+
+// RestoreTrace rebuilds a demoted trace's shard from its sealed rows and
+// pins the trace's version counter to the sealed value, so hot and cold
+// reads agree on versions. It bypasses AddNode/AddEdge's router duplicate
+// checks — the router deliberately still knows the demoted IDs — but
+// keeps their ordering requirement: nodes must precede the edges that
+// reference them. Restoring over a resident shard is an error; the store
+// serializes demotion and promotion so the case is always a caller bug.
+func (g *Graph) RestoreTrace(appID string, nodes []*Node, edges []*Edge, ver uint64) error {
+	if g.frozen {
+		return ErrFrozen
+	}
+	if g.shard(appID) != nil {
+		return fmt.Errorf("provenance: restore of resident trace %s", appID)
+	}
+	sh := g.shardForWrite(appID)
+	for _, n := range nodes {
+		if n == nil || n.AppID != appID {
+			return fmt.Errorf("provenance: restore of trace %s given foreign node", appID)
+		}
+		if _, dup := sh.nodes[n.ID]; dup {
+			continue
+		}
+		sh.nodes[n.ID] = n
+		sh.nodeIDs = insertSorted(sh.nodeIDs, n.ID)
+		sh.byClass[n.Class] = insertSorted(sh.byClass[n.Class], n.ID)
+		sh.byType[n.Type] = insertSorted(sh.byType[n.Type], n.ID)
+		g.router.put(n.ID, appID)
+		g.nNodes++
+	}
+	for _, e := range edges {
+		if e == nil || e.AppID != appID {
+			return fmt.Errorf("provenance: restore of trace %s given foreign edge", appID)
+		}
+		if _, dup := sh.edges[e.ID]; dup {
+			continue
+		}
+		if _, ok := sh.nodes[e.Source]; !ok {
+			return fmt.Errorf("provenance: restored edge %s references missing source %s", e.ID, e.Source)
+		}
+		if _, ok := sh.nodes[e.Target]; !ok {
+			return fmt.Errorf("provenance: restored edge %s references missing target %s", e.ID, e.Target)
+		}
+		sh.edges[e.ID] = e
+		sh.out[e.Source] = insertSorted(sh.out[e.Source], e.ID)
+		sh.in[e.Target] = insertSorted(sh.in[e.Target], e.ID)
+		sh.outT[adjKey{e.Source, e.Type}] = insertSorted(sh.outT[adjKey{e.Source, e.Type}], e.ID)
+		sh.inT[adjKey{e.Target, e.Type}] = insertSorted(sh.inT[adjKey{e.Target, e.Type}], e.ID)
+		sh.edgeIDs = insertSorted(sh.edgeIDs, e.ID)
+		g.router.put(e.ID, appID)
+		g.nEdges++
+	}
+	sh.ver = ver
+	return nil
+}
+
+// SetTraceVersion pins a trace's version counter. Log replay uses it to
+// apply the opTraceVer entries promotion writes; outside replay the
+// counter only ever moves through mutations.
+func (g *Graph) SetTraceVersion(appID string, ver uint64) error {
+	if g.frozen {
+		return ErrFrozen
+	}
+	g.shardForWrite(appID).ver = ver
+	return nil
 }
 
 // AppIDs returns the distinct trace identifiers present in the graph,

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// bloom is a classic Bloom filter over strings, used by sealed segments to
+// answer "might this segment contain trace/class/type X" without touching
+// the segment file. It is built once at seal time and immutable afterwards,
+// so concurrent readers probe it without locks.
+//
+// The k probe positions come from Kirsch-Mitzenhenmacher double hashing of
+// one 64-bit FNV-1a digest: position_i = h1 + i*h2 (mod m). False positives
+// are possible (the tier counts them); false negatives are not — the fuzz
+// target in bloom_fuzz_test.go holds that invariant over arbitrary key sets.
+type bloom struct {
+	bits []uint64
+	m    uint64 // total bit count (len(bits)*64)
+	k    uint32
+}
+
+// bloomBitsPerKey is the seal-time sizing: ~10 bits per key with k=7
+// probes yields a ~1% false-positive rate, the standard trade-off.
+const bloomBitsPerKey = 10
+
+// newBloom sizes a filter for n keys. n <= 0 still allocates one word so a
+// probe is always well-defined (and answers "maybe" only on a true hit).
+func newBloom(n int) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	words := (n*bloomBitsPerKey + 63) / 64
+	b := &bloom{bits: make([]uint64, words), k: 7}
+	b.m = uint64(words) * 64
+	return b
+}
+
+// fnv64a is an inline 64-bit FNV-1a digest.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// hashes derives the double-hashing pair from one digest. h2 is forced odd
+// so it is coprime with the power-of-two modulus and the probe sequence
+// covers distinct positions.
+func (b *bloom) hashes(s string) (uint64, uint64) {
+	h1 := fnv64a(s)
+	h2 := (h1>>33 | h1<<31) | 1
+	return h1, h2
+}
+
+// add inserts a key.
+func (b *bloom) add(s string) {
+	h1, h2 := b.hashes(s)
+	for i := uint32(0); i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// mightContain reports whether the key may have been added. A false result
+// is definitive.
+func (b *bloom) mightContain(s string) bool {
+	h1, h2 := b.hashes(s)
+	for i := uint32(0); i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fillRatio is the fraction of set bits — the operator-facing saturation
+// statistic pctl segments prints (estimated FPP is fillRatio^k).
+func (b *bloom) fillRatio() float64 {
+	ones := 0
+	for _, w := range b.bits {
+		for ; w != 0; w &= w - 1 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(b.m)
+}
+
+// estFPP estimates the false-positive probability from the fill ratio.
+func (b *bloom) estFPP() float64 {
+	return math.Pow(b.fillRatio(), float64(b.k))
+}
+
+// marshal serializes the filter: k (4 bytes LE) + the bit words.
+func (b *bloom) marshal() []byte {
+	out := make([]byte, 4+len(b.bits)*8)
+	binary.LittleEndian.PutUint32(out[:4], b.k)
+	for i, w := range b.bits {
+		binary.LittleEndian.PutUint64(out[4+i*8:], w)
+	}
+	return out
+}
+
+// unmarshalBloom rebuilds a filter from marshal's output.
+func unmarshalBloom(raw []byte) (*bloom, error) {
+	if len(raw) < 4+8 || (len(raw)-4)%8 != 0 {
+		return nil, fmt.Errorf("store: bloom blob is %d bytes", len(raw))
+	}
+	b := &bloom{k: binary.LittleEndian.Uint32(raw[:4])}
+	if b.k == 0 || b.k > 32 {
+		return nil, fmt.Errorf("store: bloom k=%d out of range", b.k)
+	}
+	b.bits = make([]uint64, (len(raw)-4)/8)
+	for i := range b.bits {
+		b.bits[i] = binary.LittleEndian.Uint64(raw[4+i*8:])
+	}
+	b.m = uint64(len(b.bits)) * 64
+	return b, nil
+}

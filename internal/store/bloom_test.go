@@ -1,0 +1,85 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := newBloom(1000)
+	for i := 0; i < 1000; i++ {
+		b.add(fmt.Sprintf("trace-%04d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.mightContain(fmt.Sprintf("trace-%04d", i)) {
+			t.Fatalf("false negative for trace-%04d", i)
+		}
+	}
+	// At ~10 bits/key the false-positive rate should stay in the low
+	// percent range; 20% would mean the hash mixing is broken.
+	fp := 0
+	for i := 0; i < 5000; i++ {
+		if b.mightContain(fmt.Sprintf("absent-%04d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 5000; rate > 0.05 {
+		t.Fatalf("false-positive rate %.3f too high", rate)
+	}
+	if est := b.estFPP(); est > 0.05 {
+		t.Fatalf("estimated FPP %.3f too high", est)
+	}
+}
+
+func TestBloomMarshalRoundTrip(t *testing.T) {
+	b := newBloom(64)
+	keys := []string{"", "a", "A", "app-1", "app-2", "日本語"}
+	for _, k := range keys {
+		b.add(k)
+	}
+	rb, err := unmarshalBloom(b.marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.m != b.m || rb.k != b.k {
+		t.Fatalf("shape changed: %d/%d -> %d/%d", b.m, b.k, rb.m, rb.k)
+	}
+	for _, k := range keys {
+		if !rb.mightContain(k) {
+			t.Fatalf("false negative after round trip: %q", k)
+		}
+	}
+	if _, err := unmarshalBloom([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short marshal accepted")
+	}
+	if _, err := unmarshalBloom(make([]byte, 12)); err == nil {
+		t.Fatal("invalid word alignment accepted")
+	}
+}
+
+// FuzzBloomNoFalseNegatives is the satellite fuzz target: whatever key
+// goes in must still test positive, before and after a marshal round
+// trip. Bloom filters may lie "yes", never "no" — a false negative would
+// make a sealed trace silently unreadable.
+func FuzzBloomNoFalseNegatives(f *testing.F) {
+	f.Add("app-1", "other")
+	f.Add("", "x")
+	f.Add("日本語-trace", "日本語-trac")
+	f.Fuzz(func(t *testing.T, key, probe string) {
+		b := newBloom(4)
+		b.add(key)
+		if !b.mightContain(key) {
+			t.Fatalf("false negative for %q", key)
+		}
+		rb, err := unmarshalBloom(b.marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rb.mightContain(key) {
+			t.Fatalf("false negative after round trip for %q", key)
+		}
+		// probe exercises mightContain on arbitrary input; any answer is
+		// legal, it just must not panic.
+		_ = rb.mightContain(probe)
+	})
+}

@@ -1,0 +1,151 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// blockCache is the byte-capped LRU fronting sealed-segment reads. It
+// holds three kinds of values, distinguished by the key's blk field:
+//
+//	blk >= 0           decoded data block ([]entry)
+//	blk == cacheFooter parsed footer (*segFooter)
+//	blk == cacheTrace  materialized read-only trace graph
+//
+// Capacity is in estimated bytes, not entries, so one huge block cannot
+// masquerade as one cheap slot. Counters feed TieringStats.
+type blockCache struct {
+	mu  sync.Mutex
+	cap int64
+	cur int64
+	lru *list.List // front = most recent; values are *cacheEnt
+	ent map[cacheKey]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+const (
+	cacheFooter = -1
+	cacheTrace  = -2
+)
+
+type cacheKey struct {
+	seg uint64
+	blk int
+	app string // "" for blocks and footers
+}
+
+type cacheEnt struct {
+	key  cacheKey
+	val  any
+	size int64
+}
+
+// defaultCacheBytes is the block cache's default capacity.
+const defaultCacheBytes = 32 << 20
+
+func newBlockCache(capBytes int64) *blockCache {
+	if capBytes <= 0 {
+		capBytes = defaultCacheBytes
+	}
+	return &blockCache{cap: capBytes, lru: list.New(), ent: make(map[cacheKey]*list.Element)}
+}
+
+// get returns the cached value for key, promoting it to most-recent.
+func (c *blockCache) get(key cacheKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.ent[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEnt).val, true
+}
+
+// put inserts (or replaces) key, evicting from the cold end until the
+// byte budget holds. A value bigger than the whole cache is stored alone:
+// callers get the caching they asked for and the next insert evicts it.
+func (c *blockCache) put(key cacheKey, val any, size int64) {
+	if size < 1 {
+		size = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.ent[key]; ok {
+		ce := el.Value.(*cacheEnt)
+		c.cur += size - ce.size
+		ce.val, ce.size = val, size
+		c.lru.MoveToFront(el)
+	} else {
+		c.ent[key] = c.lru.PushFront(&cacheEnt{key: key, val: val, size: size})
+		c.cur += size
+	}
+	for c.cur > c.cap && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		ce := back.Value.(*cacheEnt)
+		c.lru.Remove(back)
+		delete(c.ent, ce.key)
+		c.cur -= ce.size
+		c.evictions++
+	}
+}
+
+// dropSegment invalidates every entry belonging to segment id (used when
+// a segment file is retired).
+func (c *blockCache) dropSegment(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		ce := el.Value.(*cacheEnt)
+		if ce.key.seg == id {
+			c.lru.Remove(el)
+			delete(c.ent, ce.key)
+			c.cur -= ce.size
+		}
+		el = next
+	}
+}
+
+// CacheStats is the block cache's observable state.
+type CacheStats struct {
+	CapBytes  int64  `json:"cap_bytes"`
+	UsedBytes int64  `json:"used_bytes"`
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func (c *blockCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		CapBytes: c.cap, UsedBytes: c.cur, Entries: c.lru.Len(),
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}
+
+// entriesSize estimates the resident bytes of a decoded block.
+func entriesSize(es []entry) int64 {
+	sz := int64(len(es)) * 64
+	for _, e := range es {
+		sz += int64(len(e.row.ID) + len(e.row.Class) + len(e.row.AppID) + len(e.row.XML))
+	}
+	return sz
+}
+
+// footerSize estimates the resident bytes of a parsed footer.
+func footerSize(ft *segFooter) int64 {
+	sz := int64(256 + len(ft.Blocks)*16)
+	for _, tr := range ft.Traces {
+		sz += int64(64 + len(tr.App))
+	}
+	sz += int64(len(ft.BloomTrace) + len(ft.BloomClass) + len(ft.BloomType))
+	return sz
+}

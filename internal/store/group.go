@@ -187,12 +187,25 @@ func (c *committer) process(batch []*commitReq) {
 	total := batchEntries(batch)
 	s.logMu.Lock()
 	var err error
+	var promos []*pendingPromo
+	staged := map[string]bool{}
 	if s.log == nil {
 		err = errClosed
 	} else {
 	write:
 		for _, req := range batch {
 			for _, e := range req.entries {
+				// A batch entry landing on a sealed trace promotes it:
+				// base frames enter the buffer ahead of the delta frame
+				// and share the batch's flush+fsync; the in-memory
+				// restore waits until that fsync succeeds.
+				var promo *pendingPromo
+				if promo, err = s.stagePromotionLocked(e.row.AppID, staged); err != nil {
+					break write
+				}
+				if promo != nil {
+					promos = append(promos, promo)
+				}
 				if err = s.log.writeEntry(e); err != nil {
 					break write
 				}
@@ -208,6 +221,9 @@ func (c *committer) process(batch []*commitReq) {
 				s.stats.SyncFailures.Add(1)
 			}
 		}
+	}
+	if err == nil {
+		err = s.applyPromotionsLocked(promos)
 	}
 	if err != nil {
 		for _, req := range batch {

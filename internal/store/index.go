@@ -149,6 +149,28 @@ func (x *indexSet) remove(n *provenance.Node) {
 	}
 }
 
+// vacuum rebuilds every value bucket's map at its current size. Go maps
+// never release bucket arrays on delete, so after a mass demotion
+// unindexes thousands of nodes the buckets would keep their peak
+// footprint; rebuilding them returns the memory. Published snapshots
+// keep their own index/bucket pointers and are untouched.
+func (x *indexSet) vacuum() {
+	for k, ix := range x.byField {
+		nix := &ixIndex{epoch: x.epoch}
+		for bi, b := range ix.buckets {
+			if b == nil {
+				continue
+			}
+			nb := &ixBucket{epoch: x.epoch, vals: make(map[string][]string, len(b.vals))}
+			for vk, ids := range b.vals {
+				nb.vals[vk] = ids
+			}
+			nix.buckets[bi] = nb
+		}
+		x.byField[k] = nix
+	}
+}
+
 // lookup returns the IDs indexed under (type, field, value) and whether an
 // index exists for the pair. The returned slice is immutable — posting
 // lists are never mutated in place — so callers may retain it but must

@@ -45,6 +45,11 @@ const (
 	// opCompactMark is a compaction watermark: every side-log generation
 	// up to and including its value is folded into the frames that follow.
 	opCompactMark
+	// opTraceVer pins one trace's version counter. Promotion re-logs a
+	// sealed trace's base rows followed by this entry so replay rebuilds
+	// the trace at exactly the version it was sealed at; per-row replays
+	// alone would restart the counter from the row count.
+	opTraceVer
 )
 
 var errTornFrame = errors.New("store: torn or corrupt log frame")
@@ -62,6 +67,19 @@ func encodeEntry(e entry) []byte {
 		buf := make([]byte, 9)
 		buf[0] = byte(e.op)
 		binary.LittleEndian.PutUint64(buf[1:], e.gen)
+		return buf
+	}
+	if e.op == opTraceVer {
+		// op + version (reusing gen) + length-prefixed trace ID.
+		buf := make([]byte, 0, 13+len(e.row.AppID))
+		buf = append(buf, byte(e.op))
+		var verb [8]byte
+		binary.LittleEndian.PutUint64(verb[:], e.gen)
+		buf = append(buf, verb[:]...)
+		var lenb [4]byte
+		binary.LittleEndian.PutUint32(lenb[:], uint32(len(e.row.AppID)))
+		buf = append(buf, lenb[:]...)
+		buf = append(buf, e.row.AppID...)
 		return buf
 	}
 	cols := [4]string{e.row.ID, e.row.Class, e.row.AppID, e.row.XML}
@@ -90,6 +108,18 @@ func decodeEntry(payload []byte) (entry, error) {
 			return entry{}, fmt.Errorf("store: compact marker payload is %d bytes", len(payload))
 		}
 		e.gen = binary.LittleEndian.Uint64(payload[1:])
+		return e, nil
+	}
+	if e.op == opTraceVer {
+		if len(payload) < 13 {
+			return entry{}, fmt.Errorf("store: trace-version payload is %d bytes", len(payload))
+		}
+		e.gen = binary.LittleEndian.Uint64(payload[1:9])
+		n := binary.LittleEndian.Uint32(payload[9:13])
+		if uint32(len(payload)-13) != n {
+			return entry{}, fmt.Errorf("store: trace-version payload length mismatch")
+		}
+		e.row.AppID = string(payload[13:])
 		return e, nil
 	}
 	if e.op != opPutNode && e.op != opPutEdge && e.op != opUpdateNode {

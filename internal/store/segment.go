@@ -1,0 +1,487 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A sealed segment is an immutable on-disk file holding the full row sets
+// of traces demoted out of the hot tier. Layout:
+//
+//	8-byte magic "PROVSEG1"
+//	data blocks    — each one CRC frame (uint32 len, uint32 CRC-32,
+//	                 payload); the payload is a sequence of
+//	                 (uint32 len, encodeEntry bytes) records. Traces are
+//	                 sorted by ID, a trace never spans blocks, and a
+//	                 trace's nodes precede its edges so rehydration can
+//	                 replay them in order.
+//	footer         — one CRC frame whose payload is segFooter JSON: the
+//	                 zone map (min/max trace ID, seq range), the block
+//	                 table, the per-trace index (block, version,
+//	                 last-touch seq), and the four bloom filters (trace
+//	                 ID, class, type, row ID).
+//	16-byte trailer — uint64 footer offset + 8-byte magic "PROVSEGF".
+//
+// The trailer is written last, so a crash mid-seal leaves a file that
+// fails trailer or footer validation and is deleted at Open — the log
+// still holds every row of a half-sealed segment (demotion only drops
+// traces from the replayable state after the rename that commits the
+// compaction). After open, only the zone map, blooms, and counts stay
+// resident; the block table and trace index are re-read through the block
+// cache on demand, so segment metadata does not scale RAM with trace
+// count.
+
+const (
+	segMagic    = "PROVSEG1"
+	segEndMagic = "PROVSEGF"
+	segFormat   = 1
+	// segBlockTarget is the default data-block size demotion aims for:
+	// big enough to amortize frame+seek overhead, small enough that one
+	// cold read pages in one trace's neighborhood, not the whole file.
+	segBlockTarget = 64 << 10
+)
+
+// segBlock locates one data block inside the file.
+type segBlock struct {
+	Off int64 `json:"off"`
+	Len int64 `json:"len"` // frame length including the 8-byte header
+}
+
+// segTrace is one demoted trace's index entry.
+type segTrace struct {
+	App string `json:"app"`
+	// Blk indexes into the footer's block table.
+	Blk int `json:"blk"`
+	// Ver is the trace's version counter at seal time; rehydration pins
+	// it so hot/cold reads agree on versions.
+	Ver uint64 `json:"ver"`
+	// Last is the store sequence of the trace's last mutation, used by
+	// the demotion policy's audit trail and by as-of reads.
+	Last uint64 `json:"last"`
+	Rows int    `json:"rows"`
+}
+
+// segFooter is the segment's self-describing index, stored as JSON inside
+// a CRC frame.
+type segFooter struct {
+	Format  int    `json:"format"`
+	SealSeq uint64 `json:"seal_seq"`
+	// MinSeq/MaxSeq bound the last-touch sequences of the traces inside:
+	// the zone map's sequence range.
+	MinSeq uint64 `json:"min_seq"`
+	MaxSeq uint64 `json:"max_seq"`
+	// MinApp/MaxApp bound the trace IDs inside: the zone map's ID range.
+	MinApp string `json:"min_app"`
+	MaxApp string `json:"max_app"`
+
+	Blocks []segBlock `json:"blocks"`
+	// Traces is sorted by App for binary search.
+	Traces []segTrace `json:"traces"`
+
+	BloomTrace []byte `json:"bloom_trace"`
+	BloomClass []byte `json:"bloom_class"`
+	BloomType  []byte `json:"bloom_type"`
+	// BloomID covers every row (record) ID sealed in the segment. It lets
+	// the store resolve a raw record ID to its owning trace without any
+	// resident routing state — the hot tier's record-ID router evicts
+	// demoted IDs, and after a restart it never knew them at all.
+	BloomID []byte `json:"bloom_id,omitempty"`
+}
+
+// segment is the resident handle on one sealed file: identity, zone map,
+// blooms, and counts. Immutable after openSegment, so readers share it
+// without locks.
+type segment struct {
+	id   uint64
+	path string
+	fs   FS
+
+	sealSeq uint64
+	minSeq  uint64
+	maxSeq  uint64
+	minApp  string
+	maxApp  string
+
+	bloomTrace *bloom
+	bloomClass *bloom
+	bloomType  *bloom
+	// bloomID is nil for segments sealed before the row-ID bloom existed;
+	// ID lookups then probe the segment unconditionally.
+	bloomID *bloom
+
+	nTraces int
+	nRows   int
+	nBlocks int
+	size    int64
+	// footerOff lets readFooter seek straight to the index frame.
+	footerOff int64
+}
+
+// segmentsDir is where sealed segments live, beside the log.
+func segmentsDir(dir string) string { return filepath.Join(dir, "segments") }
+
+// segmentPath names segment id inside dir.
+func segmentPath(dir string, id uint64) string {
+	return filepath.Join(segmentsDir(dir), fmt.Sprintf("seg-%08d.seg", id))
+}
+
+// segmentIDs lists the segment IDs present under dir, ascending.
+func segmentIDs(fsys FS, dir string) ([]uint64, error) {
+	names, err := fsys.ReadDir(segmentsDir(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var ids []uint64
+	for _, name := range names {
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		id, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".seg"), 10, 64)
+		if err != nil {
+			continue // not ours
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// segTraceRows is one trace's contribution to a segment under seal.
+type segTraceRows struct {
+	app     string
+	ver     uint64
+	last    uint64
+	rows    []entry // nodes first, then edges
+	classes []string
+	types   []string
+}
+
+// writeSegment seals the given traces (any order; sorted here) into a new
+// segment file at path. The file is flushed and fsynced before return;
+// the caller fsyncs the directory and registers the segment only after
+// the compaction rename commits the demotion.
+func writeSegment(fsys FS, path string, sealSeq uint64, traces []segTraceRows, blockTarget int) (*segFooter, error) {
+	if blockTarget <= 0 {
+		blockTarget = segBlockTarget
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].app < traces[j].app })
+
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	abort := func(err error) error {
+		f.Close()
+		fsys.Remove(path)
+		return err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		return nil, abort(err)
+	}
+
+	ft := &segFooter{Format: segFormat, SealSeq: sealSeq}
+	off := int64(len(segMagic))
+	var block bytes.Buffer
+	flushBlock := func() error {
+		if block.Len() == 0 {
+			return nil
+		}
+		n, err := writeSegFrame(f, block.Bytes())
+		if err != nil {
+			return err
+		}
+		ft.Blocks = append(ft.Blocks, segBlock{Off: off, Len: n})
+		off += n
+		block.Reset()
+		return nil
+	}
+
+	bt := newBloom(len(traces))
+	nRows := 0
+	for _, tr := range traces {
+		nRows += len(tr.rows)
+	}
+	bid := newBloom(nRows)
+	classKeys, typeKeys := map[string]bool{}, map[string]bool{}
+	for _, tr := range traces {
+		// One trace never spans blocks: seal the current block first if
+		// this trace would push it past the target.
+		if block.Len() > 0 && block.Len() >= blockTarget {
+			if err := flushBlock(); err != nil {
+				return nil, abort(err)
+			}
+		}
+		blk := len(ft.Blocks) // block this trace will land in
+		for _, e := range tr.rows {
+			raw := encodeEntry(e)
+			var lenb [4]byte
+			binary.LittleEndian.PutUint32(lenb[:], uint32(len(raw)))
+			block.Write(lenb[:])
+			block.Write(raw)
+			bid.add(e.row.ID)
+		}
+		ft.Traces = append(ft.Traces, segTrace{
+			App: tr.app, Blk: blk, Ver: tr.ver, Last: tr.last, Rows: len(tr.rows),
+		})
+		bt.add(tr.app)
+		for _, c := range tr.classes {
+			classKeys[c] = true
+		}
+		for _, t := range tr.types {
+			typeKeys[t] = true
+		}
+		if ft.MinApp == "" {
+			ft.MinApp, ft.MinSeq = tr.app, tr.last
+		}
+		ft.MaxApp = tr.app
+		if tr.last < ft.MinSeq {
+			ft.MinSeq = tr.last
+		}
+		if tr.last > ft.MaxSeq {
+			ft.MaxSeq = tr.last
+		}
+	}
+	if err := flushBlock(); err != nil {
+		return nil, abort(err)
+	}
+
+	bc, bty := newBloom(len(classKeys)), newBloom(len(typeKeys))
+	for c := range classKeys {
+		bc.add(c)
+	}
+	for t := range typeKeys {
+		bty.add(t)
+	}
+	ft.BloomTrace, ft.BloomClass, ft.BloomType = bt.marshal(), bc.marshal(), bty.marshal()
+	ft.BloomID = bid.marshal()
+
+	raw, err := json.Marshal(ft)
+	if err != nil {
+		return nil, abort(err)
+	}
+	footerOff := off
+	if _, err := writeSegFrame(f, raw); err != nil {
+		return nil, abort(err)
+	}
+	var trailer [16]byte
+	binary.LittleEndian.PutUint64(trailer[:8], uint64(footerOff))
+	copy(trailer[8:], segEndMagic)
+	if _, err := f.Write(trailer[:]); err != nil {
+		return nil, abort(err)
+	}
+	if err := f.Sync(); err != nil {
+		return nil, abort(err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(path)
+		return nil, err
+	}
+	return ft, nil
+}
+
+// writeSegFrame writes one CRC frame and returns its on-disk length.
+func writeSegFrame(w io.Writer, payload []byte) (int64, error) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return int64(8 + len(payload)), nil
+}
+
+// openSegment validates the file at path and returns its resident handle.
+// Any structural damage — short file, bad magic, torn trailer, footer CRC
+// mismatch — is an error; the tier treats such files as half-sealed
+// garbage and removes them (the log still holds their rows).
+func openSegment(fsys FS, path string, id uint64) (*segment, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(len(segMagic))+16 {
+		return nil, fmt.Errorf("store: segment %s truncated (%d bytes)", path, size)
+	}
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != segMagic {
+		return nil, fmt.Errorf("store: %s is not a segment (bad magic)", path)
+	}
+	var trailer [16]byte
+	if _, err := f.Seek(size-16, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(f, trailer[:]); err != nil {
+		return nil, err
+	}
+	if string(trailer[8:]) != segEndMagic {
+		return nil, fmt.Errorf("store: segment %s has a torn trailer", path)
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(trailer[:8]))
+	if footerOff < int64(len(segMagic)) || footerOff >= size-16 {
+		return nil, fmt.Errorf("store: segment %s footer offset %d out of range", path, footerOff)
+	}
+	ft, err := readSegFooter(f, footerOff)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment %s: %w", path, err)
+	}
+
+	s := &segment{
+		id: id, path: path, fs: fsys,
+		sealSeq: ft.SealSeq, minSeq: ft.MinSeq, maxSeq: ft.MaxSeq,
+		minApp: ft.MinApp, maxApp: ft.MaxApp,
+		nTraces: len(ft.Traces), nBlocks: len(ft.Blocks),
+		size: size, footerOff: footerOff,
+	}
+	for _, tr := range ft.Traces {
+		s.nRows += tr.Rows
+	}
+	if s.bloomTrace, err = unmarshalBloom(ft.BloomTrace); err != nil {
+		return nil, fmt.Errorf("store: segment %s trace bloom: %w", path, err)
+	}
+	if s.bloomClass, err = unmarshalBloom(ft.BloomClass); err != nil {
+		return nil, fmt.Errorf("store: segment %s class bloom: %w", path, err)
+	}
+	if s.bloomType, err = unmarshalBloom(ft.BloomType); err != nil {
+		return nil, fmt.Errorf("store: segment %s type bloom: %w", path, err)
+	}
+	if len(ft.BloomID) > 0 {
+		if s.bloomID, err = unmarshalBloom(ft.BloomID); err != nil {
+			return nil, fmt.Errorf("store: segment %s row-ID bloom: %w", path, err)
+		}
+	}
+	return s, nil
+}
+
+// readSegFooter reads and validates the footer frame at off.
+func readSegFooter(f File, off int64) (*segFooter, error) {
+	payload, err := readSegFrameAt(f, off, -1)
+	if err != nil {
+		return nil, err
+	}
+	var ft segFooter
+	if err := json.Unmarshal(payload, &ft); err != nil {
+		return nil, fmt.Errorf("footer JSON: %v", err)
+	}
+	if ft.Format != segFormat {
+		return nil, fmt.Errorf("unsupported segment format %d", ft.Format)
+	}
+	for i := 1; i < len(ft.Traces); i++ {
+		if ft.Traces[i].App <= ft.Traces[i-1].App {
+			return nil, fmt.Errorf("trace index not strictly sorted")
+		}
+	}
+	for _, tr := range ft.Traces {
+		if tr.Blk < 0 || tr.Blk >= len(ft.Blocks) {
+			return nil, fmt.Errorf("trace %s references block %d of %d", tr.App, tr.Blk, len(ft.Blocks))
+		}
+	}
+	return &ft, nil
+}
+
+// readSegFrameAt reads one CRC frame at off. wantLen, when >= 0, is the
+// expected on-disk frame length from the block table — a mismatch means
+// the footer and the data disagree and the frame is rejected.
+func readSegFrameAt(f File, off, wantLen int64) ([]byte, error) {
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return nil, err
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("frame header at %d: %v", off, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	const maxFrame = 64 << 20
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("frame at %d has length %d", off, n)
+	}
+	if wantLen >= 0 && int64(8+n) != wantLen {
+		return nil, fmt.Errorf("frame at %d is %d bytes, block table says %d", off, 8+n, wantLen)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("frame payload at %d: %v", off, err)
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, fmt.Errorf("frame at %d fails CRC", off)
+	}
+	return payload, nil
+}
+
+// readFooter re-reads the footer from disk. Hot paths go through the
+// block cache instead of calling this directly.
+func (s *segment) readFooter() (*segFooter, error) {
+	f, err := s.fs.Open(s.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readSegFooter(f, s.footerOff)
+}
+
+// readBlock reads and decodes data block blk into its entries.
+func (s *segment) readBlock(ft *segFooter, blk int) ([]entry, error) {
+	if blk < 0 || blk >= len(ft.Blocks) {
+		return nil, fmt.Errorf("store: segment %s has no block %d", s.path, blk)
+	}
+	f, err := s.fs.Open(s.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	payload, err := readSegFrameAt(f, ft.Blocks[blk].Off, ft.Blocks[blk].Len)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment %s block %d: %w", s.path, blk, err)
+	}
+	var out []entry
+	for len(payload) > 0 {
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("store: segment %s block %d: truncated record header", s.path, blk)
+		}
+		n := binary.LittleEndian.Uint32(payload[:4])
+		payload = payload[4:]
+		if uint32(len(payload)) < n {
+			return nil, fmt.Errorf("store: segment %s block %d: truncated record", s.path, blk)
+		}
+		e, err := decodeEntry(payload[:n])
+		if err != nil {
+			return nil, fmt.Errorf("store: segment %s block %d: %w", s.path, blk, err)
+		}
+		out = append(out, e)
+		payload = payload[n:]
+	}
+	return out, nil
+}
+
+// findTrace binary-searches the footer's trace index.
+func (ft *segFooter) findTrace(app string) (segTrace, bool) {
+	i := sort.Search(len(ft.Traces), func(i int) bool { return ft.Traces[i].App >= app })
+	if i < len(ft.Traces) && ft.Traces[i].App == app {
+		return ft.Traces[i], true
+	}
+	return segTrace{}, false
+}

@@ -1,0 +1,150 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sealRows builds one trace's segTraceRows from synthetic rows.
+func sealRows(app string, ver, last uint64, nRows int) segTraceRows {
+	tr := segTraceRows{app: app, ver: ver, last: last, classes: []string{"data"}, types: []string{"jobRequisition"}}
+	for i := 0; i < nRows; i++ {
+		tr.rows = append(tr.rows, entry{op: opPutNode, row: Row{
+			ID:    fmt.Sprintf("%s-r%03d", app, i),
+			Class: "data",
+			AppID: app,
+			XML:   fmt.Sprintf("<ps:jobRequisition ps:id=%q>%s</ps:jobRequisition>", fmt.Sprintf("%s-r%03d", app, i), strings.Repeat("x", 50)),
+		}})
+	}
+	return tr
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-00000001.seg")
+	// Small block target forces multiple blocks; traces given unsorted to
+	// exercise the writer's sort.
+	traces := []segTraceRows{
+		sealRows("C", 7, 31, 12),
+		sealRows("A", 3, 10, 4),
+		sealRows("B", 5, 20, 40),
+	}
+	ft, err := writeSegment(OSFS{}, path, 31, traces, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Blocks) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(ft.Blocks))
+	}
+	if ft.MinApp != "A" || ft.MaxApp != "C" || ft.MinSeq != 10 || ft.MaxSeq != 31 {
+		t.Fatalf("zone map = %s..%s / %d..%d", ft.MinApp, ft.MaxApp, ft.MinSeq, ft.MaxSeq)
+	}
+
+	seg, err := openSegment(OSFS{}, path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.nTraces != 3 || seg.nRows != 56 || seg.sealSeq != 31 {
+		t.Fatalf("segment = %+v", seg)
+	}
+	rft, err := seg.readFooter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []struct {
+		app  string
+		ver  uint64
+		rows int
+	}{{"A", 3, 4}, {"B", 5, 40}, {"C", 7, 12}} {
+		tr, ok := rft.findTrace(want.app)
+		if !ok || tr.Ver != want.ver || tr.Rows != want.rows {
+			t.Fatalf("findTrace(%s) = %+v %v", want.app, tr, ok)
+		}
+		if !seg.bloomTrace.mightContain(want.app) {
+			t.Fatalf("trace bloom misses %s", want.app)
+		}
+		es, err := seg.readBlock(rft, tr.Blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for _, e := range es {
+			if e.row.AppID == want.app {
+				got++
+				if !strings.Contains(e.row.XML, e.row.ID) {
+					t.Fatalf("row %s round-tripped wrong XML", e.row.ID)
+				}
+			}
+		}
+		if got != want.rows {
+			t.Fatalf("block holds %d rows of %s, want %d", got, want.app, want.rows)
+		}
+	}
+	if !seg.bloomClass.mightContain("data") || !seg.bloomType.mightContain("jobRequisition") {
+		t.Fatal("class/type blooms miss their keys")
+	}
+	// The row-ID bloom covers every sealed record ID — it is the routing
+	// path for raw-ID cold reads once the router entries are evicted.
+	if seg.bloomID == nil {
+		t.Fatal("segment sealed without a row-ID bloom")
+	}
+	for _, tr := range traces {
+		for _, e := range tr.rows {
+			if !seg.bloomID.mightContain(e.row.ID) {
+				t.Fatalf("row-ID bloom misses %s", e.row.ID)
+			}
+		}
+	}
+	if _, ok := rft.findTrace("nope"); ok {
+		t.Fatal("findTrace invented a trace")
+	}
+}
+
+func TestSegmentRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-00000001.seg")
+	if _, err := writeSegment(OSFS{}, path, 9, []segTraceRows{sealRows("A", 2, 9, 8)}, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := func(name string, mutate func([]byte) []byte) {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := openSegment(OSFS{}, p, 2); err == nil {
+			t.Fatalf("%s: damaged segment validated", name)
+		}
+	}
+	damage("truncated.seg", func(b []byte) []byte { return b[:len(b)/2] })
+	damage("no-trailer.seg", func(b []byte) []byte { return b[:len(b)-3] })
+	damage("bad-magic.seg", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	damage("bad-footer.seg", func(b []byte) []byte { b[len(b)-40] ^= 0xff; return b })
+
+	// A flipped byte inside a data block passes open (only the footer is
+	// validated there) but fails the block read's CRC.
+	p := filepath.Join(dir, "bad-block.seg")
+	mut := append([]byte(nil), raw...)
+	mut[len(segMagic)+12] ^= 0xff
+	if err := os.WriteFile(p, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := openSegment(OSFS{}, p, 3)
+	if err != nil {
+		t.Fatalf("block damage rejected at open: %v", err)
+	}
+	ft, err := seg.readFooter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seg.readBlock(ft, 0); err == nil {
+		t.Fatal("corrupt block read succeeded")
+	}
+}

@@ -131,6 +131,50 @@ func insertSortedRow(ids []string, id string) []string {
 	return ids
 }
 
+// dropApp removes one trace's shard (demotion to a sealed segment) and
+// returns how many rows left. Published snapshots are untouched: the
+// bucket is cloned out of frozen epochs before the delete.
+func (t *rowTable) dropApp(app string) int {
+	bi := rowHash(app) % rowBuckets
+	b := t.buckets[bi]
+	if b == nil {
+		return 0
+	}
+	sh := b.shards[app]
+	if sh == nil {
+		return 0
+	}
+	if b.epoch != t.epoch {
+		nb := &rowBucket{epoch: t.epoch, shards: make(map[string]*rowShard, len(b.shards))}
+		for k, v := range b.shards {
+			nb.shards[k] = v
+		}
+		b = nb
+		t.buckets[bi] = b
+	}
+	delete(b.shards, app)
+	t.count -= len(sh.rows)
+	return len(sh.rows)
+}
+
+// vacuum rebuilds every bucket's shard map at its current size. Go maps
+// never release bucket arrays on delete, so after a mass demotion the
+// shard maps would keep their peak footprint; rebuilding them is what
+// makes resident memory track the resident set. Published snapshots
+// keep their own bucket pointers and are untouched.
+func (t *rowTable) vacuum() {
+	for bi, b := range t.buckets {
+		if b == nil {
+			continue
+		}
+		nb := &rowBucket{epoch: t.epoch, shards: make(map[string]*rowShard, len(b.shards))}
+		for k, v := range b.shards {
+			nb.shards[k] = v
+		}
+		t.buckets[bi] = nb
+	}
+}
+
 // get fetches a row by (trace, record ID).
 func (t *rowTable) get(app, id string) (Row, bool) {
 	sh := t.shard(app)

@@ -59,9 +59,33 @@ type Options struct {
 	// rule binders paid before the indexes existed. Exists as the E11
 	// ablation baseline.
 	DisableRuleIndexes bool
+	// DisableTiering turns the tiered-storage layer off: no segment scan
+	// at Open, Compact never demotes, and reads never consult the cold
+	// tier — the store keeps every trace in RAM, as it did before sealed
+	// segments existed (ablation D12, experiment E15). Opening a
+	// directory that already holds sealed segments with tiering disabled
+	// leaves the sealed traces unreadable, so the flag is meant for fresh
+	// ablation stores, not for toggling on live data.
+	DisableTiering bool
+	// SegmentColdAfter is the demotion policy: during Compact, a trace
+	// whose last mutation is at least this many commits behind the
+	// current sequence is sealed into an on-disk segment and dropped
+	// from RAM. Zero disables automatic demotion; DemoteTraces still
+	// seals explicitly.
+	SegmentColdAfter uint64
+	// SegmentCacheBytes caps the sealed-segment block cache (0 = 32 MiB).
+	SegmentCacheBytes int64
+	// SegmentBlockBytes is the target data-block size inside sealed
+	// segments (0 = 64 KiB).
+	SegmentBlockBytes int
 }
 
 var errClosed = errors.New("store: closed")
+
+// ErrNoHistory is returned by TraceAsOf when neither the live state nor
+// any sealed segment holds a version of the trace valid at the requested
+// sequence.
+var ErrNoHistory = errors.New("store: no trace state at or before the requested sequence")
 
 // durabilityCounters tracks the write path's observable durability work.
 type durabilityCounters struct {
@@ -168,6 +192,13 @@ type Store struct {
 	compactMu sync.Mutex // one Compact at a time
 	comm      *committer // group-commit pipeline (nil: in-memory or disabled)
 
+	// tier is the sealed-segment cold tier (nil: in-memory store or the
+	// DisableTiering ablation). lastTouch records the sequence of each
+	// resident trace's last mutation — the demotion policy's coldness
+	// signal and the validity bound for as-of reads; guarded by mu.
+	tier      *tierManager
+	lastTouch map[string]uint64
+
 	stats         durabilityCounters
 	replayDropped int64
 	replaySkipped int
@@ -186,12 +217,13 @@ func Open(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: Options.Model is required")
 	}
 	s := &Store{
-		opts:  opts,
-		fs:    opts.FS,
-		graph: provenance.NewGraph(),
-		rows:  newRowTable(),
-		idx:   newIndexSet(),
-		subs:  make(map[int]*Subscription),
+		opts:      opts,
+		fs:        opts.FS,
+		graph:     provenance.NewGraph(),
+		rows:      newRowTable(),
+		idx:       newIndexSet(),
+		subs:      make(map[int]*Subscription),
+		lastTouch: make(map[string]uint64),
 	}
 	if s.fs == nil {
 		s.fs = OSFS{}
@@ -213,10 +245,22 @@ func Open(opts Options) (*Store, error) {
 		if err := s.fs.Remove(tmpLogPath(opts.Dir)); err != nil && !os.IsNotExist(err) {
 			return nil, fmt.Errorf("store: %v", err)
 		}
+		// Load the cold tier before replay: sealed traces are absent from
+		// the log by design, so reads that miss the replayed hot tier fall
+		// through to the segments. Half-sealed files (crash mid-seal) are
+		// removed here; their rows are still in the log.
+		if !opts.DisableTiering {
+			t, err := newTierManager(s.fs, opts.Dir, opts.SegmentCacheBytes)
+			if err != nil {
+				return nil, err
+			}
+			s.tier = t
+		}
 		active, err := s.replayAll()
 		if err != nil {
 			return nil, err
 		}
+		s.reconcileTiers()
 		w, err := createOrOpenLog(s.fs, active, opts.Sync)
 		if err != nil {
 			return nil, fmt.Errorf("store: %v", err)
@@ -277,6 +321,46 @@ func (s *Store) replayAll() (activePath string, err error) {
 		activePath = side
 	}
 	return activePath, nil
+}
+
+// reconcileTiers resolves hot/cold conflicts after replay, before the
+// store goes live (single-threaded, so no locks). A resident trace whose
+// version is BELOW its newest sealed copy's is the torn prefix of an
+// interrupted promotion — the crash hit while the trace's base rows were
+// re-entering the log — and the complete sealed copy wins: the partial
+// hot shard is dropped so reads fall through to the segment. Completed
+// promotions and compaction rewrites always replay with a version pin,
+// so a legitimately hot trace compares >= its sealed copy.
+func (s *Store) reconcileTiers() {
+	if s.tier == nil || !s.tier.hasSegments() {
+		return
+	}
+	dropped := false
+	for _, app := range s.graph.AppIDs() {
+		hot := s.graph.TraceVersion(app)
+		_, tr, ok := s.tier.lookupTrace(app, 0)
+		if !ok || tr.Ver <= hot {
+			continue
+		}
+		var ids []string
+		for _, n := range s.graph.Nodes(provenance.NodeFilter{AppID: app}) {
+			s.idx.remove(n)
+			ids = append(ids, n.ID)
+		}
+		for _, e := range s.graph.AllEdges(provenance.EdgeFilter{AppID: app}) {
+			ids = append(ids, e.ID)
+		}
+		s.graph.DropTrace(app)
+		s.graph.EvictRouting(ids)
+		s.rows.dropApp(app)
+		delete(s.lastTouch, app)
+		dropped = true
+	}
+	if dropped {
+		s.graph.Vacuum()
+		s.rows.vacuum()
+		s.idx.vacuum()
+	}
 }
 
 // Close flushes the log and stops every subscription.
@@ -344,11 +428,19 @@ func (s *Store) PutEdge(e *provenance.Edge) error {
 		// (not a snapshot): the write path must not trigger the read
 		// barrier, and the working graph also sees batch-mates already
 		// applied but not yet published. AddEdge re-checks authoritatively
-		// at apply time.
+		// at apply time. Endpoints missing from the hot tier may be
+		// sealed — the commit below will promote the trace — so the cold
+		// tier answers for them here.
 		s.mu.RLock()
 		src := s.graph.Node(e.Source)
 		dst := s.graph.Node(e.Target)
 		s.mu.RUnlock()
+		if src == nil {
+			src = s.coldNode(e.Source)
+		}
+		if dst == nil {
+			dst = s.coldNode(e.Target)
+		}
 		if err := s.opts.Model.CheckEdge(e, src, dst); err != nil {
 			return err
 		}
@@ -411,9 +503,18 @@ func (s *Store) commitAll(entries []entry) []error {
 	}
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
+	var promos []*pendingPromo
+	staged := map[string]bool{}
 	if s.log != nil {
 		var err error
 		for _, e := range entries {
+			var promo *pendingPromo
+			if promo, err = s.stagePromotionLocked(e.row.AppID, staged); err != nil {
+				break
+			}
+			if promo != nil {
+				promos = append(promos, promo)
+			}
 			if err = s.log.writeEntry(e); err != nil {
 				break
 			}
@@ -431,6 +532,9 @@ func (s *Store) commitAll(entries []entry) []error {
 		if err != nil {
 			return errsAll(len(entries), fmt.Errorf("store: log append: %v", err))
 		}
+	}
+	if err := s.applyPromotionsLocked(promos); err != nil {
+		return errsAll(len(entries), err)
 	}
 	errs := make([]error, len(entries))
 	evs := make([]Event, 0, len(entries))
@@ -480,12 +584,25 @@ func (s *Store) commit(e entry) error {
 	// invariant batch-wise.
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
+	// A write to a sealed, non-resident trace first promotes it: the
+	// trace's base rows re-enter the log ahead of this entry so replay
+	// stays self-contained, and the shard is restored so apply finds the
+	// records the entry references.
+	promo, err := s.stagePromotionLocked(e.row.AppID, map[string]bool{})
+	if err != nil {
+		return err
+	}
 	if s.log != nil {
 		if err := s.log.append(e); err != nil {
 			return fmt.Errorf("store: log append: %v", err)
 		}
 		if s.log.sync {
 			s.stats.Fsyncs.Add(1)
+		}
+	}
+	if promo != nil {
+		if err := s.applyPromotionsLocked([]*pendingPromo{promo}); err != nil {
+			return err
 		}
 	}
 	ev, err := s.apply(e)
@@ -504,6 +621,18 @@ func (s *Store) commit(e entry) error {
 // the event — the commit paths do both after the whole batch applied, so
 // readers and subscribers only ever observe batch boundaries.
 func (s *Store) apply(e entry) (Event, error) {
+	if e.op == opTraceVer {
+		// Version pin written by a trace promotion: the base rows replayed
+		// just before it restarted the trace's version counter from the
+		// row count; pin it back to the sealed value so versions survive
+		// restarts. Never reaches the change feed.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err := s.graph.SetTraceVersion(e.row.AppID, e.gen); err != nil {
+			return Event{}, err
+		}
+		return Event{}, nil
+	}
 	n, ed, err := DecodeRow(e.row)
 	if err != nil {
 		return Event{}, err
@@ -552,8 +681,93 @@ func (s *Store) apply(e entry) (Event, error) {
 	// version.
 	if app := e.row.AppID; app != "" {
 		ev.TraceVersion = s.graph.TraceVersion(app)
+		s.lastTouch[app] = s.seq
 	}
 	return ev, nil
+}
+
+// pendingPromo is a staged trace promotion: its base frames are already
+// buffered in the log, but the in-memory restoration waits until the
+// batch they share a flush/fsync with is durable — otherwise a failed
+// flush would leave the trace resident while the log lacks its rows, and
+// a later commit would skip re-logging it.
+type pendingPromo struct {
+	app   string
+	ver   uint64
+	rows  []entry
+	nodes []*provenance.Node
+	edges []*provenance.Edge
+}
+
+// stagePromotionLocked checks whether app is sealed-but-not-resident and,
+// if so, buffers its base rows plus an opTraceVer pin into the log ahead
+// of the delta entry about to commit, returning the staged promotion for
+// applyPromotionsLocked. staged dedups within one batch. Caller holds
+// logMu.
+func (s *Store) stagePromotionLocked(app string, staged map[string]bool) (*pendingPromo, error) {
+	if s.tier == nil || app == "" || staged[app] || !s.tier.hasSegments() {
+		return nil, nil
+	}
+	s.mu.RLock()
+	resident := s.graph.TraceVersion(app) != 0
+	s.mu.RUnlock()
+	if resident {
+		return nil, nil
+	}
+	seg, tr, ok := s.tier.lookupTrace(app, 0)
+	if !ok {
+		return nil, nil // genuinely new trace
+	}
+	rows, err := s.tier.traceRows(seg, tr)
+	if err != nil {
+		return nil, fmt.Errorf("store: promoting trace %s: %v", app, err)
+	}
+	nodes, edges, err := decodeTrace(rows)
+	if err != nil {
+		return nil, fmt.Errorf("store: promoting trace %s: %v", app, err)
+	}
+	if s.log != nil {
+		for _, e := range rows {
+			if err := s.log.writeEntry(e); err != nil {
+				return nil, fmt.Errorf("store: promoting trace %s: %v", app, err)
+			}
+		}
+		pin := entry{op: opTraceVer, row: Row{AppID: app}, gen: tr.Ver}
+		if err := s.log.writeEntry(pin); err != nil {
+			return nil, fmt.Errorf("store: promoting trace %s: %v", app, err)
+		}
+	}
+	staged[app] = true
+	return &pendingPromo{app: app, ver: tr.Ver, rows: rows, nodes: nodes, edges: edges}, nil
+}
+
+// applyPromotionsLocked restores staged promotions into the hot tier
+// after their log frames are durable. Runs before the batch's delta
+// entries apply, so an edge landing on a freshly promoted trace finds its
+// endpoints resident. Caller holds logMu.
+func (s *Store) applyPromotionsLocked(promos []*pendingPromo) error {
+	for _, p := range promos {
+		if p == nil {
+			continue
+		}
+		s.mu.Lock()
+		err := s.graph.RestoreTrace(p.app, p.nodes, p.edges, p.ver)
+		if err == nil {
+			for _, e := range p.rows {
+				s.rows.put(e.row)
+			}
+			for _, n := range p.nodes {
+				s.idx.add(n)
+			}
+			s.lastTouch[p.app] = s.seq
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("store: promoting trace %s: %v", p.app, err)
+		}
+		s.tier.promoted.Add(1)
+	}
+	return nil
 }
 
 // publishLocked makes the batch that just applied visible to readers.
@@ -688,12 +902,23 @@ func (s *Store) View(fn func(g *provenance.Graph) error) error {
 // means the trace has never been written. Versions strictly increase with
 // every commit to the trace, so equal versions imply an unchanged trace.
 func (s *Store) TraceVersion(appID string) uint64 {
+	var ver uint64
 	if snap := s.loadSnap(); snap != nil {
-		return snap.graph.TraceVersion(appID)
+		ver = snap.graph.TraceVersion(appID)
+	} else {
+		s.mu.RLock()
+		ver = s.graph.TraceVersion(appID)
+		s.mu.RUnlock()
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.graph.TraceVersion(appID)
+	if ver == 0 {
+		// Not resident: a sealed copy still answers with the version the
+		// trace was demoted at, so version-keyed caches stay valid across
+		// demotion.
+		if _, tr, ok := s.coldLookup(appID); ok {
+			return tr.Ver
+		}
+	}
+	return ver
 }
 
 // ViewTrace runs fn with read access to the graph together with the
@@ -702,13 +927,141 @@ func (s *Store) TraceVersion(appID string) uint64 {
 // be tagged with the exact version it saw (the continuous-checking result
 // cache). The retention semantics match View: the snapshot graph may be
 // retained past fn's return.
+// When the trace is not resident in the hot tier, the cold tier serves
+// it: fn receives a read-only graph materialized from the trace's sealed
+// segment, carrying the version the trace was demoted at.
 func (s *Store) ViewTrace(appID string, fn func(g *provenance.Graph, version uint64) error) error {
 	if snap := s.loadSnap(); snap != nil {
-		return fn(snap.graph, snap.graph.TraceVersion(appID))
+		if ver := snap.graph.TraceVersion(appID); ver != 0 {
+			return fn(snap.graph, ver)
+		}
+		if g, ver, ok := s.coldTrace(appID); ok {
+			return fn(g, ver)
+		}
+		return fn(snap.graph, 0)
+	}
+	s.mu.RLock()
+	if ver := s.graph.TraceVersion(appID); ver != 0 || s.tier == nil {
+		defer s.mu.RUnlock()
+		return fn(s.graph, ver)
+	}
+	s.mu.RUnlock()
+	if g, ver, ok := s.coldTrace(appID); ok {
+		return fn(g, ver)
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return fn(s.graph, s.graph.TraceVersion(appID))
+}
+
+// coldLookup finds the newest sealed copy of a trace, gated on the tier
+// actually holding segments.
+func (s *Store) coldLookup(appID string) (*segment, segTrace, bool) {
+	if s.tier == nil || !s.tier.hasSegments() {
+		return nil, segTrace{}, false
+	}
+	return s.tier.lookupTrace(appID, 0)
+}
+
+// coldTrace materializes the newest sealed copy of a trace as a frozen
+// read-only graph. A segment read error degrades to "absent": the caller
+// then reports the trace missing rather than failing the read — segments
+// are CRC-checked, so a bad read can only miss data, never invent it.
+func (s *Store) coldTrace(appID string) (*provenance.Graph, uint64, bool) {
+	seg, tr, ok := s.coldLookup(appID)
+	if !ok {
+		return nil, 0, false
+	}
+	g, err := s.tier.materialize(seg, tr)
+	if err != nil {
+		return nil, 0, false
+	}
+	return g, tr.Ver, true
+}
+
+// coldOwner resolves which trace owns a demoted record ID: the router
+// fast path when the ID was demoted this session and a read raced the
+// eviction, otherwise the segments' row-ID bloom filters — the only
+// route that works after a restart, when the rewritten log never told
+// the router about sealed traces.
+func (s *Store) coldOwner(id string) (string, bool) {
+	if app, ok := s.graph.TraceHint(id); ok {
+		return app, true
+	}
+	return s.tier.ownerOf(id)
+}
+
+// coldNode resolves a record ID against the cold tier; the owning
+// trace's materialized graph serves the record.
+func (s *Store) coldNode(id string) *provenance.Node {
+	if s.tier == nil || !s.tier.hasSegments() {
+		return nil
+	}
+	app, ok := s.coldOwner(id)
+	if !ok {
+		return nil
+	}
+	if g, _, ok := s.coldTrace(app); ok {
+		return g.Node(id)
+	}
+	return nil
+}
+
+// coldEdge is coldNode for relation records.
+func (s *Store) coldEdge(id string) *provenance.Edge {
+	if s.tier == nil || !s.tier.hasSegments() {
+		return nil
+	}
+	app, ok := s.coldOwner(id)
+	if !ok {
+		return nil
+	}
+	if g, _, ok := s.coldTrace(app); ok {
+		return g.Edge(id)
+	}
+	return nil
+}
+
+// TraceAsOf returns a read-only graph of one trace as it stood at commit
+// sequence seq, together with the trace version of that state. The live
+// state serves when its last mutation is at or before seq; otherwise the
+// newest sealed copy old enough qualifies — sealed segments are the
+// durable history that makes the MVCC snapshots auditable after the
+// fact. ErrNoHistory means no state that old survives (the trace never
+// existed then, or its history was never sealed). Sequence numbers are
+// the store session's commit sequence, as exposed by Stats().Seq and the
+// change feed.
+func (s *Store) TraceAsOf(appID string, seq uint64) (*provenance.Graph, uint64, error) {
+	var g *provenance.Graph
+	var ver, last uint64
+	if snap := s.loadSnap(); snap != nil {
+		if ver = snap.graph.TraceVersion(appID); ver != 0 {
+			s.mu.RLock()
+			last = s.lastTouch[appID]
+			s.mu.RUnlock()
+			g = snap.graph
+		}
+	} else {
+		s.mu.RLock()
+		if ver = s.graph.TraceVersion(appID); ver != 0 {
+			last = s.lastTouch[appID]
+			g = s.graph.Trace(appID) // detach from the locked working state
+		}
+		s.mu.RUnlock()
+	}
+	if g != nil && last <= seq {
+		return g.Trace(appID), ver, nil
+	}
+	if s.tier != nil && s.tier.hasSegments() {
+		if seg, tr, ok := s.tier.lookupTrace(appID, seq); ok {
+			cg, err := s.tier.materialize(seg, tr)
+			if err != nil {
+				return nil, 0, err
+			}
+			return cg, tr.Ver, nil
+		}
+	}
+	return nil, 0, ErrNoHistory
 }
 
 // Node returns the node record, or nil when absent. The record is shared
@@ -716,25 +1069,38 @@ func (s *Store) ViewTrace(appID string, fn func(g *provenance.Graph, version uin
 // callers that want to mutate (e.g. to build an enrichment update) must
 // Clone first.
 func (s *Store) Node(id string) *provenance.Node {
+	var n *provenance.Node
 	if snap := s.loadSnap(); snap != nil {
-		return snap.graph.Node(id)
+		n = snap.graph.Node(id)
+	} else {
+		s.mu.RLock()
+		n = s.graph.Node(id)
+		s.mu.RUnlock()
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.graph.Node(id)
+	if n == nil {
+		n = s.coldNode(id)
+	}
+	return n
 }
 
 // Edge returns the edge record, or nil when absent. Read-only, like Node.
 func (s *Store) Edge(id string) *provenance.Edge {
+	var e *provenance.Edge
 	if snap := s.loadSnap(); snap != nil {
-		return snap.graph.Edge(id)
+		e = snap.graph.Edge(id)
+	} else {
+		s.mu.RLock()
+		e = s.graph.Edge(id)
+		s.mu.RUnlock()
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.graph.Edge(id)
+	if e == nil {
+		e = s.coldEdge(id)
+	}
+	return e
 }
 
-// Row returns the stored Table-1 row for a record ID.
+// Row returns the stored Table-1 row for a record ID, hot tier first and
+// sealed segments second.
 func (s *Store) Row(id string) (Row, bool) {
 	var (
 		r  Row
@@ -746,18 +1112,62 @@ func (s *Store) Row(id string) (Row, bool) {
 		}
 		return nil
 	})
-	return r, ok
+	if ok {
+		return r, true
+	}
+	return s.coldRow(id)
+}
+
+// coldRow serves Row from a trace's sealed copy.
+func (s *Store) coldRow(id string) (Row, bool) {
+	if s.tier == nil || !s.tier.hasSegments() {
+		return Row{}, false
+	}
+	app, ok := s.coldOwner(id)
+	if !ok {
+		return Row{}, false
+	}
+	seg, tr, ok := s.tier.lookupTrace(app, 0)
+	if !ok {
+		return Row{}, false
+	}
+	rows, err := s.tier.traceRows(seg, tr)
+	if err != nil {
+		return Row{}, false
+	}
+	for _, e := range rows {
+		if e.row.ID == id {
+			return e.row, true
+		}
+	}
+	return Row{}, false
 }
 
 // RowsForApp returns every row of one trace, sorted by record ID. This is
 // the query the paper's Table 1 illustrates: all provenance entities of an
-// execution trace.
+// execution trace. A demoted trace answers from its sealed segment.
 func (s *Store) RowsForApp(appID string) []Row {
 	var res []Row
 	s.readTx(func(tx ReadTx) error {
 		res = tx.rows.forApp(appID)
 		return nil
 	})
+	if len(res) != 0 || s.tier == nil || !s.tier.hasSegments() {
+		return res
+	}
+	seg, tr, ok := s.tier.lookupTrace(appID, 0)
+	if !ok {
+		return res
+	}
+	rows, err := s.tier.traceRows(seg, tr)
+	if err != nil {
+		return res
+	}
+	res = make([]Row, 0, len(rows))
+	for _, e := range rows {
+		res = append(res, e.row)
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].ID < res[j].ID })
 	return res
 }
 
@@ -791,25 +1201,60 @@ type Stats struct {
 	RuleIndexes provenance.IndexStats
 	// RuleIndexesEnabled is false under the DisableRuleIndexes ablation.
 	RuleIndexesEnabled bool
+	// ResidentTraces counts the traces currently held in RAM; with
+	// tiering on, Tiering carries the sealed side of the split.
+	ResidentTraces int
+	// Tiering is the tiered-storage layer's state (Enabled=false when the
+	// store is in-memory or the D12 ablation is on).
+	Tiering TieringStats
 }
 
-// Stats returns current store statistics.
+// Stats returns current store statistics. Nodes/Edges/Rows count the hot
+// tier only; sealed traces are under Tiering.
 func (s *Store) Stats() Stats {
 	var st Stats
 	s.readTx(func(tx ReadTx) error {
 		st = Stats{
-			Nodes:   tx.g.NumNodes(),
-			Edges:   tx.g.NumEdges(),
-			Rows:    tx.rows.count,
-			Seq:     tx.seq,
-			Indexes: tx.idx.size(),
+			Nodes:          tx.g.NumNodes(),
+			Edges:          tx.g.NumEdges(),
+			Rows:           tx.rows.count,
+			Seq:            tx.seq,
+			Indexes:        tx.idx.size(),
+			ResidentTraces: tx.g.NumTraces(),
 		}
 		return nil
 	})
 	st.Snapshots = s.SnapshotCounters()
 	st.RuleIndexes = s.graph.IndexStats()
 	st.RuleIndexesEnabled = !s.opts.DisableRuleIndexes
+	if s.tier != nil {
+		st.Tiering = s.tier.stats(st.ResidentTraces)
+	}
 	return st
+}
+
+// Tiering returns the tiered-storage layer's counters. The zero value
+// (Enabled=false) means no cold tier exists: the store is in-memory or
+// running the DisableTiering ablation.
+func (s *Store) Tiering() TieringStats {
+	if s.tier == nil {
+		return TieringStats{}
+	}
+	var resident int
+	s.readTx(func(tx ReadTx) error {
+		resident = tx.g.NumTraces()
+		return nil
+	})
+	return s.tier.stats(resident)
+}
+
+// Segments lists the sealed segments on disk, ascending by ID. Nil when
+// tiering is off.
+func (s *Store) Segments() []SegmentInfo {
+	if s.tier == nil {
+		return nil
+	}
+	return s.tier.segments()
 }
 
 // SnapshotCounters returns the MVCC read path's counters. The working
@@ -843,13 +1288,31 @@ func (s *Store) Durability() DurabilityStats {
 	}
 }
 
-// AppIDs lists the distinct traces in the store.
+// AppIDs lists the distinct traces in the store: resident traces plus
+// every trace sealed in the cold tier, deduplicated and sorted.
 func (s *Store) AppIDs() []string {
 	var ids []string
 	s.readTx(func(tx ReadTx) error {
 		ids = tx.g.AppIDs()
 		return nil
 	})
+	if s.tier == nil || !s.tier.hasSegments() {
+		return ids
+	}
+	sealed, err := s.tier.apps()
+	if err != nil || len(sealed) == 0 {
+		return ids
+	}
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		seen[id] = true
+	}
+	for _, id := range sealed {
+		if !seen[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
 	return ids
 }
 
@@ -881,9 +1344,53 @@ func (s *Store) Model() *provenance.Model { return s.opts.Model }
 // log whose marker proves the side log is stale (recovery deletes it). An
 // error aborts the compaction without data loss: the scratch file is
 // removed and appends simply continue on the side log.
+//
+// With tiering on and SegmentColdAfter set, Compact also demotes: traces
+// whose last mutation is at least SegmentColdAfter commits behind the
+// current sequence are sealed into a new on-disk segment and their rows
+// are excluded from the rewritten log — the segment, validated before the
+// rename commits it, becomes their durable home and the hot tier drops
+// them. The rename stays the single commit point for both the log rewrite
+// and the demotion.
 func (s *Store) Compact() error {
+	var selectCold func(app string, last, cur uint64) bool
+	if s.tier != nil && s.opts.SegmentColdAfter > 0 {
+		coldAfter := s.opts.SegmentColdAfter
+		selectCold = func(app string, last, cur uint64) bool {
+			return cur >= last && cur-last >= coldAfter
+		}
+	}
+	return s.compact(selectCold)
+}
+
+// DemoteTraces seals the named traces into a segment immediately,
+// regardless of the SegmentColdAfter policy, by running a compaction with
+// a membership selector. Traces not resident in the hot tier are ignored.
+func (s *Store) DemoteTraces(apps ...string) error {
+	if s.tier == nil {
+		return errors.New("store: tiering is disabled")
+	}
+	if s.opts.DisableSnapshots {
+		return errors.New("store: demotion requires the snapshot read path")
+	}
+	want := make(map[string]bool, len(apps))
+	for _, a := range apps {
+		want[a] = true
+	}
+	return s.compact(func(app string, last, cur uint64) bool { return want[app] })
+}
+
+// compact implements Compact and DemoteTraces. selectCold, when non-nil,
+// picks the resident traces to demote into a sealed segment as part of
+// the rewrite; nil compacts without demoting. Demotion needs the frozen
+// snapshot the MVCC read path publishes, so the DisableSnapshots ablation
+// never demotes.
+func (s *Store) compact(selectCold func(app string, last, cur uint64) bool) error {
 	if s.opts.Dir == "" {
 		return nil
+	}
+	if s.tier == nil || s.opts.DisableSnapshots {
+		selectCold = nil
 	}
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
@@ -929,6 +1436,17 @@ func (s *Store) Compact() error {
 
 	var entries []entry
 	var nNodes int
+	// Demotion state, captured at the freeze point: which traces are cold,
+	// their rows diverted out of the rewrite, and the version each was
+	// sealed at (phase 3 re-checks it to spot traces written during the
+	// compaction).
+	var (
+		sealSeq uint64
+		coldEnt map[string][]entry
+		verAt   map[string]uint64
+		lastAt  map[string]uint64
+		hotVers map[string]uint64 // freeze-time version of every trace kept hot
+	)
 	if !s.opts.DisableSnapshots {
 		// Grab the current snapshot's row table — O(1) under logMu; the
 		// entry list is built lock-free below. Deferred commits must be
@@ -936,24 +1454,60 @@ func (s *Store) Compact() error {
 		if s.snapDirty.Load() {
 			s.forcePublishLocked()
 		}
-		rows := s.snap.Load().rows
+		snap := s.snap.Load()
+		rows := snap.rows
+		hotVers = map[string]uint64{}
+		for _, app := range snap.graph.AppIDs() {
+			hotVers[app] = snap.graph.TraceVersion(app)
+		}
+		var cold map[string]bool
+		if selectCold != nil {
+			sealSeq = snap.seq
+			s.mu.RLock()
+			lastAt = make(map[string]uint64, len(s.lastTouch))
+			for app, last := range s.lastTouch {
+				lastAt[app] = last
+			}
+			s.mu.RUnlock()
+			cold = map[string]bool{}
+			verAt = map[string]uint64{}
+			for app, last := range lastAt {
+				if ver := snap.graph.TraceVersion(app); ver != 0 && selectCold(app, last, sealSeq) {
+					cold[app] = true
+					verAt[app] = ver
+				}
+			}
+		}
 		s.logMu.Unlock()
 		entries = make([]entry, 0, rows.count)
+		coldEnt = map[string][]entry{}
 		rows.each(func(r Row) {
 			if r.Class != provenance.ClassRelation.String() {
-				entries = append(entries, entry{op: opPutNode, row: r})
+				if cold[r.AppID] {
+					coldEnt[r.AppID] = append(coldEnt[r.AppID], entry{op: opPutNode, row: r})
+				} else {
+					entries = append(entries, entry{op: opPutNode, row: r})
+				}
 			}
 		})
 		nNodes = len(entries)
 		rows.each(func(r Row) {
 			if r.Class == provenance.ClassRelation.String() {
-				entries = append(entries, entry{op: opPutEdge, row: r})
+				if cold[r.AppID] {
+					coldEnt[r.AppID] = append(coldEnt[r.AppID], entry{op: opPutEdge, row: r})
+				} else {
+					entries = append(entries, entry{op: opPutEdge, row: r})
+				}
 			}
 		})
 	} else {
 		// Ablation: copy the working row table under the state lock, as
 		// the pre-snapshot store did.
 		s.mu.RLock()
+		hotVers = map[string]uint64{}
+		for _, app := range s.graph.AppIDs() {
+			hotVers[app] = s.graph.TraceVersion(app)
+		}
 		entries = make([]entry, 0, s.rows.count)
 		s.rows.each(func(r Row) {
 			if r.Class != provenance.ClassRelation.String() {
@@ -976,6 +1530,73 @@ func (s *Store) Compact() error {
 		return s.compactAbort(fmt.Errorf("store: compact: closing frozen log: %v", err))
 	}
 
+	// Seal the cold traces into a new segment before the scratch log is
+	// even created: the file is written, fsynced and re-validated through
+	// openSegment here, so any structural failure aborts the compaction
+	// while the log still holds every row. segPath is cleared once the
+	// rename commits; until then every abort removes the orphan file.
+	var (
+		seg       *segment
+		segPath   string
+		coldNodes map[string][]*provenance.Node
+	)
+	abort := func(err error) error {
+		if segPath != "" {
+			fsys.Remove(segPath)
+		}
+		return s.compactAbort(err)
+	}
+	if len(coldEnt) > 0 {
+		demote := make([]segTraceRows, 0, len(coldEnt))
+		coldNodes = make(map[string][]*provenance.Node, len(coldEnt))
+		for app, es := range coldEnt {
+			nn := 0
+			for _, e := range es {
+				if e.op == opPutNode {
+					nn++
+				}
+			}
+			sort.Slice(es[:nn], func(i, j int) bool { return es[i].row.ID < es[j].row.ID })
+			sort.Slice(es[nn:], func(i, j int) bool { return es[nn+i].row.ID < es[nn+j].row.ID })
+			nodes, edges, err := decodeTrace(es)
+			if err != nil {
+				return abort(fmt.Errorf("store: compact: sealing %s: %v", app, err))
+			}
+			coldNodes[app] = nodes
+			classSeen, typeSeen := map[string]bool{}, map[string]bool{}
+			for _, e := range es {
+				classSeen[e.row.Class] = true
+			}
+			for _, n := range nodes {
+				typeSeen[n.Type] = true
+			}
+			for _, ed := range edges {
+				typeSeen[ed.Type] = true
+			}
+			tr := segTraceRows{app: app, ver: verAt[app], last: lastAt[app], rows: es}
+			for c := range classSeen {
+				tr.classes = append(tr.classes, c)
+			}
+			for t := range typeSeen {
+				tr.types = append(tr.types, t)
+			}
+			demote = append(demote, tr)
+		}
+		id := s.tier.allocID()
+		segPath = segmentPath(dir, id)
+		if _, err := writeSegment(fsys, segPath, sealSeq, demote, s.opts.SegmentBlockBytes); err != nil {
+			segPath = "" // writeSegment removed its own partial file
+			return abort(fmt.Errorf("store: compact: sealing segment: %v", err))
+		}
+		if err := syncParentDir(fsys, segPath); err != nil {
+			return abort(fmt.Errorf("store: compact: fsync segments dir: %v", err))
+		}
+		var err error
+		if seg, err = openSegment(fsys, segPath, id); err != nil {
+			return abort(fmt.Errorf("store: compact: validating sealed segment: %v", err))
+		}
+	}
+
 	// Phase 2: write the snapshot to the scratch file — no store locks
 	// held, writers are appending to the side log in parallel.
 	sort.Slice(entries[:nNodes], func(i, j int) bool { return entries[i].row.ID < entries[j].row.ID })
@@ -984,23 +1605,43 @@ func (s *Store) Compact() error {
 	})
 	tmp := tmpLogPath(dir)
 	if err := fsys.Remove(tmp); err != nil && !os.IsNotExist(err) {
-		return s.compactAbort(fmt.Errorf("store: compact: %v", err))
+		return abort(fmt.Errorf("store: compact: %v", err))
 	}
 	tw, err := createOrOpenLog(fsys, tmp, false)
 	if err != nil {
 		fsys.Remove(tmp) // created-but-unwritable scratch must not linger
-		return s.compactAbort(fmt.Errorf("store: compact: %v", err))
+		return abort(fmt.Errorf("store: compact: %v", err))
 	}
 	cleanupTmp := func(err error) error {
 		tw.close()
 		fsys.Remove(tmp)
-		return s.compactAbort(err)
+		return abort(err)
 	}
 	if err := tw.writeEntry(entry{op: opCompactMark, gen: gen}); err != nil {
 		return cleanupTmp(fmt.Errorf("store: compact: %v", err))
 	}
 	for _, e := range entries {
 		if err := tw.writeEntry(e); err != nil {
+			return cleanupTmp(fmt.Errorf("store: compact: %v", err))
+		}
+	}
+	// Pin every hot trace to its freeze-time version: the rewrite
+	// collapsed update chains, so without the pins a replay would count
+	// fewer mutations than the writer acknowledged. Pins follow all the
+	// rewritten rows and precede the folded side-log deltas, which bump
+	// from the pinned value — replayed versions stay exact across
+	// compaction. Cold traces are excluded: their pins live in their
+	// segment (or, for changed candidates, are re-logged in phase 3).
+	pinApps := make([]string, 0, len(hotVers))
+	for app := range hotVers {
+		if verAt[app] == 0 {
+			pinApps = append(pinApps, app)
+		}
+	}
+	sort.Strings(pinApps)
+	for _, app := range pinApps {
+		pin := entry{op: opTraceVer, row: Row{AppID: app}, gen: hotVers[app]}
+		if err := tw.writeEntry(pin); err != nil {
 			return cleanupTmp(fmt.Errorf("store: compact: %v", err))
 		}
 	}
@@ -1014,7 +1655,37 @@ func (s *Store) Compact() error {
 	if s.log == nil {
 		tw.close()
 		fsys.Remove(tmp)
+		if segPath != "" {
+			fsys.Remove(segPath)
+		}
 		return errClosed
+	}
+	// A cold trace written during the compaction stays hot: its sealed
+	// copy is stale the moment it lands. The trace's base rows re-enter
+	// the rewritten log, pinned to the seal-time version, AHEAD of the
+	// side-log deltas that changed it — replay then rebuilds base + pin +
+	// deltas into exactly the live state.
+	var changed map[string]bool
+	if seg != nil {
+		changed = map[string]bool{}
+		s.mu.RLock()
+		for app := range coldEnt {
+			if s.graph.TraceVersion(app) != verAt[app] {
+				changed[app] = true
+			}
+		}
+		s.mu.RUnlock()
+		for app := range changed {
+			for _, e := range coldEnt[app] {
+				if err := tw.writeEntry(e); err != nil {
+					return cleanupTmp(fmt.Errorf("store: compact: re-logging %s: %v", app, err))
+				}
+			}
+			pin := entry{op: opTraceVer, row: Row{AppID: app}, gen: verAt[app]}
+			if err := tw.writeEntry(pin); err != nil {
+				return cleanupTmp(fmt.Errorf("store: compact: re-logging %s: %v", app, err))
+			}
+		}
 	}
 	if err := s.log.flush(); err != nil {
 		return cleanupTmp(fmt.Errorf("store: compact: flushing side log: %v", err))
@@ -1033,13 +1704,59 @@ func (s *Store) Compact() error {
 	}
 	if err := fsys.Rename(tmp, logPath(dir)); err != nil {
 		fsys.Remove(tmp)
-		return s.compactAbort(fmt.Errorf("store: compact: %v", err))
+		return abort(fmt.Errorf("store: compact: %v", err))
 	}
 	// The rename is the commit point; everything below is cleanup and
 	// must leave the store coherent even on error.
 	var retErr error
 	if err := syncParentDir(fsys, logPath(dir)); err != nil {
 		retErr = fmt.Errorf("store: compact: fsync dir: %v", err)
+	}
+	// The demotion committed with the rename: the new main log excludes
+	// the unchanged cold traces, so the segment MUST serve them from here
+	// on — register it and drop the hot copies before anything below can
+	// fail. Register-then-drop means a concurrent reader always finds the
+	// trace in at least one tier.
+	if seg != nil {
+		s.tier.register(seg)
+		segPath = "" // committed; no longer removable by error paths
+		s.mu.Lock()
+		for app := range coldEnt {
+			if changed[app] {
+				continue
+			}
+			for _, n := range coldNodes[app] {
+				s.idx.remove(n)
+			}
+			s.graph.DropTrace(app)
+			// The registered segment now answers ID-based reads through
+			// its row-ID bloom, so the router entries are pure overhead:
+			// evict them, or the router grows with every trace ever
+			// sealed and resident memory tracks total history again.
+			ids := make([]string, 0, len(coldEnt[app]))
+			for _, e := range coldEnt[app] {
+				ids = append(ids, e.row.ID)
+			}
+			s.graph.EvictRouting(ids)
+			s.rows.dropApp(app)
+			delete(s.lastTouch, app)
+			s.tier.demoted.Add(1)
+		}
+		// A mass demotion leaves every app-keyed container at its peak
+		// map capacity (Go maps never shrink); rebuild them at resident
+		// size so memory tracks the working set, not total history.
+		s.graph.Vacuum()
+		s.rows.vacuum()
+		s.idx.vacuum()
+		lt := make(map[string]uint64, len(s.lastTouch))
+		for k, v := range s.lastTouch {
+			lt[k] = v
+		}
+		s.lastTouch = lt
+		s.mu.Unlock()
+		if !s.opts.DisableSnapshots {
+			s.forcePublishLocked()
+		}
 	}
 	oldSide := s.log
 	nw, err := createOrOpenLog(fsys, logPath(dir), s.opts.Sync)

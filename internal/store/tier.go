@@ -1,0 +1,384 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/provenance"
+)
+
+// tierManager owns the cold tier: the set of sealed segments on disk plus
+// the block cache fronting them. Segments are immutable once registered,
+// so the only lock is around the segment list itself; probing, paging and
+// materialization all run lock-free against immutable state.
+//
+// Lookups go newest-first. A trace demoted, promoted back, and demoted
+// again exists in two segments; the newer segment always carries the
+// newer copy, so newest-first resolves supersession with no tombstone
+// bookkeeping. The zone map (trace-ID range) and the trace bloom filter
+// gate each probe, so a cold lookup touches at most one segment plus the
+// bloom's false-positive tail — the invariant E15 verifies by counters:
+// SegmentProbes == ColdHits + FalseProbes.
+type tierManager struct {
+	fs    FS
+	dir   string
+	cache *blockCache
+
+	mu     sync.RWMutex
+	segs   []*segment // ascending by id
+	nextID uint64
+
+	// removedAtOpen counts half-sealed segment files deleted during load:
+	// a crash mid-seal leaves a file without a valid trailer/footer, and
+	// the log still holds every row it would have carried.
+	removedAtOpen int
+
+	coldLookups   atomic.Uint64
+	coldHits      atomic.Uint64
+	segmentProbes atomic.Uint64
+	bloomSkips    atomic.Uint64
+	falseProbes   atomic.Uint64
+	demoted       atomic.Uint64
+	promoted      atomic.Uint64
+}
+
+// newTierManager scans dir's segments directory, validates every segment
+// file, removes half-sealed garbage, and returns the manager.
+func newTierManager(fsys FS, dir string, cacheBytes int64) (*tierManager, error) {
+	if err := os.MkdirAll(segmentsDir(dir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	t := &tierManager{fs: fsys, dir: dir, cache: newBlockCache(cacheBytes), nextID: 1}
+	ids, err := segmentIDs(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing segments: %v", err)
+	}
+	for _, id := range ids {
+		path := segmentPath(dir, id)
+		seg, err := openSegment(fsys, path, id)
+		if err != nil {
+			// Half-sealed or corrupt: the compaction that wrote it never
+			// committed its rename, so the log still holds these traces.
+			if rerr := fsys.Remove(path); rerr != nil && !os.IsNotExist(rerr) {
+				return nil, fmt.Errorf("store: removing invalid segment: %v", rerr)
+			}
+			t.removedAtOpen++
+			continue
+		}
+		t.segs = append(t.segs, seg)
+		if id >= t.nextID {
+			t.nextID = id + 1
+		}
+	}
+	return t, nil
+}
+
+// allocID reserves the next segment ID.
+func (t *tierManager) allocID() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextID
+	t.nextID++
+	return id
+}
+
+// register adds a sealed, fsynced segment to the lookup set.
+func (t *tierManager) register(seg *segment) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.segs = append(t.segs, seg)
+	sort.Slice(t.segs, func(i, j int) bool { return t.segs[i].id < t.segs[j].id })
+}
+
+// hasSegments reports whether the cold tier holds anything — the cheap
+// gate read paths consult before paying a lookup.
+func (t *tierManager) hasSegments() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.segs) > 0
+}
+
+// snapshotSegs returns the current segment list (shared, immutable).
+func (t *tierManager) snapshotSegs() []*segment {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.segs
+}
+
+// footer returns a segment's parsed footer through the cache.
+func (t *tierManager) footer(seg *segment) (*segFooter, error) {
+	key := cacheKey{seg: seg.id, blk: cacheFooter}
+	if v, ok := t.cache.get(key); ok {
+		return v.(*segFooter), nil
+	}
+	ft, err := seg.readFooter()
+	if err != nil {
+		return nil, err
+	}
+	t.cache.put(key, ft, footerSize(ft))
+	return ft, nil
+}
+
+// block returns a decoded data block through the cache.
+func (t *tierManager) block(seg *segment, ft *segFooter, blk int) ([]entry, error) {
+	key := cacheKey{seg: seg.id, blk: blk}
+	if v, ok := t.cache.get(key); ok {
+		return v.([]entry), nil
+	}
+	es, err := seg.readBlock(ft, blk)
+	if err != nil {
+		return nil, err
+	}
+	t.cache.put(key, es, entriesSize(es))
+	return es, nil
+}
+
+// lookupTrace finds the newest sealed copy of a trace. maxSeq, when
+// non-zero, bounds the copy's last-touch sequence — the as-of read path.
+func (t *tierManager) lookupTrace(app string, maxSeq uint64) (*segment, segTrace, bool) {
+	t.coldLookups.Add(1)
+	segs := t.snapshotSegs()
+	for i := len(segs) - 1; i >= 0; i-- {
+		seg := segs[i]
+		if app < seg.minApp || app > seg.maxApp || !seg.bloomTrace.mightContain(app) {
+			t.bloomSkips.Add(1)
+			continue
+		}
+		if maxSeq != 0 && seg.minSeq > maxSeq {
+			t.bloomSkips.Add(1)
+			continue
+		}
+		t.segmentProbes.Add(1)
+		ft, err := t.footer(seg)
+		if err != nil {
+			t.falseProbes.Add(1)
+			continue // validated at open; a read error now degrades to a miss
+		}
+		tr, ok := ft.findTrace(app)
+		if !ok || (maxSeq != 0 && tr.Last > maxSeq) {
+			t.falseProbes.Add(1)
+			continue
+		}
+		t.coldHits.Add(1)
+		return seg, tr, true
+	}
+	return nil, segTrace{}, false
+}
+
+// ownerOf resolves a raw record ID to the trace that owns it by probing
+// the segments' row-ID bloom filters, newest-first. It is the routing
+// path for ID-based cold reads when the hot tier's record-ID router has
+// no entry — always the case after a restart, and after demotion evicts
+// the trace's entries. A bloom hit scans the segment's data blocks
+// through the cache; record IDs are write-once, so the first segment
+// that truly holds the ID names the owning trace for every copy.
+func (t *tierManager) ownerOf(id string) (string, bool) {
+	t.coldLookups.Add(1)
+	segs := t.snapshotSegs()
+	for i := len(segs) - 1; i >= 0; i-- {
+		seg := segs[i]
+		if seg.bloomID != nil && !seg.bloomID.mightContain(id) {
+			t.bloomSkips.Add(1)
+			continue
+		}
+		t.segmentProbes.Add(1)
+		ft, err := t.footer(seg)
+		if err != nil {
+			t.falseProbes.Add(1)
+			continue
+		}
+		for blk := 0; blk < len(ft.Blocks); blk++ {
+			es, err := t.block(seg, ft, blk)
+			if err != nil {
+				break
+			}
+			for _, e := range es {
+				if e.row.ID == id {
+					t.coldHits.Add(1)
+					return e.row.AppID, true
+				}
+			}
+		}
+		t.falseProbes.Add(1) // bloom false positive (or unreadable block)
+	}
+	return "", false
+}
+
+// traceRows pages the trace's rows out of its sealed block.
+func (t *tierManager) traceRows(seg *segment, tr segTrace) ([]entry, error) {
+	ft, err := t.footer(seg)
+	if err != nil {
+		return nil, err
+	}
+	all, err := t.block(seg, ft, tr.Blk)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]entry, 0, tr.Rows)
+	for _, e := range all {
+		if e.row.AppID == tr.App {
+			rows = append(rows, e)
+		}
+	}
+	return rows, nil
+}
+
+// decodeTrace turns sealed rows back into records, nodes first.
+func decodeTrace(rows []entry) ([]*provenance.Node, []*provenance.Edge, error) {
+	var nodes []*provenance.Node
+	var edges []*provenance.Edge
+	for _, e := range rows {
+		n, ed, err := DecodeRow(e.row)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: sealed row %s: %w", e.row.ID, err)
+		}
+		switch {
+		case n != nil:
+			nodes = append(nodes, n)
+		case ed != nil:
+			edges = append(edges, ed)
+		default:
+			return nil, nil, fmt.Errorf("store: sealed row %s decoded to nothing", e.row.ID)
+		}
+	}
+	return nodes, edges, nil
+}
+
+// materialize builds (or returns from cache) the frozen read-only graph
+// of one sealed trace copy. The graph has its own router and shares
+// nothing with the hot tier, so it never blocks writers and may be
+// retained indefinitely like any snapshot.
+func (t *tierManager) materialize(seg *segment, tr segTrace) (*provenance.Graph, error) {
+	key := cacheKey{seg: seg.id, blk: cacheTrace, app: tr.App}
+	if v, ok := t.cache.get(key); ok {
+		return v.(*provenance.Graph), nil
+	}
+	rows, err := t.traceRows(seg, tr)
+	if err != nil {
+		return nil, err
+	}
+	nodes, edges, err := decodeTrace(rows)
+	if err != nil {
+		return nil, err
+	}
+	g := provenance.NewGraph()
+	if err := g.RestoreTrace(tr.App, nodes, edges, tr.Ver); err != nil {
+		return nil, err
+	}
+	frozen := g.Snapshot()
+	t.cache.put(key, frozen, entriesSize(rows)*2)
+	return frozen, nil
+}
+
+// apps returns every trace ID sealed in the tier (deduplicated across
+// segments). It reads each segment's footer through the cache; callers
+// are listing endpoints, not hot paths.
+func (t *tierManager) apps() ([]string, error) {
+	seen := map[string]bool{}
+	for _, seg := range t.snapshotSegs() {
+		ft, err := t.footer(seg)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range ft.Traces {
+			seen[tr.App] = true
+		}
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// SegmentInfo describes one sealed segment for operators (pctl segments,
+// the /segments endpoint).
+type SegmentInfo struct {
+	ID        uint64  `json:"id"`
+	Path      string  `json:"path"`
+	SizeBytes int64   `json:"size_bytes"`
+	Traces    int     `json:"traces"`
+	Rows      int     `json:"rows"`
+	Blocks    int     `json:"blocks"`
+	SealSeq   uint64  `json:"seal_seq"`
+	MinSeq    uint64  `json:"min_seq"`
+	MaxSeq    uint64  `json:"max_seq"`
+	MinApp    string  `json:"min_app"`
+	MaxApp    string  `json:"max_app"`
+	BloomFill float64 `json:"bloom_fill"`
+	BloomFPP  float64 `json:"bloom_fpp"`
+}
+
+// segments lists the sealed segments, ascending by ID.
+func (t *tierManager) segments() []SegmentInfo {
+	segs := t.snapshotSegs()
+	out := make([]SegmentInfo, 0, len(segs))
+	for _, s := range segs {
+		out = append(out, SegmentInfo{
+			ID: s.id, Path: s.path, SizeBytes: s.size,
+			Traces: s.nTraces, Rows: s.nRows, Blocks: s.nBlocks,
+			SealSeq: s.sealSeq, MinSeq: s.minSeq, MaxSeq: s.maxSeq,
+			MinApp: s.minApp, MaxApp: s.maxApp,
+			BloomFill: s.bloomTrace.fillRatio(), BloomFPP: s.bloomTrace.estFPP(),
+		})
+	}
+	return out
+}
+
+// TieringStats is the tiered-storage layer's observable state, served
+// under "tiering" in the HTTP /stats endpoint.
+type TieringStats struct {
+	// Enabled is false when tiering is off (ablation D12 or in-memory).
+	Enabled bool `json:"enabled"`
+	// Segments / SealedTraces / SealedRows / SealedBytes describe the
+	// cold tier's extent.
+	Segments     int   `json:"segments"`
+	SealedTraces int   `json:"sealed_traces"`
+	SealedRows   int   `json:"sealed_rows"`
+	SealedBytes  int64 `json:"sealed_bytes"`
+	// ResidentTraces counts hot-tier trace shards; DemotedTraces and
+	// PromotedTraces are lifetime movement counters.
+	ResidentTraces int    `json:"resident_traces"`
+	DemotedTraces  uint64 `json:"demoted_traces"`
+	PromotedTraces uint64 `json:"promoted_traces"`
+	// ColdLookups / ColdHits / SegmentProbes / BloomSkips / FalseProbes
+	// verify the one-probe-per-lookup promise:
+	// SegmentProbes == ColdHits + FalseProbes.
+	ColdLookups   uint64 `json:"cold_lookups"`
+	ColdHits      uint64 `json:"cold_hits"`
+	SegmentProbes uint64 `json:"segment_probes"`
+	BloomSkips    uint64 `json:"bloom_skips"`
+	FalseProbes   uint64 `json:"false_probes"`
+	// RemovedAtOpen counts half-sealed segment files deleted during Open.
+	RemovedAtOpen int        `json:"removed_at_open"`
+	Cache         CacheStats `json:"cache"`
+}
+
+// stats summarizes the tier. residentTraces is supplied by the store
+// (the tier does not see the hot graph).
+func (t *tierManager) stats(residentTraces int) TieringStats {
+	st := TieringStats{
+		Enabled:        true,
+		ResidentTraces: residentTraces,
+		DemotedTraces:  t.demoted.Load(),
+		PromotedTraces: t.promoted.Load(),
+		ColdLookups:    t.coldLookups.Load(),
+		ColdHits:       t.coldHits.Load(),
+		SegmentProbes:  t.segmentProbes.Load(),
+		BloomSkips:     t.bloomSkips.Load(),
+		FalseProbes:    t.falseProbes.Load(),
+		RemovedAtOpen:  t.removedAtOpen,
+		Cache:          t.cache.stats(),
+	}
+	for _, s := range t.snapshotSegs() {
+		st.Segments++
+		st.SealedTraces += s.nTraces
+		st.SealedRows += s.nRows
+		st.SealedBytes += s.size
+	}
+	return st
+}
