@@ -541,3 +541,72 @@ func (c *client) cmdStats(args []string) error {
 	fmt.Fprintln(c.out, string(raw))
 	return nil
 }
+
+// cmdCluster inspects and reshapes a provrouter cluster:
+//
+//	pctl -server http://router:8340 cluster            topology and health
+//	pctl cluster join -name s3 -url http://host:8343   add a shard (handoff)
+//	pctl cluster leave -name s1 [-force]               drain (or drop) a shard
+func (c *client) cmdCluster(args []string) error {
+	if len(args) > 0 && (args[0] == "join" || args[0] == "leave") {
+		verb, rest := args[0], args[1:]
+		fs := flag.NewFlagSet("cluster "+verb, flag.ContinueOnError)
+		fs.SetOutput(c.out)
+		name := fs.String("name", "", "shard name")
+		url := fs.String("url", "", "shard base URL (join)")
+		force := fs.Bool("force", false, "drop a dead shard without handoff (leave)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *name == "" {
+			return fmt.Errorf("cluster %s: -name required", verb)
+		}
+		var out map[string]any
+		if verb == "join" {
+			if *url == "" {
+				return fmt.Errorf("cluster join: -url required")
+			}
+			if err := c.postJSON("/cluster/join", map[string]string{"name": *name, "url": *url}, &out); err != nil {
+				return err
+			}
+		} else {
+			body := map[string]any{"name": *name, "force": *force}
+			if err := c.postJSON("/cluster/leave", body, &out); err != nil {
+				return err
+			}
+		}
+		raw, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(c.out, string(raw))
+		return nil
+	}
+	var topo struct {
+		Shards []struct {
+			Name    string  `json:"name"`
+			URL     string  `json:"url"`
+			Share   float64 `json:"share"`
+			Healthy bool    `json:"healthy"`
+			Error   string  `json:"error"`
+		} `json:"shards"`
+		Vnodes       int `json:"vnodes"`
+		MovingTraces int `json:"movingTraces"`
+		PendingAcks  int `json:"pendingAcks"`
+	}
+	if err := c.getJSON("/cluster", &topo); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "%-12s %-28s %7s %-8s %s\n", "SHARD", "URL", "SHARE", "STATE", "")
+	for _, sh := range topo.Shards {
+		state := "up"
+		if !sh.Healthy {
+			state = "DOWN"
+		}
+		fmt.Fprintf(c.out, "%-12s %-28s %6.1f%% %-8s %s\n",
+			sh.Name, sh.URL, 100*sh.Share, state, sh.Error)
+	}
+	fmt.Fprintf(c.out, "%d shards, %d vnodes/shard, %d traces mid-handoff, %d pending acks\n",
+		len(topo.Shards), topo.Vnodes, topo.MovingTraces, topo.PendingAcks)
+	return nil
+}

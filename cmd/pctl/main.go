@@ -38,6 +38,9 @@
 //	    bloom-filter stats
 //	stats
 //	    print store and pipeline statistics
+//	cluster [join -name N -url U | leave -name N [-force]]
+//	    inspect a provrouter cluster's topology, or add/drain a shard
+//	    (against provrouter, not a single provd)
 package main
 
 import (
@@ -70,7 +73,7 @@ func runIO(args []string, in io.Reader, out io.Writer) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (simulate, ingest, controls, deploy, remove, check, dashboard, violations, rows, graph, report, segments, stats)")
+		return fmt.Errorf("missing command (simulate, ingest, controls, deploy, remove, check, dashboard, violations, rows, graph, report, segments, stats, cluster)")
 	}
 	c := &client{base: *server, out: out, in: in}
 	cmd, cmdArgs := rest[0], rest[1:]
@@ -101,6 +104,8 @@ func runIO(args []string, in io.Reader, out io.Writer) error {
 		return c.cmdSegments(cmdArgs)
 	case "stats":
 		return c.cmdStats(cmdArgs)
+	case "cluster":
+		return c.cmdCluster(cmdArgs)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

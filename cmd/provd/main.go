@@ -77,6 +77,7 @@ func main() {
 	segmentCold := flag.Uint64("segment-cold", 4096, "commits a trace may sit untouched before compaction seals it into a cold segment (0 = never demote; needs -dir)")
 	segmentCacheMB := flag.Int("segment-cache-mb", 0, "sealed-segment block cache size in MiB (0 = default 32)")
 	noTiering := flag.Bool("no-tiering", false, "disable tiered storage; every trace stays in memory (E15 ablation)")
+	noSegmentGC := flag.Bool("no-segment-gc", false, "keep sealed segments whose traces were all promoted back or superseded; preserves full as-of history at the cost of disk")
 	compactEvery := flag.Duration("compact-every", time.Minute, "compaction cadence: demotes cold traces and shrinks the log, skipping idle ticks (0 = never; needs -dir)")
 	windowTick := flag.Duration("window-tick", time.Minute, "cadence for surfacing expired control windows without a triggering commit (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain admitted events on shutdown")
@@ -101,6 +102,7 @@ func main() {
 		IngestFlushWindow:  *ingestWindow,
 		DisableAsyncIngest: *syncIngest,
 		DisableTiering:     *noTiering,
+		DisableSegmentGC:   *noSegmentGC,
 		SegmentColdAfter:   *segmentCold,
 		SegmentCacheMB:     *segmentCacheMB,
 		CompactEvery:       *compactEvery,

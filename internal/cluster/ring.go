@@ -1,0 +1,203 @@
+// Package cluster scales the single-node provd engine out to N shard
+// nodes, each owning a contiguous arc of a consistent-hash ring keyed by
+// trace ID, fronted by a stateless router (cmd/provrouter) that splits
+// ingestion batches by owner, proxies single-trace reads, and
+// scatter-gathers cross-trace queries with a merge layer.
+//
+// The design lifts the hash the store already applies internally — traces
+// hash into 64 MVCC buckets inside one store — to the process level: the
+// same per-trace independence that let PR 1-8 parallelize checking,
+// admission, snapshots and tiering inside one node is what makes trace ID
+// a safe sharding key across nodes. Every invariant the gateway
+// established (per-trace admission order, whole-batch 429/Retry-After
+// shedding, idempotency-key dedup, 202 ack tokens) survives the split
+// because one trace's events always land on exactly one shard.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the virtual-node count per shard. 128 points per
+// shard keeps the max/min owner load ratio inside ~1.25 (verified by
+// TestRingBalance) while a ring of a few thousand points still fits in
+// one cache-friendly sorted slice.
+const DefaultVnodes = 128
+
+// ringPoint is one virtual node: a position on the hash circle and the
+// shard that owns the arc ending there.
+type ringPoint struct {
+	hash  uint64
+	shard int32
+}
+
+// Ring is an immutable consistent-hash ring over named shards. Lookups
+// are allocation-free (the ingest hot path calls Owner per event);
+// rebalancing builds a new Ring and swaps it in, it never mutates one.
+type Ring struct {
+	names  []string
+	points []ringPoint
+	vnodes int
+}
+
+// hashKey is FNV-1a 64 over the key bytes followed by a 64-bit avalanche
+// finalizer (splitmix64's mixer). Plain FNV clusters short sequential
+// keys ("trace-1", "trace-2", ...) onto nearby ring positions; the
+// finalizer spreads them uniformly. Inlined over the string so the hot
+// path never converts to []byte (zero allocations, gated by
+// TestRingOwnerAllocs).
+func hashKey(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// NewRing builds a ring over the given shard names. vnodes <= 0 takes
+// DefaultVnodes. Names must be unique and non-empty; order fixes the
+// shard indices Owner returns.
+func NewRing(names []string, vnodes int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty shard name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", n)
+		}
+		seen[n] = true
+	}
+	r := &Ring{names: append([]string(nil), names...), vnodes: vnodes}
+	r.points = make([]ringPoint, 0, len(names)*vnodes)
+	for i, name := range names {
+		for v := 0; v < vnodes; v++ {
+			h := hashKey(name + "#" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, shard: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties resolve by shard index so the ring is deterministic
+		// regardless of sort stability.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Owner returns the index (into Names) of the shard owning key: the
+// first ring point clockwise from the key's hash, wrapping at the top.
+// Allocation-free — this sits on the router's per-event ingest path.
+func (r *Ring) Owner(key string) int {
+	h := hashKey(key)
+	// Manual binary search for the first point with hash >= h; sort.Search
+	// would work but a hand-rolled loop keeps the hot path trivially
+	// inline- and allocation-free.
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0 // wrap
+	}
+	return int(r.points[lo].shard)
+}
+
+// OwnerName returns the owning shard's name.
+func (r *Ring) OwnerName(key string) string { return r.names[r.Owner(key)] }
+
+// Names returns the shard names in index order. Callers must not mutate.
+func (r *Ring) Names() []string { return r.names }
+
+// Index returns the position of a shard name, or -1.
+func (r *Ring) Index(name string) int {
+	for i, n := range r.names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Vnodes returns the virtual-node count per shard.
+func (r *Ring) Vnodes() int { return r.vnodes }
+
+// Shares estimates each shard's fraction of the key space by summing the
+// hash-circle arc lengths its virtual nodes own. The estimate is exact
+// for uniformly hashed keys, which hashKey's avalanche finalizer
+// provides.
+func (r *Ring) Shares() []float64 {
+	shares := make([]float64, len(r.names))
+	if len(r.points) == 0 {
+		return shares
+	}
+	const whole = float64(1<<63) * 2 // 2^64 as float
+	prev := r.points[len(r.points)-1].hash
+	for i, p := range r.points {
+		var arc uint64
+		if i == 0 {
+			arc = p.hash + (^prev + 1) // wraparound arc
+		} else {
+			arc = p.hash - prev
+		}
+		shares[p.shard] += float64(arc) / whole
+		prev = p.hash
+	}
+	return shares
+}
+
+// Add returns a new ring with one more shard appended. Existing shard
+// indices are preserved.
+func (r *Ring) Add(name string) (*Ring, error) {
+	return NewRing(append(append([]string(nil), r.names...), name), r.vnodes)
+}
+
+// Remove returns a new ring without the named shard. Indices of the
+// remaining shards may shift; route by name across a removal.
+func (r *Ring) Remove(name string) (*Ring, error) {
+	names := make([]string, 0, len(r.names))
+	for _, n := range r.names {
+		if n != name {
+			names = append(names, n)
+		}
+	}
+	if len(names) == len(r.names) {
+		return nil, fmt.Errorf("cluster: shard %q not in ring", name)
+	}
+	return NewRing(names, r.vnodes)
+}
+
+// Moved returns the keys whose owner NAME differs between the two rings —
+// the traces a rebalance must hand off. Consistent hashing bounds this to
+// roughly K/N of K keys when one of N shards joins or leaves (verified by
+// TestRingRebalanceMovement).
+func Moved(old, new_ *Ring, keys []string) []string {
+	var moved []string
+	for _, k := range keys {
+		if old.OwnerName(k) != new_.OwnerName(k) {
+			moved = append(moved, k)
+		}
+	}
+	return moved
+}

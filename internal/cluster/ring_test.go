@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("trace-%d", i)
+	}
+	return keys
+}
+
+// TestRingBalance is the ISSUE balance gate: with 128 vnodes the
+// max/min owner load ratio over a large uniform key population stays
+// within 1.25 for every cluster size the CI exercises.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(200000)
+	for _, n := range []int{2, 3, 4, 8} {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("shard-%d", i)
+		}
+		r, err := NewRing(names, DefaultVnodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, n)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		min, max := counts[0], counts[0]
+		for _, c := range counts[1:] {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if min == 0 {
+			t.Fatalf("n=%d: a shard owns zero keys: %v", n, counts)
+		}
+		ratio := float64(max) / float64(min)
+		t.Logf("n=%d counts=%v max/min=%.3f", n, counts, ratio)
+		if ratio > 1.25 {
+			t.Errorf("n=%d: balance ratio %.3f > 1.25 (counts %v)", n, ratio, counts)
+		}
+		// Shares() should agree with observed ownership within a couple
+		// of percent — it is what GET /cluster reports.
+		shares := r.Shares()
+		for i, s := range shares {
+			obs := float64(counts[i]) / float64(len(keys))
+			if diff := s - obs; diff > 0.02 || diff < -0.02 {
+				t.Errorf("n=%d shard %d: share %.4f vs observed %.4f", n, i, s, obs)
+			}
+		}
+	}
+}
+
+// TestRingRebalanceMovement checks the consistent-hashing contract that
+// join/leave moves only ~K/N keys: no key moves between two surviving
+// shards, and the moved fraction stays near the ideal 1/N (join) or
+// 1/(N) of the leaver's share (leave).
+func TestRingRebalanceMovement(t *testing.T) {
+	keys := ringKeys(100000)
+	base := []string{"shard-0", "shard-1", "shard-2"}
+	r3, err := NewRing(base, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Join: 3 -> 4 shards. Ideal movement is K/4; allow 1.6x slack for
+	// vnode variance.
+	r4, err := r3.Add("shard-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := Moved(r3, r4, keys)
+	ideal := float64(len(keys)) / 4
+	t.Logf("join: moved %d (ideal %.0f)", len(moved), ideal)
+	if float64(len(moved)) > 1.6*ideal {
+		t.Errorf("join moved %d keys, want <= ~%.0f", len(moved), 1.6*ideal)
+	}
+	// Every moved key must land on the joiner — anything else is churn
+	// between survivors, which consistent hashing must not produce.
+	for _, k := range moved {
+		if r4.OwnerName(k) != "shard-3" {
+			t.Fatalf("join: key %s moved %s -> %s, not to the joiner",
+				k, r3.OwnerName(k), r4.OwnerName(k))
+		}
+	}
+
+	// Leave: 4 -> 3. Only the leaver's keys move.
+	r3b, err := r4.Remove("shard-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedBack := Moved(r4, r3b, keys)
+	for _, k := range movedBack {
+		if r4.OwnerName(k) != "shard-3" {
+			t.Fatalf("leave: key %s owned by %s moved; only the leaver's keys may move",
+				k, r4.OwnerName(k))
+		}
+	}
+	// Remove must restore the original 3-shard assignment exactly.
+	for _, k := range keys {
+		if r3.OwnerName(k) != r3b.OwnerName(k) {
+			t.Fatalf("remove(add(x)) changed owner of %s: %s vs %s",
+				k, r3.OwnerName(k), r3b.OwnerName(k))
+		}
+	}
+}
+
+// TestRingOwnerAllocs is the ISSUE hot-path gate: Owner must not
+// allocate — the router calls it once per event in every POST /events
+// batch.
+func TestRingOwnerAllocs(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c", "d"}, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := ringKeys(64)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = r.Owner(keys[i&63])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Ring.Owner allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	r, err := NewRing([]string{"x"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Owner("anything"); got != 0 {
+		t.Errorf("single-shard ring Owner = %d, want 0", got)
+	}
+	if _, err := r.Remove("nope"); err == nil {
+		t.Error("Remove of unknown shard accepted")
+	}
+	if r.Index("x") != 0 || r.Index("nope") != -1 {
+		t.Error("Index lookup wrong")
+	}
+}
+
+func TestRingDeterminism(t *testing.T) {
+	a, _ := NewRing([]string{"s0", "s1", "s2"}, 64)
+	b, _ := NewRing([]string{"s0", "s1", "s2"}, 64)
+	for _, k := range ringKeys(1000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("same config, different owner for %s", k)
+		}
+	}
+}

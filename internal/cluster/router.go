@@ -1,0 +1,875 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Router is the stateless front door of a sharded provd cluster: it owns
+// the consistent-hash ring, splits ingest batches by trace owner, proxies
+// single-trace reads to the owning shard, and scatter-gathers cross-trace
+// queries with the merge layer in merge.go. "Stateless" means no durable
+// state — the ring and the bounded composite-ack table rebuild from
+// configuration and client retries; a restarted router serves the next
+// request correctly.
+//
+// Failure semantics: the router does not health-check shards out of band.
+// A dead shard is discovered by the failing request itself and surfaces
+// as 503 + Retry-After — but only for operations that touch that shard's
+// key range. Traces owned by live shards keep flowing; this is the
+// cluster-level analogue of the single-node gateway shedding one
+// admission queue.
+type Router struct {
+	client *http.Client
+	mux    *http.ServeMux
+
+	mu     sync.RWMutex
+	ring   *Ring
+	urls   map[string]string // shard name -> base URL
+	moving map[string]bool   // traces mid-handoff: writes shed with 503
+
+	ackMu    sync.Mutex
+	acks     map[string]*compositeAck
+	ackOrder []string // FIFO eviction
+	ackSeq   uint64
+	ackCap   int
+
+	handoffMu sync.Mutex // serializes Join/Leave/ForceRemove
+}
+
+// Shard names one cluster member and its base URL.
+type Shard struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// compositeAck maps one router ack token to the per-shard acks a split
+// batch produced, with each part remembering which client batch indices
+// it carried so event errors can be mapped back.
+type compositeAck struct {
+	events int
+	parts  []ackPart
+}
+
+type ackPart struct {
+	shard string
+	token string
+	idx   []int // client batch positions of this part's events
+}
+
+// DefaultAckCap bounds the composite-ack table. Evicted tokens answer
+// 404 on poll, exactly like a restarted single-node gateway.
+const DefaultAckCap = 4096
+
+// NewRouter builds a router over the given shards. vnodes tunes ring
+// granularity (<=0 uses DefaultVnodes).
+func NewRouter(shards []Shard, vnodes int) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("cluster: no shards")
+	}
+	names := make([]string, len(shards))
+	urls := make(map[string]string, len(shards))
+	for i, sh := range shards {
+		if sh.URL == "" {
+			return nil, fmt.Errorf("cluster: shard %q has no URL", sh.Name)
+		}
+		names[i] = sh.Name
+		urls[sh.Name] = strings.TrimRight(sh.URL, "/")
+	}
+	ring, err := NewRing(names, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		client: &http.Client{Timeout: 30 * time.Second},
+		mux:    http.NewServeMux(),
+		ring:   ring,
+		urls:   urls,
+		moving: map[string]bool{},
+		acks:   map[string]*compositeAck{},
+		ackCap: DefaultAckCap,
+	}
+	rt.mux.HandleFunc("/events", rt.handleEvents)
+	rt.mux.HandleFunc("/ingest/ack", rt.handleAck)
+	rt.mux.HandleFunc("/ingest/stats", rt.handleScatterStats)
+	rt.mux.HandleFunc("/stats", rt.handleScatterStats)
+	rt.mux.HandleFunc("/segments", rt.handleScatterConcat)
+	rt.mux.HandleFunc("/violations", rt.handleScatterConcat)
+	rt.mux.HandleFunc("/traces", rt.handleScatterConcat)
+	rt.mux.HandleFunc("/compliance", rt.handleCompliance)
+	rt.mux.HandleFunc("/graph", rt.handleOwnerProxy)
+	rt.mux.HandleFunc("/graph.dot", rt.handleOwnerProxy)
+	rt.mux.HandleFunc("/rows", rt.handleOwnerProxy)
+	rt.mux.HandleFunc("/query", rt.handleQuery)
+	rt.mux.HandleFunc("/controls", rt.handleControls)
+	rt.mux.HandleFunc("/dashboard", rt.handleDashboard)
+	rt.mux.HandleFunc("/cluster", rt.handleCluster)
+	rt.mux.HandleFunc("/cluster/join", rt.handleJoin)
+	rt.mux.HandleFunc("/cluster/leave", rt.handleLeave)
+	return rt, nil
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// topology returns a consistent (ring, urls) pair for one request.
+func (rt *Router) topology() (*Ring, map[string]string) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring, rt.urls
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// shardUnavailable answers for a shard the router could not reach: 503
+// with a short Retry-After, scoped to the key range the request touched.
+func shardUnavailable(w http.ResponseWriter, shard string, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+		"error": fmt.Sprintf("shard %s unavailable: %v", shard, err),
+		"shard": shard,
+	})
+}
+
+// maxEventBody mirrors the shard-side cap on one /events request.
+const maxEventBody = 8 << 20
+
+// handleEvents splits one client batch by ring owner and fans the parts
+// to their shards concurrently. Per-trace ordering is preserved: all
+// events of a trace land in one part (owner is a pure function of the
+// trace ID), the part keeps client batch order, and the shard's gateway
+// pins each trace to one admission queue.
+//
+// Response mapping:
+//   - every part admitted        -> 202 with a composite ack token
+//   - any part 429               -> 429, Retry-After = max over parts
+//   - any part 503 / unreachable -> 503 for this batch only (its traces
+//     touch the dead range); batches for live shards are unaffected
+//   - any part 4xx               -> that status propagated
+//
+// A mixed outcome (some parts admitted, then a 429/503) is safe: the
+// client retries the whole batch under the same Ingest-Key and the
+// already-admitted shards dedup their parts.
+func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxEventBody)
+	var raw []json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(raw) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	ring, urls := rt.topology()
+
+	type part struct {
+		shard string
+		idx   []int
+		evs   []json.RawMessage
+	}
+	parts := map[string]*part{}
+	var order []string // deterministic fan-out order
+	for i, ev := range raw {
+		var meta struct {
+			AppID string `json:"appId"`
+		}
+		if err := json.Unmarshal(ev, &meta); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("event %d: %v", i, err))
+			return
+		}
+		if rt.isMoving(meta.AppID) {
+			// Cutover shed: this trace is mid-handoff; admitting the write
+			// on either side would race the tail export.
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"error": fmt.Sprintf("trace %s is being rebalanced", meta.AppID),
+			})
+			return
+		}
+		owner := ring.OwnerName(meta.AppID)
+		p := parts[owner]
+		if p == nil {
+			p = &part{shard: owner}
+			parts[owner] = p
+			order = append(order, owner)
+		}
+		p.idx = append(p.idx, i)
+		p.evs = append(p.evs, ev)
+	}
+
+	key := r.Header.Get("Ingest-Key")
+	syncMode := r.URL.Query().Get("sync") != ""
+	type result struct {
+		part   *part
+		status int
+		body   []byte
+		err    error
+	}
+	results := make([]result, len(order))
+	var wg sync.WaitGroup
+	for i, name := range order {
+		wg.Add(1)
+		go func(i int, p *part) {
+			defer wg.Done()
+			body, _ := json.Marshal(p.evs)
+			url := urls[p.shard] + "/events"
+			if syncMode {
+				url += "?sync=1"
+			}
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+			if err != nil {
+				results[i] = result{part: p, err: err}
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if key != "" {
+				// Derived key: same client key + same split -> same part key,
+				// so a client retry dedups on shards that already admitted.
+				req.Header.Set("Ingest-Key", key+"#"+p.shard)
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				results[i] = result{part: p, err: err}
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(io.LimitReader(resp.Body, maxEventBody))
+			if err != nil {
+				results[i] = result{part: p, err: err}
+				return
+			}
+			results[i] = result{part: p, status: resp.StatusCode, body: b}
+		}(i, parts[name])
+	}
+	wg.Wait()
+
+	// Order of precedence: unreachable/503 (dead range), then 429 (back
+	// off), then other errors, then success.
+	var retryAfterMs int64
+	for _, res := range results {
+		if res.err != nil {
+			shardUnavailable(w, res.part.shard, res.err)
+			return
+		}
+		if res.status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write(res.body)
+			return
+		}
+		if res.status == http.StatusTooManyRequests {
+			var hint struct {
+				RetryAfterMs int64 `json:"retryAfterMs"`
+			}
+			_ = json.Unmarshal(res.body, &hint)
+			if hint.RetryAfterMs > retryAfterMs {
+				retryAfterMs = hint.RetryAfterMs
+			}
+		}
+	}
+	if retryAfterMs > 0 {
+		secs := retryAfterMs / 1000
+		if retryAfterMs%1000 != 0 {
+			secs++
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":        "cluster overloaded: a shard shed this batch",
+			"retryAfterMs": retryAfterMs,
+		})
+		return
+	}
+	for _, res := range results {
+		if res.status != http.StatusAccepted && res.status != http.StatusOK {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(res.status)
+			_, _ = w.Write(res.body)
+			return
+		}
+	}
+	if syncMode {
+		// Synchronous parts applied on arrival; nothing to poll. Answer
+		// with the per-shard bodies keyed by shard name.
+		out := map[string]json.RawMessage{}
+		for _, res := range results {
+			out[res.part.shard] = res.body
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	comp := &compositeAck{events: len(raw)}
+	deduped := true
+	for _, res := range results {
+		var ack struct {
+			Token   string `json:"token"`
+			Deduped bool   `json:"deduped"`
+		}
+		if err := json.Unmarshal(res.body, &ack); err != nil {
+			writeErr(w, http.StatusBadGateway, fmt.Errorf("shard %s: bad ack: %v", res.part.shard, err))
+			return
+		}
+		if !ack.Deduped {
+			deduped = false
+		}
+		comp.parts = append(comp.parts, ackPart{shard: res.part.shard, token: ack.Token, idx: res.part.idx})
+	}
+	token := rt.storeAck(comp)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"token":   token,
+		"key":     key,
+		"state":   "pending",
+		"events":  len(raw),
+		"deduped": deduped,
+		"shards":  len(comp.parts),
+	})
+}
+
+func (rt *Router) storeAck(c *compositeAck) string {
+	rt.ackMu.Lock()
+	defer rt.ackMu.Unlock()
+	rt.ackSeq++
+	token := "rt-" + strconv.FormatUint(rt.ackSeq, 10)
+	rt.acks[token] = c
+	rt.ackOrder = append(rt.ackOrder, token)
+	for len(rt.ackOrder) > rt.ackCap {
+		delete(rt.acks, rt.ackOrder[0])
+		rt.ackOrder = rt.ackOrder[1:]
+	}
+	return token
+}
+
+// handleAck polls every shard ack behind one composite token and folds
+// the parts: applied only when every part is applied, event counts
+// summed, per-event errors mapped back to client batch positions.
+func (rt *Router) handleAck(w http.ResponseWriter, r *http.Request) {
+	token := r.URL.Query().Get("token")
+	if token == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("token parameter required"))
+		return
+	}
+	rt.ackMu.Lock()
+	comp := rt.acks[token]
+	rt.ackMu.Unlock()
+	if comp == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown ack token %q", token))
+		return
+	}
+	_, urls := rt.topology()
+	state := "applied"
+	var events, deduped int
+	var evErrs []map[string]any
+	for _, p := range comp.parts {
+		u, ok := urls[p.shard]
+		if !ok {
+			// The shard left the cluster after admitting; its part was
+			// flushed before the handoff released the traces.
+			events += len(p.idx)
+			continue
+		}
+		resp, err := rt.client.Get(u + "/ingest/ack?token=" + p.token)
+		if err != nil {
+			shardUnavailable(w, p.shard, err)
+			return
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxEventBody))
+		resp.Body.Close()
+		if rerr != nil {
+			shardUnavailable(w, p.shard, rerr)
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(resp.StatusCode)
+			_, _ = w.Write(body)
+			return
+		}
+		var ack struct {
+			State       string `json:"state"`
+			Events      int    `json:"events"`
+			Deduped     bool   `json:"deduped"`
+			EventErrors []struct {
+				Index int    `json:"index"`
+				Error string `json:"error"`
+			} `json:"eventErrors"`
+		}
+		if err := json.Unmarshal(body, &ack); err != nil {
+			writeErr(w, http.StatusBadGateway, fmt.Errorf("shard %s: bad ack: %v", p.shard, err))
+			return
+		}
+		if ack.State != "applied" {
+			state = "pending"
+		}
+		events += ack.Events
+		if ack.Deduped {
+			deduped += ack.Events
+		}
+		for _, ee := range ack.EventErrors {
+			idx := ee.Index
+			if idx >= 0 && idx < len(p.idx) {
+				idx = p.idx[idx] // part position -> client batch position
+			}
+			evErrs = append(evErrs, map[string]any{"index": idx, "error": ee.Error, "shard": p.shard})
+		}
+	}
+	sort.Slice(evErrs, func(i, j int) bool {
+		return evErrs[i]["index"].(int) < evErrs[j]["index"].(int)
+	})
+	out := map[string]any{
+		"token": token, "state": state, "events": comp.events,
+		"shards": len(comp.parts),
+	}
+	if deduped > 0 {
+		out["dedupedEvents"] = deduped
+	}
+	if len(evErrs) > 0 {
+		out["eventErrors"] = evErrs
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// scatter fans one GET to every shard and returns the decoded bodies in
+// shard order. Unreachable or failing shards land in errs.
+func (rt *Router) scatter(path string) (bodies map[string][]byte, errs map[string]string) {
+	ring, urls := rt.topology()
+	names := ring.Names()
+	type res struct {
+		name string
+		body []byte
+		err  error
+	}
+	ch := make(chan res, len(names))
+	for _, name := range names {
+		go func(name string) {
+			resp, err := rt.client.Get(urls[name] + path)
+			if err != nil {
+				ch <- res{name: name, err: err}
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+			if err == nil && resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("status %d: %s", resp.StatusCode, firstLine(body))
+			}
+			ch <- res{name: name, body: body, err: err}
+		}(name)
+	}
+	bodies, errs = map[string][]byte{}, map[string]string{}
+	for range names {
+		r := <-ch
+		if r.err != nil {
+			errs[r.name] = r.err.Error()
+			continue
+		}
+		bodies[r.name] = r.body
+	}
+	return bodies, errs
+}
+
+func firstLine(b []byte) string {
+	s := strings.Join(strings.Fields(string(b)), " ")
+	if len(s) > 300 {
+		s = s[:300]
+	}
+	return s
+}
+
+// handleScatterStats merges per-shard stats documents with the merge
+// layer: counters sum, gauges max, latency summaries fold. The cluster
+// envelope reports who answered.
+func (rt *Router) handleScatterStats(w http.ResponseWriter, r *http.Request) {
+	bodies, errs := rt.scatter(r.URL.Path)
+	docs := make([]map[string]any, 0, len(bodies))
+	var shards []string
+	for name, body := range bodies {
+		var doc map[string]any
+		if err := json.Unmarshal(body, &doc); err != nil {
+			errs[name] = "bad stats document: " + err.Error()
+			continue
+		}
+		docs = append(docs, doc)
+		shards = append(shards, name)
+	}
+	if len(docs) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": "no shard responded", "shardErrors": errs,
+		})
+		return
+	}
+	merged := MergeStats(docs)
+	sort.Strings(shards)
+	merged["cluster"] = clusterEnvelope(shards, errs)
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func clusterEnvelope(responded []string, errs map[string]string) map[string]any {
+	env := map[string]any{"responded": responded}
+	if len(errs) > 0 {
+		env["shardErrors"] = errs
+	}
+	return env
+}
+
+// handleScatterConcat concatenates per-shard JSON arrays (/segments,
+// /violations, /traces), tagging elements with their shard where the
+// element is an object.
+func (rt *Router) handleScatterConcat(w http.ResponseWriter, r *http.Request) {
+	bodies, errs := rt.scatter(r.URL.RequestURI())
+	out := []any{}
+	names := make([]string, 0, len(bodies))
+	for name := range bodies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var arr []any
+		if err := json.Unmarshal(bodies[name], &arr); err != nil {
+			errs[name] = "bad array document: " + err.Error()
+			continue
+		}
+		for _, el := range arr {
+			if obj, ok := el.(map[string]any); ok {
+				obj["shard"] = name
+				out = append(out, obj)
+				continue
+			}
+			out = append(out, el)
+		}
+	}
+	if len(errs) > 0 && len(out) == 0 && len(bodies) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": "no shard responded", "shardErrors": errs,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// proxyToShard forwards the request as-is to one shard and streams the
+// response back, preserving status and content type.
+func (rt *Router) proxyToShard(w http.ResponseWriter, r *http.Request, shard string) {
+	_, urls := rt.topology()
+	u, ok := urls[shard]
+	if !ok {
+		writeErr(w, http.StatusBadGateway, fmt.Errorf("unknown shard %q", shard))
+		return
+	}
+	var body io.Reader
+	if r.Body != nil {
+		body = r.Body
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u+r.URL.RequestURI(), body)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		shardUnavailable(w, shard, err)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// handleOwnerProxy routes a single-trace read (?app=) to the trace's
+// owner shard; the ring makes the owner a pure function of the trace ID,
+// so reads after any number of router restarts land on the same shard.
+func (rt *Router) handleOwnerProxy(w http.ResponseWriter, r *http.Request) {
+	app := r.URL.Query().Get("app")
+	if app == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("app parameter required"))
+		return
+	}
+	ring, _ := rt.topology()
+	rt.proxyToShard(w, r, ring.OwnerName(app))
+}
+
+// handleCompliance proxies ?app= reads to the owner and scatter-gathers
+// the cross-trace form (no app): each shard checks its own traces and
+// the router concatenates the outcome arrays.
+func (rt *Router) handleCompliance(w http.ResponseWriter, r *http.Request) {
+	if app := r.URL.Query().Get("app"); app != "" {
+		ring, _ := rt.topology()
+		rt.proxyToShard(w, r, ring.OwnerName(app))
+		return
+	}
+	rt.handleScatterConcat(w, r)
+}
+
+// handleQuery: typed node queries scoped to a trace go to its owner;
+// unscoped queries scatter to all shards and concatenate (each node
+// lives on exactly one shard, so concatenation is a disjoint union).
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("explain") != "" || r.URL.Query().Get("app") != "" {
+		ring, _ := rt.topology()
+		app := r.URL.Query().Get("app")
+		if app == "" {
+			// explain without a trace: any shard's plan is representative.
+			rt.proxyToShard(w, r, ring.Names()[0])
+			return
+		}
+		rt.proxyToShard(w, r, ring.OwnerName(app))
+		return
+	}
+	rt.handleScatterConcat(w, r)
+}
+
+// handleControls: deploy/remove broadcast to every shard (each shard
+// evaluates controls over its own traces), list proxies to one shard
+// (deployments go everywhere, so any shard's list is authoritative).
+func (rt *Router) handleControls(w http.ResponseWriter, r *http.Request) {
+	ring, urls := rt.topology()
+	if r.Method == http.MethodGet {
+		rt.proxyToShard(w, r, ring.Names()[0])
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxEventBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var lastBody []byte
+	lastStatus := 0
+	for _, name := range ring.Names() {
+		req, err := http.NewRequestWithContext(r.Context(), r.Method,
+			urls[name]+r.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			shardUnavailable(w, name, err)
+			return
+		}
+		b, rerr := io.ReadAll(io.LimitReader(resp.Body, maxEventBody))
+		resp.Body.Close()
+		if rerr != nil {
+			shardUnavailable(w, name, rerr)
+			return
+		}
+		if resp.StatusCode >= 400 {
+			// Stop at the first rejection: shards share the vocabulary, so
+			// a rule that fails to compile on one fails on all.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(resp.StatusCode)
+			_, _ = w.Write(b)
+			return
+		}
+		lastBody, lastStatus = b, resp.StatusCode
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(lastStatus)
+	_, _ = w.Write(lastBody)
+}
+
+// kpiRow mirrors dashboard.KPI on the wire. The verdict counts of one
+// control merge exactly across shards — each shard counts a disjoint
+// trace population — and the rates recompute from the merged counts.
+type kpiRow struct {
+	ControlID      string
+	Name           string
+	Total          int
+	Satisfied      int
+	Violated       int
+	Indeterminate  int
+	NotApplicable  int
+	ComplianceRate float64
+	DefiniteRate   float64
+}
+
+// handleDashboard merges the per-shard KPI snapshots into the exact
+// single-node shape (a KPI array), so dashboard clients work unchanged
+// against a cluster. Like the concat endpoints it degrades to the
+// responding shards and answers 503 only when nobody responded.
+func (rt *Router) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	bodies, errs := rt.scatter(r.URL.RequestURI())
+	merged := map[string]*kpiRow{}
+	var order []string
+	for name, body := range bodies {
+		var rows []kpiRow
+		if err := json.Unmarshal(body, &rows); err != nil {
+			errs[name] = "bad KPI document: " + err.Error()
+			continue
+		}
+		for _, row := range rows {
+			m, ok := merged[row.ControlID]
+			if !ok {
+				m = &kpiRow{ControlID: row.ControlID, Name: row.Name}
+				merged[row.ControlID] = m
+				order = append(order, row.ControlID)
+			}
+			m.Total += row.Total
+			m.Satisfied += row.Satisfied
+			m.Violated += row.Violated
+			m.Indeterminate += row.Indeterminate
+			m.NotApplicable += row.NotApplicable
+		}
+	}
+	if len(merged) == 0 && len(bodies) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": "no shard responded", "shardErrors": errs,
+		})
+		return
+	}
+	sort.Strings(order)
+	out := make([]kpiRow, 0, len(order))
+	for _, id := range order {
+		m := merged[id]
+		if def := m.Satisfied + m.Violated; def > 0 {
+			m.ComplianceRate = float64(m.Satisfied) / float64(def)
+		}
+		if m.Total > 0 {
+			m.DefiniteRate = float64(m.Satisfied+m.Violated) / float64(m.Total)
+		}
+		out = append(out, *m)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCluster reports the cluster topology: shards, ring shares,
+// liveness (one cheap probe per shard), and handoff state.
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	ring, urls := rt.topology()
+	_, errs := rt.scatter("/ingest/stats")
+	shares := ring.Shares()
+	type shardInfo struct {
+		Name    string  `json:"name"`
+		URL     string  `json:"url"`
+		Share   float64 `json:"share"`
+		Healthy bool    `json:"healthy"`
+		Error   string  `json:"error,omitempty"`
+	}
+	infos := make([]shardInfo, 0, len(ring.Names()))
+	for i, name := range ring.Names() {
+		si := shardInfo{Name: name, URL: urls[name], Share: shares[i], Healthy: true}
+		if msg, bad := errs[name]; bad {
+			si.Healthy, si.Error = false, msg
+		}
+		infos = append(infos, si)
+	}
+	rt.mu.RLock()
+	movingCount := len(rt.moving)
+	rt.mu.RUnlock()
+	rt.ackMu.Lock()
+	ackCount := len(rt.acks)
+	rt.ackMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards":       infos,
+		"vnodes":       ring.Vnodes(),
+		"movingTraces": movingCount,
+		"pendingAcks":  ackCount,
+	})
+}
+
+func (rt *Router) isMoving(app string) bool {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return len(rt.moving) > 0 && rt.moving[app]
+}
+
+func (rt *Router) setMoving(apps []string) {
+	rt.mu.Lock()
+	for _, a := range apps {
+		rt.moving[a] = true
+	}
+	rt.mu.Unlock()
+}
+
+func (rt *Router) clearMoving(apps []string) {
+	rt.mu.Lock()
+	for _, a := range apps {
+		delete(rt.moving, a)
+	}
+	rt.mu.Unlock()
+}
+
+type joinRequest struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req joinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := rt.Join(Shard{Name: req.Name, URL: req.URL})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (rt *Router) handleLeave(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req struct {
+		Name  string `json:"name"`
+		Force bool   `json:"force"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Force {
+		if err := rt.ForceRemove(req.Name); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"removed": req.Name, "forced": true})
+		return
+	}
+	res, err := rt.Leave(req.Name)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

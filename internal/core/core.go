@@ -94,6 +94,16 @@ type Config struct {
 	// SegmentCacheMB caps the sealed-segment block cache in MiB
 	// (0 = store default, 32 MiB).
 	SegmentCacheMB int
+	// DisableSegmentGC keeps every sealed segment on disk even after all
+	// of its trace copies were promoted back or superseded; by default
+	// compaction reclaims fully-dead segment files. Disabling preserves
+	// the complete as-of version history at the cost of unbounded
+	// segment growth (ablation for experiment E16 storage accounting).
+	DisableSegmentGC bool
+	// FS overrides the filesystem the durable store runs on; nil uses
+	// the process filesystem. Benchmarks inject slowfs device models
+	// (experiment E16), fault tests the faultfs injector.
+	FS store.FS
 	// CompactEvery, when positive, runs store compaction on this cadence.
 	// Compaction is the demotion engine's heartbeat — SegmentColdAfter
 	// only takes effect when something calls Compact — so a durable
@@ -148,6 +158,8 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 		DisableTiering:     cfg.DisableTiering,
 		SegmentColdAfter:   cfg.SegmentColdAfter,
 		SegmentCacheBytes:  int64(cfg.SegmentCacheMB) << 20,
+		DisableSegmentGC:   cfg.DisableSegmentGC,
+		FS:                 cfg.FS,
 	})
 	if err != nil {
 		return nil, err

@@ -208,9 +208,18 @@ func (e *Engine) RunTrace(appID string) error {
 			continue
 		}
 		added[key] = true
+		// The counter is in-memory, but cr- edges also arrive from log
+		// replay and shard-handoff imports with IDs this engine never
+		// allocated; skip past any taken ID instead of colliding.
 		e.mu.Lock()
-		e.seq++
-		id := fmt.Sprintf("cr-%s-%d", w.rule, e.seq)
+		var id string
+		for {
+			e.seq++
+			id = fmt.Sprintf("cr-%s-%d", w.rule, e.seq)
+			if e.st.Edge(id) == nil {
+				break
+			}
+		}
 		e.mu.Unlock()
 		ed := w.edge.Clone()
 		ed.ID = id

@@ -113,6 +113,10 @@ func All(quick bool) []Runner {
 	e14Duration := 1200 * time.Millisecond
 	e14Rate := 200.0
 	e15Sizes := []int{1000, 10000}
+	e16Duration := 2 * time.Second
+	e16OverheadRate := 25.0
+	e16ScaleRate := 900.0
+	e16Shards := []int{1, 2, 4}
 	if quick {
 		traces = 300
 		e5Sizes = []int{200, 500, 1000}
@@ -129,6 +133,10 @@ func All(quick bool) []Runner {
 		e14Duration = 400 * time.Millisecond
 		e14Rate = 100
 		e15Sizes = []int{150, 1500}
+		e16Duration = 400 * time.Millisecond
+		e16OverheadRate = 20
+		e16ScaleRate = 300
+		e16Shards = []int{1, 2}
 	}
 	return []Runner{
 		{"E1", "Table 1 storage rows", func() (*Table, error) { return E1Table1(traces) }},
@@ -155,6 +163,9 @@ func All(quick bool) []Runner {
 		}},
 		{"E15", "tiered storage vs all-resident ablation", func() (*Table, error) {
 			return E15Tiering(e15Sizes)
+		}},
+		{"E16", "sharded cluster scale-out vs single node", func() (*Table, error) {
+			return E16Cluster(e16Duration, e16OverheadRate, e16ScaleRate, e16Shards)
 		}},
 	}
 }

@@ -3,6 +3,7 @@
 package httpapi
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -47,6 +48,10 @@ func NewServer(sys *core.System, continuous bool) *Server {
 	s.mux.HandleFunc("/segments", s.handleSegments)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/report", s.handleReport)
+	s.mux.HandleFunc("/traces", s.handleTraces)
+	s.mux.HandleFunc("/handoff/export", s.handleHandoffExport)
+	s.mux.HandleFunc("/handoff/import", s.handleHandoffImport)
+	s.mux.HandleFunc("/handoff/release", s.handleHandoffRelease)
 	return s
 }
 
@@ -541,6 +546,103 @@ func (s *Server) handleSegments(w http.ResponseWriter, r *http.Request) {
 		segs = []store.SegmentInfo{}
 	}
 	writeJSON(w, http.StatusOK, segs)
+}
+
+// handleTraces lists the trace IDs this node holds across both tiers —
+// the shard-handoff planner's input (the router asks each shard for its
+// traces to compute which ones a ring change moves).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	apps := s.sys.Store.AppIDs()
+	if apps == nil {
+		apps = []string{}
+	}
+	writeJSON(w, http.StatusOK, apps)
+}
+
+// appsRequest is the wire form of a handoff trace list.
+type appsRequest struct {
+	Apps []string `json:"apps"`
+}
+
+// maxHandoffBody caps one /handoff/import stream (segments are bounded
+// by the source's log size, but the receiver should not trust that).
+const maxHandoffBody = 256 << 20
+
+// handleHandoffExport streams the named traces in the sealed-segment
+// wire format (POST {"apps": [...]}). Traces this node no longer holds
+// are skipped; the Handoff-Traces/Handoff-Rows/Handoff-Seq response
+// headers report what actually shipped (the body is the binary stream,
+// so the stats ride in headers). Exports run concurrently with writes —
+// the handoff protocol re-exports the tail and the importer dedups.
+func (s *Server) handleHandoffExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req appsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var buf bytes.Buffer
+	st, err := s.sys.Store.ExportTraces(&buf, req.Apps)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Handoff-Traces", strconv.Itoa(st.Traces))
+	w.Header().Set("Handoff-Rows", strconv.Itoa(st.Rows))
+	w.Header().Set("Handoff-Seq", strconv.FormatUint(st.Seq, 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleHandoffImport replays an export stream (POST, raw body) through
+// the receiving store's validated write path and reports what landed.
+// Records already present are skipped, so redelivery and bulk/tail
+// overlap are harmless.
+func (s *Server) handleHandoffImport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxHandoffBody)
+	ins, skip, err := s.sys.Store.ImportSegment(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if !s.continuous && ins > 0 {
+		// Batch mode: re-correlate so imported traces are connected
+		// graphs on this node too (continuous mode picks them up from
+		// the change feed).
+		if err := s.sys.CorrelateAll(); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"inserted": ins, "skipped": skip})
+}
+
+// handleHandoffRelease commits drop tombstones for traces this node has
+// handed off (POST {"apps": [...]}): the final step of a shard move,
+// after the target confirmed the import and the ring swapped.
+func (s *Server) handleHandoffRelease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req appsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.sys.Store.DropTraces(req.Apps...); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"dropped": len(req.Apps)})
 }
 
 // handleStats returns store, pipeline and continuous-checking statistics.

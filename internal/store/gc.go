@@ -1,0 +1,250 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Segment GC: compaction deletes sealed seg-*.seg files none of whose
+// trace copies are live anymore. A sealed copy is dead when
+//
+//   - the trace is hot-resident at a version >= the sealed one (it was
+//     promoted back; promotion re-logged its rows, so the log, not the
+//     segment, is its durable home), or
+//   - a newer segment holds a copy at a version >= the sealed one
+//     (demoted again after a promotion — the newest-first read path
+//     never reaches the old copy), or
+//   - the trace was tombstoned by shard handoff at or after the
+//     segment's seal point.
+//
+// Deleting a dead segment also deletes its older as-of versions: GC
+// trades point-in-time audit depth for space. Operators who need full
+// as-of retention run with DisableSegmentGC (provd -no-segment-gc).
+//
+// Crash safety: a reclaimable segment is redundant by definition, so
+// deletion at any moment (or a crash between deletions) leaves every
+// trace readable from its live home. Readers holding the previous
+// segment list degrade to a bloom false probe on the vanished file,
+// which lookup paths already tolerate.
+
+// gcSegmentsLocked scans the cold tier and deletes fully-dead segments.
+// Caller holds compactMu (so no seal races the scan). Returns the number
+// of files reclaimed.
+func (s *Store) gcSegmentsLocked() int {
+	t := s.tier
+	if t == nil {
+		return 0
+	}
+	hotVer := map[string]uint64{}
+	s.readTx(func(tx ReadTx) error {
+		for _, app := range tx.g.AppIDs() {
+			hotVer[app] = tx.g.TraceVersion(app)
+		}
+		return nil
+	})
+	drops := t.pendingDrops()
+	segs := t.snapshotSegs()
+	reclaimed := 0
+	for i, seg := range segs {
+		ft, err := t.footer(seg)
+		if err != nil {
+			continue // unreadable footer: leave it for operators
+		}
+		dead := true
+		for _, tr := range ft.Traces {
+			if ds := drops[tr.App]; ds != 0 && seg.sealSeq <= ds {
+				continue // handoff tombstone
+			}
+			if hv, ok := hotVer[tr.App]; ok && hv >= tr.Ver {
+				continue // promoted back to hot
+			}
+			if newerSegmentHolds(t, segs[i+1:], tr.App, tr.Ver) {
+				continue // superseded by a later demotion
+			}
+			dead = false
+			break
+		}
+		if !dead {
+			continue
+		}
+		t.unregister(seg.id)
+		t.cache.dropSegment(seg.id)
+		if err := s.fs.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+			// The file outlives its registration; harmless (it is
+			// redundant) and retried by the next GC pass at Open.
+			continue
+		}
+		t.segmentsReclaimed.Add(1)
+		reclaimed++
+	}
+	return reclaimed
+}
+
+// newerSegmentHolds reports whether any of the (strictly newer) segments
+// carries a copy of app at version >= ver.
+func newerSegmentHolds(t *tierManager, newer []*segment, app string, ver uint64) bool {
+	for _, seg := range newer {
+		if app < seg.minApp || app > seg.maxApp || !seg.bloomTrace.mightContain(app) {
+			continue
+		}
+		ft, err := t.footer(seg)
+		if err != nil {
+			continue
+		}
+		if tr, ok := ft.findTrace(app); ok && tr.Ver >= ver {
+			return true
+		}
+	}
+	return false
+}
+
+// GCSegments runs one segment-GC pass outside a compaction (tests,
+// operator tooling). Returns the number of segment files reclaimed.
+func (s *Store) GCSegments() int {
+	if s.tier == nil {
+		return 0
+	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	return s.gcSegmentsLocked()
+}
+
+// scrubDroppedLocked physically removes handoff-tombstoned trace copies
+// from the cold tier: a segment whose every trace is dead is deleted, a
+// partially-dead one is rewritten in place (temp file + atomic rename
+// under its own ID, block cache invalidated). Tombstones are forgotten
+// once no sealed copy survives. Caller holds compactMu.
+func (s *Store) scrubDroppedLocked() error {
+	t := s.tier
+	drops := t.pendingDrops()
+	if len(drops) == 0 {
+		return nil
+	}
+	for _, seg := range t.snapshotSegs() {
+		ft, err := t.footer(seg)
+		if err != nil {
+			return fmt.Errorf("segment %d: %v", seg.id, err)
+		}
+		var deadCount int
+		deadApps := map[string]bool{}
+		for _, tr := range ft.Traces {
+			if ds := drops[tr.App]; ds != 0 && seg.sealSeq <= ds {
+				deadApps[tr.App] = true
+				deadCount++
+			}
+		}
+		if deadCount == 0 {
+			continue
+		}
+		if deadCount == len(ft.Traces) {
+			t.unregister(seg.id)
+			t.cache.dropSegment(seg.id)
+			if err := s.fs.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("segment %d: %v", seg.id, err)
+			}
+			t.segmentsReclaimed.Add(1)
+			continue
+		}
+		if err := s.rewriteSegmentWithout(seg, ft, deadApps); err != nil {
+			return fmt.Errorf("segment %d: %v", seg.id, err)
+		}
+	}
+	apps := make([]string, 0, len(drops))
+	for app := range drops {
+		apps = append(apps, app)
+	}
+	t.clearDrops(apps)
+	return nil
+}
+
+// rewriteSegmentWithout rebuilds one sealed segment minus the dead
+// traces, preserving its ID, seal sequence and therefore its position in
+// the newest-first lookup order. The temp file is fully written and
+// re-validated before an atomic rename replaces the original.
+func (s *Store) rewriteSegmentWithout(seg *segment, ft *segFooter, dead map[string]bool) error {
+	t := s.tier
+	keep := make([]segTraceRows, 0, len(ft.Traces)-len(dead))
+	for _, tr := range ft.Traces {
+		if dead[tr.App] {
+			continue
+		}
+		rows, err := t.traceRows(seg, tr)
+		if err != nil {
+			return err
+		}
+		nodes, edges, err := decodeTrace(rows)
+		if err != nil {
+			return err
+		}
+		classSeen, typeSeen := map[string]bool{}, map[string]bool{}
+		for _, e := range rows {
+			classSeen[e.row.Class] = true
+		}
+		for _, n := range nodes {
+			typeSeen[n.Type] = true
+		}
+		for _, ed := range edges {
+			typeSeen[ed.Type] = true
+		}
+		k := segTraceRows{app: tr.App, ver: tr.Ver, last: tr.Last, rows: rows}
+		for c := range classSeen {
+			k.classes = append(k.classes, c)
+		}
+		for ty := range typeSeen {
+			k.types = append(k.types, ty)
+		}
+		keep = append(keep, k)
+	}
+	tmp := seg.path + ".tmp"
+	if err := s.fs.Remove(tmp); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	if _, err := writeSegment(s.fs, tmp, seg.sealSeq, keep, s.opts.SegmentBlockBytes); err != nil {
+		return err
+	}
+	if _, err := openSegment(s.fs, tmp, seg.id); err != nil {
+		s.fs.Remove(tmp)
+		return fmt.Errorf("validating rewrite: %v", err)
+	}
+	if err := s.fs.Rename(tmp, seg.path); err != nil {
+		s.fs.Remove(tmp)
+		return err
+	}
+	if err := syncParentDir(s.fs, seg.path); err != nil {
+		return err
+	}
+	newSeg, err := openSegment(s.fs, seg.path, seg.id)
+	if err != nil {
+		// The renamed file validated moments ago; treat a re-open failure
+		// as fatal for the scrub (tombstones stay, lookups stay guarded).
+		return err
+	}
+	t.cache.dropSegment(seg.id)
+	t.mu.Lock()
+	for i, cur := range t.segs {
+		if cur.id == seg.id {
+			segs := append([]*segment(nil), t.segs...)
+			segs[i] = newSeg
+			t.segs = segs
+			break
+		}
+	}
+	t.mu.Unlock()
+	t.segmentsReclaimed.Add(1)
+	return nil
+}
+
+// cleanSegmentTmp removes leftover rewrite temp files (crash between
+// writeSegment and rename); the original segment files are intact.
+func cleanSegmentTmp(fsys FS, dir string) {
+	names, err := fsys.ReadDir(segmentsDir(dir))
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		if strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".tmp") {
+			fsys.Remove(segmentsDir(dir) + string(os.PathSeparator) + name)
+		}
+	}
+}

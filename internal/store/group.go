@@ -200,8 +200,10 @@ func (c *committer) process(batch []*commitReq) {
 				// and share the batch's flush+fsync; the in-memory
 				// restore waits until that fsync succeeds.
 				var promo *pendingPromo
-				if promo, err = s.stagePromotionLocked(e.row.AppID, staged); err != nil {
-					break write
+				if e.op != opTraceDrop {
+					if promo, err = s.stagePromotionLocked(e.row.AppID, staged); err != nil {
+						break write
+					}
 				}
 				if promo != nil {
 					promos = append(promos, promo)

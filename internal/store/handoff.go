@@ -1,0 +1,259 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/provenance"
+)
+
+// Shard handoff: moving a set of traces from one provd node to another.
+// The wire format is the sealed-segment codec (PROVSEG1) — the same
+// CRC-framed, footer-indexed file compaction writes — so the receiving
+// node validates structure, checksums and decodability before a single
+// row enters its store, and the shipped file doubles as a audit artifact.
+//
+// The protocol is two-phase and idempotent:
+//
+//  1. bulk: the source streams ExportTraces while writes still flow;
+//     the target replays it through ImportSegment, which skips records
+//     it already holds (record IDs are write-once and globally unique).
+//  2. cutover: the router sheds writes for the moving traces, the
+//     source streams a tail export (same call — the import dedups the
+//     overlap), the ring swaps, and the source commits DropTraces
+//     tombstones so the moved traces cannot resurrect from its log or
+//     its sealed segments.
+
+// ExportStats summarizes one handoff export.
+type ExportStats struct {
+	Traces int    `json:"traces"`
+	Rows   int    `json:"rows"`
+	Seq    uint64 `json:"seq"`
+}
+
+// exportTraceRows assembles one trace's segTraceRows from either tier.
+// Returns ok=false when the trace exists in neither.
+func (s *Store) exportTraceRows(app string) (segTraceRows, bool, error) {
+	var rows []entry
+	var ver, last uint64
+	found := false
+	s.readTx(func(tx ReadTx) error {
+		if v := tx.g.TraceVersion(app); v != 0 {
+			found = true
+			ver = v
+			last = tx.seq
+			var nodes, edges []entry
+			for _, r := range tx.rows.forApp(app) {
+				if r.Class == provenance.ClassRelation.String() {
+					edges = append(edges, entry{op: opPutEdge, row: r})
+				} else {
+					nodes = append(nodes, entry{op: opPutNode, row: r})
+				}
+			}
+			sort.Slice(nodes, func(i, j int) bool { return nodes[i].row.ID < nodes[j].row.ID })
+			sort.Slice(edges, func(i, j int) bool { return edges[i].row.ID < edges[j].row.ID })
+			rows = append(nodes, edges...)
+		}
+		return nil
+	})
+	if found {
+		s.mu.RLock()
+		if lt, ok := s.lastTouch[app]; ok {
+			last = lt
+		}
+		s.mu.RUnlock()
+	} else if s.tier != nil {
+		seg, tr, ok := s.tier.lookupTrace(app, 0)
+		if !ok {
+			return segTraceRows{}, false, nil
+		}
+		var err error
+		if rows, err = s.tier.traceRows(seg, tr); err != nil {
+			return segTraceRows{}, false, fmt.Errorf("store: export %s: %v", app, err)
+		}
+		ver, last = tr.Ver, tr.Last
+		found = true
+	}
+	if !found {
+		return segTraceRows{}, false, nil
+	}
+	nodes, edges, err := decodeTrace(rows)
+	if err != nil {
+		return segTraceRows{}, false, fmt.Errorf("store: export %s: %v", app, err)
+	}
+	classSeen, typeSeen := map[string]bool{}, map[string]bool{}
+	for _, e := range rows {
+		classSeen[e.row.Class] = true
+	}
+	for _, n := range nodes {
+		typeSeen[n.Type] = true
+	}
+	for _, ed := range edges {
+		typeSeen[ed.Type] = true
+	}
+	tr := segTraceRows{app: app, ver: ver, last: last, rows: rows}
+	for c := range classSeen {
+		tr.classes = append(tr.classes, c)
+	}
+	for t := range typeSeen {
+		tr.types = append(tr.types, t)
+	}
+	return tr, true, nil
+}
+
+// ExportTraces writes the named traces to w in the sealed-segment wire
+// format, reading each from whichever tier currently holds it. Traces
+// held by neither tier are silently skipped (the caller's trace list may
+// be stale); the returned stats say what actually shipped. Writes to the
+// exported traces may continue during the export — the handoff protocol
+// re-exports the tail after shedding, and the importer dedups by record
+// ID, so nothing is lost or doubled.
+func (s *Store) ExportTraces(w io.Writer, apps []string) (ExportStats, error) {
+	var st ExportStats
+	demote := make([]segTraceRows, 0, len(apps))
+	seen := map[string]bool{}
+	for _, app := range apps {
+		if app == "" || seen[app] {
+			continue
+		}
+		seen[app] = true
+		tr, ok, err := s.exportTraceRows(app)
+		if err != nil {
+			return st, err
+		}
+		if !ok {
+			continue
+		}
+		st.Traces++
+		st.Rows += len(tr.rows)
+		demote = append(demote, tr)
+	}
+	s.readTx(func(tx ReadTx) error { st.Seq = tx.seq; return nil })
+	if len(demote) == 0 {
+		// An empty segment is unrepresentable (no blocks); signal with a
+		// zero-byte stream, which ImportSegment accepts as "nothing".
+		return st, nil
+	}
+	f, err := os.CreateTemp("", "provhandoff-*.seg")
+	if err != nil {
+		return st, fmt.Errorf("store: export: %v", err)
+	}
+	path := f.Name()
+	f.Close()
+	defer os.Remove(path)
+	if _, err := writeSegment(OSFS{}, path, st.Seq, demote, s.opts.SegmentBlockBytes); err != nil {
+		return st, fmt.Errorf("store: export: %v", err)
+	}
+	src, err := os.Open(path)
+	if err != nil {
+		return st, fmt.Errorf("store: export: %v", err)
+	}
+	defer src.Close()
+	if _, err := io.Copy(w, src); err != nil {
+		return st, fmt.Errorf("store: export: %v", err)
+	}
+	return st, nil
+}
+
+// ImportSegment replays an ExportTraces stream through the normal
+// validated write path. The stream is staged to a temp file and opened
+// with the segment reader first, so checksums, framing and the footer
+// are verified before any row is applied. Records already present (same
+// ID, either tier) are skipped — re-delivery and bulk/tail overlap are
+// harmless. Returns (inserted, skipped).
+func (s *Store) ImportSegment(r io.Reader) (inserted, skipped int, err error) {
+	f, err := os.CreateTemp("", "provhandoff-*.seg")
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: import: %v", err)
+	}
+	path := f.Name()
+	defer os.Remove(path)
+	n, err := io.Copy(f, r)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: import: staging: %v", err)
+	}
+	if n == 0 {
+		return 0, 0, nil // empty export: nothing to move
+	}
+	seg, err := openSegment(OSFS{}, path, 0)
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: import: invalid segment stream: %v", err)
+	}
+	ft, err := seg.readFooter()
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: import: %v", err)
+	}
+	for blk := 0; blk < len(ft.Blocks); blk++ {
+		rows, err := seg.readBlock(ft, blk)
+		if err != nil {
+			return inserted, skipped, fmt.Errorf("store: import: block %d: %v", blk, err)
+		}
+		nodes, edges, err := decodeTrace(rows)
+		if err != nil {
+			return inserted, skipped, fmt.Errorf("store: import: %v", err)
+		}
+		for _, nd := range nodes {
+			if s.Node(nd.ID) != nil {
+				skipped++
+				continue
+			}
+			if err := s.PutNode(nd); err != nil {
+				return inserted, skipped, fmt.Errorf("store: import %s: %v", nd.ID, err)
+			}
+			inserted++
+		}
+		for _, ed := range edges {
+			if s.Edge(ed.ID) != nil {
+				skipped++
+				continue
+			}
+			if err := s.PutEdge(ed); err != nil {
+				return inserted, skipped, fmt.Errorf("store: import %s: %v", ed.ID, err)
+			}
+			inserted++
+		}
+	}
+	return inserted, skipped, nil
+}
+
+// DropTraces removes the named traces from this node after a handoff:
+// one opTraceDrop tombstone per trace commits through the normal log
+// path (so replay removes instead of resurrecting), then the sealed
+// copies are scrubbed out of their segments. The tombstones disappear at
+// the next compaction, whose rewrite is built from the already-dropped
+// state. Traces not present are tombstoned anyway — the caller's view
+// and ours may disagree, and a tombstone for an absent trace is inert.
+func (s *Store) DropTraces(apps ...string) error {
+	if len(apps) == 0 {
+		return nil
+	}
+	// compactMu serializes against sealing: no segment can be written
+	// between the tombstone commit and the scrub below, so "sealed at or
+	// before the drop sequence" cleanly separates dead copies from any
+	// future re-import.
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	var seqNow uint64
+	s.readTx(func(tx ReadTx) error { seqNow = tx.seq; return nil })
+	for _, app := range apps {
+		if app == "" {
+			continue
+		}
+		if err := s.commit(entry{op: opTraceDrop, row: Row{AppID: app}, gen: seqNow}); err != nil {
+			return fmt.Errorf("store: drop %s: %v", app, err)
+		}
+	}
+	if s.tier != nil {
+		if err := s.scrubDroppedLocked(); err != nil {
+			// The tombstones are durable and the in-memory dropped map
+			// still guards lookups; the scrub retries at next Open.
+			return fmt.Errorf("store: drop: scrub: %v", err)
+		}
+	}
+	return nil
+}

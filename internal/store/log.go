@@ -50,6 +50,13 @@ const (
 	// the trace at exactly the version it was sealed at; per-row replays
 	// alone would restart the counter from the row count.
 	opTraceVer
+	// opTraceDrop is a trace tombstone: shard handoff commits one after
+	// the trace's rows were shipped to their new owner, so replay removes
+	// the trace instead of resurrecting it. gen carries the drop's
+	// sequence so the tier can tell pre-drop sealed copies (scrubbed)
+	// from post-drop re-imports (kept). Tombstones disappear at the next
+	// compaction, whose rewrite is built from the already-dropped state.
+	opTraceDrop
 )
 
 var errTornFrame = errors.New("store: torn or corrupt log frame")
@@ -69,8 +76,8 @@ func encodeEntry(e entry) []byte {
 		binary.LittleEndian.PutUint64(buf[1:], e.gen)
 		return buf
 	}
-	if e.op == opTraceVer {
-		// op + version (reusing gen) + length-prefixed trace ID.
+	if e.op == opTraceVer || e.op == opTraceDrop {
+		// op + version/seq (reusing gen) + length-prefixed trace ID.
 		buf := make([]byte, 0, 13+len(e.row.AppID))
 		buf = append(buf, byte(e.op))
 		var verb [8]byte
@@ -110,7 +117,7 @@ func decodeEntry(payload []byte) (entry, error) {
 		e.gen = binary.LittleEndian.Uint64(payload[1:])
 		return e, nil
 	}
-	if e.op == opTraceVer {
+	if e.op == opTraceVer || e.op == opTraceDrop {
 		if len(payload) < 13 {
 			return entry{}, fmt.Errorf("store: trace-version payload is %d bytes", len(payload))
 		}

@@ -1,0 +1,123 @@
+// Package slowfs is a device-model implementation of store.FS for
+// benchmarking: it passes every operation through to the real
+// filesystem but pads each File.Sync with the latency and bandwidth
+// cost of a modeled durable device, the software analogue of running
+// the log on a dm-delay target. Benchmark hosts often make fsync
+// nearly free (writeback caches, tmpfs), which hides any bottleneck a
+// production deployment would meet at the durable device; wrapping the
+// store's FS in slowfs restores that bottleneck without touching the
+// store's commit logic — group commit, coalescing and concurrent lanes
+// all behave exactly as they would against real slow media.
+package slowfs
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Device models the durable medium: every sync pays Latency plus the
+// time to drain the bytes written since the previous sync at
+// BytesPerSec. Zero fields cost nothing, so Device{} is a no-op.
+type Device struct {
+	// Latency is the fixed per-sync cost (command + flush round trip).
+	Latency time.Duration
+	// BytesPerSec is the drain bandwidth; 0 means infinite.
+	BytesPerSec int64
+}
+
+// Cost returns the modeled duration of syncing n dirty bytes.
+func (d Device) Cost(n int64) time.Duration {
+	c := d.Latency
+	if d.BytesPerSec > 0 {
+		c += time.Duration(float64(n) / float64(d.BytesPerSec) * float64(time.Second))
+	}
+	return c
+}
+
+// FS wraps an inner store.FS with a sync device model.
+type FS struct {
+	inner store.FS
+	dev   Device
+}
+
+// New wraps inner (nil means the process filesystem) with dev's costs.
+func New(inner store.FS, dev Device) *FS {
+	if inner == nil {
+		inner = store.OSFS{}
+	}
+	return &FS{inner: inner, dev: dev}
+}
+
+// OpenFile implements store.FS.
+func (s *FS) OpenFile(name string, flag int, perm os.FileMode) (store.File, error) {
+	f, err := s.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: f, dev: s.dev}, nil
+}
+
+// Open implements store.FS.
+func (s *FS) Open(name string) (store.File, error) {
+	f, err := s.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: f, dev: s.dev}, nil
+}
+
+// Rename implements store.FS.
+func (s *FS) Rename(oldpath, newpath string) error { return s.inner.Rename(oldpath, newpath) }
+
+// Remove implements store.FS.
+func (s *FS) Remove(name string) error { return s.inner.Remove(name) }
+
+// Truncate implements store.FS.
+func (s *FS) Truncate(name string, size int64) error { return s.inner.Truncate(name, size) }
+
+// ReadDir implements store.FS.
+func (s *FS) ReadDir(dir string) ([]string, error) { return s.inner.ReadDir(dir) }
+
+// SyncDir implements store.FS, paying the fixed latency only: directory
+// syncs flush metadata, not the data stream.
+func (s *FS) SyncDir(dir string) error {
+	if s.dev.Latency > 0 {
+		time.Sleep(s.dev.Latency)
+	}
+	return s.inner.SyncDir(dir)
+}
+
+// file counts dirty bytes between syncs so Sync can charge bandwidth.
+type file struct {
+	store.File
+	dev Device
+
+	mu    sync.Mutex
+	dirty int64
+}
+
+// Write implements store.File.
+func (f *file) Write(p []byte) (int, error) {
+	n, err := f.File.Write(p)
+	f.mu.Lock()
+	f.dirty += int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+// Sync implements store.File: the real fsync runs first, then the
+// modeled device cost for the accumulated dirty bytes is slept off.
+func (f *file) Sync() error {
+	err := f.File.Sync()
+	f.mu.Lock()
+	n := f.dirty
+	f.dirty = 0
+	f.mu.Unlock()
+	if c := f.dev.Cost(n); c > 0 {
+		time.Sleep(c)
+	}
+	return err
+}

@@ -1,0 +1,72 @@
+package slowfs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestCostModel(t *testing.T) {
+	if c := (Device{}).Cost(1 << 20); c != 0 {
+		t.Fatalf("zero device cost = %v, want 0", c)
+	}
+	d := Device{Latency: 2 * time.Millisecond, BytesPerSec: 1 << 20}
+	if c := d.Cost(0); c != 2*time.Millisecond {
+		t.Fatalf("latency-only cost = %v, want 2ms", c)
+	}
+	// 512 KiB at 1 MiB/s = 500ms drain on top of the fixed latency.
+	if c := d.Cost(512 << 10); c != 502*time.Millisecond {
+		t.Fatalf("bandwidth cost = %v, want 502ms", c)
+	}
+}
+
+// TestSyncChargesDirtyBytes writes through the wrapper and checks Sync
+// sleeps roughly the modeled cost, then resets the dirty counter so the
+// next sync is cheap again.
+func TestSyncChargesDirtyBytes(t *testing.T) {
+	dev := Device{Latency: 10 * time.Millisecond}
+	fsys := New(nil, dev)
+	f, err := fsys.OpenFile(filepath.Join(t.TempDir(), "log"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < dev.Latency {
+		t.Fatalf("sync took %v, modeled device demands >= %v", el, dev.Latency)
+	}
+}
+
+// TestFileContentsUnaffected confirms the wrapper is transparent to the
+// data: what is written through slowfs reads back identically.
+func TestFileContentsUnaffected(t *testing.T) {
+	fsys := New(nil, Device{Latency: time.Millisecond})
+	path := filepath.Join(t.TempDir(), "log")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("read back %q, want %q", data, "hello")
+	}
+}

@@ -78,6 +78,12 @@ type Options struct {
 	// SegmentBlockBytes is the target data-block size inside sealed
 	// segments (0 = 64 KiB).
 	SegmentBlockBytes int
+	// DisableSegmentGC keeps every sealed segment on disk even when all
+	// of its trace copies were promoted back, superseded by a newer
+	// segment, or dropped by shard handoff. GC reclaims the space but
+	// also deletes the older as-of versions those copies served; set
+	// this to retain full point-in-time audit depth.
+	DisableSegmentGC bool
 }
 
 var errClosed = errors.New("store: closed")
@@ -361,6 +367,11 @@ func (s *Store) reconcileTiers() {
 		s.rows.vacuum()
 		s.idx.vacuum()
 	}
+	// Replay may have rebuilt handoff tombstones (opTraceDrop) whose
+	// sealed copies a crash left unscrubbed; finish the scrub now. Open
+	// runs single-threaded, so no compaction races the rewrite. On error
+	// the tombstones stay and keep guarding lookups.
+	_ = s.scrubDroppedLocked()
 }
 
 // Close flushes the log and stops every subscription.
@@ -587,10 +598,14 @@ func (s *Store) commit(e entry) error {
 	// A write to a sealed, non-resident trace first promotes it: the
 	// trace's base rows re-enter the log ahead of this entry so replay
 	// stays self-contained, and the shard is restored so apply finds the
-	// records the entry references.
-	promo, err := s.stagePromotionLocked(e.row.AppID, map[string]bool{})
-	if err != nil {
-		return err
+	// records the entry references. A trace tombstone must not promote —
+	// it is removing the trace, not writing to it.
+	var promo *pendingPromo
+	var err error
+	if e.op != opTraceDrop {
+		if promo, err = s.stagePromotionLocked(e.row.AppID, map[string]bool{}); err != nil {
+			return err
+		}
 	}
 	if s.log != nil {
 		if err := s.log.append(e); err != nil {
@@ -630,6 +645,33 @@ func (s *Store) apply(e entry) (Event, error) {
 		defer s.mu.Unlock()
 		if err := s.graph.SetTraceVersion(e.row.AppID, e.gen); err != nil {
 			return Event{}, err
+		}
+		return Event{}, nil
+	}
+	if e.op == opTraceDrop {
+		// Trace tombstone (shard handoff): remove the trace from every
+		// hot-tier structure, exactly as reconcileTiers evicts a stale
+		// shard, and tell the tier which sealed copies are now dead.
+		// Dropping an absent trace is a no-op — replay may see the
+		// tombstone after a compaction already rebuilt the dropped state.
+		app := e.row.AppID
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var ids []string
+		for _, n := range s.graph.Nodes(provenance.NodeFilter{AppID: app}) {
+			s.idx.remove(n)
+			ids = append(ids, n.ID)
+		}
+		for _, ed := range s.graph.AllEdges(provenance.EdgeFilter{AppID: app}) {
+			ids = append(ids, ed.ID)
+		}
+		s.graph.DropTrace(app)
+		s.graph.EvictRouting(ids)
+		s.rows.dropApp(app)
+		delete(s.lastTouch, app)
+		s.seq++
+		if s.tier != nil {
+			s.tier.markDropped(app, e.gen)
 		}
 		return Event{}, nil
 	}
@@ -1791,6 +1833,13 @@ func (s *Store) compact(selectCold func(app string, last, cur uint64) bool) erro
 		}
 	}
 	s.stats.Compactions.Add(1)
+	// Segment GC rides every successful compaction: with the new segment
+	// (if any) registered and the hot state settled, delete sealed files
+	// none of whose trace copies are live anymore. compactMu is still
+	// held, so no seal races the scan.
+	if s.tier != nil && !s.opts.DisableSegmentGC {
+		s.gcSegmentsLocked()
+	}
 	return retErr
 }
 

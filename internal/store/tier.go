@@ -30,6 +30,13 @@ type tierManager struct {
 	mu     sync.RWMutex
 	segs   []*segment // ascending by id
 	nextID uint64
+	// dropped maps trace ID -> drop sequence for traces tombstoned by
+	// shard handoff whose sealed copies have not been scrubbed out of
+	// their segments yet. Lookups treat a sealed copy from a segment
+	// sealed at or before the drop as dead; scrubDropped clears entries
+	// once the copies are physically gone. Rebuilt from the log's
+	// opTraceDrop tombstones at Open.
+	dropped map[string]uint64
 
 	// removedAtOpen counts half-sealed segment files deleted during load:
 	// a crash mid-seal leaves a file without a valid trailer/footer, and
@@ -43,6 +50,10 @@ type tierManager struct {
 	falseProbes   atomic.Uint64
 	demoted       atomic.Uint64
 	promoted      atomic.Uint64
+	// segmentsReclaimed counts sealed files deleted by segment GC —
+	// every trace they held was promoted back to hot, superseded by a
+	// newer segment, or dropped by shard handoff.
+	segmentsReclaimed atomic.Uint64
 }
 
 // newTierManager scans dir's segments directory, validates every segment
@@ -52,6 +63,9 @@ func newTierManager(fsys FS, dir string, cacheBytes int64) (*tierManager, error)
 		return nil, fmt.Errorf("store: %v", err)
 	}
 	t := &tierManager{fs: fsys, dir: dir, cache: newBlockCache(cacheBytes), nextID: 1}
+	// A crash between a scrub rewrite and its rename leaves a .tmp next
+	// to the intact original; it is garbage.
+	cleanSegmentTmp(fsys, dir)
 	ids, err := segmentIDs(fsys, dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: listing segments: %v", err)
@@ -91,6 +105,58 @@ func (t *tierManager) register(seg *segment) {
 	defer t.mu.Unlock()
 	t.segs = append(t.segs, seg)
 	sort.Slice(t.segs, func(i, j int) bool { return t.segs[i].id < t.segs[j].id })
+}
+
+// unregister removes a segment from the lookup set (GC or handoff scrub).
+// The caller deletes the file; readers holding the previous segment list
+// degrade to a false probe on it, which lookup paths already tolerate.
+func (t *tierManager) unregister(id uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, s := range t.segs {
+		if s.id == id {
+			t.segs = append(append([]*segment(nil), t.segs[:i]...), t.segs[i+1:]...)
+			return
+		}
+	}
+}
+
+// markDropped records a handoff tombstone: sealed copies of app in
+// segments sealed at or before seq are dead. Cleared by scrubDropped.
+func (t *tierManager) markDropped(app string, seq uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dropped == nil {
+		t.dropped = map[string]uint64{}
+	}
+	t.dropped[app] = seq
+}
+
+// droppedAt returns the pending drop sequence for app (0 = not dropped).
+func (t *tierManager) droppedAt(app string) uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.dropped[app]
+}
+
+// pendingDrops snapshots the tombstone set.
+func (t *tierManager) pendingDrops() map[string]uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[string]uint64, len(t.dropped))
+	for k, v := range t.dropped {
+		out[k] = v
+	}
+	return out
+}
+
+// clearDrops forgets tombstones whose sealed copies were scrubbed.
+func (t *tierManager) clearDrops(apps []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, a := range apps {
+		delete(t.dropped, a)
+	}
 }
 
 // hasSegments reports whether the cold tier holds anything — the cheap
@@ -140,9 +206,16 @@ func (t *tierManager) block(seg *segment, ft *segFooter, blk int) ([]entry, erro
 // non-zero, bounds the copy's last-touch sequence — the as-of read path.
 func (t *tierManager) lookupTrace(app string, maxSeq uint64) (*segment, segTrace, bool) {
 	t.coldLookups.Add(1)
+	dropSeq := t.droppedAt(app)
 	segs := t.snapshotSegs()
 	for i := len(segs) - 1; i >= 0; i-- {
 		seg := segs[i]
+		if dropSeq != 0 && seg.sealSeq <= dropSeq {
+			// Sealed before the trace's handoff tombstone: the copy is
+			// dead even though the scrub hasn't rewritten the file yet.
+			t.bloomSkips.Add(1)
+			continue
+		}
 		if app < seg.minApp || app > seg.maxApp || !seg.bloomTrace.mightContain(app) {
 			t.bloomSkips.Add(1)
 			continue
@@ -197,6 +270,11 @@ func (t *tierManager) ownerOf(id string) (string, bool) {
 			}
 			for _, e := range es {
 				if e.row.ID == id {
+					if ds := t.droppedAt(e.row.AppID); ds != 0 && seg.sealSeq <= ds {
+						// Newest copy predates the trace's handoff
+						// tombstone — every older copy does too.
+						return "", false
+					}
 					t.coldHits.Add(1)
 					return e.row.AppID, true
 				}
@@ -354,25 +432,30 @@ type TieringStats struct {
 	BloomSkips    uint64 `json:"bloom_skips"`
 	FalseProbes   uint64 `json:"false_probes"`
 	// RemovedAtOpen counts half-sealed segment files deleted during Open.
-	RemovedAtOpen int        `json:"removed_at_open"`
-	Cache         CacheStats `json:"cache"`
+	RemovedAtOpen int `json:"removed_at_open"`
+	// SegmentsReclaimed counts sealed files deleted by segment GC: every
+	// trace they held was promoted back to hot, superseded by a newer
+	// segment, or dropped by shard handoff.
+	SegmentsReclaimed uint64     `json:"segments_reclaimed"`
+	Cache             CacheStats `json:"cache"`
 }
 
 // stats summarizes the tier. residentTraces is supplied by the store
 // (the tier does not see the hot graph).
 func (t *tierManager) stats(residentTraces int) TieringStats {
 	st := TieringStats{
-		Enabled:        true,
-		ResidentTraces: residentTraces,
-		DemotedTraces:  t.demoted.Load(),
-		PromotedTraces: t.promoted.Load(),
-		ColdLookups:    t.coldLookups.Load(),
-		ColdHits:       t.coldHits.Load(),
-		SegmentProbes:  t.segmentProbes.Load(),
-		BloomSkips:     t.bloomSkips.Load(),
-		FalseProbes:    t.falseProbes.Load(),
-		RemovedAtOpen:  t.removedAtOpen,
-		Cache:          t.cache.stats(),
+		Enabled:           true,
+		ResidentTraces:    residentTraces,
+		DemotedTraces:     t.demoted.Load(),
+		PromotedTraces:    t.promoted.Load(),
+		ColdLookups:       t.coldLookups.Load(),
+		ColdHits:          t.coldHits.Load(),
+		SegmentProbes:     t.segmentProbes.Load(),
+		BloomSkips:        t.bloomSkips.Load(),
+		FalseProbes:       t.falseProbes.Load(),
+		RemovedAtOpen:     t.removedAtOpen,
+		SegmentsReclaimed: t.segmentsReclaimed.Load(),
+		Cache:             t.cache.stats(),
 	}
 	for _, s := range t.snapshotSegs() {
 		st.Segments++
