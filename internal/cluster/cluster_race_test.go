@@ -179,6 +179,101 @@ func TestClusterKillShardMidLoad(t *testing.T) {
 	}
 }
 
+// TestClusterJoinWritesNotLost hammers writes at the traces a join is
+// about to move while the join runs. Cutover invariant: a write acked
+// 202 for a moving trace is never lost — either the tail export shipped
+// it (the shed plus the drain barrier plus the quiesced export make the
+// tail complete) or the new ring routed it to the joiner. In particular
+// the shed must outlive the ring swap; lifting it early lets a write
+// route via the old ring to a source that is about to tombstone it.
+func TestClusterJoinWritesNotLost(t *testing.T) {
+	rt, _ := startCluster(t, "s1", "s2")
+	_, res := simEvents(t, 24)
+	ingestVia(t, rt, res.Events, "")
+	apps := traceIDs(res)
+
+	oldRing := rt.RingSnapshot()
+	newRing, err := oldRing.Add("s3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moving := Moved(oldRing, newRing, apps)
+	if len(moving) == 0 {
+		t.Fatal("join would move nothing; widen the key set")
+	}
+
+	joiner := startShard(t, "s3")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := rt.Join(Shard{Name: "s3", URL: joiner.srv.URL}); err != nil {
+			t.Errorf("join: %v", err)
+		}
+	}()
+
+	// One writer loops over the moving traces until the join completes.
+	// 503 (the cutover shed) retries the same record under the same key
+	// next lap; only 202s count as acked.
+	acked := map[string]int{}
+	next := map[string]int{}
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+		for _, app := range moving {
+			n := next[app]
+			ev := []events.AppEvent{{Source: "hrdir", Type: "person.observed", AppID: app,
+				Timestamp: time.Unix(1700000000+int64(n), 0),
+				Payload: map[string]string{
+					"recordId": fmt.Sprintf("p-live-%s-%04d", app, n),
+					"name":     "N", "email": "e@x",
+				}}}
+			req := httptest.NewRequest(http.MethodPost, "/events", bytes.NewReader(mustJSON(t, toWire(ev))))
+			req.Header.Set("Ingest-Key", fmt.Sprintf("live-%s-%d", app, n))
+			rec := httptest.NewRecorder()
+			rt.ServeHTTP(rec, req)
+			switch rec.Code {
+			case http.StatusAccepted:
+				acked[app]++
+				next[app] = n + 1
+			case http.StatusServiceUnavailable:
+				// Shed mid-cutover; retry next lap.
+			case http.StatusTooManyRequests:
+				time.Sleep(time.Millisecond)
+			default:
+				t.Fatalf("ingest %s: %d %s", app, rec.Code, rec.Body.String())
+			}
+		}
+	}
+	<-done
+	if t.Failed() {
+		return
+	}
+	// Every acked write must surface on the new owner.
+	deadline := time.Now().Add(15 * time.Second)
+	for _, app := range moving {
+		want := acked[app]
+		for {
+			got := 0
+			for _, id := range ownerRowIDs(joiner, app) {
+				if strings.HasPrefix(id, "p-live-") {
+					got++
+				}
+			}
+			if got >= want {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("trace %s: %d of %d acked live writes reached the joiner; the cutover lost acked writes",
+					app, got, want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
 func ownerRowIDs(sh *testShard, app string) []string {
 	rows := sh.sys.Store.RowsForApp(app)
 	ids := make([]string, 0, len(rows))

@@ -19,10 +19,15 @@ import (
 //     imports it (/handoff/import). The bulk copy does the heavy lifting
 //     with zero write downtime.
 //  2. cutover: the router sheds writes for the moving traces only
-//     (503 + Retry-After — all other traces are untouched), re-runs the
-//     same export/import to pick up the tail (the import dedups the
-//     overlap by record ID), swaps the ring, lifts the shed, and finally
-//     tells each source to release (tombstone + scrub) what it shipped.
+//     (503 + Retry-After — all other traces are untouched), waits for
+//     ingests already past the shed check to finish forwarding, re-runs
+//     the same export/import to pick up the tail (the export quiesces
+//     the source's admission queue so every acked write is in the
+//     segment; the import dedups the overlap by record ID), swaps the
+//     ring, lifts the shed, and finally tells each source to release
+//     (tombstone + scrub) what it shipped. The shed must outlive the
+//     ring swap: a write admitted between tail and swap would route via
+//     the old ring to the source and die under the release tombstone.
 //
 // Everything is idempotent: a crashed rebalance re-runs from the start
 // and the imports skip what already landed. Until the ring swap commits,
@@ -80,8 +85,12 @@ func (rt *Router) Join(sh Shard) (*RebalanceResult, error) {
 			}
 		}
 	}
-	if err := rt.runHandoff(plan, func(string) string { return sh.URL }, urls, res); err != nil {
+	shed, err := rt.runHandoff(plan, func(string) string { return sh.URL }, urls, res)
+	if err != nil {
 		return nil, fmt.Errorf("cluster: join %s: %v", sh.Name, err)
+	}
+	if rt.testHookPreSwap != nil {
+		rt.testHookPreSwap()
 	}
 	rt.mu.Lock()
 	rt.ring = newRing
@@ -92,6 +101,9 @@ func (rt *Router) Join(sh Shard) (*RebalanceResult, error) {
 	nu[sh.Name] = sh.URL
 	rt.urls = nu
 	rt.mu.Unlock()
+	// Only now, with the new ring visible, may writes to the moved traces
+	// resume: they route to the joiner, not the about-to-release sources.
+	rt.clearMoving(shed)
 	rt.releaseAll(plan, urls, res)
 	return res, nil
 }
@@ -131,9 +143,13 @@ func (rt *Router) Leave(name string) (*RebalanceResult, error) {
 		plan[key] = moved
 		targetURL[key] = urls[tgt]
 	}
-	if err := rt.runHandoff(plan, func(k string) string { return targetURL[k] },
-		map[string]string{}, res); err != nil {
+	shed, err := rt.runHandoff(plan, func(k string) string { return targetURL[k] },
+		map[string]string{}, res)
+	if err != nil {
 		return nil, fmt.Errorf("cluster: leave %s: %v", name, err)
+	}
+	if rt.testHookPreSwap != nil {
+		rt.testHookPreSwap()
 	}
 	res.Sources = map[string]int{name: res.Moved}
 	rt.mu.Lock()
@@ -146,6 +162,7 @@ func (rt *Router) Leave(name string) (*RebalanceResult, error) {
 	}
 	rt.urls = nu
 	rt.mu.Unlock()
+	rt.clearMoving(shed)
 	if len(apps) > 0 {
 		if err := rt.release(srcURL, apps); err != nil {
 			res.ReleaseErrors = map[string]string{name: err.Error()}
@@ -186,8 +203,14 @@ func (rt *Router) ForceRemove(name string) error {
 // groups. targetOf maps a plan key to the import URL; srcURLs resolves a
 // plan key to its export URL when the key is a plain shard name (Join);
 // Leave pre-encodes "src->tgt" keys and passes its own URLs.
+//
+// On success the write shed for the moved traces is STILL UP: the caller
+// must swap the ring first and then clearMoving the returned set, so no
+// write admitted after the tail export can route via the old ring. On
+// error the shed is lifted here — no swap or release will follow, the
+// old owners keep serving, and the aborted move is re-runnable.
 func (rt *Router) runHandoff(plan map[string][]string, targetOf func(string) string,
-	srcURLs map[string]string, res *RebalanceResult) error {
+	srcURLs map[string]string, res *RebalanceResult) (shed []string, err error) {
 	keys := make([]string, 0, len(plan))
 	for k := range plan {
 		keys = append(keys, k)
@@ -213,27 +236,30 @@ func (rt *Router) runHandoff(plan map[string][]string, targetOf func(string) str
 	res.Moved = len(all)
 	// Phase 1: bulk, writes still flowing.
 	for _, k := range keys {
-		rows, err := rt.exportImport(exportURL(k), targetOf(k), plan[k])
+		rows, err := rt.exportImport(exportURL(k), targetOf(k), plan[k], false)
 		if err != nil {
-			return fmt.Errorf("bulk %s: %v", k, err)
+			return nil, fmt.Errorf("bulk %s: %v", k, err)
 		}
 		res.BulkRows += rows
 		res.Sources[sourceName(k)] += len(plan[k])
 	}
 	if len(all) == 0 {
-		return nil
+		return nil, nil
 	}
-	// Phase 2: shed writes for the moving traces only, ship the tail.
+	// Phase 2: shed writes for the moving traces only, wait out the
+	// ingests that passed the shed check before it went up, then ship
+	// the tail with the source's admission queue quiesced.
 	rt.setMoving(all)
-	defer rt.clearMoving(all)
+	rt.drainIngest()
 	for _, k := range keys {
-		rows, err := rt.exportImport(exportURL(k), targetOf(k), plan[k])
+		rows, err := rt.exportImport(exportURL(k), targetOf(k), plan[k], true)
 		if err != nil {
-			return fmt.Errorf("tail %s: %v", k, err)
+			rt.clearMoving(all)
+			return nil, fmt.Errorf("tail %s: %v", k, err)
 		}
 		res.TailRows += rows
 	}
-	return nil
+	return all, nil
 }
 
 func sourceName(key string) string {
@@ -280,8 +306,12 @@ func (rt *Router) shardTraces(url string) ([]string, error) {
 
 // exportImport streams one export from src straight into dst's import
 // endpoint and returns the number of rows dst inserted. The segment
-// bytes never touch the router's disk.
-func (rt *Router) exportImport(srcURL, dstURL string, apps []string) (int, error) {
+// bytes never touch the router's disk. quiesce (tail phase) asks the
+// source to flush its admission queue before exporting, so writes acked
+// before the shed went up cannot slip past the tail and die under the
+// release tombstone; a source that cannot quiesce in time fails the
+// export and safely aborts the move.
+func (rt *Router) exportImport(srcURL, dstURL string, apps []string, quiesce bool) (int, error) {
 	if len(apps) == 0 {
 		return 0, nil
 	}
@@ -289,7 +319,11 @@ func (rt *Router) exportImport(srcURL, dstURL string, apps []string) (int, error
 	if err != nil {
 		return 0, err
 	}
-	exp, err := rt.client.Post(srcURL+"/handoff/export", "application/json", bytes.NewReader(body))
+	exportURL := srcURL + "/handoff/export"
+	if quiesce {
+		exportURL += "?quiesce=1"
+	}
+	exp, err := rt.client.Post(exportURL, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, fmt.Errorf("export: %v", err)
 	}

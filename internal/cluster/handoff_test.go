@@ -108,6 +108,56 @@ func TestClusterJoin(t *testing.T) {
 	}
 }
 
+// TestShedOutlivesRingSwap pins the cutover ordering: between the tail
+// export and the ring swap, a write to a moved trace must still shed.
+// This is exactly the window where lifting the shed early would route
+// the write via the OLD ring to a source shard that is about to
+// tombstone everything it shipped — silently losing an acked write.
+func TestShedOutlivesRingSwap(t *testing.T) {
+	rt, _ := startCluster(t, "s1", "s2")
+	_, res := simEvents(t, 24)
+	ingestVia(t, rt, res.Events, "")
+	apps := traceIDs(res)
+
+	oldRing := rt.RingSnapshot()
+	newRing, err := oldRing.Add("s3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moving := Moved(oldRing, newRing, apps)
+	if len(moving) == 0 {
+		t.Fatal("join would move nothing; widen the key set")
+	}
+	target := moving[0]
+	mk := func(rec string) []events.AppEvent {
+		return []events.AppEvent{{Source: "hrdir", Type: "person.observed", AppID: target,
+			Timestamp: time.Unix(1700000300, 0),
+			Payload:   map[string]string{"recordId": rec, "name": "W", "email": "w@x"}}}
+	}
+	hookRan := false
+	rt.testHookPreSwap = func() {
+		hookRan = true
+		code, body := rdo(t, rt, http.MethodPost, "/events", toWire(mk("p-window-"+target)), nil)
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("write in the tail→swap window answered %d (%s), want 503: the shed was lifted before the ring swap",
+				code, body)
+		}
+	}
+	joiner := startShard(t, "s3")
+	if _, err := rt.Join(Shard{Name: "s3", URL: joiner.srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if !hookRan {
+		t.Fatal("pre-swap hook never ran")
+	}
+	// After the join the same write goes through — to the joiner.
+	before := len(joiner.sys.Store.RowsForApp(target))
+	ingestVia(t, rt, mk("p-after-"+target), "")
+	if after := len(joiner.sys.Store.RowsForApp(target)); after != before+1 {
+		t.Fatalf("post-join write: joiner rows %d -> %d, want +1", before, after)
+	}
+}
+
 // TestClusterLeave: a shard drains gracefully; its traces scatter to
 // the survivors under the shrunk ring and it ends up empty.
 func TestClusterLeave(t *testing.T) {

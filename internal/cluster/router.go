@@ -37,6 +37,13 @@ type Router struct {
 	urls   map[string]string // shard name -> base URL
 	moving map[string]bool   // traces mid-handoff: writes shed with 503
 
+	// ingestMu is held shared for the lifetime of every /events request
+	// (shed check through fan-out) and exclusively by the handoff cutover:
+	// after setMoving, acquiring it waits out every ingest that passed the
+	// shed check before it went up, so none is still forwarding via the
+	// old ring when the tail export runs.
+	ingestMu sync.RWMutex
+
 	ackMu    sync.Mutex
 	acks     map[string]*compositeAck
 	ackOrder []string // FIFO eviction
@@ -44,6 +51,11 @@ type Router struct {
 	ackCap   int
 
 	handoffMu sync.Mutex // serializes Join/Leave/ForceRemove
+
+	// testHookPreSwap, when set, runs after the tail export and before the
+	// ring swap — the window where the cutover shed must still be up
+	// (tests only).
+	testHookPreSwap func()
 }
 
 // Shard names one cluster member and its base URL.
@@ -173,6 +185,9 @@ func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
+	// Shared with the cutover drain barrier; see Router.ingestMu.
+	rt.ingestMu.RLock()
+	defer rt.ingestMu.RUnlock()
 	r.Body = http.MaxBytesReader(w, r.Body, maxEventBody)
 	var raw []json.RawMessage
 	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
@@ -507,7 +522,7 @@ func firstLine(b []byte) string {
 // layer: counters sum, gauges max, latency summaries fold. The cluster
 // envelope reports who answered.
 func (rt *Router) handleScatterStats(w http.ResponseWriter, r *http.Request) {
-	bodies, errs := rt.scatter(r.URL.Path)
+	bodies, errs := rt.scatter(r.URL.RequestURI())
 	docs := make([]map[string]any, 0, len(bodies))
 	var shards []string
 	for name, body := range bodies {
@@ -541,10 +556,15 @@ func clusterEnvelope(responded []string, errs map[string]string) map[string]any 
 
 // handleScatterConcat concatenates per-shard JSON arrays (/segments,
 // /violations, /traces), tagging elements with their shard where the
-// element is an object.
+// element is an object. The response shape is the single-node one (a
+// bare array), so partial failure cannot ride in an envelope: shards
+// that failed or answered garbage are reported in the X-Shard-Errors
+// header, and when no shard produced a usable array the answer is 503,
+// never an empty 200.
 func (rt *Router) handleScatterConcat(w http.ResponseWriter, r *http.Request) {
 	bodies, errs := rt.scatter(r.URL.RequestURI())
 	out := []any{}
+	responded := 0
 	names := make([]string, 0, len(bodies))
 	for name := range bodies {
 		names = append(names, name)
@@ -556,6 +576,7 @@ func (rt *Router) handleScatterConcat(w http.ResponseWriter, r *http.Request) {
 			errs[name] = "bad array document: " + err.Error()
 			continue
 		}
+		responded++
 		for _, el := range arr {
 			if obj, ok := el.(map[string]any); ok {
 				obj["shard"] = name
@@ -565,13 +586,25 @@ func (rt *Router) handleScatterConcat(w http.ResponseWriter, r *http.Request) {
 			out = append(out, el)
 		}
 	}
-	if len(errs) > 0 && len(out) == 0 && len(bodies) == 0 {
+	if responded == 0 && len(errs) > 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"error": "no shard responded", "shardErrors": errs,
 		})
 		return
 	}
+	setShardErrors(w, errs)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// setShardErrors marks an array-shaped response as partial: the header
+// carries shard -> error for every shard missing from the result. A 200
+// with X-Shard-Errors set is a degraded answer, not a complete one.
+func setShardErrors(w http.ResponseWriter, errs map[string]string) {
+	if len(errs) == 0 {
+		return
+	}
+	b, _ := json.Marshal(errs)
+	w.Header().Set("X-Shard-Errors", string(b))
 }
 
 // proxyToShard forwards the request as-is to one shard and streams the
@@ -608,6 +641,39 @@ func (rt *Router) proxyToShard(w http.ResponseWriter, r *http.Request, shard str
 	_, _ = io.Copy(w, resp.Body)
 }
 
+// proxyToAnyShard forwards a request any shard can answer (control
+// lists, representative query plans), trying each ring member in order:
+// a down shard costs one failed connection attempt, not the endpoint.
+func (rt *Router) proxyToAnyShard(w http.ResponseWriter, r *http.Request) {
+	ring, urls := rt.topology()
+	var lastName string
+	var lastErr error
+	for _, name := range ring.Names() {
+		req, err := http.NewRequestWithContext(r.Context(), r.Method,
+			urls[name]+r.URL.RequestURI(), nil)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			lastName, lastErr = name, err
+			continue
+		}
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	shardUnavailable(w, lastName, lastErr)
+}
+
 // handleOwnerProxy routes a single-trace read (?app=) to the trace's
 // owner shard; the ring makes the owner a pure function of the trace ID,
 // so reads after any number of router restarts land on the same shard.
@@ -638,13 +704,14 @@ func (rt *Router) handleCompliance(w http.ResponseWriter, r *http.Request) {
 // lives on exactly one shard, so concatenation is a disjoint union).
 func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("explain") != "" || r.URL.Query().Get("app") != "" {
-		ring, _ := rt.topology()
 		app := r.URL.Query().Get("app")
 		if app == "" {
-			// explain without a trace: any shard's plan is representative.
-			rt.proxyToShard(w, r, ring.Names()[0])
+			// explain without a trace: any reachable shard's plan is
+			// representative.
+			rt.proxyToAnyShard(w, r)
 			return
 		}
+		ring, _ := rt.topology()
 		rt.proxyToShard(w, r, ring.OwnerName(app))
 		return
 	}
@@ -652,14 +719,15 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleControls: deploy/remove broadcast to every shard (each shard
-// evaluates controls over its own traces), list proxies to one shard
-// (deployments go everywhere, so any shard's list is authoritative).
+// evaluates controls over its own traces), list proxies to the first
+// reachable shard (deployments go everywhere, so any live shard's list
+// is authoritative).
 func (rt *Router) handleControls(w http.ResponseWriter, r *http.Request) {
-	ring, urls := rt.topology()
 	if r.Method == http.MethodGet {
-		rt.proxyToShard(w, r, ring.Names()[0])
+		rt.proxyToAnyShard(w, r)
 		return
 	}
+	ring, urls := rt.topology()
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxEventBody))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -724,12 +792,14 @@ func (rt *Router) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	bodies, errs := rt.scatter(r.URL.RequestURI())
 	merged := map[string]*kpiRow{}
 	var order []string
+	responded := 0
 	for name, body := range bodies {
 		var rows []kpiRow
 		if err := json.Unmarshal(body, &rows); err != nil {
 			errs[name] = "bad KPI document: " + err.Error()
 			continue
 		}
+		responded++
 		for _, row := range rows {
 			m, ok := merged[row.ControlID]
 			if !ok {
@@ -744,12 +814,13 @@ func (rt *Router) handleDashboard(w http.ResponseWriter, r *http.Request) {
 			m.NotApplicable += row.NotApplicable
 		}
 	}
-	if len(merged) == 0 && len(bodies) == 0 {
+	if responded == 0 && len(errs) > 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"error": "no shard responded", "shardErrors": errs,
 		})
 		return
 	}
+	setShardErrors(w, errs)
 	sort.Strings(order)
 	out := make([]kpiRow, 0, len(order))
 	for _, id := range order {
@@ -820,6 +891,16 @@ func (rt *Router) clearMoving(apps []string) {
 		delete(rt.moving, a)
 	}
 	rt.mu.Unlock()
+}
+
+// drainIngest blocks until every in-flight /events request has finished
+// forwarding. Called after setMoving: any ingest that saw the moving set
+// empty is done by the time this returns, and later arrivals shed.
+func (rt *Router) drainIngest() {
+	rt.ingestMu.Lock()
+	// The barrier is the acquisition itself: the write lock is granted
+	// only once every reader (in-flight ingest) has released.
+	rt.ingestMu.Unlock()
 }
 
 type joinRequest struct {

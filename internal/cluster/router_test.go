@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -562,6 +563,128 @@ func TestRouterAckEviction(t *testing.T) {
 	}
 	if code, _ = rdo(t, rt, http.MethodGet, "/ingest/ack?token="+first.Token, nil, nil); code != http.StatusNotFound {
 		t.Fatalf("evicted token poll: %d, want 404", code)
+	}
+}
+
+// TestScatterConcatPartialFailure: with one shard dead, the array
+// endpoints still answer 200 from the survivors but mark the response
+// partial via X-Shard-Errors, so a degraded result is distinguishable
+// from a complete one.
+func TestScatterConcatPartialFailure(t *testing.T) {
+	rt, shards := startCluster(t, "s1", "s2", "s3")
+	_, res := simEvents(t, 12)
+	ingestVia(t, rt, res.Events, "")
+	ring := rt.RingSnapshot()
+	dead := "s2"
+	shards[dead].srv.Close()
+
+	req := httptest.NewRequest(http.MethodGet, "/traces", nil)
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/traces with one dead shard: %d %s", rec.Code, rec.Body.String())
+	}
+	hdr := rec.Header().Get("X-Shard-Errors")
+	if hdr == "" {
+		t.Fatal("partial scatter answered 200 without X-Shard-Errors")
+	}
+	var shardErrs map[string]string
+	if err := json.Unmarshal([]byte(hdr), &shardErrs); err != nil {
+		t.Fatalf("X-Shard-Errors is not a JSON object: %v (%s)", err, hdr)
+	}
+	if shardErrs[dead] == "" {
+		t.Fatalf("X-Shard-Errors missing dead shard %s: %v", dead, shardErrs)
+	}
+	var got []string
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]bool{}
+	for _, app := range got {
+		have[app] = true
+	}
+	for _, app := range traceIDs(res) {
+		if owner := ring.OwnerName(app); owner != dead && !have[app] {
+			t.Fatalf("survivor-owned trace %s (on %s) missing from partial result", app, owner)
+		}
+	}
+}
+
+// TestScatterConcatAllBadBodies: when every shard responds but none
+// produces a parseable array, the endpoint answers 503, not an empty
+// 200 masquerading as "no data".
+func TestScatterConcatAllBadBodies(t *testing.T) {
+	fake := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, `{"not":"an array"}`)
+		}))
+	}
+	a, b := fake(), fake()
+	defer a.Close()
+	defer b.Close()
+	rt, err := NewRouter([]Shard{{Name: "a", URL: a.URL}, {Name: "b", URL: b.URL}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := rdo(t, rt, http.MethodGet, "/traces", nil, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("all-garbage scatter: %d %s, want 503", code, body)
+	}
+}
+
+// TestScatterStatsKeepsQueryString: /stats scatters with the query
+// string intact, like the other scatter endpoints.
+func TestScatterStatsKeepsQueryString(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	fake := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			seen = append(seen, r.URL.RequestURI())
+			mu.Unlock()
+			fmt.Fprint(w, `{}`)
+		}))
+	}
+	a, b := fake(), fake()
+	defer a.Close()
+	defer b.Close()
+	rt, err := NewRouter([]Shard{{Name: "a", URL: a.URL}, {Name: "b", URL: b.URL}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := rdo(t, rt, http.MethodGet, "/stats?window=9", nil, nil); code != http.StatusOK {
+		t.Fatalf("/stats: %d %s", code, body)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("scatter reached %d shards, want 2", len(seen))
+	}
+	for _, uri := range seen {
+		if uri != "/stats?window=9" {
+			t.Fatalf("shard saw %q; query string dropped by the router", uri)
+		}
+	}
+}
+
+// TestControlsListFallsBackPastDeadShard: requests any shard can serve
+// (control list, app-less explain) must not pin to the first ring
+// member — with it dead, the router tries the next one.
+func TestControlsListFallsBackPastDeadShard(t *testing.T) {
+	rt, shards := startCluster(t, "s1", "s2")
+	first := rt.RingSnapshot().Names()[0]
+	shards[first].srv.Close()
+
+	code, body := rdo(t, rt, http.MethodGet, "/controls", nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("controls list with first ring member dead: %d %s", code, body)
+	}
+	var list []any
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("controls list: %v (%s)", err, body)
+	}
+	if code, body := rdo(t, rt, http.MethodGet, "/query?explain=1", nil, nil); code == http.StatusServiceUnavailable {
+		t.Fatalf("app-less explain still pinned to the dead shard: %d %s", code, body)
 	}
 }
 

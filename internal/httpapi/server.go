@@ -4,6 +4,7 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -583,6 +584,19 @@ func (s *Server) handleHandoffExport(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
+	}
+	if r.URL.Query().Get("quiesce") != "" && s.sys.Gateway != nil {
+		// Tail-phase export: flush the admission queue first so every
+		// acked write is in the segment the requester is about to treat
+		// as complete. Bounded — a node that cannot go idle in time fails
+		// the export, and the caller aborts its handoff instead of
+		// releasing traces whose tail it never saw.
+		ctx, cancel := context.WithTimeout(r.Context(), 15*time.Second)
+		defer cancel()
+		if err := s.sys.Gateway.WaitIdle(ctx); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("quiesce: %v", err))
+			return
+		}
 	}
 	var buf bytes.Buffer
 	st, err := s.sys.Store.ExportTraces(&buf, req.Apps)
