@@ -21,14 +21,30 @@ import (
 
 // client talks to a provd instance.
 type client struct {
-	base string
-	out  io.Writer
-	in   io.Reader // stdin for `ingest`; injectable for tests
+	base   string
+	tenant string // X-Tenant scope; empty = the operator's global view
+	out    io.Writer
+	in     io.Reader // stdin for `ingest`; injectable for tests
+}
+
+// do issues one request with the client's tenant scope attached.
+func (c *client) do(method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.tenant != "" {
+		req.Header.Set("X-Tenant", c.tenant)
+	}
+	return http.DefaultClient.Do(req)
 }
 
 // getJSON issues a GET and decodes the JSON response into v.
 func (c *client) getJSON(path string, v any) error {
-	resp, err := http.Get(c.base + path)
+	resp, err := c.do(http.MethodGet, path, nil)
 	if err != nil {
 		return err
 	}
@@ -42,7 +58,7 @@ func (c *client) postJSON(path string, body, v any) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(c.base+path, "application/json", bytes.NewReader(raw))
+	resp, err := c.do(http.MethodPost, path, bytes.NewReader(raw))
 	if err != nil {
 		return err
 	}
@@ -80,10 +96,13 @@ type eventWire struct {
 }
 
 type controlWire struct {
-	ID      string `json:"id"`
-	Name    string `json:"name"`
-	Text    string `json:"text,omitempty"`
-	Version int    `json:"version,omitempty"`
+	ID            string `json:"id"`
+	Name          string `json:"name"`
+	Text          string `json:"text,omitempty"`
+	Version       int    `json:"version,omitempty"`
+	Tenant        string `json:"tenant,omitempty"`
+	Shadow        bool   `json:"shadow,omitempty"`
+	ShadowVersion int    `json:"shadowVersion,omitempty"`
 }
 
 type outcomeWire struct {
@@ -250,7 +269,11 @@ func (c *client) cmdControls(args []string) error {
 		return err
 	}
 	for _, ctl := range list {
-		fmt.Fprintf(c.out, "%-24s v%d  %s\n", ctl.ID, ctl.Version, ctl.Name)
+		shadow := ""
+		if ctl.Shadow {
+			shadow = fmt.Sprintf("  [shadow v%d]", ctl.ShadowVersion)
+		}
+		fmt.Fprintf(c.out, "%-24s v%d  %s%s\n", ctl.ID, ctl.Version, ctl.Name, shadow)
 	}
 	return nil
 }
@@ -261,6 +284,7 @@ func (c *client) cmdDeploy(args []string) error {
 	id := fs.String("id", "", "control ID")
 	name := fs.String("name", "", "control title")
 	file := fs.String("file", "", "rule text file")
+	shadow := fs.Bool("shadow", false, "deploy as a shadow candidate next to the live version")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -272,11 +296,135 @@ func (c *client) cmdDeploy(args []string) error {
 		return err
 	}
 	var got controlWire
-	if err := c.postJSON("/controls", controlWire{ID: *id, Name: *name, Text: string(text)}, &got); err != nil {
+	if err := c.postJSON("/controls", controlWire{ID: *id, Name: *name, Text: string(text), Shadow: *shadow}, &got); err != nil {
 		return err
+	}
+	if *shadow {
+		fmt.Fprintf(c.out, "shadow candidate v%d attached to %s (live v%d)\n", got.ShadowVersion, got.ID, got.Version)
+		return nil
 	}
 	fmt.Fprintf(c.out, "deployed %s version %d\n", got.ID, got.Version)
 	return nil
+}
+
+// cmdControl drives the shadow rollout actions:
+//
+//	pctl control promote -id my-control    swap the shadow candidate live
+//	pctl control rollback -id my-control   discard the shadow candidate
+func (c *client) cmdControl(args []string) error {
+	if len(args) == 0 || (args[0] != "promote" && args[0] != "rollback") {
+		return fmt.Errorf("control requires a verb: promote or rollback")
+	}
+	verb, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("control "+verb, flag.ContinueOnError)
+	fs.SetOutput(c.out)
+	id := fs.String("id", "", "control ID")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("control %s: -id required", verb)
+	}
+	var got controlWire
+	if err := c.postJSON("/controls/"+url.PathEscape(*id)+"/"+verb, struct{}{}, &got); err != nil {
+		return err
+	}
+	if verb == "promote" {
+		fmt.Fprintf(c.out, "promoted %s to version %d\n", got.ID, got.Version)
+	} else {
+		fmt.Fprintf(c.out, "rolled back shadow candidate of %s (live v%d)\n", got.ID, got.Version)
+	}
+	return nil
+}
+
+// tenantWire mirrors the /tenants document: config plus the per-tenant
+// admission counters.
+type tenantWire struct {
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	Weight int    `json:"weight,omitempty"`
+	Quota  struct {
+		EventsPerSec   float64 `json:"eventsPerSec,omitempty"`
+		Burst          int     `json:"burst,omitempty"`
+		MaxQueuedBytes int64   `json:"maxQueuedBytes,omitempty"`
+	} `json:"quota"`
+	Stats struct {
+		AdmittedEvents uint64 `json:"admittedEvents"`
+		RejectedEvents uint64 `json:"rejectedEvents"`
+		QueuedBytes    int64  `json:"queuedBytes"`
+	} `json:"stats"`
+}
+
+// cmdTenants manages the multi-tenant control plane:
+//
+//	pctl tenants                                            list tenants with quotas and admission stats
+//	pctl tenants create -id acme [-name "Acme"] [-weight 3] [-rate 100 -burst 200] [-max-queued-bytes N]
+//	pctl tenants quota -id acme -rate 100 [-burst 200] [-max-queued-bytes N]
+func (c *client) cmdTenants(args []string) error {
+	if len(args) > 0 && (args[0] == "create" || args[0] == "quota") {
+		verb, rest := args[0], args[1:]
+		fs := flag.NewFlagSet("tenants "+verb, flag.ContinueOnError)
+		fs.SetOutput(c.out)
+		id := fs.String("id", "", "tenant ID")
+		name := fs.String("name", "", "display name (create)")
+		weight := fs.Int("weight", 0, "fair-share weight (0 = keep/default)")
+		rate := fs.Float64("rate", 0, "admitted events/sec (0 = unlimited)")
+		burst := fs.Int("burst", 0, "burst size in events (0 = rate-derived)")
+		maxQueued := fs.Int64("max-queued-bytes", 0, "queued-bytes cap (0 = unlimited)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *id == "" {
+			return fmt.Errorf("tenants %s: -id required", verb)
+		}
+		body := map[string]any{"id": *id, "quota": map[string]any{
+			"eventsPerSec": *rate, "burst": *burst, "maxQueuedBytes": *maxQueued,
+		}}
+		if verb == "create" {
+			body["name"] = *name
+			body["weight"] = *weight
+		}
+		var got tenantWire
+		if err := c.postJSON("/tenants", body, &got); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "tenant %s: weight %d, quota %s\n", got.ID, got.Weight, quotaString(got))
+		return nil
+	}
+	if len(args) > 0 && args[0] != "list" {
+		return fmt.Errorf("unknown tenants verb %q (list, create, quota)", args[0])
+	}
+	var list []tenantWire
+	if err := c.getJSON("/tenants", &list); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "%-16s %-20s %6s %-26s %9s %9s %7s\n",
+		"TENANT", "NAME", "WEIGHT", "QUOTA", "ADMITTED", "REJECTED", "QUEUED")
+	for _, tn := range list {
+		fmt.Fprintf(c.out, "%-16s %-20s %6d %-26s %9d %9d %7d\n",
+			tn.ID, tn.Name, tn.Weight, quotaString(tn),
+			tn.Stats.AdmittedEvents, tn.Stats.RejectedEvents, tn.Stats.QueuedBytes)
+	}
+	return nil
+}
+
+// quotaString renders a tenant's quota compactly for the table.
+func quotaString(tn tenantWire) string {
+	q := tn.Quota
+	if q.EventsPerSec == 0 && q.MaxQueuedBytes == 0 {
+		return "unlimited"
+	}
+	s := ""
+	if q.EventsPerSec > 0 {
+		s = fmt.Sprintf("%g/s burst %d", q.EventsPerSec, q.Burst)
+	}
+	if q.MaxQueuedBytes > 0 {
+		if s != "" {
+			s += ", "
+		}
+		s += fmt.Sprintf("%dB queued", q.MaxQueuedBytes)
+	}
+	return s
 }
 
 func (c *client) cmdRemove(args []string) error {
@@ -289,11 +437,7 @@ func (c *client) cmdRemove(args []string) error {
 	if *id == "" {
 		return fmt.Errorf("remove requires -id")
 	}
-	req, err := http.NewRequest(http.MethodDelete, c.base+"/controls?id="+url.QueryEscape(*id), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := c.do(http.MethodDelete, "/controls?id="+url.QueryEscape(*id), nil)
 	if err != nil {
 		return err
 	}
@@ -431,7 +575,7 @@ func (c *client) cmdGraph(args []string) error {
 		return fmt.Errorf("graph requires -app")
 	}
 	if *dot {
-		resp, err := http.Get(c.base + "/graph.dot?app=" + url.QueryEscape(*app))
+		resp, err := c.do(http.MethodGet, "/graph.dot?app="+url.QueryEscape(*app), nil)
 		if err != nil {
 			return err
 		}
@@ -474,7 +618,7 @@ func (c *client) cmdReport(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	resp, err := http.Get(fmt.Sprintf("%s/report?findings=%d", c.base, *findings))
+	resp, err := c.do(http.MethodGet, fmt.Sprintf("/report?findings=%d", *findings), nil)
 	if err != nil {
 		return err
 	}

@@ -17,10 +17,19 @@
 //	    recorder (one JSON event object per line)
 //	controls
 //	    list deployed controls
-//	deploy -id my-control -name "Title" -file rule.bal
-//	    compile and deploy a control from a rule-text file
+//	deploy -id my-control -name "Title" -file rule.bal [-shadow]
+//	    compile and deploy a control from a rule-text file; -shadow
+//	    attaches it as a candidate evaluated silently next to the live
+//	    version
+//	control promote -id my-control
+//	    swap a control's shadow candidate live (atomic version bump)
+//	control rollback -id my-control
+//	    discard a control's shadow candidate
 //	remove -id my-control
 //	    remove a deployed control
+//	tenants [list | create -id acme [-name N] [-weight W] [-rate R -burst B] [-max-queued-bytes M] | quota -id acme -rate R ...]
+//	    list tenants with quotas and admission stats, or create/retune one
+//	    (the global -tenant flag scopes the other commands to a tenant)
 //	check [-app trace-id]
 //	    evaluate controls on one trace or all traces
 //	dashboard
@@ -67,15 +76,16 @@ func run(args []string, out io.Writer) error {
 func runIO(args []string, in io.Reader, out io.Writer) error {
 	global := flag.NewFlagSet("pctl", flag.ContinueOnError)
 	server := global.String("server", "http://localhost:8341", "provd base URL")
+	tenantID := global.String("tenant", "", "tenant scope (X-Tenant header; empty = global operator view)")
 	global.SetOutput(out)
 	if err := global.Parse(args); err != nil {
 		return err
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (simulate, ingest, controls, deploy, remove, check, dashboard, violations, rows, graph, report, segments, stats, cluster)")
+		return fmt.Errorf("missing command (simulate, ingest, controls, deploy, control, remove, check, dashboard, violations, rows, graph, report, segments, stats, tenants, cluster)")
 	}
-	c := &client{base: *server, out: out, in: in}
+	c := &client{base: *server, tenant: *tenantID, out: out, in: in}
 	cmd, cmdArgs := rest[0], rest[1:]
 	switch cmd {
 	case "simulate":
@@ -86,6 +96,8 @@ func runIO(args []string, in io.Reader, out io.Writer) error {
 		return c.cmdControls(cmdArgs)
 	case "deploy":
 		return c.cmdDeploy(cmdArgs)
+	case "control":
+		return c.cmdControl(cmdArgs)
 	case "remove":
 		return c.cmdRemove(cmdArgs)
 	case "check":
@@ -104,6 +116,8 @@ func runIO(args []string, in io.Reader, out io.Writer) error {
 		return c.cmdSegments(cmdArgs)
 	case "stats":
 		return c.cmdStats(cmdArgs)
+	case "tenants":
+		return c.cmdTenants(cmdArgs)
 	case "cluster":
 		return c.cmdCluster(cmdArgs)
 	default:

@@ -314,3 +314,100 @@ func TestPctlIngestNDJSON(t *testing.T) {
 		t.Fatalf("malformed line error = %v", err)
 	}
 }
+
+// TestPctlTenants drives the tenant control plane end to end: create
+// with a quota, list with stats, retune, and tenant-scoped reads via the
+// global -tenant flag.
+func TestPctlTenants(t *testing.T) {
+	url := startProvd(t)
+
+	out, err := pctl(t, url, "tenants", "create", "-id", "acme", "-name", "Acme",
+		"-weight", "3", "-rate", "50", "-burst", "100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tenant acme") || !strings.Contains(out, "weight 3") {
+		t.Fatalf("create output: %s", out)
+	}
+
+	out, err = pctl(t, url, "tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "TENANT") || !strings.Contains(out, "acme") ||
+		!strings.Contains(out, "default") || !strings.Contains(out, "50/s burst 100") {
+		t.Fatalf("tenants table: %s", out)
+	}
+
+	if out, err = pctl(t, url, "tenants", "quota", "-id", "acme", "-rate", "80"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "80/s") {
+		t.Fatalf("quota output: %s", out)
+	}
+
+	// Scoped simulate + check: the tenant sees only its own traces.
+	if _, err = pctl(t, url, "tenants", "quota", "-id", "acme", "-rate", "0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = pctl(t, url, "simulate", "-traces", "5", "-seed", "3"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = pctl(t, url, "-tenant", "acme", "check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0 outcomes") {
+		t.Fatalf("acme sees the default tenant's outcomes:\n%s", out)
+	}
+}
+
+// TestPctlShadowPromote walks the rollout flow: deploy, attach a shadow
+// candidate, promote it, and roll back a second candidate.
+func TestPctlShadowPromote(t *testing.T) {
+	url := startProvd(t)
+	dir := t.TempDir()
+	rule := filepath.Join(dir, "rule.bal")
+	text := `
+definitions
+  set 'the request' to a job requisition ;
+if
+  the approval of 'the request' exists
+then
+  the internal control is satisfied ;
+else
+  the internal control is not satisfied ;
+  add alert "no approval on record" ;
+`
+	if err := os.WriteFile(rule, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if out, err := pctl(t, url, "deploy", "-id", "roll-1", "-name", "Rollout", "-file", rule); err != nil || !strings.Contains(out, "version 1") {
+		t.Fatalf("deploy: %v %s", err, out)
+	}
+	out, err := pctl(t, url, "deploy", "-id", "roll-1", "-file", rule, "-shadow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "shadow candidate v2") {
+		t.Fatalf("shadow deploy output: %s", out)
+	}
+	if out, err = pctl(t, url, "controls"); err != nil || !strings.Contains(out, "[shadow v2]") {
+		t.Fatalf("controls with shadow: %v %s", err, out)
+	}
+	if out, err = pctl(t, url, "control", "promote", "-id", "roll-1"); err != nil || !strings.Contains(out, "version 2") {
+		t.Fatalf("promote: %v %s", err, out)
+	}
+	// Attach and discard another candidate.
+	if _, err = pctl(t, url, "deploy", "-id", "roll-1", "-file", rule, "-shadow"); err != nil {
+		t.Fatal(err)
+	}
+	if out, err = pctl(t, url, "control", "rollback", "-id", "roll-1"); err != nil || !strings.Contains(out, "rolled back") {
+		t.Fatalf("rollback: %v %s", err, out)
+	}
+	// Nothing left to promote: the server's 422 surfaces as an error.
+	if _, err = pctl(t, url, "control", "promote", "-id", "roll-1"); err == nil {
+		t.Fatal("promote with no candidate succeeded")
+	}
+}

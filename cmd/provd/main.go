@@ -25,8 +25,12 @@
 //	GET    /ingest/ack?token= poll an admitted batch's status
 //	GET    /ingest/stats      ingestion gateway counters
 //	GET    /controls          list deployed controls
-//	POST   /controls          deploy {"id","name","text"}
+//	POST   /controls          deploy {"id","name","text"[,"shadow":true]}
+//	POST   /controls/X/promote   swap X's shadow candidate live
+//	POST   /controls/X/rollback  discard X's shadow candidate
 //	DELETE /controls?id=X     remove a control
+//	GET    /tenants           list tenants with quotas and admission stats
+//	POST   /tenants           create or retune {"id","name","weight","quota"}
 //	GET    /compliance[?app=] check one trace or all traces
 //	GET    /dashboard         per-control KPIs
 //	GET    /violations?n=10   recent violation feed
@@ -38,6 +42,9 @@
 //
 // /graph and /compliance accept ?asof=N (a store sequence) for
 // point-in-time audit reads against the tiered store's history.
+//
+// Every data endpoint accepts an X-Tenant header scoping the request to
+// one tenant's namespace; without it the operator sees the global view.
 package main
 
 import (
@@ -69,6 +76,7 @@ func main() {
 	noSnapshots := flag.Bool("no-snapshots", false, "disable MVCC snapshot reads; readers share a mutex with writers (E10 ablation)")
 	noRuleIndexes := flag.Bool("no-rule-indexes", false, "disable index-accelerated rule evaluation; binders scan full trace shards (E11 ablation)")
 	noDeltaEval := flag.Bool("no-delta-eval", false, "disable delta-driven control checking; every dirty trace re-evaluates all controls (E14 ablation)")
+	noFairShare := flag.Bool("no-fair-share", false, "disable weighted fair-share checker scheduling; dirty traces drain through one FIFO regardless of tenant (E17 ablation)")
 	ingestShards := flag.Int("ingest-shards", 0, "ingestion gateway admission queues, hashed by trace (0 = default)")
 	ingestQueue := flag.Int("ingest-queue", 0, "events each admission queue holds before shedding load with 429 (0 = default)")
 	ingestBatch := flag.Int("ingest-batch", 0, "events coalesced per store commit by the gateway (0 = default)")
@@ -96,6 +104,7 @@ func main() {
 		DisableSnapshots:   *noSnapshots,
 		DisableRuleIndexes: *noRuleIndexes,
 		DisableDeltaEval:   *noDeltaEval,
+		DisableFairShare:   *noFairShare,
 		IngestShards:       *ingestShards,
 		IngestQueueDepth:   *ingestQueue,
 		IngestMaxBatch:     *ingestBatch,

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/tenant"
 )
 
 // Router is the stateless front door of a sharded provd cluster: it owns
@@ -123,6 +125,8 @@ func NewRouter(shards []Shard, vnodes int) (*Router, error) {
 	rt.mux.HandleFunc("/rows", rt.handleOwnerProxy)
 	rt.mux.HandleFunc("/query", rt.handleQuery)
 	rt.mux.HandleFunc("/controls", rt.handleControls)
+	rt.mux.HandleFunc("/controls/", rt.handleControlAction)
+	rt.mux.HandleFunc("/tenants", rt.handleTenants)
 	rt.mux.HandleFunc("/dashboard", rt.handleDashboard)
 	rt.mux.HandleFunc("/cluster", rt.handleCluster)
 	rt.mux.HandleFunc("/cluster/join", rt.handleJoin)
@@ -206,6 +210,12 @@ func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	ring, urls := rt.topology()
 
+	// A tenant-scoped batch is qualified by the SHARD's httpapi layer, so
+	// the router must hash the same qualified ID the shard will store —
+	// otherwise scoped writes and operator reads would land on different
+	// ring members.
+	scope := r.Header.Get("X-Tenant")
+
 	type part struct {
 		shard string
 		idx   []int
@@ -221,6 +231,7 @@ func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("event %d: %v", i, err))
 			return
 		}
+		meta.AppID = tenant.Qualify(scope, meta.AppID)
 		if rt.isMoving(meta.AppID) {
 			// Cutover shed: this trace is mid-handoff; admitting the write
 			// on either side would race the tail export.
@@ -266,6 +277,9 @@ func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			req.Header.Set("Content-Type", "application/json")
+			if scope != "" {
+				req.Header.Set("X-Tenant", scope)
+			}
 			if key != "" {
 				// Derived key: same client key + same split -> same part key,
 				// so a client retry dedups on shards that already admitted.
@@ -473,10 +487,16 @@ func (rt *Router) handleAck(w http.ResponseWriter, r *http.Request) {
 }
 
 // scatter fans one GET to every shard and returns the decoded bodies in
-// shard order. Unreachable or failing shards land in errs.
-func (rt *Router) scatter(path string) (bodies map[string][]byte, errs map[string]string) {
+// shard order. Unreachable or failing shards land in errs. hdr, when
+// non-nil, carries scope headers (X-Tenant) through to the shards so a
+// tenant-scoped scatter merges tenant-scoped answers.
+func (rt *Router) scatter(path string, hdr http.Header) (bodies map[string][]byte, errs map[string]string) {
 	ring, urls := rt.topology()
 	names := ring.Names()
+	scope := ""
+	if hdr != nil {
+		scope = hdr.Get("X-Tenant")
+	}
 	type res struct {
 		name string
 		body []byte
@@ -485,7 +505,15 @@ func (rt *Router) scatter(path string) (bodies map[string][]byte, errs map[strin
 	ch := make(chan res, len(names))
 	for _, name := range names {
 		go func(name string) {
-			resp, err := rt.client.Get(urls[name] + path)
+			req, err := http.NewRequest(http.MethodGet, urls[name]+path, nil)
+			if err != nil {
+				ch <- res{name: name, err: err}
+				return
+			}
+			if scope != "" {
+				req.Header.Set("X-Tenant", scope)
+			}
+			resp, err := rt.client.Do(req)
 			if err != nil {
 				ch <- res{name: name, err: err}
 				return
@@ -522,7 +550,7 @@ func firstLine(b []byte) string {
 // layer: counters sum, gauges max, latency summaries fold. The cluster
 // envelope reports who answered.
 func (rt *Router) handleScatterStats(w http.ResponseWriter, r *http.Request) {
-	bodies, errs := rt.scatter(r.URL.RequestURI())
+	bodies, errs := rt.scatter(r.URL.RequestURI(), r.Header)
 	docs := make([]map[string]any, 0, len(bodies))
 	var shards []string
 	for name, body := range bodies {
@@ -562,7 +590,7 @@ func clusterEnvelope(responded []string, errs map[string]string) map[string]any 
 // header, and when no shard produced a usable array the answer is 503,
 // never an empty 200.
 func (rt *Router) handleScatterConcat(w http.ResponseWriter, r *http.Request) {
-	bodies, errs := rt.scatter(r.URL.RequestURI())
+	bodies, errs := rt.scatter(r.URL.RequestURI(), r.Header)
 	out := []any{}
 	responded := 0
 	names := make([]string, 0, len(bodies))
@@ -616,20 +644,29 @@ func (rt *Router) proxyToShard(w http.ResponseWriter, r *http.Request, shard str
 		writeErr(w, http.StatusBadGateway, fmt.Errorf("unknown shard %q", shard))
 		return
 	}
+	if err := rt.proxyAttempt(w, r, u); err != nil {
+		shardUnavailable(w, shard, err)
+	}
+}
+
+// proxyAttempt forwards the request to one shard URL. Transport failures
+// are returned with the ResponseWriter untouched, so the caller may retry
+// against another ring member; once the shard responds — with any status
+// — the response is streamed through and the request is settled.
+func (rt *Router) proxyAttempt(w http.ResponseWriter, r *http.Request, shardURL string) error {
 	var body io.Reader
 	if r.Body != nil {
 		body = r.Body
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, u+r.URL.RequestURI(), body)
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, shardURL+r.URL.RequestURI(), body)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
-		return
+		return nil
 	}
 	req.Header = r.Header.Clone()
 	resp, err := rt.client.Do(req)
 	if err != nil {
-		shardUnavailable(w, shard, err)
-		return
+		return err
 	}
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
@@ -639,6 +676,7 @@ func (rt *Router) proxyToShard(w http.ResponseWriter, r *http.Request, shard str
 	}
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
+	return nil
 }
 
 // proxyToAnyShard forwards a request any shard can answer (control
@@ -683,8 +721,42 @@ func (rt *Router) handleOwnerProxy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("app parameter required"))
 		return
 	}
-	ring, _ := rt.topology()
-	rt.proxyToShard(w, r, ring.OwnerName(app))
+	rt.ownerProxy(w, r, app)
+}
+
+// ownerProxy forwards a single-trace read to its owner shard, retrying
+// once against the next ring member when the owner's connection fails
+// outright. During a crash or an in-flight handoff the successor often
+// holds a usable copy (moving traces double-write), and for a read a
+// slightly stale answer beats a 503. The app parameter arrives bare; the
+// tenant scope, if any, qualifies it exactly as the shard will, so the
+// ring hash matches the shard that actually stored the trace.
+func (rt *Router) ownerProxy(w http.ResponseWriter, r *http.Request, app string) {
+	qualified := tenant.Qualify(r.Header.Get("X-Tenant"), app)
+	ring, urls := rt.topology()
+	owner := ring.OwnerName(qualified)
+	u, ok := urls[owner]
+	if !ok {
+		writeErr(w, http.StatusBadGateway, fmt.Errorf("unknown shard %q", owner))
+		return
+	}
+	err := rt.proxyAttempt(w, r, u)
+	if err == nil {
+		return
+	}
+	names := ring.Names()
+	for i, name := range names {
+		if name != owner {
+			continue
+		}
+		if next := names[(i+1)%len(names)]; next != owner {
+			if rt.proxyAttempt(w, r, urls[next]) == nil {
+				return
+			}
+		}
+		break
+	}
+	shardUnavailable(w, owner, err)
 }
 
 // handleCompliance proxies ?app= reads to the owner and scatter-gathers
@@ -692,8 +764,7 @@ func (rt *Router) handleOwnerProxy(w http.ResponseWriter, r *http.Request) {
 // the router concatenates the outcome arrays.
 func (rt *Router) handleCompliance(w http.ResponseWriter, r *http.Request) {
 	if app := r.URL.Query().Get("app"); app != "" {
-		ring, _ := rt.topology()
-		rt.proxyToShard(w, r, ring.OwnerName(app))
+		rt.ownerProxy(w, r, app)
 		return
 	}
 	rt.handleScatterConcat(w, r)
@@ -711,8 +782,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 			rt.proxyToAnyShard(w, r)
 			return
 		}
-		ring, _ := rt.topology()
-		rt.proxyToShard(w, r, ring.OwnerName(app))
+		rt.ownerProxy(w, r, app)
 		return
 	}
 	rt.handleScatterConcat(w, r)
@@ -727,12 +797,88 @@ func (rt *Router) handleControls(w http.ResponseWriter, r *http.Request) {
 		rt.proxyToAnyShard(w, r)
 		return
 	}
+	rt.broadcast(w, r)
+}
+
+// handleControlAction broadcasts POST /controls/{id}/promote and
+// /controls/{id}/rollback to every shard: each shard swaps its own copy
+// of the control, and the first rejection (e.g. no shadow candidate on a
+// shard that restarted without one) stops the rollout and surfaces.
+func (rt *Router) handleControlAction(w http.ResponseWriter, r *http.Request) {
+	rt.broadcast(w, r)
+}
+
+// handleTenants: tenant creation broadcasts to every shard — quotas and
+// weights are admission state, enforced where the traces live — and GET
+// scatter-gathers the per-shard views, folding each tenant's admission
+// counters across shards. Like the concat endpoints, partial failure
+// rides in X-Shard-Errors and only a fully dark cluster answers 503.
+func (rt *Router) handleTenants(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		rt.broadcast(w, r)
+		return
+	}
+	bodies, errs := rt.scatter(r.URL.RequestURI(), r.Header)
+	merged := map[string]map[string]any{}
+	var order []string
+	responded := 0
+	names := make([]string, 0, len(bodies))
+	for name := range bodies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var arr []map[string]any
+		if err := json.Unmarshal(bodies[name], &arr); err != nil {
+			errs[name] = "bad tenant document: " + err.Error()
+			continue
+		}
+		responded++
+		for _, t := range arr {
+			id, _ := t["id"].(string)
+			m, ok := merged[id]
+			if !ok {
+				// Config (name, weight, quota) is broadcast-identical on
+				// every shard: the first responder's copy stands.
+				merged[id] = cloneJSON(t).(map[string]any)
+				order = append(order, id)
+				continue
+			}
+			// Admission counters are per-shard tallies: fold them.
+			sa, aok := m["stats"].(map[string]any)
+			sb, bok := t["stats"].(map[string]any)
+			if aok && bok {
+				mergeInto(sa, sb)
+			}
+		}
+	}
+	if responded == 0 && len(errs) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": "no shard responded", "shardErrors": errs,
+		})
+		return
+	}
+	setShardErrors(w, errs)
+	sort.Strings(order)
+	out := make([]map[string]any, 0, len(order))
+	for _, id := range order {
+		out = append(out, merged[id])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// broadcast forwards one mutating request to every shard in ring order,
+// stopping at the first rejection (shards share vocabulary and tenant
+// config, so a request that fails on one fails on all) and answering
+// with the last shard's body on success.
+func (rt *Router) broadcast(w http.ResponseWriter, r *http.Request) {
 	ring, urls := rt.topology()
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxEventBody))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	scope := r.Header.Get("X-Tenant")
 	var lastBody []byte
 	lastStatus := 0
 	for _, name := range ring.Names() {
@@ -743,6 +889,9 @@ func (rt *Router) handleControls(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if scope != "" {
+			req.Header.Set("X-Tenant", scope)
+		}
 		resp, err := rt.client.Do(req)
 		if err != nil {
 			shardUnavailable(w, name, err)
@@ -789,7 +938,7 @@ type kpiRow struct {
 // against a cluster. Like the concat endpoints it degrades to the
 // responding shards and answers 503 only when nobody responded.
 func (rt *Router) handleDashboard(w http.ResponseWriter, r *http.Request) {
-	bodies, errs := rt.scatter(r.URL.RequestURI())
+	bodies, errs := rt.scatter(r.URL.RequestURI(), r.Header)
 	merged := map[string]*kpiRow{}
 	var order []string
 	responded := 0
@@ -840,7 +989,7 @@ func (rt *Router) handleDashboard(w http.ResponseWriter, r *http.Request) {
 // liveness (one cheap probe per shard), and handoff state.
 func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
 	ring, urls := rt.topology()
-	_, errs := rt.scatter("/ingest/stats")
+	_, errs := rt.scatter("/ingest/stats", nil)
 	shares := ring.Shares()
 	type shardInfo struct {
 		Name    string  `json:"name"`

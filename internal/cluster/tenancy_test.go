@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/tenant"
+	"repro/internal/workload"
+)
+
+// hireEvents builds a minimal hiring trace: one requisition, no
+// approval. Record IDs embed the app name so traces never collide even
+// when the same bare name appears under two tenants.
+func hireEvents(app string) []events.AppEvent {
+	return []events.AppEvent{{
+		Source: "lombardi", Type: "requisition.submitted", AppID: app,
+		Timestamp: time.Unix(1700000000, 0),
+		Payload:   map[string]string{"recordId": app + "-req", "req": "REQ-" + app, "ptype": "new"},
+	}}
+}
+
+// ingestScoped posts one batch through the router under a tenant scope
+// and waits for the composite ack to apply on every touched shard.
+func ingestScoped(t testing.TB, rt *Router, scope string, evs []events.AppEvent) {
+	t.Helper()
+	hdr := map[string]string{}
+	if scope != "" {
+		hdr["X-Tenant"] = scope
+	}
+	code, body := rdo(t, rt, http.MethodPost, "/events", toWire(evs), hdr)
+	if code != http.StatusAccepted {
+		t.Fatalf("scoped ingest: %d %s", code, body)
+	}
+	var ack struct {
+		Token string `json:"token"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil || ack.Token == "" {
+		t.Fatalf("composite ack: %v (%s)", err, body)
+	}
+	awaitAppliedVia(t, rt, ack.Token)
+}
+
+// TestMergeStatsTenantMaps: per-tenant admission maps ride inside the
+// /stats document as nested objects, so the generic merge must fold each
+// tenant's counters across shards and keep tenants only one shard saw.
+func TestMergeStatsTenantMaps(t *testing.T) {
+	a := decode(t, `{"tenants":{"acme":{"admittedEvents":5,"rejectedEvents":1,"queuedBytes":100}}}`)
+	b := decode(t, `{"tenants":{"acme":{"admittedEvents":7,"rejectedEvents":0,"queuedBytes":40},"beta":{"admittedEvents":2}}}`)
+	got := MergeStats([]map[string]any{a, b})
+	want := decode(t, `{"tenants":{"acme":{"admittedEvents":12,"rejectedEvents":1,"queuedBytes":140},"beta":{"admittedEvents":2}}}`)
+	if !reflect.DeepEqual(got, want) {
+		gj, _ := json.Marshal(got)
+		wj, _ := json.Marshal(want)
+		t.Errorf("tenant merge mismatch:\n got %s\nwant %s", gj, wj)
+	}
+}
+
+// TestRouterTenantsEndpoint drives the tenant control plane through the
+// router: creation broadcasts to every shard, the list view folds
+// per-shard admission stats, and a dead shard degrades the read to the
+// survivors with the failure named in X-Shard-Errors.
+func TestRouterTenantsEndpoint(t *testing.T) {
+	rt, shards := startCluster(t, "s1", "s2")
+
+	code, body := rdo(t, rt, http.MethodPost, "/tenants",
+		map[string]any{"id": "acme", "name": "Acme", "weight": 2}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("create tenant via router: %d %s", code, body)
+	}
+	for name, sh := range shards {
+		got, ok := sh.sys.Tenants.Get("acme")
+		if !ok || got.Weight != 2 {
+			t.Fatalf("shard %s missing broadcast tenant: %+v", name, got)
+		}
+	}
+
+	// Six scoped traces: the qualified IDs spread over the ring, so each
+	// shard admits only its share — the router view must sum them back.
+	for i := 0; i < 6; i++ {
+		ingestScoped(t, rt, "acme", hireEvents(fmt.Sprintf("T-%d", i)))
+	}
+
+	code, body = rdo(t, rt, http.MethodGet, "/tenants", nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("/tenants via router: %d %s", code, body)
+	}
+	var list []struct {
+		ID    string `json:"id"`
+		Stats struct {
+			AdmittedEvents uint64 `json:"admittedEvents"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("tenants body: %v (%s)", err, body)
+	}
+	admitted := uint64(0)
+	seen := map[string]bool{}
+	for _, tn := range list {
+		seen[tn.ID] = true
+		if tn.ID == "acme" {
+			admitted = tn.Stats.AdmittedEvents
+		}
+	}
+	if !seen["acme"] || !seen[tenant.DefaultID] {
+		t.Fatalf("tenant list = %s", body)
+	}
+	if admitted != 6 {
+		t.Fatalf("acme admitted across shards = %d, want 6", admitted)
+	}
+
+	// Kill one shard: the list degrades to the survivor and says so.
+	shards["s2"].srv.Close()
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/tenants", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/tenants with dead shard: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-Shard-Errors") == "" {
+		t.Fatal("degraded /tenants without X-Shard-Errors envelope")
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil || len(list) == 0 {
+		t.Fatalf("degraded tenants body: %v (%s)", err, rec.Body.Bytes())
+	}
+}
+
+// TestRouterShadowPromoteBroadcast: the promote action fans out so every
+// shard swaps to the candidate version atomically from the caller's view.
+func TestRouterShadowPromoteBroadcast(t *testing.T) {
+	rt, shards := startCluster(t, "s1", "s2")
+	d, err := workload.Hiring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := d.Controls[0]
+	if code, body := rdo(t, rt, http.MethodPost, "/controls",
+		map[string]string{"id": "sh-1", "name": "Shadowed", "text": ctl.Text}, nil); code != http.StatusOK {
+		t.Fatalf("deploy: %d %s", code, body)
+	}
+	if code, body := rdo(t, rt, http.MethodPost, "/controls",
+		map[string]any{"id": "sh-1", "text": ctl.Text, "shadow": true}, nil); code != http.StatusOK {
+		t.Fatalf("shadow deploy: %d %s", code, body)
+	}
+	for name, sh := range shards {
+		if cp := sh.sys.Registry.Get("sh-1"); !cp.HasShadow() {
+			t.Fatalf("shard %s missing shadow candidate", name)
+		}
+	}
+	if code, body := rdo(t, rt, http.MethodPost, "/controls/sh-1/promote", nil, nil); code != http.StatusOK {
+		t.Fatalf("promote via router: %d %s", code, body)
+	}
+	for name, sh := range shards {
+		cp := sh.sys.Registry.Get("sh-1")
+		if cp == nil || cp.Version != 2 || cp.HasShadow() {
+			t.Fatalf("shard %s after promote: %+v", name, cp)
+		}
+	}
+	// No candidate left anywhere: the broadcast surfaces the first 422.
+	if code, _ := rdo(t, rt, http.MethodPost, "/controls/sh-1/promote", nil, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("re-promote -> %d, want 422", code)
+	}
+}
+
+// TestScatterQueryStringForwarded pins that scatter fan-out preserves the
+// query string: a per-shard row limit must reach the shard, not be
+// silently dropped at the router.
+func TestScatterQueryStringForwarded(t *testing.T) {
+	rt, _ := startCluster(t, "s1")
+	for i := 0; i < 3; i++ {
+		ingestVia(t, rt, hireEvents(fmt.Sprintf("Q-%d", i)), "")
+	}
+	code, body := rdo(t, rt, http.MethodGet, "/query?type=jobRequisition&limit=2", nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("/query: %d %s", code, body)
+	}
+	var rows []json.RawMessage
+	if err := json.Unmarshal(body, &rows); err != nil {
+		t.Fatalf("query body: %v (%s)", err, body)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("limit not forwarded: got %d rows, want 2", len(rows))
+	}
+}
+
+// TestOwnerProxyTenantRetry: scoped single-trace reads hash the
+// QUALIFIED trace ID (matching shard-side placement), and when the owner
+// is unreachable the read retries once against the next ring member
+// instead of failing the endpoint.
+func TestOwnerProxyTenantRetry(t *testing.T) {
+	rt, shards := startCluster(t, "s1", "s2")
+	if code, body := rdo(t, rt, http.MethodPost, "/tenants", map[string]any{"id": "acme"}, nil); code != http.StatusOK {
+		t.Fatalf("create tenant: %d %s", code, body)
+	}
+
+	// Pick a trace whose bare and qualified names hash to DIFFERENT
+	// shards: a router that forgot to qualify would provably miss.
+	ring, _ := rt.topology()
+	app := ""
+	for i := 0; i < 256; i++ {
+		cand := fmt.Sprintf("T-%d", i)
+		if ring.OwnerName(cand) != ring.OwnerName(tenant.Qualify("acme", cand)) {
+			app = cand
+			break
+		}
+	}
+	if app == "" {
+		t.Fatal("no trace name separates bare from qualified placement")
+	}
+	ingestScoped(t, rt, "acme", hireEvents(app))
+
+	scoped := map[string]string{"X-Tenant": "acme"}
+	code, body := rdo(t, rt, http.MethodGet, "/graph?app="+app, nil, scoped)
+	if code != http.StatusOK {
+		t.Fatalf("scoped graph: %d %s", code, body)
+	}
+	var g struct {
+		Nodes []json.RawMessage `json:"nodes"`
+	}
+	if err := json.Unmarshal(body, &g); err != nil || len(g.Nodes) == 0 {
+		t.Fatalf("scoped graph empty — router hashed the bare ID? %s", body)
+	}
+
+	// Kill the owner: the retry serves the read from the next member.
+	owner := ring.OwnerName(tenant.Qualify("acme", app))
+	shards[owner].srv.Close()
+	if code, body := rdo(t, rt, http.MethodGet, "/graph?app="+app, nil, scoped); code != http.StatusOK {
+		t.Fatalf("read after owner death: %d %s, want 200 from successor", code, body)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // Checker runs continuous compliance checking (the paper's future-work
@@ -45,8 +46,10 @@ type Checker struct {
 	tickerStop chan struct{} // non-nil while a ticker driver runs
 	tickerDone chan struct{}
 
-	stats     CheckerStats
-	traceErrs map[string]string
+	stats         CheckerStats
+	traceErrs     map[string]string
+	tenantChecks  map[string]uint64
+	tenantPending map[string]int
 }
 
 // CheckerOptions tunes the continuous engine.
@@ -55,6 +58,25 @@ type CheckerOptions struct {
 	// so this bounds cross-trace parallelism; per-trace order is always
 	// serial. Zero or negative means GOMAXPROCS.
 	Workers int
+	// DisableFairShare reverts every worker to one shared FIFO across
+	// tenants: a noisy tenant's backlog then delays everyone behind it
+	// (ablation D14, experiment E17). With fair share on (the default),
+	// each worker keeps per-tenant queues and serves them by stride
+	// scheduling weighted with TenantWeight.
+	DisableFairShare bool
+	// TenantOf maps a trace ID to its tenant; nil uses the trace-ID
+	// namespace prefix (tenant.Owner).
+	TenantOf func(appID string) string
+	// TenantWeight returns a tenant's fair-share weight; nil (or values
+	// < 1) means weight 1.
+	TenantWeight func(tenantID string) int
+	// EvalDelay is a synthetic flat per-re-check evaluation cost — the
+	// experiment device model for expensive control portfolios (large
+	// vocabularies, cross-trace predicates, remote evaluators), the same
+	// role slowfs plays for storage in E16. It lets E17 make checking the
+	// contended resource on hardware where real checks are microseconds.
+	// Zero (production) adds nothing.
+	EvalDelay time.Duration
 }
 
 // CheckerStats is a snapshot of the engine's counters. All counters are
@@ -113,6 +135,14 @@ type CheckerStats struct {
 	// QueueDepth is the number of dirty traces awaiting or undergoing a
 	// re-check right now.
 	QueueDepth int
+	// TenantChecks counts re-checks per tenant, and TenantPending the
+	// dirty traces queued or in flight per tenant right now — the
+	// fair-share visibility surface (and what the cluster router's
+	// scatter merge folds per tenant).
+	TenantChecks  map[string]uint64
+	TenantPending map[string]int
+	// FairShare is false under the DisableFairShare ablation.
+	FairShare bool
 	// LastSeq is the highest change-feed sequence the dispatcher has
 	// routed — compared against the store's commit sequence it tells an
 	// observer (the /stats endpoint, the provbench harness) how far
@@ -132,20 +162,42 @@ type CheckerStats struct {
 	TraceErrors map[string]string
 }
 
-// ckWorker is one shard: a FIFO of dirty traces, each carrying the
-// write set accumulated while it waited. A nil write set means "anything
-// may have changed" (a manual MarkDirty kick) and forces a full
-// re-check.
+// ckWorker is one shard: per-tenant FIFOs of dirty traces, each trace
+// carrying the write set accumulated while it waited. A nil write set
+// means "anything may have changed" (a manual MarkDirty kick) and forces
+// a full re-check.
+//
+// With fair share on, the worker serves its tenant queues by stride
+// scheduling: each tenant holds a pass value, the non-empty queue with
+// the lowest pass is served next, and serving advances the pass by
+// 1/weight. A tenant with a 10,000-trace backlog and a tenant with one
+// dirty trace therefore alternate (weighted) instead of the single
+// trace waiting behind the backlog — per-tenant detection latency stays
+// bounded by the tenant's own load. Per-trace order is untouched: a
+// trace still lives in exactly one queue of exactly one worker.
+//
+// With fair share off (the E17 ablation) queueKey maps every trace to
+// one shared queue, which is byte-for-byte the old single-FIFO behavior.
 type ckWorker struct {
+	queueKey func(appID string) string
+	weightOf func(tenantID string) int
+
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []string
+	queues map[string][]string
+	pass   map[string]float64
 	dirty  map[string]*store.WriteSet
 	closed bool
 }
 
-func newCkWorker() *ckWorker {
-	w := &ckWorker{dirty: make(map[string]*store.WriteSet)}
+func newCkWorker(queueKey func(string) string, weightOf func(string) int) *ckWorker {
+	w := &ckWorker{
+		queueKey: queueKey,
+		weightOf: weightOf,
+		queues:   make(map[string][]string),
+		pass:     make(map[string]float64),
+		dirty:    make(map[string]*store.WriteSet),
+	}
 	w.cond = sync.NewCond(&w.mu)
 	return w
 }
@@ -172,9 +224,33 @@ func (w *ckWorker) mark(app string, ws *store.WriteSet) bool {
 		return false
 	}
 	w.dirty[app] = ws
-	w.queue = append(w.queue, app)
+	tn := w.queueKey(app)
+	if len(w.queues[tn]) == 0 {
+		// Reactivation forfeits idle credit: a tenant quiet for an hour
+		// must not bank an hour of scheduling priority and then starve
+		// everyone else — it rejoins at the head of the current round.
+		if min, ok := w.minActivePassLocked(); ok && w.pass[tn] < min {
+			w.pass[tn] = min
+		}
+	}
+	w.queues[tn] = append(w.queues[tn], app)
 	w.cond.Signal()
 	return true
+}
+
+// minActivePassLocked returns the lowest pass among tenants with queued
+// work (false when every queue is empty).
+func (w *ckWorker) minActivePassLocked() (float64, bool) {
+	min, found := 0.0, false
+	for tn, q := range w.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if p := w.pass[tn]; !found || p < min {
+			min, found = p, true
+		}
+	}
+	return min, found
 }
 
 // next blocks until a dirty trace is available and claims it, returning
@@ -186,20 +262,56 @@ func (w *ckWorker) mark(app string, ws *store.WriteSet) bool {
 func (w *ckWorker) next() (string, *store.WriteSet, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for len(w.queue) == 0 && !w.closed {
+	for !w.closed {
+		if tn, ok := w.pickLocked(); ok {
+			return w.popLocked(tn)
+		}
 		w.cond.Wait()
 	}
-	if len(w.queue) == 0 {
-		return "", nil, false
+	if tn, ok := w.pickLocked(); ok {
+		return w.popLocked(tn)
 	}
-	app := w.queue[0]
-	w.queue = w.queue[1:]
+	return "", nil, false
+}
+
+// pickLocked chooses the next tenant queue to serve: lowest pass wins,
+// ties break by tenant ID for determinism.
+func (w *ckWorker) pickLocked() (string, bool) {
+	best, found := "", false
+	for tn, q := range w.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if !found || w.pass[tn] < w.pass[best] ||
+			(w.pass[tn] == w.pass[best] && tn < best) {
+			best, found = tn, true
+		}
+	}
+	return best, found
+}
+
+func (w *ckWorker) popLocked(tn string) (string, *store.WriteSet, bool) {
+	q := w.queues[tn]
+	app := q[0]
+	q = q[1:]
+	if len(q) == 0 {
+		delete(w.queues, tn) // let idle tenants vacate the scan
+	} else {
+		w.queues[tn] = q
+	}
+	weight := 1
+	if w.weightOf != nil {
+		if v := w.weightOf(tn); v > 0 {
+			weight = v
+		}
+	}
+	w.pass[tn] += 1.0 / float64(weight)
 	ws := w.dirty[app]
 	delete(w.dirty, app)
 	return app, ws, true
 }
 
-// close stops the worker after it drains its queue.
+// close stops the worker after it drains its queues.
 func (w *ckWorker) close() {
 	w.mu.Lock()
 	w.closed = true
@@ -217,10 +329,35 @@ func NewChecker(reg *Registry, onResult func([]*Outcome)) *Checker {
 
 // NewCheckerOpts builds a continuous checker with explicit options.
 func NewCheckerOpts(reg *Registry, onResult func([]*Outcome), opts CheckerOptions) *Checker {
-	c := &Checker{reg: reg, onResult: onResult, opts: opts, traceErrs: make(map[string]string)}
+	c := &Checker{
+		reg: reg, onResult: onResult, opts: opts,
+		traceErrs:     make(map[string]string),
+		tenantChecks:  make(map[string]uint64),
+		tenantPending: make(map[string]int),
+	}
 	c.windows = newWindowTracker(reg)
 	c.cond = sync.NewCond(&c.mu)
 	return c
+}
+
+// tenantOf resolves a trace's tenant for stats attribution and (with
+// fair share on) queue selection.
+func (c *Checker) tenantOf(appID string) string {
+	if c.opts.TenantOf != nil {
+		return c.opts.TenantOf(appID)
+	}
+	return tenant.Owner(appID)
+}
+
+// newWorker builds one shard worker under the configured scheduling
+// policy.
+func (c *Checker) newWorker() *ckWorker {
+	if c.opts.DisableFairShare {
+		// One shared queue: every trace maps to the same key, which is
+		// exactly the pre-tenancy FIFO.
+		return newCkWorker(func(string) string { return "" }, nil)
+	}
+	return newCkWorker(c.tenantOf, c.opts.TenantWeight)
 }
 
 // Start begins consuming the change feed. It is idempotent while running,
@@ -248,7 +385,7 @@ func (c *Checker) Start() {
 	c.workers = make([]*ckWorker, n)
 	c.wg = &sync.WaitGroup{}
 	for i := range c.workers {
-		c.workers[i] = newCkWorker()
+		c.workers[i] = c.newWorker()
 		c.wg.Add(1)
 		go c.runWorker(c.workers[i])
 	}
@@ -275,6 +412,7 @@ func (c *Checker) dispatch(sub *store.Subscription, workers []*ckWorker, done ch
 		if routed {
 			if fresh {
 				c.pending++
+				c.tenantPending[c.tenantOf(app)]++
 			} else {
 				c.stats.Coalesced++
 			}
@@ -301,10 +439,14 @@ func (c *Checker) runWorker(w *ckWorker) {
 		}
 		start := time.Now()
 		outcomes, skipped, err := c.reg.CheckDelta(app, ws)
+		if d := c.opts.EvalDelay; d > 0 {
+			time.Sleep(d)
+		}
 		elapsed := time.Since(start)
 
 		c.mu.Lock()
 		c.stats.ChecksRun++
+		c.tenantChecks[c.tenantOf(app)]++
 		c.busy += elapsed
 		if err != nil {
 			c.stats.Errors++
@@ -327,6 +469,10 @@ func (c *Checker) runWorker(w *ckWorker) {
 
 		c.mu.Lock()
 		c.pending--
+		tn := c.tenantOf(app)
+		if c.tenantPending[tn]--; c.tenantPending[tn] <= 0 {
+			delete(c.tenantPending, tn)
+		}
 		c.cond.Broadcast()
 		c.mu.Unlock()
 	}
@@ -405,6 +551,7 @@ func (c *Checker) markDirty(appID string, ws *store.WriteSet) {
 	c.stats.EventsSeen++
 	if fresh {
 		c.pending++
+		c.tenantPending[c.tenantOf(appID)]++
 	} else {
 		c.stats.Coalesced++
 	}
@@ -503,6 +650,21 @@ func (c *Checker) WaitFor(seq uint64) {
 	}
 }
 
+// WaitTenant blocks until the dispatcher has routed the change feed past
+// seq and the given tenant has no re-check queued or in flight — the
+// per-tenant quiescence barrier experiment E17 measures detection lag
+// with. Unlike WaitFor it does NOT wait for other tenants' backlogs,
+// which is exactly what makes fair-share isolation observable: a quiet
+// tenant's barrier clears as soon as its own traces are checked, however
+// deep a noisy neighbour's queue is. Returns immediately when stopped.
+func (c *Checker) WaitTenant(tenantID string, seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.running && (c.lastSeq < seq || c.tenantPending[tenantID] > 0) {
+		c.cond.Wait()
+	}
+}
+
 // Checked reports how many re-checks have run.
 func (c *Checker) Checked() int {
 	c.mu.Lock()
@@ -553,6 +715,15 @@ func (c *Checker) Stats() CheckerStats {
 	s.TraceErrors = make(map[string]string, len(c.traceErrs))
 	for k, v := range c.traceErrs {
 		s.TraceErrors[k] = v
+	}
+	s.FairShare = !c.opts.DisableFairShare
+	s.TenantChecks = make(map[string]uint64, len(c.tenantChecks))
+	for k, v := range c.tenantChecks {
+		s.TenantChecks[k] = v
+	}
+	s.TenantPending = make(map[string]int, len(c.tenantPending))
+	for k, v := range c.tenantPending {
+		s.TenantPending[k] = v
 	}
 	return s
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/rules"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // ControlTypeName is the custom node type materialized control points use.
@@ -55,8 +56,12 @@ func DeclareModel(m *provenance.Model) error {
 
 // ControlPoint is one deployed internal control.
 type ControlPoint struct {
-	// ID is the stable registry key.
+	// ID is the stable registry key — tenant-qualified ("acme::ctl-1")
+	// for every tenant but the default one.
 	ID string
+	// Tenant is the owning namespace. Controls only ever evaluate traces
+	// of their own tenant.
+	Tenant string
 	// Name is the human-readable title.
 	Name string
 	// Text is the rule source in business vocabulary.
@@ -68,11 +73,40 @@ type ControlPoint struct {
 	Version int
 
 	compiled Evaluator
+
+	// shadow, when non-nil, is a candidate version evaluated on the same
+	// snapshots as the live evaluator; its verdicts are only compared
+	// (divergence counting), never delivered or alerted.
+	shadow        Evaluator
+	shadowText    string
+	shadowVersion int
+}
+
+// HasShadow reports whether a candidate version is deployed in shadow
+// mode alongside the live one.
+func (cp *ControlPoint) HasShadow() bool { return cp != nil && cp.shadow != nil }
+
+// ShadowVersion is the version the shadow candidate would take on
+// promotion (0 when no shadow is deployed).
+func (cp *ControlPoint) ShadowVersion() int {
+	if cp == nil || cp.shadow == nil {
+		return 0
+	}
+	return cp.shadowVersion
+}
+
+// ShadowText is the shadow candidate's rule source ("" when none).
+func (cp *ControlPoint) ShadowText() string {
+	if cp == nil || cp.shadow == nil {
+		return ""
+	}
+	return cp.shadowText
 }
 
 // Outcome pairs a control with its evaluation result on one trace.
 type Outcome struct {
 	ControlID string
+	Tenant    string
 	Name      string
 	Version   int
 	Result    *rules.Result
@@ -158,6 +192,14 @@ type Registry struct {
 	ctrlsEvaluated atomic.Uint64
 	ctrlsSkipped   atomic.Uint64
 
+	// Shadow-rollout divergence accounting (see shadow.go).
+	shadowMu       sync.Mutex
+	shadowChecks   uint64
+	shadowDiverged uint64
+	shadowByCtrl   map[string]uint64
+	shadowSamples  []ShadowSample
+	shadowSeq      uint64
+
 	matMu [matStripes]sync.Mutex
 }
 
@@ -183,16 +225,35 @@ func NewRegistry(st *store.Store, vocab *bom.Vocabulary, opts Options) (*Registr
 	}
 	return &Registry{
 		st: st, vocab: vocab, opts: opts,
-		controls: make(map[string]*ControlPoint),
-		cache:    make(map[string]*cacheEntry),
-		bindings: make(map[string]*traceBindings),
+		controls:     make(map[string]*ControlPoint),
+		cache:        make(map[string]*cacheEntry),
+		bindings:     make(map[string]*traceBindings),
+		shadowByCtrl: make(map[string]uint64),
 	}, nil
 }
 
-// Deploy compiles and registers a control. Deploying an existing ID
-// replaces its rule text and bumps the version — no application code is
-// touched, the central claim of the paper (experiment E8).
+// regKey builds the registry key of a control: the bare ID within the
+// default tenant, the tenant-qualified ID everywhere else — so two
+// tenants may each own a "ctl-approval" without colliding.
+func regKey(tenantID, id string) string {
+	if tenantID == "" || tenantID == tenant.DefaultID {
+		return id
+	}
+	return tenant.Qualify(tenantID, id)
+}
+
+// Deploy compiles and registers a control in the default tenant.
+// Deploying an existing ID replaces its rule text and bumps the version
+// — no application code is touched, the central claim of the paper
+// (experiment E8).
 func (r *Registry) Deploy(id, name, text string) (*ControlPoint, error) {
+	return r.DeployTenant(tenant.DefaultID, id, name, text)
+}
+
+// DeployTenant compiles and registers a control inside one tenant's
+// namespace. id is the tenant-local control ID; the registry key is
+// tenant-qualified so namespaces never collide.
+func (r *Registry) DeployTenant(tenantID, id, name, text string) (*ControlPoint, error) {
 	if id == "" {
 		return nil, fmt.Errorf("controls: empty control ID")
 	}
@@ -200,39 +261,52 @@ func (r *Registry) Deploy(id, name, text string) (*ControlPoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("controls: %s: %v", id, err)
 	}
-	return r.DeployEvaluator(id, name, compiled, text)
+	return r.deployEvaluator(tenantID, regKey(tenantID, id), name, compiled, text)
 }
 
 // DeployEvaluator registers any Evaluator — compiled rule controls and
-// subgraph PatternControls alike — under the registry's versioning.
+// subgraph PatternControls alike — under the registry's versioning, in
+// the default tenant.
 func (r *Registry) DeployEvaluator(id, name string, ev Evaluator, text string) (*ControlPoint, error) {
-	if id == "" {
+	return r.deployEvaluator(tenant.DefaultID, id, name, ev, text)
+}
+
+func (r *Registry) deployEvaluator(tenantID, key, name string, ev Evaluator, text string) (*ControlPoint, error) {
+	if key == "" {
 		return nil, fmt.Errorf("controls: empty control ID")
 	}
 	if ev == nil {
 		return nil, fmt.Errorf("controls: nil evaluator")
+	}
+	if tenantID == "" {
+		tenantID = tenant.DefaultID
 	}
 	if text == "" {
 		text = ev.Text()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	prev := r.controls[id]
-	cp := &ControlPoint{ID: id, Name: name, Text: text, Version: 1, compiled: ev}
+	prev := r.controls[key]
+	cp := &ControlPoint{ID: key, Tenant: tenantID, Name: name, Text: text, Version: 1, compiled: ev}
 	if prev != nil {
+		if prev.Tenant != tenantID {
+			return nil, fmt.Errorf("controls: %s belongs to tenant %s", key, prev.Tenant)
+		}
 		cp.Version = prev.Version + 1
 		if cp.Name == "" {
 			cp.Name = prev.Name
 		}
+		// A live redeploy supersedes any shadow candidate: the candidate
+		// was diffed against a version that no longer exists.
 	} else {
-		r.order = append(r.order, id)
+		r.order = append(r.order, key)
 	}
-	r.controls[id] = cp
+	r.controls[key] = cp
 	r.gen++ // cached results predate this control set
 	return cp, nil
 }
 
-// Remove deletes a control from the registry.
+// Remove deletes a control from the registry by its registry key.
 func (r *Registry) Remove(id string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -248,6 +322,11 @@ func (r *Registry) Remove(id string) error {
 	}
 	r.gen++ // cached results predate this control set
 	return nil
+}
+
+// RemoveTenant deletes a tenant-local control by its bare ID.
+func (r *Registry) RemoveTenant(tenantID, id string) error {
+	return r.Remove(regKey(tenantID, id))
 }
 
 // Gen returns the registry generation: it bumps on every Deploy or
@@ -266,7 +345,13 @@ func (r *Registry) Get(id string) *ControlPoint {
 	return r.controls[id]
 }
 
-// List returns the deployed controls in deployment order.
+// GetTenant returns a tenant-local control by its bare ID, or nil.
+func (r *Registry) GetTenant(tenantID, id string) *ControlPoint {
+	return r.Get(regKey(tenantID, id))
+}
+
+// List returns the deployed controls in deployment order, across every
+// tenant.
 func (r *Registry) List() []*ControlPoint {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -275,6 +360,39 @@ func (r *Registry) List() []*ControlPoint {
 		out = append(out, r.controls[id])
 	}
 	return out
+}
+
+// ListTenant returns one tenant's controls in deployment order.
+func (r *Registry) ListTenant(tenantID string) []*ControlPoint {
+	if tenantID == "" {
+		tenantID = tenant.DefaultID
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*ControlPoint
+	for _, id := range r.order {
+		if cp := r.controls[id]; cp.Tenant == tenantID {
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// controlsFor snapshots one tenant's controls in deployment order along
+// with the current generation — the per-check view. A trace only ever
+// meets its own tenant's controls, which (with tenant-prefixed trace
+// IDs) makes cross-tenant verdicts impossible by construction.
+func (r *Registry) controlsFor(appID string) ([]*ControlPoint, uint64) {
+	tn := tenant.Owner(appID)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cps := make([]*ControlPoint, 0, len(r.order))
+	for _, id := range r.order {
+		if cp := r.controls[id]; cp.Tenant == tn {
+			cps = append(cps, cp)
+		}
+	}
+	return cps, r.gen
 }
 
 // Check evaluates every deployed control against one trace, materializing
@@ -290,13 +408,7 @@ func (r *Registry) List() []*ControlPoint {
 // its store version and forces a re-check; any Deploy or Remove bumps the
 // registry generation and invalidates everything.
 func (r *Registry) Check(appID string) ([]*Outcome, error) {
-	r.mu.RLock()
-	cps := make([]*ControlPoint, 0, len(r.order))
-	for _, id := range r.order {
-		cps = append(cps, r.controls[id])
-	}
-	gen := r.gen
-	r.mu.RUnlock()
+	cps, gen := r.controlsFor(appID)
 
 	if !r.opts.DisableCache {
 		if out, ok := r.cached(appID, gen); ok {
@@ -310,12 +422,13 @@ func (r *Registry) Check(appID string) ([]*Outcome, error) {
 		version = v
 		bindings := r.bindingCacheFor(appID, v)
 		for _, cp := range cps {
-			res, err := safeEvaluate(cp, g, appID, bindings)
+			res, err := safeEvaluate(cp.ID, cp.compiled, g, appID, bindings)
 			if err != nil {
 				return err
 			}
+			r.observeShadow(cp, g, appID, res, bindings)
 			outcomes = append(outcomes, &Outcome{
-				ControlID: cp.ID, Name: cp.Name, Version: cp.Version, Result: res,
+				ControlID: cp.ID, Tenant: cp.Tenant, Name: cp.Name, Version: cp.Version, Result: res,
 			})
 		}
 		return nil
@@ -354,12 +467,7 @@ func (r *Registry) CheckGraph(appID string, g *provenance.Graph) ([]*Outcome, er
 	if g == nil {
 		return nil, fmt.Errorf("controls: nil graph")
 	}
-	r.mu.RLock()
-	cps := make([]*ControlPoint, 0, len(r.order))
-	for _, id := range r.order {
-		cps = append(cps, r.controls[id])
-	}
-	r.mu.RUnlock()
+	cps, _ := r.controlsFor(appID)
 
 	var bindings *rules.BindingCache
 	if !r.opts.DisableBindingReuse {
@@ -367,12 +475,14 @@ func (r *Registry) CheckGraph(appID string, g *provenance.Graph) ([]*Outcome, er
 	}
 	outcomes := make([]*Outcome, 0, len(cps))
 	for _, cp := range cps {
-		res, err := safeEvaluate(cp, g, appID, bindings)
+		// No shadow observation here: this is the as-of audit path, and a
+		// historical reading must not pollute live divergence counters.
+		res, err := safeEvaluate(cp.ID, cp.compiled, g, appID, bindings)
 		if err != nil {
 			return nil, err
 		}
 		outcomes = append(outcomes, &Outcome{
-			ControlID: cp.ID, Name: cp.Name, Version: cp.Version, Result: res,
+			ControlID: cp.ID, Tenant: cp.Tenant, Name: cp.Name, Version: cp.Version, Result: res,
 		})
 	}
 	return outcomes, nil
@@ -383,16 +493,16 @@ func (r *Registry) CheckGraph(appID string, g *provenance.Graph) ([]*Outcome, er
 // down the continuous engine (or the daemon hosting it). Evaluators that
 // support shared bindings (compiled rule controls) receive the trace's
 // binding cache; others evaluate standalone.
-func safeEvaluate(cp *ControlPoint, g *provenance.Graph, appID string, bindings *rules.BindingCache) (res *rules.Result, err error) {
+func safeEvaluate(id string, ev Evaluator, g *provenance.Graph, appID string, bindings *rules.BindingCache) (res *rules.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("controls: %s panicked evaluating %s: %v", cp.ID, appID, p)
+			err = fmt.Errorf("controls: %s panicked evaluating %s: %v", id, appID, p)
 		}
 	}()
-	if se, ok := cp.compiled.(sharedEvaluator); ok && bindings != nil {
+	if se, ok := ev.(sharedEvaluator); ok && bindings != nil {
 		return se.EvaluateWith(g, appID, bindings), nil
 	}
-	return cp.compiled.Evaluate(g, appID), nil
+	return ev.Evaluate(g, appID), nil
 }
 
 // sharedEvaluator is the optional Evaluator extension for cross-control

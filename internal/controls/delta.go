@@ -4,6 +4,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/rules"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // Delta-driven checking. Check re-evaluates every deployed control
@@ -83,8 +84,19 @@ func (r *Registry) DeltaStats() DeltaStats {
 }
 
 // deltaAffects runs one control's discrimination against a write set.
+// A control carrying a shadow candidate discriminates on the UNION of
+// the live and shadow footprints: a commit that only the candidate
+// cares about must still re-evaluate, or its divergence would go
+// unobserved on exactly the traces where the versions differ.
 func deltaAffects(cp *ControlPoint, ws *store.WriteSet) bool {
-	fpr, ok := cp.compiled.(footprinted)
+	if evaluatorAffected(cp.compiled, ws) {
+		return true
+	}
+	return cp.shadow != nil && evaluatorAffected(cp.shadow, ws)
+}
+
+func evaluatorAffected(ev Evaluator, ws *store.WriteSet) bool {
+	fpr, ok := ev.(footprinted)
 	if !ok {
 		return true
 	}
@@ -149,16 +161,23 @@ func (r *Registry) CheckDelta(appID string, ws *store.WriteSet) ([]*Outcome, boo
 	prev := e.outcomes
 	r.cacheMu.Unlock()
 
-	// Discriminate: which controls can this write set affect?
+	// Discriminate: which of this tenant's controls can the write set
+	// affect? Other tenants' controls never see the trace at all.
+	tn := tenant.Owner(appID)
 	r.mu.RLock()
 	if r.gen != gen {
 		r.mu.RUnlock()
 		return r.deltaFallback(appID)
 	}
-	total := len(r.order)
+	total := 0
 	var affected []*ControlPoint
 	for _, id := range r.order {
-		if cp := r.controls[id]; deltaAffects(cp, ws) {
+		cp := r.controls[id]
+		if cp.Tenant != tn {
+			continue
+		}
+		total++
+		if deltaAffects(cp, ws) {
 			affected = append(affected, cp)
 		}
 	}
@@ -189,12 +208,13 @@ func (r *Registry) CheckDelta(appID string, ws *store.WriteSet) ([]*Outcome, boo
 		version = v
 		bindings := r.bindingCacheFor(appID, v)
 		for _, cp := range affected {
-			res, err := safeEvaluate(cp, g, appID, bindings)
+			res, err := safeEvaluate(cp.ID, cp.compiled, g, appID, bindings)
 			if err != nil {
 				return err
 			}
+			r.observeShadow(cp, g, appID, res, bindings)
 			evaled = append(evaled, &Outcome{
-				ControlID: cp.ID, Name: cp.Name, Version: cp.Version, Result: res,
+				ControlID: cp.ID, Tenant: cp.Tenant, Name: cp.Name, Version: cp.Version, Result: res,
 			})
 		}
 		return nil

@@ -10,6 +10,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/rules"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // prefilteredControl binds only new-position requisitions through a
@@ -275,7 +276,7 @@ func TestCkWorkerMergesWriteSets(t *testing.T) {
 		return ws
 	}
 
-	w := newCkWorker()
+	w := newCkWorker(tenant.Owner, nil)
 	if !w.mark("A", mkWS(3, 4)) {
 		t.Fatal("first mark not fresh")
 	}

@@ -4,16 +4,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"repro/internal/rules"
 )
 
 // persistedControl is the on-disk form of one deployed control. Only
 // text-based (rule) controls persist; pattern controls are built in Go and
-// belong to the embedding program.
+// belong to the embedding program. A shadow candidate persists alongside
+// its live version so a restart does not silently abort a rollout.
 type persistedControl struct {
-	ID      string `json:"id"`
-	Name    string `json:"name"`
-	Text    string `json:"text"`
-	Version int    `json:"version"`
+	ID            string `json:"id"`
+	Tenant        string `json:"tenant,omitempty"`
+	Name          string `json:"name"`
+	Text          string `json:"text"`
+	Version       int    `json:"version"`
+	ShadowText    string `json:"shadowText,omitempty"`
+	ShadowVersion int    `json:"shadowVersion,omitempty"`
 }
 
 // SaveTo writes every text-deployed control to path atomically, so a
@@ -28,7 +34,8 @@ func (r *Registry) SaveTo(path string) error {
 			continue
 		}
 		out = append(out, persistedControl{
-			ID: cp.ID, Name: cp.Name, Text: cp.Text, Version: cp.Version,
+			ID: cp.ID, Tenant: cp.Tenant, Name: cp.Name, Text: cp.Text, Version: cp.Version,
+			ShadowText: cp.shadowText, ShadowVersion: cp.shadowVersion,
 		})
 	}
 	r.mu.RUnlock()
@@ -65,7 +72,13 @@ func (r *Registry) LoadFrom(path string) (int, error) {
 	}
 	restored := 0
 	for _, pc := range in {
-		cp, err := r.Deploy(pc.ID, pc.Name, pc.Text)
+		// pc.ID is the registry key (already tenant-qualified); compile
+		// and install it directly under its recorded tenant.
+		compiled, err := rules.Compile(pc.Text, r.vocab)
+		if err != nil {
+			return restored, fmt.Errorf("controls: load %s: %v", pc.ID, err)
+		}
+		cp, err := r.deployEvaluator(pc.Tenant, pc.ID, pc.Name, compiled, pc.Text)
 		if err != nil {
 			return restored, fmt.Errorf("controls: load %s: %v", pc.ID, err)
 		}
@@ -76,6 +89,17 @@ func (r *Registry) LoadFrom(path string) (int, error) {
 			cp.Version = pc.Version
 		}
 		r.mu.Unlock()
+		if pc.ShadowText != "" {
+			scp, err := r.DeployShadow(pc.ID, pc.ShadowText)
+			if err != nil {
+				return restored, fmt.Errorf("controls: load shadow %s: %v", pc.ID, err)
+			}
+			r.mu.Lock()
+			if scp.shadowVersion < pc.ShadowVersion {
+				scp.shadowVersion = pc.ShadowVersion
+			}
+			r.mu.Unlock()
+		}
 		restored++
 	}
 	return restored, nil

@@ -27,6 +27,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/query"
 	"repro/internal/store"
+	"repro/internal/tenant"
 	"repro/internal/workload"
 )
 
@@ -78,6 +79,16 @@ type Config struct {
 	// DisableAsyncIngest skips the gateway: events are ingested
 	// synchronously on the caller (ablation D9, experiment E12).
 	DisableAsyncIngest bool
+	// CheckEvalDelay injects a synthetic flat per-re-check evaluation
+	// cost into the continuous checker — the experiment device model for
+	// expensive control portfolios (E17), the role slowfs plays for
+	// storage in E16. Zero (production) adds nothing.
+	CheckEvalDelay time.Duration
+	// DisableFairShare turns off weighted per-tenant fair-share scheduling
+	// in the continuous checker: all dirty traces share one FIFO and a
+	// noisy tenant's backlog delays everyone (ablation D14, experiment
+	// E17).
+	DisableFairShare bool
 	// DisableDeltaEval turns off delta-driven control checking: the
 	// continuous engine then re-evaluates every control of a dirty trace
 	// instead of discriminating with the commits' write set (ablation
@@ -134,6 +145,13 @@ type System struct {
 	Checker    *controls.Checker
 	Board      *dashboard.Board
 	Query      *query.Engine
+	// Tenants is the multi-tenant control plane: namespaces, admission
+	// quotas and fair-share weights. Always present — single-tenant
+	// deployments just never leave the default tenant.
+	Tenants *tenant.Registry
+	// tenantsPath, when set, receives the tenant registry snapshot on
+	// every tenant mutation.
+	tenantsPath string
 	// Gateway is the async ingestion front door; nil when
 	// Config.DisableAsyncIngest is set.
 	Gateway *ingest.Gateway
@@ -164,7 +182,7 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := &System{Domain: d, Store: st, continuous: cfg.Continuous}
+	sys := &System{Domain: d, Store: st, continuous: cfg.Continuous, Tenants: tenant.NewRegistry()}
 	fail := func(err error) (*System, error) {
 		st.Close()
 		return nil, err
@@ -201,6 +219,10 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 		if _, err := sys.Registry.LoadFrom(sys.controlsPath); err != nil {
 			return fail(err)
 		}
+		sys.tenantsPath = filepath.Join(cfg.Dir, "tenants.json")
+		if _, err := sys.Tenants.LoadFrom(sys.tenantsPath); err != nil {
+			return fail(err)
+		}
 	}
 	sys.Board = dashboard.New(cfg.MaxViolations)
 	if sys.Query, err = query.NewEngine(st); err != nil {
@@ -208,7 +230,12 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 	}
 	sys.Checker = controls.NewCheckerOpts(sys.Registry, func(out []*controls.Outcome) {
 		sys.Board.Record(out)
-	}, controls.CheckerOptions{Workers: cfg.Workers})
+	}, controls.CheckerOptions{
+		Workers:          cfg.Workers,
+		DisableFairShare: cfg.DisableFairShare,
+		TenantWeight:     sys.Tenants.Weight,
+		EvalDelay:        cfg.CheckEvalDelay,
+	})
 	if cfg.Continuous {
 		sys.Correlator.Start()
 		sys.Checker.Start()
@@ -226,6 +253,7 @@ func New(d *workload.Domain, cfg Config) (*System, error) {
 			MaxBatch:    cfg.IngestMaxBatch,
 			FlushWindow: cfg.IngestFlushWindow,
 			Dir:         cfg.Dir,
+			Quotas:      sys.Tenants,
 		}, sys.ingestSink(cfg.Continuous)); err != nil {
 			sys.Close()
 			return nil, err
@@ -258,19 +286,81 @@ func (s *System) ingestSink(continuous bool) ingest.Sink {
 	}
 }
 
-// DeployControl deploys (or redeploys) a control and, for durable
-// systems, persists the control set.
+// DeployControl deploys (or redeploys) a control in the default tenant
+// and, for durable systems, persists the control set.
 func (s *System) DeployControl(id, name, text string) (*controls.ControlPoint, error) {
-	cp, err := s.Registry.Deploy(id, name, text)
+	return s.DeployControlTenant(tenant.DefaultID, id, name, text)
+}
+
+// DeployControlTenant deploys a control inside one tenant's namespace
+// and persists the control set when durable.
+func (s *System) DeployControlTenant(tenantID, id, name, text string) (*controls.ControlPoint, error) {
+	cp, err := s.Registry.DeployTenant(tenantID, id, name, text)
 	if err != nil {
 		return nil, err
 	}
-	if s.controlsPath != "" {
-		if err := s.Registry.SaveTo(s.controlsPath); err != nil {
-			return cp, err
-		}
+	return cp, s.persistControls()
+}
+
+// DeployShadowControl attaches a shadow candidate to an existing control
+// (key is the tenant-qualified registry key) and persists it, so a
+// restart does not silently abort an in-flight rollout.
+func (s *System) DeployShadowControl(key, text string) (*controls.ControlPoint, error) {
+	cp, err := s.Registry.DeployShadow(key, text)
+	if err != nil {
+		return nil, err
 	}
-	return cp, nil
+	return cp, s.persistControls()
+}
+
+// PromoteControl atomically makes a control's shadow candidate the live
+// version and persists the swap.
+func (s *System) PromoteControl(key string) (*controls.ControlPoint, error) {
+	cp, err := s.Registry.Promote(key)
+	if err != nil {
+		return nil, err
+	}
+	return cp, s.persistControls()
+}
+
+// RollbackControl discards a control's shadow candidate and persists.
+func (s *System) RollbackControl(key string) (*controls.ControlPoint, error) {
+	cp, err := s.Registry.Rollback(key)
+	if err != nil {
+		return nil, err
+	}
+	return cp, s.persistControls()
+}
+
+func (s *System) persistControls() error {
+	if s.controlsPath == "" {
+		return nil
+	}
+	return s.Registry.SaveTo(s.controlsPath)
+}
+
+// CreateTenant registers (or updates) a tenant and persists the registry
+// when durable.
+func (s *System) CreateTenant(t tenant.Tenant) error {
+	if err := s.Tenants.Create(t); err != nil {
+		return err
+	}
+	return s.persistTenants()
+}
+
+// SetTenantQuota replaces one tenant's admission quota and persists.
+func (s *System) SetTenantQuota(id string, q tenant.Quota) error {
+	if err := s.Tenants.SetQuota(id, q); err != nil {
+		return err
+	}
+	return s.persistTenants()
+}
+
+func (s *System) persistTenants() error {
+	if s.tenantsPath == "" {
+		return nil
+	}
+	return s.Tenants.SaveTo(s.tenantsPath)
 }
 
 // RemoveControl removes a control and persists the change when durable.

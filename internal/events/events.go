@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/provenance"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // AppEvent is one raw event emitted by an application: a task being
@@ -408,6 +409,18 @@ func (p *Pipeline) transform(m *Mapping, ev AppEvent, key string, index int) (*p
 		id = ev.Payload[m.IDKey]
 		if id == "" {
 			return nil, fmt.Errorf("event lacks ID key %q", m.IDKey)
+		}
+		// Record IDs live in one global keyspace (node IDs key the whole
+		// store), so they carry the trace's namespace too: without this,
+		// two tenants ingesting the same workload collide on record IDs,
+		// and a default-tenant payload could alias another tenant's
+		// records outright. The default tenant is the identity, but then
+		// the separator is reserved — a bare-namespace record must not be
+		// able to name a qualified key.
+		if own := tenant.Owner(ev.AppID); own != tenant.DefaultID {
+			id = tenant.Qualify(own, id)
+		} else if !tenant.IsBare(id) {
+			return nil, fmt.Errorf("record ID %q: the namespace separator is reserved", id)
 		}
 	} else if key != "" {
 		id = fmt.Sprintf("PE-%s-%d", key, index)

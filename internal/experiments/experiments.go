@@ -117,6 +117,9 @@ func All(quick bool) []Runner {
 	e16OverheadRate := 25.0
 	e16ScaleRate := 900.0
 	e16Shards := []int{1, 2, 4}
+	e17Duration := 3 * time.Second
+	e17QuietRate := 10.0
+	e17NoisyRate := 150.0
 	if quick {
 		traces = 300
 		e5Sizes = []int{200, 500, 1000}
@@ -137,6 +140,9 @@ func All(quick bool) []Runner {
 		e16OverheadRate = 20
 		e16ScaleRate = 300
 		e16Shards = []int{1, 2}
+		e17Duration = 600 * time.Millisecond
+		e17QuietRate = 10
+		e17NoisyRate = 150
 	}
 	return []Runner{
 		{"E1", "Table 1 storage rows", func() (*Table, error) { return E1Table1(traces) }},
@@ -166,6 +172,9 @@ func All(quick bool) []Runner {
 		}},
 		{"E16", "sharded cluster scale-out vs single node", func() (*Table, error) {
 			return E16Cluster(e16Duration, e16OverheadRate, e16ScaleRate, e16Shards)
+		}},
+		{"E17", "multi-tenant fair-share checking vs single FIFO", func() (*Table, error) {
+			return E17Tenants(e17Duration, e17QuietRate, e17NoisyRate)
 		}},
 	}
 }

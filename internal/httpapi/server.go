@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"repro/internal/audit"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/controls"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/query"
 	"repro/internal/store"
+	"repro/internal/tenant"
 	"repro/internal/viz"
 )
 
@@ -39,6 +41,8 @@ func NewServer(sys *core.System, continuous bool) *Server {
 	s.mux.HandleFunc("/ingest/ack", s.handleIngestAck)
 	s.mux.HandleFunc("/ingest/stats", s.handleIngestStats)
 	s.mux.HandleFunc("/controls", s.handleControls)
+	s.mux.HandleFunc("/controls/", s.handleControlAction)
+	s.mux.HandleFunc("/tenants", s.handleTenants)
 	s.mux.HandleFunc("/compliance", s.handleCompliance)
 	s.mux.HandleFunc("/dashboard", s.handleDashboard)
 	s.mux.HandleFunc("/violations", s.handleViolations)
@@ -68,6 +72,64 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// tenantScope resolves the optional X-Tenant request header. An empty
+// header is the legacy single-tenant view — no qualification, no
+// filtering — so every pre-tenancy client keeps working. A set header
+// scopes the request to that tenant's namespace: incoming trace IDs are
+// qualified under it, outgoing IDs are filtered to it, and an unknown
+// tenant is rejected before any data access. ok=false means the handler
+// has already replied.
+func (s *Server) tenantScope(w http.ResponseWriter, r *http.Request) (tn string, ok bool) {
+	tn = r.Header.Get("X-Tenant")
+	if tn == "" {
+		return "", true
+	}
+	if !tenant.ValidID(tn) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid tenant %q", tn))
+		return "", false
+	}
+	if tn != tenant.DefaultID && !s.sys.Tenants.Exists(tn) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown tenant %q", tn))
+		return "", false
+	}
+	return tn, true
+}
+
+// qualifyScoped qualifies a client-supplied trace or control name under
+// the request scope. Scoped requests (explicit X-Tenant, including
+// "default") may only use bare names: under the default tenant Qualify
+// is the identity mapping, so a smuggled qualified name would read or
+// write another tenant's key space. The operator view (no header)
+// passes qualified names through untouched. ok=false means the handler
+// has already replied.
+func qualifyScoped(w http.ResponseWriter, tn, name string) (string, bool) {
+	if tn != "" && !tenant.IsBare(name) {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("%q: a tenant-scoped request must use bare names", name))
+		return "", false
+	}
+	return tenant.Qualify(tn, name), true
+}
+
+// scopedID strips the scope's namespace prefix for display: inside a
+// tenant-scoped request the tenant sees its own bare IDs, never the
+// qualified form that would leak the namespacing scheme.
+func scopedID(tn, id string) string {
+	if tn == "" {
+		return id
+	}
+	if owner, bare := tenant.Split(id); owner == tn {
+		return bare
+	}
+	return id
+}
+
+// inScope reports whether a qualified ID belongs to the scope. The empty
+// scope (legacy view) sees everything.
+func inScope(tn, id string) bool {
+	return tn == "" || tenant.Owner(id) == tn
 }
 
 // eventJSON is the wire form of an application event.
@@ -115,15 +177,26 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	tn, ok := s.tenantScope(w, r)
+	if !ok {
+		return
+	}
 	batch := make([]events.AppEvent, len(evs))
 	for i, e := range evs {
+		// Qualifying here — before admission — is what makes tenancy
+		// end-to-end: every row, trace and verdict downstream carries
+		// the namespace, and a tenant cannot name another's traces.
+		app, ok := qualifyScoped(w, tn, e.AppID)
+		if !ok {
+			return
+		}
 		batch[i] = events.AppEvent{
-			Source: e.Source, Type: e.Type, AppID: e.AppID,
+			Source: e.Source, Type: e.Type, AppID: app,
 			Timestamp: e.Timestamp, Payload: e.Payload,
 		}
 	}
 	if s.sys.Gateway != nil && r.URL.Query().Get("sync") == "" {
-		s.admitAsync(w, r, batch)
+		s.admitAsync(w, r, tn, batch)
 		return
 	}
 	if err := s.sys.Ingest(batch); err != nil {
@@ -156,8 +229,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // admitAsync offers one batch to the ingestion gateway and maps its
 // verdict onto HTTP: 202 admitted (or deduped), 429 overloaded with a
 // Retry-After hint, 503 draining.
-func (s *Server) admitAsync(w http.ResponseWriter, r *http.Request, batch []events.AppEvent) {
-	key := r.Header.Get("Ingest-Key")
+func (s *Server) admitAsync(w http.ResponseWriter, r *http.Request, tn string, batch []events.AppEvent) {
+	// Idempotency keys are client-chosen, so they namespace like trace
+	// IDs: without this, one tenant's key dedups — and answers with the
+	// ack state of — another tenant's batch.
+	key := tenant.Qualify(tn, r.Header.Get("Ingest-Key"))
 	st, err := s.sys.Gateway.Offer(key, batch)
 	if err == nil {
 		writeJSON(w, http.StatusAccepted, st)
@@ -171,10 +247,16 @@ func (s *Server) admitAsync(w http.ResponseWriter, r *http.Request, batch []even
 			secs++ // Retry-After is whole seconds; round up
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		body := map[string]any{
 			"error":        err.Error(),
 			"retryAfterMs": oe.RetryAfter.Milliseconds(),
-		})
+		}
+		if oe.Tenant != "" {
+			// A quota rejection is tenant-specific: name the tenant so a
+			// shared client pool can back off one namespace, not all.
+			body["tenant"] = oe.Tenant
+		}
+		writeJSON(w, http.StatusTooManyRequests, body)
 	case errors.Is(err, ingest.ErrDraining), errors.Is(err, ingest.ErrClosed):
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusServiceUnavailable, err)
@@ -212,16 +294,35 @@ func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sys.Gateway.Stats())
 }
 
-// controlJSON is the wire form of a control deployment.
+// controlJSON is the wire form of a control deployment. Shadow=true on
+// POST deploys the text as the shadow candidate of an existing control
+// instead of replacing its live version.
 type controlJSON struct {
 	ID      string `json:"id"`
 	Name    string `json:"name"`
 	Text    string `json:"text,omitempty"`
 	Version int    `json:"version,omitempty"`
+	Tenant  string `json:"tenant,omitempty"`
+	Shadow  bool   `json:"shadow,omitempty"`
+	// ShadowVersion reports the attached candidate's version (responses).
+	ShadowVersion int `json:"shadowVersion,omitempty"`
 }
 
-// handleControls deploys (POST) or lists (GET) internal controls.
+func controlToJSON(tn string, cp *controls.ControlPoint) controlJSON {
+	return controlJSON{
+		ID: scopedID(tn, cp.ID), Name: cp.Name, Text: cp.Text,
+		Version: cp.Version, Tenant: cp.Tenant,
+		Shadow: cp.HasShadow(), ShadowVersion: cp.ShadowVersion(),
+	}
+}
+
+// handleControls deploys (POST) or lists (GET) internal controls within
+// the request's tenant scope.
 func (s *Server) handleControls(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantScope(w, r)
+	if !ok {
+		return
+	}
 	switch r.Method {
 	case http.MethodPost:
 		var c controlJSON
@@ -229,27 +330,124 @@ func (s *Server) handleControls(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		cp, err := s.sys.DeployControl(c.ID, c.Name, c.Text)
+		key, kok := qualifyScoped(w, tn, c.ID)
+		if !kok {
+			return
+		}
+		var cp *controls.ControlPoint
+		var err error
+		if c.Shadow {
+			cp, err = s.sys.DeployShadowControl(key, c.Text)
+		} else if tn == "" {
+			cp, err = s.sys.DeployControl(c.ID, c.Name, c.Text)
+		} else {
+			cp, err = s.sys.DeployControlTenant(tn, c.ID, c.Name, c.Text)
+		}
 		if err != nil {
 			writeErr(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, controlJSON{ID: cp.ID, Name: cp.Name, Version: cp.Version})
+		writeJSON(w, http.StatusOK, controlToJSON(tn, cp))
 	case http.MethodDelete:
-		id := r.URL.Query().Get("id")
+		id, ok := qualifyScoped(w, tn, r.URL.Query().Get("id"))
+		if !ok {
+			return
+		}
 		if err := s.sys.RemoveControl(id); err != nil {
 			writeErr(w, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"removed": id})
+		writeJSON(w, http.StatusOK, map[string]string{"removed": scopedID(tn, id)})
 	case http.MethodGet:
+		var list []*controls.ControlPoint
+		if tn == "" {
+			list = s.sys.Registry.List()
+		} else {
+			list = s.sys.Registry.ListTenant(tn)
+		}
 		var out []controlJSON
-		for _, cp := range s.sys.Registry.List() {
-			out = append(out, controlJSON{ID: cp.ID, Name: cp.Name, Text: cp.Text, Version: cp.Version})
+		for _, cp := range list {
+			out = append(out, controlToJSON(tn, cp))
 		}
 		writeJSON(w, http.StatusOK, out)
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET, POST or DELETE"))
+	}
+}
+
+// handleControlAction routes POST /controls/{id}/promote and
+// /controls/{id}/rollback — the shadow-rollout levers. The swap happens
+// inside the control registry under its lock: no evaluation ever sees
+// zero or two live versions of the control.
+func (s *Server) handleControlAction(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	tn, ok := s.tenantScope(w, r)
+	if !ok {
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/controls/")
+	i := strings.LastIndex(rest, "/")
+	if i <= 0 {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("want /controls/{id}/promote or /controls/{id}/rollback"))
+		return
+	}
+	key, kok := qualifyScoped(w, tn, rest[:i])
+	if !kok {
+		return
+	}
+	action := rest[i+1:]
+	var cp *controls.ControlPoint
+	var err error
+	switch action {
+	case "promote":
+		cp, err = s.sys.PromoteControl(key)
+	case "rollback":
+		cp, err = s.sys.RollbackControl(key)
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown control action %q", action))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, controlToJSON(tn, cp))
+}
+
+// tenantJSON is the wire form of one tenant with its admission counters.
+type tenantJSON struct {
+	tenant.Tenant
+	Stats tenant.AdmissionStats `json:"stats"`
+}
+
+// handleTenants lists tenants (GET) or creates/updates one (POST — an
+// upsert, so the same call adjusts an existing tenant's quota or weight).
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		stats := s.sys.Tenants.Stats()
+		out := []tenantJSON{}
+		for _, t := range s.sys.Tenants.List() {
+			out = append(out, tenantJSON{Tenant: t, Stats: stats[t.ID]})
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var t tenant.Tenant
+		if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.sys.CreateTenant(t); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		created, _ := s.sys.Tenants.Get(t.ID)
+		writeJSON(w, http.StatusOK, created)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST"))
 	}
 }
 
@@ -285,7 +483,14 @@ func asOfParam(w http.ResponseWriter, r *http.Request) (seq uint64, present, ok 
 // would the verdicts have been at commit N?". As-of outcomes are not
 // recorded on the dashboard: historical readings must not move live KPIs.
 func (s *Server) handleCompliance(w http.ResponseWriter, r *http.Request) {
-	app := r.URL.Query().Get("app")
+	tn, tok := s.tenantScope(w, r)
+	if !tok {
+		return
+	}
+	app, aok := qualifyScoped(w, tn, r.URL.Query().Get("app"))
+	if !aok {
+		return
+	}
 	asof, asofSet, ok := asOfParam(w, r)
 	if !ok {
 		return
@@ -309,7 +514,7 @@ func (s *Server) handleCompliance(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, o := range res {
 			outcomes = append(outcomes, outcomeJSON{
-				Control: o.ControlID, AppID: o.Result.AppID,
+				Control: scopedID(tn, o.ControlID), AppID: scopedID(tn, o.Result.AppID),
 				Verdict: o.Result.Verdict.String(),
 				Alerts:  o.Result.Alerts, Notes: o.Result.Notes,
 				Binds: o.Result.Bindings,
@@ -325,6 +530,9 @@ func (s *Server) handleCompliance(w http.ResponseWriter, r *http.Request) {
 		return
 	} else {
 		for _, a := range s.sys.Store.AppIDs() {
+			if !inScope(tn, a) {
+				continue
+			}
 			if err = appendOutcomes(a); err != nil {
 				break
 			}
@@ -342,10 +550,29 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sys.Board.Snapshot())
 }
 
-// handleViolations returns the most recent violation feed entries.
+// handleViolations returns the most recent violation feed entries,
+// scoped to the request's tenant when one is set.
 func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantScope(w, r)
+	if !ok {
+		return
+	}
 	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
-	writeJSON(w, http.StatusOK, s.sys.Board.RecentViolations(n))
+	all := s.sys.Board.RecentViolations(n)
+	if tn == "" {
+		writeJSON(w, http.StatusOK, all)
+		return
+	}
+	out := all[:0]
+	for _, v := range all {
+		if !inScope(tn, v.AppID) {
+			continue
+		}
+		v.AppID = scopedID(tn, v.AppID)
+		v.ControlID = scopedID(tn, v.ControlID)
+		out = append(out, v)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // graphJSON is the wire form of one trace subgraph.
@@ -375,7 +602,14 @@ type edgeJSON struct {
 // store sequence N, served from whichever tier held it then (sealed
 // segment or live state) — the point-in-time audit view.
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
-	app := r.URL.Query().Get("app")
+	tn, ok := s.tenantScope(w, r)
+	if !ok {
+		return
+	}
+	app, aok := qualifyScoped(w, tn, r.URL.Query().Get("app"))
+	if !aok {
+		return
+	}
 	if app == "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("app parameter required"))
 		return
@@ -425,7 +659,14 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 // handleGraphDOT renders one trace as a Graphviz DOT document (the Fig 2
 // visualization).
 func (s *Server) handleGraphDOT(w http.ResponseWriter, r *http.Request) {
-	app := r.URL.Query().Get("app")
+	tn, ok := s.tenantScope(w, r)
+	if !ok {
+		return
+	}
+	app, aok := qualifyScoped(w, tn, r.URL.Query().Get("app"))
+	if !aok {
+		return
+	}
 	if app == "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("app parameter required"))
 		return
@@ -446,7 +687,14 @@ func (s *Server) handleGraphDOT(w http.ResponseWriter, r *http.Request) {
 
 // handleRows returns the Table-1 rows of one trace.
 func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
-	app := r.URL.Query().Get("app")
+	tn, ok := s.tenantScope(w, r)
+	if !ok {
+		return
+	}
+	app, aok := qualifyScoped(w, tn, r.URL.Query().Get("app"))
+	if !aok {
+		return
+	}
 	if app == "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("app parameter required"))
 		return
@@ -457,9 +705,17 @@ func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 // handleQuery runs a typed node query:
 // /query?type=jobRequisition&field=reqID&value=REQ-x&kind=string&explain=1
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	tn, tok := s.tenantScope(w, r)
+	if !tok {
+		return
+	}
+	qapp, aok := qualifyScoped(w, tn, r.URL.Query().Get("app"))
+	if !aok {
+		return
+	}
 	q := query.Query{
 		Type:    r.URL.Query().Get("type"),
-		AppID:   r.URL.Query().Get("app"),
+		AppID:   qapp,
 		OrderBy: r.URL.Query().Get("order"),
 		Desc:    r.URL.Query().Get("desc") != "",
 	}
@@ -553,9 +809,15 @@ func (s *Server) handleSegments(w http.ResponseWriter, r *http.Request) {
 // the shard-handoff planner's input (the router asks each shard for its
 // traces to compute which ones a ring change moves).
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	apps := s.sys.Store.AppIDs()
-	if apps == nil {
-		apps = []string{}
+	tn, ok := s.tenantScope(w, r)
+	if !ok {
+		return
+	}
+	apps := []string{}
+	for _, a := range s.sys.Store.AppIDs() {
+		if inScope(tn, a) {
+			apps = append(apps, scopedID(tn, a))
+		}
 	}
 	writeJSON(w, http.StatusOK, apps)
 }
@@ -680,6 +942,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"bindings":    s.sys.Registry.BindingStats(),
 		"delta":       s.sys.Registry.DeltaStats(),
 		"plans":       s.sys.Registry.Plans(),
+		"tenants":     s.sys.Tenants.Stats(),
+		"shadow":      s.sys.Registry.ShadowStats(),
 		"domain":      s.sys.Domain.Name,
 		"traces":      len(s.sys.Store.AppIDs()),
 		"seq":         storeStats.Seq,

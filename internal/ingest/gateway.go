@@ -39,7 +39,19 @@ import (
 	"time"
 
 	"repro/internal/events"
+	"repro/internal/tenant"
 )
+
+// QuotaProvider is the per-tenant admission authority — normally the
+// node's tenant.Registry. Admit charges a batch's events and bytes
+// against one tenant and answers with a tenant-specific Retry-After on
+// rejection; Refund undoes a charge when the batch is rejected for
+// another reason; Release returns queued bytes once spans flush.
+type QuotaProvider interface {
+	Admit(tenantID string, events int, size int64) (retryAfter time.Duration, ok bool)
+	Refund(tenantID string, events int, size int64)
+	Release(tenantID string, size int64)
+}
 
 // Sink consumes one coalesced run of keyed events — normally
 // events.Pipeline.IngestKeyed, optionally wrapped with trace correlation.
@@ -75,6 +87,14 @@ type Config struct {
 	// correctness requirement — deterministic record IDs already make
 	// redelivery idempotent.
 	Dir string
+	// Quotas, when set, is consulted per tenant before queue space is
+	// reserved: every tenant appearing in a batch must admit its share or
+	// the whole batch is rejected with that tenant's Retry-After. Nil
+	// admits everything (single-tenant deployments pay nothing).
+	Quotas QuotaProvider
+	// TenantOf maps an event's trace ID to its owning tenant; nil uses
+	// tenant.Owner (the "acme::JR-1" prefix convention).
+	TenantOf func(appID string) string
 }
 
 func (c *Config) fill() {
@@ -95,13 +115,21 @@ func (c *Config) fill() {
 	}
 }
 
-// OverloadError rejects a batch the admission queues cannot hold.
+// OverloadError rejects a batch the admission queues cannot hold, or
+// that a tenant's quota refused.
 type OverloadError struct {
-	// RetryAfter is the server's backoff hint.
+	// RetryAfter is the server's backoff hint — tenant-specific (when the
+	// bucket refills enough for this batch) for quota rejections.
 	RetryAfter time.Duration
+	// Tenant names the tenant whose quota rejected the batch; empty for a
+	// shared-queue (whole-gateway) overload.
+	Tenant string
 }
 
 func (e *OverloadError) Error() string {
+	if e.Tenant != "" {
+		return fmt.Sprintf("ingest: tenant %s over quota, retry after %v", e.Tenant, e.RetryAfter)
+	}
 	return fmt.Sprintf("ingest: overloaded, retry after %v", e.RetryAfter)
 }
 
@@ -171,6 +199,11 @@ type Stats struct {
 	MaxBatch        int    `json:"maxBatch"`
 	RetryAfterMS    int64  `json:"retryAfterMs"`
 	Draining        bool   `json:"draining"`
+	// TenantAdmittedEvents / TenantRejectedEvents break admission down per
+	// tenant; rejections counted here are quota rejections (shared-queue
+	// overloads are not attributable to one tenant).
+	TenantAdmittedEvents map[string]uint64 `json:"tenantAdmittedEvents,omitempty"`
+	TenantRejectedEvents map[string]uint64 `json:"tenantRejectedEvents,omitempty"`
 }
 
 // span is the unit queued on a shard: the slice of one admitted batch's
@@ -234,13 +267,15 @@ type Gateway struct {
 	sink   Sink
 	shards []*shard
 
-	mu       sync.Mutex // admission + ack table + journal
-	byToken  map[string]*ack
-	byKey    map[string]*ack
-	ring     []string // applied keys, eviction order
-	tokSeq   uint64
-	journal  *bufio.Writer
-	journalF *os.File
+	mu         sync.Mutex // admission + ack table + journal + tenant counters
+	byToken    map[string]*ack
+	byKey      map[string]*ack
+	tnAdmitted map[string]uint64
+	tnRejected map[string]uint64
+	ring       []string // applied keys, eviction order
+	tokSeq     uint64
+	journal    *bufio.Writer
+	journalF   *os.File
 
 	draining atomic.Bool
 	closed   atomic.Bool
@@ -272,11 +307,13 @@ func New(cfg Config, sink Sink) (*Gateway, error) {
 	}
 	cfg.fill()
 	g := &Gateway{
-		cfg:     cfg,
-		sink:    sink,
-		byToken: make(map[string]*ack),
-		byKey:   make(map[string]*ack),
-		killed:  make(chan struct{}),
+		cfg:        cfg,
+		sink:       sink,
+		byToken:    make(map[string]*ack),
+		byKey:      make(map[string]*ack),
+		tnAdmitted: make(map[string]uint64),
+		tnRejected: make(map[string]uint64),
+		killed:     make(chan struct{}),
 	}
 	if cfg.Dir != "" {
 		if err := g.loadJournal(); err != nil {
@@ -306,6 +343,31 @@ func (g *Gateway) shardOf(appID string) int {
 	return int(h.Sum32() % uint32(len(g.shards)))
 }
 
+// tenantOf resolves an event's owning tenant for quota accounting.
+func (g *Gateway) tenantOf(appID string) string {
+	if g.cfg.TenantOf != nil {
+		return g.cfg.TenantOf(appID)
+	}
+	return tenant.Owner(appID)
+}
+
+// eventSize is the admission-accounting size of one event: its string
+// fields plus payload, with a small fixed per-event overhead. It is pure,
+// so the bytes charged at admission equal the bytes released at flush.
+func eventSize(ev events.AppEvent) int64 {
+	n := len(ev.Source) + len(ev.Type) + len(ev.AppID) + 48
+	for k, v := range ev.Payload {
+		n += len(k) + len(v)
+	}
+	return int64(n)
+}
+
+// charge accumulates one tenant's share of a batch.
+type charge struct {
+	events int
+	bytes  int64
+}
+
 // Offer admits one client batch. key is the client's idempotency key
 // (empty for fire-and-forget clients; the gateway assigns one). On
 // success the returned status is the batch's ack — normally pending; for
@@ -323,17 +385,32 @@ func (g *Gateway) Offer(key string, evs []events.AppEvent) (AckStatus, error) {
 		return AckStatus{}, fmt.Errorf("ingest: empty batch")
 	}
 
-	// Split into per-shard spans preserving batch order within each shard.
+	// Split into per-shard spans preserving batch order within each shard,
+	// and total up each tenant's share for quota admission.
 	spans := make(map[int][]events.KeyedEvent)
 	order := make([]int, 0, len(g.shards))
+	charges := make(map[string]*charge)
+	tenants := []string{}
 	for i, ev := range evs {
 		si := g.shardOf(ev.AppID)
 		if _, ok := spans[si]; !ok {
 			order = append(order, si)
 		}
 		spans[si] = append(spans[si], events.KeyedEvent{Event: ev, Index: i})
+		if g.cfg.Quotas != nil {
+			tn := g.tenantOf(ev.AppID)
+			c := charges[tn]
+			if c == nil {
+				c = &charge{}
+				charges[tn] = c
+				tenants = append(tenants, tn)
+			}
+			c.events++
+			c.bytes += eventSize(ev)
+		}
 	}
 	sort.Ints(order)
+	sort.Strings(tenants)
 
 	g.mu.Lock()
 	if g.closed.Load() {
@@ -351,6 +428,26 @@ func (g *Gateway) Offer(key string, evs []events.AppEvent) (AckStatus, error) {
 			return a.status(true), nil
 		}
 	}
+	// Charge every tenant's quota before reserving queue space. Admission
+	// is all-or-nothing: the first tenant to reject fails the whole batch
+	// with its own Retry-After, and tenants already charged are refunded —
+	// a rejected batch must not consume anyone's budget.
+	if g.cfg.Quotas != nil {
+		for i, tn := range tenants {
+			c := charges[tn]
+			ra, ok := g.cfg.Quotas.Admit(tn, c.events, c.bytes)
+			if !ok {
+				for _, prev := range tenants[:i] {
+					pc := charges[prev]
+					g.cfg.Quotas.Refund(prev, pc.events, pc.bytes)
+				}
+				g.tnRejected[tn] += uint64(c.events)
+				g.mu.Unlock()
+				g.rejected.Add(1)
+				return AckStatus{}, &OverloadError{RetryAfter: ra, Tenant: tn}
+			}
+		}
+	}
 	// Reserve queue space for every span before enqueueing anything; on
 	// any full shard roll the reservation back and reject the whole batch.
 	for i, si := range order {
@@ -359,6 +456,12 @@ func (g *Gateway) Offer(key string, evs []events.AppEvent) (AckStatus, error) {
 		if sh.queued.Load()+n > int64(g.cfg.QueueDepth) {
 			for _, prev := range order[:i] {
 				g.shards[prev].queued.Add(-int64(len(spans[prev])))
+			}
+			if g.cfg.Quotas != nil {
+				for _, tn := range tenants {
+					c := charges[tn]
+					g.cfg.Quotas.Refund(tn, c.events, c.bytes)
+				}
 			}
 			g.mu.Unlock()
 			g.rejected.Add(1)
@@ -379,6 +482,9 @@ func (g *Gateway) Offer(key string, evs []events.AppEvent) (AckStatus, error) {
 	total := int64(len(evs))
 	g.admittedBatches.Add(1)
 	g.admittedEvents.Add(uint64(total))
+	for tn, c := range charges {
+		g.tnAdmitted[tn] += uint64(c.events)
+	}
 	g.pending.Add(1)
 	for now := g.queued.Add(total); ; {
 		max := g.maxQueued.Load()
@@ -486,6 +592,18 @@ func (g *Gateway) flush(sh *shard, run []span) {
 	}
 	err := g.sink(kevs)
 
+	// Flushed bytes leave each tenant's queued-bytes budget. eventSize is
+	// pure, so this releases exactly what admission charged.
+	if g.cfg.Quotas != nil {
+		rel := make(map[string]int64)
+		for _, kev := range kevs {
+			rel[g.tenantOf(kev.Event.AppID)] += eventSize(kev.Event)
+		}
+		for tn, sz := range rel {
+			g.cfg.Quotas.Release(tn, sz)
+		}
+	}
+
 	var be *events.BatchError
 	perPos := map[int]string{}
 	batchErr := ""
@@ -546,24 +664,41 @@ func (g *Gateway) finalize(a *ack) {
 
 // Stats snapshots the gateway counters.
 func (g *Gateway) Stats() Stats {
+	var tnAdm, tnRej map[string]uint64
+	g.mu.Lock()
+	if len(g.tnAdmitted) > 0 {
+		tnAdm = make(map[string]uint64, len(g.tnAdmitted))
+		for k, v := range g.tnAdmitted {
+			tnAdm[k] = v
+		}
+	}
+	if len(g.tnRejected) > 0 {
+		tnRej = make(map[string]uint64, len(g.tnRejected))
+		for k, v := range g.tnRejected {
+			tnRej[k] = v
+		}
+	}
+	g.mu.Unlock()
 	return Stats{
-		AdmittedBatches: g.admittedBatches.Load(),
-		AdmittedEvents:  g.admittedEvents.Load(),
-		RejectedBatches: g.rejected.Load(),
-		DedupedBatches:  g.deduped.Load(),
-		AppliedBatches:  g.applied.Load(),
-		Flushes:         g.flushes.Load(),
-		FlushedEvents:   g.flushedEvents.Load(),
-		MaxFlush:        g.maxFlush.Load(),
-		QueuedEvents:    g.queued.Load(),
-		MaxQueuedEvents: g.maxQueued.Load(),
-		PendingBatches:  g.pending.Load(),
-		JournalErrors:   g.journalErrs.Load(),
-		Shards:          g.cfg.Shards,
-		QueueDepth:      g.cfg.QueueDepth,
-		MaxBatch:        g.cfg.MaxBatch,
-		RetryAfterMS:    g.cfg.RetryAfter.Milliseconds(),
-		Draining:        g.draining.Load(),
+		TenantAdmittedEvents: tnAdm,
+		TenantRejectedEvents: tnRej,
+		AdmittedBatches:      g.admittedBatches.Load(),
+		AdmittedEvents:       g.admittedEvents.Load(),
+		RejectedBatches:      g.rejected.Load(),
+		DedupedBatches:       g.deduped.Load(),
+		AppliedBatches:       g.applied.Load(),
+		Flushes:              g.flushes.Load(),
+		FlushedEvents:        g.flushedEvents.Load(),
+		MaxFlush:             g.maxFlush.Load(),
+		QueuedEvents:         g.queued.Load(),
+		MaxQueuedEvents:      g.maxQueued.Load(),
+		PendingBatches:       g.pending.Load(),
+		JournalErrors:        g.journalErrs.Load(),
+		Shards:               g.cfg.Shards,
+		QueueDepth:           g.cfg.QueueDepth,
+		MaxBatch:             g.cfg.MaxBatch,
+		RetryAfterMS:         g.cfg.RetryAfter.Milliseconds(),
+		Draining:             g.draining.Load(),
 	}
 }
 

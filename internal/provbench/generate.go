@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/events"
+	"repro/internal/tenant"
 	"repro/internal/workload"
 )
 
@@ -22,6 +23,10 @@ type Op struct {
 	Client string
 	// Class is the client's SLO class (its ClientClass name).
 	Class string
+	// Tenant is the class's tenant namespace; empty for bare (default
+	// tenant) traffic. The runner uses it to sample per-tenant detection
+	// lag when the target supports it.
+	Tenant string
 	// Key is the batch's deterministic idempotency key.
 	Key string
 	// Events is the batch payload.
@@ -100,10 +105,12 @@ func Generate(spec Spec) (*Schedule, error) {
 				}
 				batch, next := takeEvents(pool, cursor, size)
 				cursor = next
+				batch = qualifyBatch(class.Tenant, batch)
 				sched.Ops = append(sched.Ops, Op{
 					At:     t,
 					Client: client,
 					Class:  class.Name,
+					Tenant: class.Tenant,
 					Key:    fmt.Sprintf("%s-%s-%d-%d", spec.Name, class.Name, i, opIdx),
 					Events: batch,
 				})
@@ -151,6 +158,22 @@ func classEventPool(spec Spec, ci int) ([]events.AppEvent, error) {
 	}
 	res := d.Simulate(workload.SimOptions{Seed: seed, Traces: traces, ViolationRate: class.ViolationRate})
 	return res.Events, nil
+}
+
+// qualifyBatch rewrites a batch's trace IDs into a tenant's namespace.
+// Batches are pool subslices shared across ops, so qualification copies
+// rather than mutating in place. Bare (default-tenant) classes keep the
+// zero-copy path.
+func qualifyBatch(tenantID string, batch []events.AppEvent) []events.AppEvent {
+	if tenantID == "" || tenantID == tenant.DefaultID {
+		return batch
+	}
+	out := make([]events.AppEvent, len(batch))
+	for i, ev := range batch {
+		ev.AppID = tenant.Qualify(tenantID, ev.AppID)
+		out[i] = ev
+	}
+	return out
 }
 
 // takeEvents slices n events from the pool starting at cursor, wrapping

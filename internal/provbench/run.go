@@ -201,8 +201,15 @@ func (r *runner) exec(op *Op, cc *classCollector) {
 		if r.opts.DetectEvery > 0 && (n-1)%int64(r.opts.DetectEvery) == 0 {
 			// Wait until the continuous checker has consumed the change
 			// feed past this op's commit: offer -> durable -> checked is
-			// the detection-lag the compliance story cares about.
-			r.sampler.WaitChecked(r.sampler.Seq())
+			// the detection-lag the compliance story cares about. Ops of
+			// tenant-scoped classes wait only for their own tenant's
+			// traces, so a noisy neighbour's backlog shows up in ITS
+			// class's lag, not everyone's.
+			if ts, ok := r.sampler.(TenantDetectionSampler); ok && op.Tenant != "" {
+				ts.WaitTenantChecked(op.Tenant, r.sampler.Seq())
+			} else {
+				r.sampler.WaitChecked(r.sampler.Seq())
+			}
 			detectLat = clock.Now().Sub(t0)
 			sampledDetect = true
 		}

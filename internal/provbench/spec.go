@@ -19,6 +19,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"repro/internal/tenant"
 )
 
 // Dur is a time.Duration that marshals as a human-readable string
@@ -69,6 +71,12 @@ type ClientClass struct {
 	// ViolationRate is passed to the domain simulator: the fraction of
 	// generated traces seeded with a genuine control violation.
 	ViolationRate float64 `json:"violationRate,omitempty"`
+	// Tenant namespaces every generated trace ID under the named tenant
+	// ("acme" turns trace T-1 into acme::T-1). Empty (or "default")
+	// leaves IDs bare. Multi-tenant workloads give each class its own
+	// tenant so per-tenant admission and fair-share checking are
+	// measurable per class (experiment E17).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Spec is a complete workload description. It is pure data: Generate
@@ -132,6 +140,9 @@ func (s *Spec) Validate() error {
 		}
 		if _, err := domainFor(c.Domain); err != nil {
 			return err
+		}
+		if c.Tenant != "" && c.Tenant != tenant.DefaultID && !tenant.ValidID(c.Tenant) {
+			return fmt.Errorf("provbench: class %q has invalid tenant %q", c.Name, c.Tenant)
 		}
 		if _, err := NewArrival(c.Arrival, time.Second); err != nil {
 			return err

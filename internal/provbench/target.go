@@ -53,6 +53,15 @@ type DetectionSampler interface {
 	WaitChecked(seq uint64)
 }
 
+// TenantDetectionSampler narrows the barrier to one tenant: the wait
+// clears when the tenant's own traces are checked, regardless of other
+// tenants' backlogs. The runner uses it for ops of tenant-scoped classes
+// — it is what makes fair-share isolation measurable per class (E17).
+type TenantDetectionSampler interface {
+	DetectionSampler
+	WaitTenantChecked(tenantID string, seq uint64)
+}
+
 // GatewayStatser is implemented by targets that can snapshot the
 // ingestion gateway counters for the report.
 type GatewayStatser interface {
@@ -106,6 +115,10 @@ func (t *SystemTarget) Applied(token string) (bool, error) {
 func (t *SystemTarget) Seq() uint64 { return t.Sys.Store.Stats().Seq }
 
 func (t *SystemTarget) WaitChecked(seq uint64) { t.Sys.Checker.WaitFor(seq) }
+
+func (t *SystemTarget) WaitTenantChecked(tenantID string, seq uint64) {
+	t.Sys.Checker.WaitTenant(tenantID, seq)
+}
 
 func (t *SystemTarget) GatewayStats() (ingest.Stats, bool) {
 	if t.Sys.Gateway == nil {

@@ -1,0 +1,57 @@
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SaveTo writes the tenant set to path atomically (tmp + rename), the
+// same durability idiom controls.json uses: a restarted node restores
+// the namespaces, weights and quotas operators configured.
+func (r *Registry) SaveTo(path string) error {
+	out := r.List()
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tenant: save: %v", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("tenant: save: %v", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("tenant: save: %v", err)
+	}
+	return nil
+}
+
+// LoadFrom restores tenants recorded at path. A missing file is not an
+// error (fresh node). Returns the number of tenants restored.
+func (r *Registry) LoadFrom(path string) (int, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("tenant: load: %v", err)
+	}
+	var in []Tenant
+	if err := json.Unmarshal(raw, &in); err != nil {
+		return 0, fmt.Errorf("tenant: load: %v", err)
+	}
+	restored := 0
+	for _, t := range in {
+		if t.ID == DefaultID {
+			// The default tenant always exists; only its tuning restores.
+			if err := r.Create(t); err != nil {
+				return restored, err
+			}
+			continue
+		}
+		if err := r.Create(t); err != nil {
+			return restored, fmt.Errorf("tenant: load %s: %v", t.ID, err)
+		}
+		restored++
+	}
+	return restored, nil
+}
